@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks of every computational motif, in both
+//! precisions and both storage formats — the measured counterpart of
+//! the paper's figure 5/8 kernel comparisons on this machine.
+//!
+//! Run: `cargo bench -p hpgmxp-bench --bench motifs`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpgmxp_bench::single_rank_problem;
+use hpgmxp_sparse::blas::{self, Basis};
+use hpgmxp_sparse::gauss_seidel::{
+    gs_forward, gs_forward_reference, gs_multicolor, split_lower_upper,
+};
+use hpgmxp_sparse::{CsrMatrix, EllMatrix, LevelSchedule};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: u32 = 32;
+
+fn tune(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let prob = single_rank_problem(N, 1);
+    let csr64 = &prob.levels[0].csr64;
+    let ell64 = &prob.levels[0].ell64;
+    let csr32: CsrMatrix<f32> = csr64.convert();
+    let ell32: EllMatrix<f32> = ell64.convert();
+    let n = csr64.ncols();
+    let x64: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+    let mut y64 = vec![0.0f64; csr64.nrows()];
+    let mut y32 = vec![0.0f32; csr64.nrows()];
+
+    let mut g = tune(c).benchmark_group("spmv");
+    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.throughput(Throughput::Bytes(csr64.spmv_matrix_bytes() as u64));
+    g.bench_function(BenchmarkId::new("csr", "fp64"), |b| {
+        b.iter(|| csr64.spmv(black_box(&x64), &mut y64))
+    });
+    g.bench_function(BenchmarkId::new("csr", "fp32"), |b| {
+        b.iter(|| csr32.spmv(black_box(&x32), &mut y32))
+    });
+    g.throughput(Throughput::Bytes(ell64.spmv_matrix_bytes() as u64));
+    g.bench_function(BenchmarkId::new("ell", "fp64"), |b| {
+        b.iter(|| ell64.spmv(black_box(&x64), &mut y64))
+    });
+    g.bench_function(BenchmarkId::new("ell", "fp32"), |b| {
+        b.iter(|| ell32.spmv(black_box(&x32), &mut y32))
+    });
+    g.finish();
+}
+
+fn bench_gauss_seidel(c: &mut Criterion) {
+    let prob = single_rank_problem(N, 1);
+    let l = &prob.levels[0];
+    let n = l.n_local();
+    let r64: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+    let r32: Vec<f32> = r64.iter().map(|&v| v as f32).collect();
+    let (low, up) = split_lower_upper(&l.csr64);
+    let schedule = LevelSchedule::build(&l.csr64);
+
+    let mut g = c.benchmark_group("gauss_seidel");
+    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.bench_function("lexicographic fp64", |b| {
+        let mut z = vec![0.0f64; l.vec_len()];
+        b.iter(|| gs_forward(&l.csr64, black_box(&r64), &mut z))
+    });
+    g.bench_function("multicolor ELL fp64", |b| {
+        let mut z = vec![0.0f64; l.vec_len()];
+        b.iter(|| gs_multicolor(&l.ell64, &l.coloring, black_box(&r64), &mut z))
+    });
+    g.bench_function("multicolor ELL fp32", |b| {
+        let mut z = vec![0.0f32; l.vec_len()];
+        b.iter(|| gs_multicolor(&l.ell32, &l.coloring, black_box(&r32), &mut z))
+    });
+    g.bench_function("reference two-kernel fp64", |b| {
+        let mut z = vec![0.0f64; l.vec_len()];
+        b.iter(|| gs_forward_reference(&low, &up, &schedule, black_box(&r64), &mut z))
+    });
+    g.finish();
+}
+
+fn bench_ortho(c: &mut Criterion) {
+    let n = 32usize * 32 * 32;
+    let k = 15usize;
+    let mut q64: Basis<f64> = Basis::new(n, k + 1);
+    let mut q32: Basis<f32> = Basis::new(n, k + 1);
+    for j in 0..=k {
+        for (i, v) in q64.col_mut(j).iter_mut().enumerate() {
+            *v = ((i * (j + 1)) as f64 * 0.001).sin();
+        }
+        for (i, v) in q32.col_mut(j).iter_mut().enumerate() {
+            *v = ((i * (j + 1)) as f32 * 0.001).sin();
+        }
+    }
+    let mut g = c.benchmark_group("ortho_gemv");
+    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.throughput(Throughput::Bytes((n * k * 8) as u64));
+    g.bench_function("project fp64", |b| b.iter(|| black_box(q64.project_local(k))));
+    g.throughput(Throughput::Bytes((n * k * 4) as u64));
+    g.bench_function("project fp32", |b| b.iter(|| black_box(q32.project_local(k))));
+    g.finish();
+}
+
+fn bench_vector_ops(c: &mut Criterion) {
+    let n = 1 << 18;
+    let x64: Vec<f64> = (0..n).map(|i| i as f64 * 1e-6).collect();
+    let y64 = x64.clone();
+    let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+    let y32 = x32.clone();
+
+    let mut g = c.benchmark_group("blas1");
+    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.throughput(Throughput::Bytes((n * 16) as u64));
+    g.bench_function("dot fp64", |b| b.iter(|| black_box(blas::dot(&x64, &y64))));
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    g.bench_function("dot fp32", |b| b.iter(|| black_box(blas::dot(&x32, &y32))));
+    g.bench_function("waxpby fp64", |b| {
+        let mut w = vec![0.0f64; n];
+        b.iter(|| blas::waxpby(2.0, &x64, 0.5, &y64, &mut w))
+    });
+    g.bench_function("waxpby fp32", |b| {
+        let mut w = vec![0.0f32; n];
+        b.iter(|| blas::waxpby(2.0, &x32, 0.5, &y32, &mut w))
+    });
+    g.bench_function("axpy mixed f32->f64", |b| {
+        let mut y = vec![0.0f64; n];
+        b.iter(|| blas::axpy_f32_into_f64(1.5, &x32, &mut y))
+    });
+    g.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let prob = single_rank_problem(16, 1);
+    let a = &prob.levels[0].csr64;
+    let mut g = c.benchmark_group("coloring");
+    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.bench_function("jpl 16^3", |b| b.iter(|| black_box(hpgmxp_sparse::jpl_coloring(a, 42))));
+    g.bench_function("greedy 16^3", |b| b.iter(|| black_box(hpgmxp_sparse::greedy_coloring(a))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_gauss_seidel, bench_ortho, bench_vector_ops, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Ablation of the paper's §3.2 optimizations, one at a time, on the
+//! machine model — quantifying what each contributes to the
+//! present-vs-xsdk gap of figure 4.
+//!
+//! The implementation variants bundle several changes (format, GS
+//! algorithm, fusion, overlap, device-side mixed ops). This harness
+//! prices intermediate configurations so each §3.2 item gets its own
+//! line, plus a measured CGS2-vs-MGS orthogonalization comparison
+//! (§3's discussion of reorthogonalization).
+//!
+//! Run: `cargo run --release -p hpgmxp-bench --bin ablation_study`
+
+use hpgmxp_bench::single_rank_problem;
+use hpgmxp_comm::SelfComm;
+use hpgmxp_core::motifs::MotifStats;
+use hpgmxp_core::ortho::{cgs2, mgs, orthogonality_defect};
+use hpgmxp_machine::kernels;
+use hpgmxp_machine::workload::Workload;
+use hpgmxp_machine::{MachineModel, NetworkModel};
+use hpgmxp_sparse::blas::Basis;
+
+fn main() {
+    let machine = MachineModel::mi250x_gcd();
+    let net = NetworkModel::frontier_slingshot();
+    let wl = Workload::build((320, 320, 320), 4, 30, 512 * 8);
+    let s = wl.fine();
+    let sb = 4usize; // mixed inner precision
+    let g = machine.gather_factor;
+
+    println!("Per-sweep fine-grid Gauss-Seidel cost (modeled, f32, 320^3, ms):\n");
+    // (1) level-scheduled two-kernel reference GS.
+    let kc_ref = kernels::gs_reference_csr(s, sb, g);
+    let rows_per_stage = s.n / s.sched_stages as f64;
+    let eff = machine.stage_bandwidth_efficiency(rows_per_stage);
+    let t_ref = kc_ref.bytes / (machine.mem_bw * eff)
+        + (s.sched_stages as f64 + 1.0) * 2.0 * machine.launch_overhead;
+    // (2) multicolor relaxation, still CSR-like traffic (two passes fused to one).
+    let kc_mc_csr = kernels::spmv_csr(s, sb, g); // one pass over CSR + vector work
+    let t_mc_csr = kc_mc_csr.bytes / machine.mem_bw + s.colors as f64 * machine.launch_overhead;
+    // (3) multicolor relaxation on ELL (the optimized kernel).
+    let kc_mc_ell = kernels::gs_multicolor_ell(s, sb, g);
+    let t_mc_ell = kc_mc_ell.bytes / machine.mem_bw + s.colors as f64 * machine.launch_overhead;
+
+    println!("  §3.1 reference (SpMV+SpTRSV, level-sched): {:>8.2}  ({} stages, {:.0}% stage bw)", t_ref * 1e3, s.sched_stages, eff * 100.0);
+    println!("  §3.2.1 multicolor relaxation (one sweep):  {:>8.2}", t_mc_csr * 1e3);
+    println!("  §3.2.2 + ELL format:                       {:>8.2}", t_mc_ell * 1e3);
+    println!("  -> multicoloring alone buys {:.1}x; the format is a second-order refinement\n", t_ref / t_mc_csr);
+
+    println!("Restriction cost per V-cycle level 0 (modeled, f32, ms):");
+    let kc_runf = kernels::reference_restrict(s, sb, g);
+    let kc_rf = kernels::fused_restrict(s, sb, g);
+    println!("  §3.1 unfused (full residual + inject): {:>8.2}", kc_runf.bytes / machine.mem_bw * 1e3);
+    println!("  §3.2.4 fused at coarse points:         {:>8.2}  ({:.1}x)\n",
+        kc_rf.bytes / machine.mem_bw * 1e3, kc_runf.bytes / kc_rf.bytes);
+
+    println!("Communication exposure per fine-grid sweep (modeled, ms):");
+    let comm = net.halo_time(s.halo_msgs, s.halo_values * sb as f64);
+    let compute = kc_mc_ell.bytes / machine.mem_bw;
+    let window = compute * s.interior_frac / s.colors as f64;
+    println!("  halo exchange:              {:>8.3}", comm * 1e3);
+    println!("  hideable window (§3.2.3):   {:>8.3}", window * 1e3);
+    println!("  exposed with overlap:       {:>8.3}", (comm - window).max(0.0) * 1e3);
+    println!("  exposed without overlap:    {:>8.3}\n", comm * 1e3);
+
+    println!("Host-side mixed vector ops (§3.1 item 6) per restart, 320^3 (modeled, ms):");
+    let n = s.n;
+    let host = machine.host_copy_time(4.0 * n * 8.0);
+    let device = kernels::scale_narrow(n).bytes / machine.mem_bw
+        + kernels::axpy_mixed(n).bytes / machine.mem_bw;
+    println!("  host round-trips: {:>8.2}   fused device kernels (§3.2.5): {:>8.3}  ({:.0}x)\n",
+        host * 1e3, device * 1e3, host / device);
+
+    // Measured: CGS2 vs MGS orthogonality quality and the all-reduce count.
+    println!("Measured orthogonalization quality (40 basis vectors, 16^3 problem, f32):");
+    let prob = single_rank_problem(16, 1);
+    let n_loc = prob.n_local();
+    let comm = SelfComm;
+    let build_basis = || {
+        let mut q: Basis<f32> = Basis::new(n_loc, 41);
+        for j in 0..41 {
+            for (i, v) in q.col_mut(j).iter_mut().enumerate() {
+                *v = ((i * (j + 1)) as f32 * 0.00173).sin() + 0.8 * ((i + 1) as f32 * 0.0019).cos();
+            }
+        }
+        let nrm = hpgmxp_sparse::blas::norm2_sq(q.col(0)).sqrt();
+        hpgmxp_sparse::blas::scal(1.0 / nrm, q.col_mut(0));
+        q
+    };
+    let mut stats = MotifStats::new();
+    let mut q1 = build_basis();
+    for k in 1..41 {
+        cgs2(&comm, &mut stats, &mut q1, k);
+    }
+    let mut q2 = build_basis();
+    for k in 1..41 {
+        mgs(&comm, &mut stats, &mut q2, k);
+    }
+    println!("  CGS2 (2 all-reduces/iter): max |q_i . q_j| = {:.3e}", orthogonality_defect(&comm, &q1, 41));
+    println!("  MGS  (k all-reduces/iter): max |q_i . q_j| = {:.3e}", orthogonality_defect(&comm, &q2, 41));
+    println!("  -> CGS2 buys blocked reductions (2 vs k all-reduces) at comparable orthogonality,");
+    println!("     the §3/§4.1 rationale for the benchmark's choice.");
+}

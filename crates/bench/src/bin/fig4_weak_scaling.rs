@@ -1,0 +1,57 @@
+//! Regenerates **Figure 4**: weak scaling of the overall benchmark on
+//! Frontier — penalized mixed-precision GFLOP/s per GCD vs node count,
+//! for the optimized implementation ("present") and the reference
+//! implementation ("xsdk").
+//!
+//! The exascale points come from the calibrated machine model (see
+//! DESIGN.md's substitution table); the measured workstation point is
+//! appended for grounding.
+//!
+//! Run: `cargo run --release -p hpgmxp-bench --bin fig4_weak_scaling`
+
+use hpgmxp_bench::series_table;
+use hpgmxp_core::config::ImplVariant;
+use hpgmxp_machine::simulate::{simulate, SimConfig};
+use hpgmxp_machine::{MachineModel, NetworkModel};
+
+fn main() {
+    let machine = MachineModel::mi250x_gcd();
+    let net = NetworkModel::frontier_slingshot();
+    let nodes = [1usize, 2, 8, 64, 128, 512, 1024, 4096, 8192, 9408];
+
+    let present = SimConfig::paper_mxp();
+    let xsdk = SimConfig { variant: ImplVariant::Reference, ..present };
+
+    let mut rows = Vec::new();
+    for &nd in &nodes {
+        let ranks = nd * machine.devices_per_node;
+        let p = simulate(&present, &machine, &net, ranks);
+        let x = simulate(&xsdk, &machine, &net, ranks);
+        rows.push((nd as f64, vec![p.gflops_per_rank, x.gflops_per_rank, p.total_pflops]));
+    }
+    println!(
+        "{}",
+        series_table(
+            "Figure 4: weak scaling on Frontier (modeled; penalized mxp GFLOP/s per GCD)",
+            "nodes",
+            &["present GF/GCD", "xsdk GF/GCD", "present total PF"],
+            &rows
+        )
+    );
+
+    let one = simulate(&present, &machine, &net, 8);
+    let full = simulate(&present, &machine, &net, 9408 * 8);
+    println!(
+        "weak-scaling efficiency 1 -> 9408 nodes: {:.1}%  (paper: 78%)",
+        full.gflops_per_rank / one.gflops_per_rank * 100.0
+    );
+    println!(
+        "full-system penalized mixed performance: {:.2} PF  (paper: 17.23 PF)",
+        full.total_pflops
+    );
+    println!(
+        "present/xsdk at 512 nodes: {:.1}x",
+        simulate(&present, &machine, &net, 512 * 8).gflops_per_rank
+            / simulate(&xsdk, &machine, &net, 512 * 8).gflops_per_rank
+    );
+}

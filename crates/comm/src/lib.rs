@@ -1,0 +1,35 @@
+//! SPMD message-passing substrate — the MPI stand-in.
+//!
+//! The paper's benchmark runs one MPI rank per GPU compute die and
+//! communicates through tagged point-to-point messages (halo exchange
+//! with up to 26 neighbors) and global all-reduces (the inner products
+//! of GMRES). This crate reproduces that execution model in-process:
+//!
+//! * [`comm`] — the [`Comm`] trait every solver is written against,
+//!   with the exact operation set the benchmark needs (tagged
+//!   nonblocking sends, blocking/polling receives, all-reduce, barrier),
+//!   plus [`SelfComm`], the trivial single-rank world;
+//! * [`thread_world`] — [`ThreadWorld`]: a world of `P` ranks backed by
+//!   OS threads and lock-free channels, with MPI-like per-pair FIFO
+//!   ordering;
+//! * [`halo`] — the halo exchange executor built on a geometric
+//!   [`hpgmxp_geometry::HaloPlan`], including the split **begin/finish**
+//!   interface used to overlap interior computation with communication
+//!   (§3.2.3 of the paper);
+//! * [`timeline`] — a lightweight event recorder that timestamps
+//!   compute/pack/send/wait intervals, the source of the
+//!   rocprof-style traces of figure 9.
+//!
+//! The substitution argument (see DESIGN.md): solvers written against
+//! [`Comm`] perform the same message pattern, volume, and ordering as
+//! the MPI original; only the transport (channels vs. NIC) differs.
+
+pub mod comm;
+pub mod halo;
+pub mod thread_world;
+pub mod timeline;
+
+pub use comm::{Comm, ReduceOp, SelfComm};
+pub use halo::HaloExchange;
+pub use thread_world::{run_spmd, ThreadComm, ThreadWorld};
+pub use timeline::{Stream, Timeline, TimelineEvent};

@@ -1,0 +1,322 @@
+//! A multi-rank world backed by OS threads and lock-free channels.
+//!
+//! [`ThreadWorld::new`] creates `P` connected [`ThreadComm`] endpoints;
+//! [`run_spmd`] spawns one thread per rank and runs the same closure on
+//! each — the SPMD execution model of the MPI benchmark. Message
+//! delivery is FIFO per (sender → receiver) pair, like MPI; out-of-tag
+//! arrivals are parked in a mailbox until a matching receive, which is
+//! MPI's unexpected-message queue.
+
+use crate::comm::{reduce_into, Comm, ReduceOp};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+struct Message {
+    from: usize,
+    tag: u64,
+    data: Vec<u8>,
+}
+
+struct WorldShared {
+    barrier: Barrier,
+    reduce_slots: Vec<Mutex<Vec<f64>>>,
+    reduce_result: Mutex<Vec<f64>>,
+}
+
+/// One rank's endpoint in a [`ThreadWorld`].
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    mailbox: Mutex<Vec<Message>>,
+    shared: Arc<WorldShared>,
+}
+
+/// Factory for connected [`ThreadComm`] endpoints.
+pub struct ThreadWorld;
+
+impl ThreadWorld {
+    /// Create a world of `size` connected ranks.
+    pub fn new(size: usize) -> Vec<ThreadComm> {
+        assert!(size > 0);
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded::<Message>();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let shared = Arc::new(WorldShared {
+            barrier: Barrier::new(size),
+            reduce_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            reduce_result: Mutex::new(Vec::new()),
+        });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| ThreadComm {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver,
+                mailbox: Mutex::new(Vec::new()),
+                shared: Arc::clone(&shared),
+            })
+            .collect()
+    }
+}
+
+impl ThreadComm {
+    fn take_from_mailbox(&self, from: usize, tag: u64) -> Option<Vec<u8>> {
+        let mut mb = self.mailbox.lock();
+        if let Some(pos) = mb.iter().position(|m| m.from == from && m.tag == tag) {
+            Some(mb.remove(pos).data)
+        } else {
+            None
+        }
+    }
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_bytes(&self, to: usize, tag: u64, data: Vec<u8>) {
+        self.senders[to]
+            .send(Message { from: self.rank, tag, data })
+            .expect("receiving rank has shut down");
+    }
+
+    fn recv_bytes(&self, from: usize, tag: u64) -> Vec<u8> {
+        if let Some(data) = self.take_from_mailbox(from, tag) {
+            return data;
+        }
+        loop {
+            let msg = self.receiver.recv().expect("world has shut down");
+            if msg.from == from && msg.tag == tag {
+                return msg.data;
+            }
+            self.mailbox.lock().push(msg);
+        }
+    }
+
+    fn try_recv_bytes(&self, from: usize, tag: u64) -> Option<Vec<u8>> {
+        if let Some(data) = self.take_from_mailbox(from, tag) {
+            return Some(data);
+        }
+        while let Ok(msg) = self.receiver.try_recv() {
+            if msg.from == from && msg.tag == tag {
+                return Some(msg.data);
+            }
+            self.mailbox.lock().push(msg);
+        }
+        None
+    }
+
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        *self.shared.reduce_slots[self.rank].lock() = vals.to_vec();
+        let wait = self.shared.barrier.wait();
+        if wait.is_leader() {
+            let mut acc = self.shared.reduce_slots[0].lock().clone();
+            for r in 1..self.size {
+                reduce_into(op, &mut acc, &self.shared.reduce_slots[r].lock());
+            }
+            *self.shared.reduce_result.lock() = acc;
+        }
+        self.shared.barrier.wait();
+        vals.copy_from_slice(&self.shared.reduce_result.lock());
+    }
+
+    fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+}
+
+/// Run the same closure on `size` ranks, one OS thread each, and return
+/// the per-rank results in rank order. Panics in any rank propagate.
+pub fn run_spmd<T, F>(size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ThreadComm) -> T + Sync,
+{
+    let comms = ThreadWorld::new(size);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let fr = &f;
+                s.spawn(move || fr(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("a rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{pack, unpack};
+
+    #[test]
+    fn ping_pong() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 7, vec![1, 2, 3]);
+                c.recv_bytes(1, 8)
+            } else {
+                let got = c.recv_bytes(0, 7);
+                c.send_bytes(0, 8, vec![9]);
+                got
+            }
+        });
+        assert_eq!(results[0], vec![9]);
+        assert_eq!(results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let results = run_spmd(4, |c| {
+            let sum = c.allreduce_scalar(c.rank() as f64 + 1.0, ReduceOp::Sum);
+            let max = c.allreduce_scalar(c.rank() as f64, ReduceOp::Max);
+            let min = c.allreduce_scalar(c.rank() as f64, ReduceOp::Min);
+            (sum, max, min)
+        });
+        for (sum, max, min) in results {
+            assert_eq!(sum, 10.0);
+            assert_eq!(max, 3.0);
+            assert_eq!(min, 0.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_vector() {
+        let results = run_spmd(3, |c| {
+            let mut v = vec![c.rank() as f64, 1.0];
+            c.allreduce(&mut v, ReduceOp::Sum);
+            v
+        });
+        for v in results {
+            assert_eq!(v, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_allreduces_stay_in_lockstep() {
+        let results = run_spmd(4, |c| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc = c.allreduce_scalar(acc + i as f64, ReduceOp::Sum);
+            }
+            acc
+        });
+        // All ranks must agree after every round.
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_matched() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 1, vec![1]);
+                c.send_bytes(1, 2, vec![2]);
+                vec![]
+            } else {
+                // Receive tag 2 first although tag 1 arrived first.
+                let b = c.recv_bytes(0, 2);
+                let a = c.recv_bytes(0, 1);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn same_tag_is_fifo_per_pair() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10u8 {
+                    c.send_bytes(1, 0, vec![i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| c.recv_bytes(0, 0)[0]).collect()
+            }
+        });
+        assert_eq!(results[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn try_recv_polls() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.barrier();
+                // After the barrier the message is guaranteed sent.
+                loop {
+                    if let Some(d) = c.try_recv_bytes(1, 5) {
+                        return d;
+                    }
+                    std::thread::yield_now();
+                }
+            } else {
+                c.send_bytes(0, 5, vec![42]);
+                c.barrier();
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![42]);
+    }
+
+    #[test]
+    fn typed_slices_roundtrip() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.send_bytes(1, 0, pack(&[1.5f32, -2.5]));
+                0.0
+            } else {
+                let bytes = c.recv_bytes(0, 0);
+                let mut out = vec![0.0f32; 2];
+                unpack(&bytes, &mut out);
+                out[0] as f64 + out[1] as f64
+            }
+        });
+        assert_eq!(results[1], -1.0);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let results = run_spmd(1, |c| c.allreduce_scalar(5.0, ReduceOp::Sum));
+        assert_eq!(results, vec![5.0]);
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        // A ring shift: rank r sends to (r+1) % p and receives from
+        // (r-1+p) % p, repeated.
+        let p = 8;
+        let results = run_spmd(p, move |c| {
+            let r = c.rank();
+            let next = (r + 1) % p;
+            let prev = (r + p - 1) % p;
+            let mut token = r as u64;
+            for round in 0..20 {
+                c.send_bytes(next, round, token.to_le_bytes().to_vec());
+                let got = c.recv_bytes(prev, round);
+                token = u64::from_le_bytes(got.try_into().unwrap()) + 1;
+            }
+            token
+        });
+        // After 20 rounds each token visited 20 ranks, +1 each hop.
+        for (r, t) in results.iter().enumerate() {
+            assert_eq!(*t, ((r + p - 20 % p) % p) as u64 + 20);
+        }
+    }
+}

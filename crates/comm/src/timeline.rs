@@ -1,0 +1,238 @@
+//! Lightweight event timeline for compute/communication tracing.
+//!
+//! Figure 9 of the paper shows rocprof traces with a GPU compute
+//! stream, a halo (pack/copy) stream, and communication markers, used
+//! to demonstrate that halo exchange is hidden under the interior
+//! Gauss–Seidel kernel. This recorder captures the same kind of
+//! intervals from real executions of our solver so the overlap can be
+//! inspected (and asserted on in tests).
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Which conceptual stream an event belongs to (mirrors the paper's
+/// trace lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stream {
+    /// Kernel work (the GPU "compute stream" in the paper).
+    Compute,
+    /// Halo buffer packing/unpacking (the "halo stream").
+    Halo,
+    /// Host-device style copies (the COPY lane).
+    Copy,
+    /// Message send/receive/wait markers ("Markers and Ranges").
+    Comm,
+}
+
+impl Stream {
+    /// Display label used by trace renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stream::Compute => "GPU",
+            Stream::Halo => "HALO",
+            Stream::Copy => "COPY",
+            Stream::Comm => "COMM",
+        }
+    }
+}
+
+/// One recorded interval.
+#[derive(Debug, Clone)]
+pub struct TimelineEvent {
+    /// Kernel or operation name.
+    pub name: String,
+    /// Stream lane.
+    pub stream: Stream,
+    /// Start, seconds since the timeline epoch.
+    pub start: f64,
+    /// End, seconds since the timeline epoch.
+    pub end: f64,
+}
+
+/// A concurrent event recorder. A disabled timeline records nothing and
+/// costs one branch per event.
+#[derive(Debug)]
+pub struct Timeline {
+    enabled: bool,
+    epoch: Instant,
+    events: Mutex<Vec<TimelineEvent>>,
+}
+
+impl Timeline {
+    /// A recording timeline with its epoch at creation time.
+    pub fn enabled() -> Self {
+        Timeline { enabled: true, epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// A no-op timeline.
+    pub fn disabled() -> Self {
+        Timeline { enabled: false, epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds since the epoch.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Record an interval with explicit bounds.
+    pub fn add(&self, name: &str, stream: Stream, start: f64, end: f64) {
+        if self.enabled {
+            self.events.lock().push(TimelineEvent { name: name.to_string(), stream, start, end });
+        }
+    }
+
+    /// RAII guard that records `[creation, drop]` as an interval.
+    pub fn span<'a>(&'a self, name: &'a str, stream: Stream) -> Span<'a> {
+        Span { tl: self, name, stream, start: self.now() }
+    }
+
+    /// Snapshot of the recorded events, sorted by start time.
+    pub fn events(&self) -> Vec<TimelineEvent> {
+        let mut ev = self.events.lock().clone();
+        ev.sort_by(|a, b| a.start.total_cmp(&b.start));
+        ev
+    }
+
+    /// Total time covered by events of a stream (union of intervals).
+    pub fn busy_time(&self, stream: Stream) -> f64 {
+        let mut spans: Vec<(f64, f64)> = self
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.stream == stream)
+            .map(|e| (e.start, e.end))
+            .collect();
+        spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut total = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (s, e) in spans {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cur = Some((cs, ce.max(e)));
+                    } else {
+                        total += ce - cs;
+                        cur = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// Fraction of a stream's busy time that overlaps another stream's
+    /// busy intervals — the "hidden communication" metric of figure 9.
+    pub fn overlap_fraction(&self, of: Stream, under: Stream) -> f64 {
+        let evs = self.events.lock();
+        let a: Vec<(f64, f64)> =
+            evs.iter().filter(|e| e.stream == of).map(|e| (e.start, e.end)).collect();
+        let b: Vec<(f64, f64)> =
+            evs.iter().filter(|e| e.stream == under).map(|e| (e.start, e.end)).collect();
+        drop(evs);
+        let total: f64 = a.iter().map(|(s, e)| e - s).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut covered = 0.0;
+        for &(s, e) in &a {
+            for &(bs, be) in &b {
+                let lo = s.max(bs);
+                let hi = e.min(be);
+                if hi > lo {
+                    covered += hi - lo;
+                }
+            }
+        }
+        (covered / total).min(1.0)
+    }
+}
+
+/// RAII interval guard produced by [`Timeline::span`].
+pub struct Span<'a> {
+    tl: &'a Timeline,
+    name: &'a str,
+    stream: Stream,
+    start: f64,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tl.add(self.name, self.stream, self.start, self.tl.now());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let tl = Timeline::disabled();
+        tl.add("x", Stream::Compute, 0.0, 1.0);
+        {
+            let _s = tl.span("y", Stream::Halo);
+        }
+        assert!(tl.events().is_empty());
+    }
+
+    #[test]
+    fn add_and_sort() {
+        let tl = Timeline::enabled();
+        tl.add("b", Stream::Compute, 2.0, 3.0);
+        tl.add("a", Stream::Compute, 0.0, 1.0);
+        let ev = tl.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "a");
+        assert_eq!(ev[1].name, "b");
+    }
+
+    #[test]
+    fn span_guard_records() {
+        let tl = Timeline::enabled();
+        {
+            let _s = tl.span("work", Stream::Halo);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let ev = tl.events();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].end > ev[0].start);
+        assert_eq!(ev[0].stream, Stream::Halo);
+    }
+
+    #[test]
+    fn busy_time_merges_overlaps() {
+        let tl = Timeline::enabled();
+        tl.add("a", Stream::Compute, 0.0, 2.0);
+        tl.add("b", Stream::Compute, 1.0, 3.0);
+        tl.add("c", Stream::Compute, 5.0, 6.0);
+        assert!((tl.busy_time(Stream::Compute) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_fraction_full_and_partial() {
+        let tl = Timeline::enabled();
+        tl.add("comm", Stream::Comm, 1.0, 2.0);
+        tl.add("kernel", Stream::Compute, 0.0, 3.0);
+        assert!((tl.overlap_fraction(Stream::Comm, Stream::Compute) - 1.0).abs() < 1e-12);
+
+        let tl2 = Timeline::enabled();
+        tl2.add("comm", Stream::Comm, 0.0, 2.0);
+        tl2.add("kernel", Stream::Compute, 1.0, 2.0);
+        assert!((tl2.overlap_fraction(Stream::Comm, Stream::Compute) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_labels() {
+        assert_eq!(Stream::Compute.label(), "GPU");
+        assert_eq!(Stream::Copy.label(), "COPY");
+    }
+}

@@ -1,0 +1,196 @@
+//! Preconditioned conjugate gradient — the HPCG baseline.
+//!
+//! Algorithm 1 of the paper: CG with one multigrid V-cycle (symmetric
+//! Gauss–Seidel smoother, to keep the preconditioner SPD) per
+//! iteration. The paper compares HPCG and HPG-MxP full-system numbers
+//! (10.4 vs 17.23 PF on 9408 nodes); this solver lets the repository
+//! reproduce that comparison and serves as the symmetric-case sanity
+//! check for the shared multigrid and kernel infrastructure.
+
+use crate::config::ImplVariant;
+use crate::gmres::SolveStats;
+use crate::mg::{apply_mg, MgWorkspace, SmootherKind};
+use crate::motifs::{Motif, MotifStats};
+use crate::ops::{axpy_op, dist_dot, dist_norm2, dist_spmv, OpCtx};
+use crate::problem::LocalProblem;
+use hpgmxp_comm::{Comm, Timeline};
+use serde::{Deserialize, Serialize};
+
+/// CG solver configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CgOptions {
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Implementation variant for the shared kernels.
+    pub variant: ImplVariant,
+    /// Apply the multigrid preconditioner.
+    pub precondition: bool,
+    /// Record the residual history.
+    pub track_history: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            max_iters: 500,
+            tol: 1e-9,
+            variant: ImplVariant::Optimized,
+            precondition: true,
+            track_history: false,
+        }
+    }
+}
+
+/// Solve the SPD system `A x = b` with preconditioned CG from a zero
+/// initial guess. The operator must be symmetric (use the symmetric
+/// benchmark stencil).
+pub fn cg_solve<C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    opts: &CgOptions,
+    timeline: &Timeline,
+) -> (Vec<f64>, SolveStats) {
+    let ctx = OpCtx { comm, variant: opts.variant, timeline };
+    let mut stats = MotifStats::new();
+    let levels = &prob.levels[..];
+    let n = levels[0].n_local();
+
+    let mut x = vec![0.0f64; n];
+    let mut r = prob.b.clone();
+    let mut z = vec![0.0f64; n];
+    // p needs ghosts: it is the SpMV input.
+    let mut p = vec![0.0f64; levels[0].vec_len()];
+    let mut ap = vec![0.0f64; n];
+    let mut ws: MgWorkspace<f64> = MgWorkspace::new(levels);
+
+    let rho0 = dist_norm2(comm, &mut stats, Motif::Dot, &prob.b);
+    let mut history = Vec::new();
+    let mut rtz = 0.0f64;
+    let mut iters = 0usize;
+    let mut relres = 1.0f64;
+    let mut converged = false;
+
+    while iters < opts.max_iters {
+        // z = M⁻¹ r (symmetric-GS multigrid keeps M SPD).
+        if opts.precondition {
+            apply_mg(&ctx, levels, &mut stats, &mut ws, 1, 1, SmootherKind::Symmetric, &r, &mut z);
+        } else {
+            z.copy_from_slice(&r);
+        }
+
+        let rtz_new = dist_dot(comm, &mut stats, Motif::Dot, &r, &z);
+        if iters == 0 {
+            p[..n].copy_from_slice(&z);
+        } else {
+            let beta = rtz_new / rtz;
+            // p = beta p + z.
+            let t0 = std::time::Instant::now();
+            for i in 0..n {
+                p[i] = beta * p[i] + z[i];
+            }
+            stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), crate::flops::waxpby(n));
+        }
+        rtz = rtz_new;
+
+        dist_spmv(&ctx, &levels[0], &mut stats, 0, &mut p, &mut ap);
+        let pap = dist_dot(comm, &mut stats, Motif::Dot, &p[..n], &ap);
+        assert!(pap > 0.0, "matrix must be SPD for CG (pAp = {pap})");
+        let alpha = rtz / pap;
+
+        axpy_op(&mut stats, alpha, &p[..n], &mut x);
+        axpy_op(&mut stats, -alpha, &ap, &mut r);
+        iters += 1;
+
+        let rho = dist_norm2(comm, &mut stats, Motif::Dot, &r);
+        relres = if rho0 > 0.0 { rho / rho0 } else { 0.0 };
+        if opts.track_history {
+            history.push(relres);
+        }
+        if relres < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    (x, SolveStats { iters, restarts: 0, converged, final_relres: relres, history, motifs: stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{assemble, ProblemSpec};
+    use hpgmxp_comm::{run_spmd, SelfComm};
+    use hpgmxp_geometry::{ProcGrid, Stencil27};
+
+    fn spec(procs: ProcGrid, n: u32, levels: usize) -> ProblemSpec {
+        ProblemSpec { local: (n, n, n), procs, stencil: Stencil27::symmetric(), mg_levels: levels, seed: 2 }
+    }
+
+    #[test]
+    fn converges_on_spd_problem() {
+        let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 16, 4), 0);
+        let tl = Timeline::disabled();
+        let (x, st) = cg_solve(&SelfComm, &prob, &CgOptions::default(), &tl);
+        assert!(st.converged, "relres {}", st.final_relres);
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn multigrid_gives_mesh_independent_cg_convergence() {
+        // Same invariant as for GMRES: MG keeps the count flat under
+        // refinement; plain CG's count grows with the mesh diameter.
+        let tl = Timeline::disabled();
+        let with = CgOptions { tol: 1e-8, ..Default::default() };
+        let without = CgOptions { precondition: false, max_iters: 2000, ..with };
+        let iters = |n: u32, o: &CgOptions| {
+            let prob = assemble(&spec(ProcGrid::new(1, 1, 1), n, 2), 0);
+            let (_, st) = cg_solve(&SelfComm, &prob, o, &tl);
+            assert!(st.converged);
+            st.iters
+        };
+        let (mg8, mg32) = (iters(8, &with), iters(32, &with));
+        let (no8, no32) = (iters(8, &without), iters(32, &without));
+        // MG-CG beats plain CG by a healthy factor at 32³ (23 vs 48
+        // measured) and its count grows more slowly under refinement.
+        assert!((mg32 as f64) < no32 as f64 / 1.5, "{} vs {}", mg32, no32);
+        let mg_growth = mg32 as f64 / mg8 as f64;
+        let no_growth = no32 as f64 / no8 as f64;
+        assert!(
+            mg_growth < 0.9 * no_growth,
+            "MG growth {:.2} vs plain growth {:.2} ({}→{} vs {}→{})",
+            mg_growth,
+            no_growth,
+            mg8,
+            mg32,
+            no8,
+            no32
+        );
+    }
+
+    #[test]
+    fn distributed_cg_converges() {
+        let procs = ProcGrid::new(2, 1, 1);
+        let results = run_spmd(2, move |c| {
+            let prob = assemble(&spec(procs, 8, 3), c.rank());
+            let tl = Timeline::disabled();
+            let (_, st) = cg_solve(&c, &prob, &CgOptions::default(), &tl);
+            st.converged
+        });
+        assert!(results.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn residual_history_decreases_overall() {
+        let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 8, 2), 0);
+        let tl = Timeline::disabled();
+        let opts = CgOptions { track_history: true, ..Default::default() };
+        let (_, st) = cg_solve(&SelfComm, &prob, &opts, &tl);
+        assert!(st.history.last().unwrap() < &1e-9);
+        // CG residuals may oscillate locally but must shrink by orders.
+        assert!(st.history.first().unwrap() > st.history.last().unwrap());
+    }
+}

@@ -1,0 +1,272 @@
+//! Mixed-precision GMRES-IR — Algorithm 3 of the paper.
+//!
+//! Iterative refinement wrapped around GMRES: the restart cycle (the
+//! blue region of Algorithm 3 — preconditioner, SpMV, Krylov basis,
+//! CGS2) runs entirely in single precision, while the outer residual
+//! `r = b − A x` (line 7) and the solution update (line 47) are kept in
+//! double. The double-precision residual restores the information the
+//! low-precision inner solve cannot represent, which is what lets the
+//! mixed solver reach the same 10⁻⁹ relative residual as the double
+//! solver — at roughly half the memory traffic per inner iteration.
+
+use crate::gmres::{gmres_cycle, CycleWorkspace, GmresOptions, SolveStats};
+use crate::motifs::{Motif, MotifStats};
+use crate::ops::{axpy_lo_mixed_op, dist_norm2, dist_spmv, waxpby_op, OpCtx, PrecLevel};
+use crate::problem::{Level, LocalProblem};
+use hpgmxp_comm::{Comm, Timeline};
+use hpgmxp_sparse::blas::scale_f64_into_lo;
+use hpgmxp_sparse::{Half, Scalar};
+use std::time::Instant;
+
+/// Solve `A x = b` with mixed-precision GMRES-IR: the benchmark's
+/// "mxp" solver with its inner restart cycles in `f32`. Starts from a
+/// zero initial guess.
+pub fn gmres_ir_solve<C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    opts: &GmresOptions,
+    timeline: &Timeline,
+) -> (Vec<f64>, SolveStats) {
+    gmres_ir_solve_in::<f32, C>(comm, prob, opts, timeline)
+}
+
+/// GMRES-IR with the inner solve at emulated IEEE fp16 — the paper's
+/// §5 future-work configuration ("if one uses half precision ... in
+/// the blue region in algorithm 3, one can expect an even higher
+/// speedup"). Iterative refinement still recovers f64-level accuracy;
+/// the iteration penalty is larger (see `half_precision_future`
+/// example).
+pub fn gmres_ir_solve_fp16<C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    opts: &GmresOptions,
+    timeline: &Timeline,
+) -> (Vec<f64>, SolveStats) {
+    gmres_ir_solve_in::<Half, C>(comm, prob, opts, timeline)
+}
+
+/// Mixed-precision GMRES-IR generic over the inner (low) precision
+/// `SLo`: the blue region of Algorithm 3 runs entirely in `SLo`, the
+/// outer residual and solution updates in `f64`.
+pub fn gmres_ir_solve_in<SLo: Scalar, C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    opts: &GmresOptions,
+    timeline: &Timeline,
+) -> (Vec<f64>, SolveStats)
+where
+    Level: PrecLevel<SLo>,
+{
+    let ctx = OpCtx { comm, variant: opts.variant, timeline };
+    let mut stats = MotifStats::new();
+    let levels = &prob.levels[..];
+    let n = levels[0].n_local();
+
+    // Outer state in double.
+    let mut x = vec![0.0f64; levels[0].vec_len()];
+    let mut ax = vec![0.0f64; n];
+    let mut r = vec![0.0f64; n];
+    // Inner state in the low precision.
+    let mut r_unit_lo = vec![SLo::ZERO; n];
+    let mut ws: CycleWorkspace<SLo> = CycleWorkspace::new(levels, opts.restart);
+
+    let rho0 = dist_norm2(comm, &mut stats, Motif::Dot, &prob.b);
+    let mut history = Vec::new();
+    let mut iters = 0usize;
+    let mut restarts = 0usize;
+    let mut relres;
+    let mut converged = false;
+
+    loop {
+        // Line 7: double-precision residual r = b − A x.
+        dist_spmv::<f64, C>(&ctx, &levels[0], &mut stats, 0, &mut x, &mut ax);
+        waxpby_op(&mut stats, 1.0, &prob.b, -1.0, &ax, &mut r);
+        let rho = dist_norm2(comm, &mut stats, Motif::Dot, &r);
+        relres = if rho0 > 0.0 { rho / rho0 } else { 0.0 };
+        if opts.track_history {
+            history.push(relres);
+        }
+        if relres < opts.tol {
+            converged = true;
+            break;
+        }
+        if iters >= opts.max_iters {
+            break;
+        }
+
+        // Lines 11–12: normalize and hand off to the low-precision
+        // Krylov space (a fused scale-and-narrow kernel, §3.2.5).
+        let t0 = Instant::now();
+        scale_f64_into_lo(1.0 / rho, &r, &mut r_unit_lo);
+        stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), crate::flops::scal(n));
+
+        // The blue region: one restart cycle entirely in low precision.
+        let outcome = gmres_cycle(
+            &ctx,
+            prob,
+            &mut stats,
+            &mut ws,
+            opts,
+            &r_unit_lo,
+            rho,
+            rho0,
+            opts.max_iters - iters,
+        );
+        iters += outcome.iters;
+        restarts += 1;
+
+        // Line 47: mixed-precision solution update in double.
+        axpy_lo_mixed_op(&mut stats, 1.0, &outcome.update, &mut x[..n]);
+        if outcome.iters == 0 {
+            break;
+        }
+    }
+
+    let solution = x[..n].to_vec();
+    (solution, SolveStats { iters, restarts, converged, final_relres: relres, history, motifs: stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ImplVariant;
+    use crate::gmres::gmres_solve_f64;
+    use crate::problem::{assemble, ProblemSpec};
+    use hpgmxp_comm::{run_spmd, SelfComm};
+    use hpgmxp_geometry::{ProcGrid, Stencil27};
+
+    fn spec(procs: ProcGrid, n: u32, levels: usize) -> ProblemSpec {
+        ProblemSpec { local: (n, n, n), procs, stencil: Stencil27::symmetric(), mg_levels: levels, seed: 11 }
+    }
+
+    #[test]
+    fn reaches_double_precision_accuracy_with_f32_inner() {
+        // The defining property of GMRES-IR: 9 orders of residual
+        // reduction despite the entire inner solve running in f32
+        // (f32 alone bottoms out near 1e-7).
+        let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 16, 4), 0);
+        let tl = Timeline::disabled();
+        let opts = GmresOptions { max_iters: 1000, ..Default::default() };
+        let (x, st) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
+        assert!(st.converged, "GMRES-IR stalled at relres {}", st.final_relres);
+        assert!(st.final_relres < 1e-9);
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn iteration_penalty_is_small() {
+        // §4: n_d = 2305 vs n_ir = 2382 on Frontier (ratio 0.968). At
+        // laptop scale the double solver converges within its very first
+        // restart cycle, so the one extra refinement cycle GMRES-IR
+        // needs to polish past the f32 stall weighs relatively more —
+        // the ratio is legitimately lower here and approaches the
+        // paper's band as the problem (and hence n_d) grows.
+        let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 16, 4), 0);
+        let tl = Timeline::disabled();
+        let opts = GmresOptions { max_iters: 2000, ..Default::default() };
+        let (_, st_d) = gmres_solve_f64(&SelfComm, &prob, &opts, &tl);
+        let (_, st_ir) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
+        assert!(st_d.converged && st_ir.converged);
+        let ratio = st_d.iters as f64 / st_ir.iters as f64;
+        assert!(
+            (0.55..=1.1).contains(&ratio),
+            "nd/nir = {}/{} = {} outside the expected band",
+            st_d.iters,
+            st_ir.iters,
+            ratio
+        );
+        // The absolute overhead stays within one restart cycle.
+        assert!(st_ir.iters <= st_d.iters + 30);
+    }
+
+    #[test]
+    fn distributed_ir_converges() {
+        let procs = ProcGrid::new(2, 2, 1);
+        let results = run_spmd(4, move |c| {
+            let prob = assemble(&spec(procs, 8, 3), c.rank());
+            let tl = Timeline::disabled();
+            let opts = GmresOptions { max_iters: 800, ..Default::default() };
+            let (x, st) = gmres_ir_solve(&c, &prob, &opts, &tl);
+            let err = x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0f64, f64::max);
+            (st.converged, st.final_relres, err)
+        });
+        for (conv, relres, err) in results {
+            assert!(conv, "relres {}", relres);
+            assert!(err < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reference_variant_ir_converges() {
+        let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 8, 2), 0);
+        let tl = Timeline::disabled();
+        let opts = GmresOptions {
+            max_iters: 500,
+            variant: ImplVariant::Reference,
+            ..Default::default()
+        };
+        let (_, st) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
+        assert!(st.converged);
+    }
+
+    #[test]
+    fn history_decreases_across_refinements() {
+        let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 16, 3), 0);
+        let tl = Timeline::disabled();
+        let opts = GmresOptions { max_iters: 600, track_history: true, ..Default::default() };
+        let (_, st) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
+        assert!(st.history.len() >= 2);
+        for w in st.history.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-9), "refinement must not diverge: {:?}", st.history);
+        }
+    }
+
+    #[test]
+    fn fp16_inner_solver_still_reaches_nine_orders() {
+        // The §5 future-work configuration: the blue region at emulated
+        // IEEE half precision. Iterative refinement must still converge
+        // to the f64-grade tolerance — fp16 resolution (~1e-3) only
+        // slows the per-cycle digit gain, it does not cap the final
+        // accuracy. That is the whole point of keeping lines 7 and 47
+        // in double.
+        let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 8, 2), 0);
+        let tl = Timeline::disabled();
+        let opts = GmresOptions { max_iters: 3000, ..Default::default() };
+        let (x, st16) = gmres_ir_solve_fp16(&SelfComm, &prob, &opts, &tl);
+        assert!(st16.converged, "fp16 GMRES-IR stalled at {}", st16.final_relres);
+        assert!(st16.final_relres < 1e-9);
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-6);
+        }
+        // And the penalty ordering: fp16 needs at least as many
+        // iterations as fp32, which needs at least as many as f64.
+        let (_, st32) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
+        let (_, st64) = gmres_solve_f64(&SelfComm, &prob, &opts, &tl);
+        assert!(st16.iters >= st32.iters, "{} vs {}", st16.iters, st32.iters);
+        assert!(st32.iters >= st64.iters, "{} vs {}", st32.iters, st64.iters);
+    }
+
+    #[test]
+    fn nonsymmetric_problem_converges() {
+        // GMRES's raison d'être: nonsymmetric operators (CG would fail).
+        let prob = assemble(
+            &ProblemSpec {
+                local: (8, 8, 8),
+                procs: ProcGrid::new(1, 1, 1),
+                stencil: Stencil27::nonsymmetric(0.5),
+                mg_levels: 2,
+                seed: 11,
+            },
+            0,
+        );
+        let tl = Timeline::disabled();
+        let opts = GmresOptions { max_iters: 600, ..Default::default() };
+        let (x, st) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
+        assert!(st.converged);
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-5);
+        }
+    }
+}

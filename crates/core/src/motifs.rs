@@ -1,0 +1,217 @@
+//! Motif taxonomy and per-motif time/FLOP accounting.
+//!
+//! The benchmark attributes every floating-point operation and every
+//! second of runtime to one of the computational motifs the paper's
+//! figures break performance down into (figure 7's GS / Ortho / SpMV /
+//! Restr bars, figure 5's per-motif speedups). FLOPs of different
+//! precisions are counted equally, so the reported GFLOP/s is a
+//! mixed-precision number — exactly the benchmark's metric.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The computational motifs tracked by the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Motif {
+    /// Gauss–Seidel smoother sweeps (the bulk of the multigrid cycle).
+    GaussSeidel,
+    /// Sparse matrix–vector products (fine-grid operator applications).
+    SpMV,
+    /// CGS2 orthogonalization: batched GEMV-T/GEMV plus norms.
+    Ortho,
+    /// Multigrid restriction (fused residual + injection).
+    Restriction,
+    /// Multigrid prolongation and coarse-grid correction.
+    Prolongation,
+    /// Stand-alone dot products / norms (outer residual checks).
+    Dot,
+    /// Vector updates (WAXPBY/AXPY, including the mixed-precision ones).
+    Waxpby,
+    /// Halo exchange and all-reduce time not hidden under compute.
+    Comm,
+}
+
+impl Motif {
+    /// All motifs, in reporting order.
+    pub const ALL: [Motif; 8] = [
+        Motif::GaussSeidel,
+        Motif::SpMV,
+        Motif::Ortho,
+        Motif::Restriction,
+        Motif::Prolongation,
+        Motif::Dot,
+        Motif::Waxpby,
+        Motif::Comm,
+    ];
+
+    /// Short label used in report tables (matches the paper's figure 7).
+    pub fn label(self) -> &'static str {
+        match self {
+            Motif::GaussSeidel => "GS",
+            Motif::SpMV => "SpMV",
+            Motif::Ortho => "Ortho",
+            Motif::Restriction => "Restr",
+            Motif::Prolongation => "Prolong",
+            Motif::Dot => "Dot",
+            Motif::Waxpby => "Waxpby",
+            Motif::Comm => "Comm",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Motif::GaussSeidel => 0,
+            Motif::SpMV => 1,
+            Motif::Ortho => 2,
+            Motif::Restriction => 3,
+            Motif::Prolongation => 4,
+            Motif::Dot => 5,
+            Motif::Waxpby => 6,
+            Motif::Comm => 7,
+        }
+    }
+}
+
+/// Accumulated seconds and FLOPs per motif.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MotifStats {
+    seconds: [f64; 8],
+    flops: [f64; 8],
+}
+
+impl MotifStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `secs` of runtime and `flops` operations under a motif.
+    pub fn record(&mut self, motif: Motif, secs: f64, flops: f64) {
+        self.seconds[motif.index()] += secs;
+        self.flops[motif.index()] += flops;
+    }
+
+    /// Time a closure and attribute it to a motif with the given FLOPs.
+    pub fn timed<T>(&mut self, motif: Motif, flops: f64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(motif, t0.elapsed().as_secs_f64(), flops);
+        out
+    }
+
+    /// Accumulated seconds of a motif.
+    pub fn seconds(&self, motif: Motif) -> f64 {
+        self.seconds[motif.index()]
+    }
+
+    /// Accumulated FLOPs of a motif.
+    pub fn flops(&self, motif: Motif) -> f64 {
+        self.flops[motif.index()]
+    }
+
+    /// Total seconds across motifs.
+    pub fn total_seconds(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Total FLOPs across motifs.
+    pub fn total_flops(&self) -> f64 {
+        self.flops.iter().sum()
+    }
+
+    /// GFLOP/s of one motif (0 if it has no recorded time).
+    pub fn gflops(&self, motif: Motif) -> f64 {
+        let s = self.seconds(motif);
+        if s > 0.0 {
+            self.flops(motif) / s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Overall GFLOP/s.
+    pub fn total_gflops(&self) -> f64 {
+        let s = self.total_seconds();
+        if s > 0.0 {
+            self.total_flops() / s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Merge another accumulator into this one (per-rank → per-run).
+    pub fn merge(&mut self, other: &MotifStats) {
+        for i in 0..8 {
+            self.seconds[i] += other.seconds[i];
+            self.flops[i] += other.flops[i];
+        }
+    }
+
+    /// Reset all counters.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MotifStats::new();
+        s.record(Motif::SpMV, 2.0, 4e9);
+        s.record(Motif::SpMV, 2.0, 4e9);
+        s.record(Motif::Ortho, 1.0, 1e9);
+        assert_eq!(s.seconds(Motif::SpMV), 4.0);
+        assert_eq!(s.flops(Motif::SpMV), 8e9);
+        assert_eq!(s.gflops(Motif::SpMV), 2.0);
+        assert_eq!(s.total_seconds(), 5.0);
+        assert_eq!(s.total_flops(), 9e9);
+        assert!((s.total_gflops() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_gives_zero_gflops() {
+        let s = MotifStats::new();
+        assert_eq!(s.gflops(Motif::GaussSeidel), 0.0);
+        assert_eq!(s.total_gflops(), 0.0);
+    }
+
+    #[test]
+    fn timed_closure_runs_and_records() {
+        let mut s = MotifStats::new();
+        let v = s.timed(Motif::Dot, 100.0, || 42);
+        assert_eq!(v, 42);
+        assert_eq!(s.flops(Motif::Dot), 100.0);
+        assert!(s.seconds(Motif::Dot) >= 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = MotifStats::new();
+        a.record(Motif::GaussSeidel, 1.0, 10.0);
+        let mut b = MotifStats::new();
+        b.record(Motif::GaussSeidel, 2.0, 20.0);
+        b.record(Motif::Comm, 1.0, 0.0);
+        a.merge(&b);
+        assert_eq!(a.seconds(Motif::GaussSeidel), 3.0);
+        assert_eq!(a.flops(Motif::GaussSeidel), 30.0);
+        assert_eq!(a.seconds(Motif::Comm), 1.0);
+    }
+
+    #[test]
+    fn labels_match_paper_figure7() {
+        assert_eq!(Motif::GaussSeidel.label(), "GS");
+        assert_eq!(Motif::Ortho.label(), "Ortho");
+        assert_eq!(Motif::SpMV.label(), "SpMV");
+        assert_eq!(Motif::Restriction.label(), "Restr");
+    }
+
+    #[test]
+    fn all_lists_every_motif_once() {
+        let mut idx: Vec<usize> = Motif::ALL.iter().map(|m| m.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,541 @@
+//! Distributed computational kernels over a [`Level`].
+//!
+//! Every kernel exists in the two forms the paper compares:
+//!
+//! * **Optimized** (§3.2): ELL storage, multicolor Gauss–Seidel in
+//!   relaxation form, fused SpMV-restriction, and split-phase halo
+//!   exchange that hides communication under interior work;
+//! * **Reference** (§3.1): CSR storage, two-kernel level-scheduled
+//!   Gauss–Seidel, full-grid residual + injection restriction, and
+//!   blocking exchange before every kernel.
+//!
+//! Both forms compute identical values (tested); they differ in data
+//! layout, fused work, and communication scheduling — exactly the
+//! paper's claim that its speedups are implementation quality, not
+//! algorithm changes.
+
+use crate::config::ImplVariant;
+use crate::flops;
+use crate::motifs::{Motif, MotifStats};
+use crate::problem::{Level, RefPath};
+use hpgmxp_comm::{Comm, Stream, Timeline};
+use hpgmxp_sparse::blas;
+use hpgmxp_sparse::csr::CsrMatrix;
+use hpgmxp_sparse::gauss_seidel::{
+    gs_backward, gs_color_class, gs_forward_reference, SweepMatrix,
+};
+use hpgmxp_sparse::{EllMatrix, Half, Scalar};
+use std::time::Instant;
+
+/// Access to a level's operator data at one precision; implemented for
+/// `f64` (reference precision) and `f32` (the benchmark's low
+/// precision) so solver code is written once.
+pub trait PrecLevel<S: Scalar> {
+    /// CSR form of the operator.
+    fn csr(&self) -> &CsrMatrix<S>;
+    /// ELL form of the operator.
+    fn ell(&self) -> &EllMatrix<S>;
+    /// Reference-path triangular factors.
+    fn refpath(&self) -> &RefPath<S>;
+}
+
+impl PrecLevel<f64> for Level {
+    fn csr(&self) -> &CsrMatrix<f64> {
+        &self.csr64
+    }
+    fn ell(&self) -> &EllMatrix<f64> {
+        &self.ell64
+    }
+    fn refpath(&self) -> &RefPath<f64> {
+        &self.ref64
+    }
+}
+
+impl PrecLevel<f32> for Level {
+    fn csr(&self) -> &CsrMatrix<f32> {
+        &self.csr32
+    }
+    fn ell(&self) -> &EllMatrix<f32> {
+        &self.ell32
+    }
+    fn refpath(&self) -> &RefPath<f32> {
+        &self.ref32
+    }
+}
+
+impl PrecLevel<Half> for Level {
+    fn csr(&self) -> &CsrMatrix<Half> {
+        &self.csr16
+    }
+    fn ell(&self) -> &EllMatrix<Half> {
+        &self.ell16
+    }
+    fn refpath(&self) -> &RefPath<Half> {
+        &self.ref16
+    }
+}
+
+/// Shared context of every distributed kernel call.
+pub struct OpCtx<'a, C: Comm> {
+    /// Communicator of this rank.
+    pub comm: &'a C,
+    /// Which implementation variant to execute.
+    pub variant: ImplVariant,
+    /// Event recorder (usually disabled).
+    pub timeline: &'a Timeline,
+}
+
+/// Direction of a Gauss–Seidel sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepDir {
+    /// Ascending row/color order (HPG-MxP's smoother).
+    Forward,
+    /// Descending order (second half of HPCG's symmetric smoother).
+    Backward,
+}
+
+/// Distributed `y = A x`. `x` must be a full distributed vector
+/// (owned + ghosts); its ghost region is refreshed by the embedded halo
+/// exchange. `y` receives the owned rows.
+pub fn dist_spmv<S: Scalar, C: Comm>(
+    ctx: &OpCtx<C>,
+    level: &Level,
+    stats: &mut MotifStats,
+    tag: u64,
+    x: &mut [S],
+    y: &mut [S],
+) where
+    Level: PrecLevel<S>,
+{
+    let t0 = Instant::now();
+    match ctx.variant {
+        ImplVariant::Optimized => {
+            // Overlap: send boundary values, compute interior rows while
+            // messages fly, then finish with boundary rows (§3.2.3).
+            level.halo.begin(ctx.comm, tag, x, ctx.timeline);
+            {
+                let _s = ctx.timeline.span("SpMV interior", Stream::Compute);
+                level.ell().spmv_rows(&level.interior_rows, x, y);
+            }
+            level.halo.finish(ctx.comm, tag, x, ctx.timeline);
+            let _s = ctx.timeline.span("SpMV boundary", Stream::Compute);
+            level.ell().spmv_rows(&level.boundary_rows, x, y);
+        }
+        ImplVariant::Reference => {
+            level.halo.exchange(ctx.comm, tag, x, ctx.timeline);
+            let _s = ctx.timeline.span("SpMV", Stream::Compute);
+            level.csr().spmv(x, y);
+        }
+    }
+    stats.record(Motif::SpMV, t0.elapsed().as_secs_f64(), flops::spmv(level.nnz()));
+}
+
+/// One distributed Gauss–Seidel sweep for `A z = r`, updating `z` in
+/// place. Ghosts of `z` are refreshed from neighbors' pre-sweep values
+/// (each rank smooths its subdomain against the latest halo, the
+/// standard HPCG semantics).
+pub fn dist_gs_sweep<S: Scalar, C: Comm>(
+    ctx: &OpCtx<C>,
+    level: &Level,
+    stats: &mut MotifStats,
+    tag: u64,
+    dir: SweepDir,
+    r: &[S],
+    z: &mut [S],
+) where
+    Level: PrecLevel<S>,
+{
+    let t0 = Instant::now();
+    match ctx.variant {
+        ImplVariant::Optimized => {
+            let ell = level.ell();
+            let ncolors = level.coloring.num_colors as usize;
+            // The first-processed color's interior rows hide the halo
+            // exchange; its boundary rows and all later colors run after
+            // the ghosts arrive. Packing happens inside `begin`, before
+            // any row is updated — the paper's event-ordering constraint.
+            let first = match dir {
+                SweepDir::Forward => 0,
+                SweepDir::Backward => ncolors - 1,
+            };
+            level.halo.begin(ctx.comm, tag, z, ctx.timeline);
+            {
+                let _s = ctx.timeline.span("GS interior (first color)", Stream::Compute);
+                gs_color_class(ell, &level.color_interior[first], r, z);
+            }
+            level.halo.finish(ctx.comm, tag, z, ctx.timeline);
+            {
+                let _s = ctx.timeline.span("GS boundary (first color)", Stream::Compute);
+                gs_color_class(ell, &level.color_boundary[first], r, z);
+            }
+            let _s = ctx.timeline.span("GS remaining colors", Stream::Compute);
+            match dir {
+                SweepDir::Forward => {
+                    for c in 1..ncolors {
+                        gs_color_class(ell, &level.coloring.rows_of[c], r, z);
+                    }
+                }
+                SweepDir::Backward => {
+                    for c in (0..ncolors - 1).rev() {
+                        gs_color_class(ell, &level.coloring.rows_of[c], r, z);
+                    }
+                }
+            }
+        }
+        ImplVariant::Reference => {
+            level.halo.exchange(ctx.comm, tag, z, ctx.timeline);
+            let _s = ctx.timeline.span("GS (reference)", Stream::Compute);
+            match dir {
+                SweepDir::Forward => {
+                    let rp = level.refpath();
+                    gs_forward_reference(&rp.lower, &rp.upper, &level.schedule, r, z);
+                }
+                // The reference code has no backward path on GPU; the
+                // sequential sweep is its semantic equivalent.
+                SweepDir::Backward => gs_backward(level.csr(), r, z),
+            }
+        }
+    }
+    stats.record(
+        Motif::GaussSeidel,
+        t0.elapsed().as_secs_f64(),
+        flops::gs_sweep(level.nnz(), level.n_local()),
+    );
+}
+
+/// Distributed restriction: compute the smoothed residual
+/// `b_f − A_f z` and inject it onto the coarse grid, producing the
+/// coarse right-hand side `rc` (owned coarse rows).
+///
+/// Optimized = the fused kernel of §3.2.4 (residual evaluated only at
+/// coarse points, overlapped with the halo exchange of `z`).
+/// Reference = §3.1 item 3: full fine-grid residual SpMV followed by
+/// injection.
+pub fn dist_restrict<S: Scalar, C: Comm>(
+    ctx: &OpCtx<C>,
+    fine: &Level,
+    stats: &mut MotifStats,
+    tag: u64,
+    b_f: &[S],
+    z: &mut [S],
+    rc: &mut [S],
+) where
+    Level: PrecLevel<S>,
+{
+    let map = fine.c2f.as_ref().expect("restriction requires a coarser level");
+    let t0 = Instant::now();
+    match ctx.variant {
+        ImplVariant::Optimized => {
+            let ell = fine.ell();
+            fine.halo.begin(ctx.comm, tag, z, ctx.timeline);
+            {
+                let _s = ctx.timeline.span("fused SpMV-restrict interior", Stream::Compute);
+                for &ci in &fine.restrict_interior {
+                    let f = map.c2f[ci as usize] as usize;
+                    rc[ci as usize] = b_f[f] - ell.row_dot(f, z);
+                }
+            }
+            fine.halo.finish(ctx.comm, tag, z, ctx.timeline);
+            let _s = ctx.timeline.span("fused SpMV-restrict boundary", Stream::Compute);
+            for &ci in &fine.restrict_boundary {
+                let f = map.c2f[ci as usize] as usize;
+                rc[ci as usize] = b_f[f] - ell.row_dot(f, z);
+            }
+            stats.record(
+                Motif::Restriction,
+                t0.elapsed().as_secs_f64(),
+                flops::fused_restriction(fine.nnz_coarse_rows(), map.n_coarse),
+            );
+        }
+        ImplVariant::Reference => {
+            fine.halo.exchange(ctx.comm, tag, z, ctx.timeline);
+            let _s = ctx.timeline.span("residual SpMV + restrict", Stream::Compute);
+            let n = fine.n_local();
+            let mut tmp = vec![S::ZERO; n];
+            fine.csr().spmv(z, &mut tmp);
+            for i in 0..n {
+                tmp[i] = b_f[i] - tmp[i];
+            }
+            for (ci, &f) in map.c2f.iter().enumerate() {
+                rc[ci] = tmp[f as usize];
+            }
+            stats.record(
+                Motif::Restriction,
+                t0.elapsed().as_secs_f64(),
+                flops::reference_restriction(fine.nnz(), n),
+            );
+        }
+    }
+}
+
+/// Prolongation + correction: `z += Rᵀ zc` — scatter each coarse value
+/// onto its collocated fine point. Purely local (collocated points are
+/// always owned by the same rank).
+pub fn prolong_add<S: Scalar>(fine: &Level, stats: &mut MotifStats, zc: &[S], z: &mut [S]) {
+    let map = fine.c2f.as_ref().expect("prolongation requires a coarser level");
+    let t0 = Instant::now();
+    for (i, &c) in zc[..map.n_coarse].iter().enumerate() {
+        z[map.c2f[i] as usize] += c;
+    }
+    stats.record(Motif::Prolongation, t0.elapsed().as_secs_f64(), flops::prolongation(map.n_coarse));
+}
+
+/// Distributed dot product over owned entries, reduced across ranks.
+/// Local arithmetic runs in `S`; the reduction always happens in `f64`
+/// (as MPI would with a higher-precision reduction type).
+pub fn dist_dot<S: Scalar, C: Comm>(
+    comm: &C,
+    stats: &mut MotifStats,
+    motif: Motif,
+    x: &[S],
+    y: &[S],
+) -> f64 {
+    let t0 = Instant::now();
+    let local = blas::dot(x, y).to_f64();
+    let global = comm.allreduce_scalar(local, hpgmxp_comm::ReduceOp::Sum);
+    stats.record(motif, t0.elapsed().as_secs_f64(), flops::dot(x.len()));
+    global
+}
+
+/// Distributed 2-norm over owned entries.
+pub fn dist_norm2<S: Scalar, C: Comm>(
+    comm: &C,
+    stats: &mut MotifStats,
+    motif: Motif,
+    x: &[S],
+) -> f64 {
+    dist_dot(comm, stats, motif, x, x).max(0.0).sqrt()
+}
+
+/// Recorded `w = alpha x + beta y` (owned entries).
+pub fn waxpby_op<S: Scalar>(stats: &mut MotifStats, alpha: S, x: &[S], beta: S, y: &[S], w: &mut [S]) {
+    let t0 = Instant::now();
+    blas::waxpby(alpha, x, beta, y, w);
+    stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), flops::waxpby(w.len()));
+}
+
+/// Recorded `y += alpha x` (owned entries).
+pub fn axpy_op<S: Scalar>(stats: &mut MotifStats, alpha: S, x: &[S], y: &mut [S]) {
+    let t0 = Instant::now();
+    blas::axpy(alpha, x, y);
+    stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), flops::axpy(y.len()));
+}
+
+/// Recorded mixed-precision solution update `y(f64) += alpha·x(f32)` —
+/// line 47 of Algorithm 3 as a single fused device kernel (§3.2.5).
+pub fn axpy_mixed_op(stats: &mut MotifStats, alpha: f64, x: &[f32], y: &mut [f64]) {
+    let t0 = Instant::now();
+    blas::axpy_f32_into_f64(alpha, x, y);
+    stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), flops::axpy(y.len()));
+}
+
+/// Generic-precision variant of [`axpy_mixed_op`] for the fp16
+/// future-work inner solver.
+pub fn axpy_lo_mixed_op<S: Scalar>(stats: &mut MotifStats, alpha: f64, x: &[S], y: &mut [f64]) {
+    let t0 = Instant::now();
+    blas::axpy_lo_into_f64(alpha, x, y);
+    stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), flops::axpy(y.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{assemble, ProblemSpec};
+    use hpgmxp_comm::{run_spmd, SelfComm};
+    use hpgmxp_geometry::{ProcGrid, Stencil27};
+
+    fn spec(procs: ProcGrid, n: u32, levels: usize) -> ProblemSpec {
+        ProblemSpec { local: (n, n, n), procs, stencil: Stencil27::symmetric(), mg_levels: levels, seed: 7 }
+    }
+
+    fn ctx<C: Comm>(comm: &C, variant: ImplVariant) -> (OpCtx<'_, C>, Timeline) {
+        let _ = &comm;
+        (OpCtx { comm, variant, timeline: Box::leak(Box::new(Timeline::disabled())) }, Timeline::disabled())
+    }
+
+    /// Distributed SpMV across 2 ranks must equal the serial SpMV of the
+    /// equivalent global problem, in both variants.
+    #[test]
+    fn dist_spmv_matches_serial() {
+        for variant in [ImplVariant::Optimized, ImplVariant::Reference] {
+            let procs = ProcGrid::new(2, 1, 1);
+            let results = run_spmd(2, move |c| {
+                let p = assemble(&spec(procs, 4, 1), c.rank());
+                let l = &p.levels[0];
+                let mut stats = MotifStats::new();
+                let tl = Timeline::disabled();
+                let octx = OpCtx { comm: &c, variant, timeline: &tl };
+                // x holds each point's global id.
+                let g = l.grid.global();
+                let mut x = vec![0.0f64; l.vec_len()];
+                for i in 0..l.n_local() {
+                    let (ix, iy, iz) = l.grid.coords(i);
+                    let (gx, gy, gz) = l.grid.to_global(ix, iy, iz);
+                    x[i] = g.index(gx, gy, gz) as f64 * 0.01;
+                }
+                let mut y = vec![0.0f64; l.n_local()];
+                dist_spmv(&octx, l, &mut stats, 0, &mut x, &mut y);
+                (c.rank(), y)
+            });
+
+            // Serial equivalent: 8x4x4 global grid.
+            let serial_spec = ProblemSpec {
+                local: (8, 4, 4),
+                procs: ProcGrid::new(1, 1, 1),
+                stencil: Stencil27::symmetric(),
+                mg_levels: 1,
+                seed: 7,
+            };
+            let sp = assemble(&serial_spec, 0);
+            let sl = &sp.levels[0];
+            let g = sl.grid.global();
+            let mut x = vec![0.0f64; sl.vec_len()];
+            for i in 0..sl.n_local() {
+                let (ix, iy, iz) = sl.grid.coords(i);
+                x[i] = g.index(ix as u64, iy as u64, iz as u64) as f64 * 0.01;
+            }
+            let mut y_serial = vec![0.0f64; sl.n_local()];
+            sl.csr64.spmv(&x, &mut y_serial);
+
+            for (rank, y) in results {
+                let lg = hpgmxp_geometry::LocalGrid::new((4, 4, 4), procs, rank as u32);
+                for i in 0..y.len() {
+                    let (ix, iy, iz) = lg.coords(i);
+                    let (gx, gy, gz) = lg.to_global(ix, iy, iz);
+                    let si = g.index(gx, gy, gz) as usize;
+                    assert!(
+                        (y[i] - y_serial[si]).abs() < 1e-12,
+                        "variant {:?} rank {} row {}: {} vs {}",
+                        variant,
+                        rank,
+                        i,
+                        y[i],
+                        y_serial[si]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Optimized (multicolor, overlapped) and plain multicolor sweeps
+    /// produce identical results; reference and lexicographic agree.
+    #[test]
+    fn gs_variants_agree_with_their_references() {
+        let procs = ProcGrid::new(2, 1, 1);
+        run_spmd(2, move |c| {
+            let p = assemble(&spec(procs, 4, 1), c.rank());
+            let l = &p.levels[0];
+            let tl = Timeline::disabled();
+            let mut stats = MotifStats::new();
+            let r: Vec<f64> = (0..l.n_local()).map(|i| (i as f64) * 0.1 - 2.0).collect();
+
+            // Overlapped optimized sweep.
+            let octx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+            let mut z_opt = vec![0.3f64; l.vec_len()];
+            dist_gs_sweep(&octx, l, &mut stats, 0, SweepDir::Forward, &r, &mut z_opt);
+
+            // Plain (non-overlapped) multicolor sweep: exchange then sweep.
+            let mut z_plain = vec![0.3f64; l.vec_len()];
+            l.halo.exchange(&c, 1, &mut z_plain, &tl);
+            hpgmxp_sparse::gauss_seidel::gs_multicolor(&l.ell64, &l.coloring, &r, &mut z_plain);
+            for (a, b) in z_opt.iter().zip(z_plain.iter()) {
+                assert!((a - b).abs() < 1e-14);
+            }
+
+            // Reference sweep equals the sequential lexicographic sweep.
+            let rctx = OpCtx { comm: &c, variant: ImplVariant::Reference, timeline: &tl };
+            let mut z_ref = vec![0.3f64; l.vec_len()];
+            dist_gs_sweep(&rctx, l, &mut stats, 2, SweepDir::Forward, &r, &mut z_ref);
+            let mut z_lex = vec![0.3f64; l.vec_len()];
+            l.halo.exchange(&c, 3, &mut z_lex, &tl);
+            hpgmxp_sparse::gauss_seidel::gs_forward(&l.csr64, &r, &mut z_lex);
+            for (a, b) in z_ref.iter().zip(z_lex.iter()) {
+                assert!((a - b).abs() < 1e-13);
+            }
+        });
+    }
+
+    /// Fused and reference restrictions agree.
+    #[test]
+    fn restrict_variants_agree() {
+        let procs = ProcGrid::new(2, 1, 1);
+        run_spmd(2, move |c| {
+            let p = assemble(&spec(procs, 8, 2), c.rank());
+            let l = &p.levels[0];
+            let nc = p.levels[1].n_local();
+            let tl = Timeline::disabled();
+            let mut stats = MotifStats::new();
+            let b_f: Vec<f64> = (0..l.n_local()).map(|i| (i % 11) as f64).collect();
+            let z0: Vec<f64> = (0..l.vec_len()).map(|i| ((i * 3) % 7) as f64 * 0.1).collect();
+
+            let octx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+            let mut z1 = z0.clone();
+            let mut rc1 = vec![0.0f64; nc];
+            dist_restrict(&octx, l, &mut stats, 0, &b_f, &mut z1, &mut rc1);
+
+            let rctx = OpCtx { comm: &c, variant: ImplVariant::Reference, timeline: &tl };
+            let mut z2 = z0.clone();
+            let mut rc2 = vec![0.0f64; nc];
+            dist_restrict(&rctx, l, &mut stats, 1, &b_f, &mut z2, &mut rc2);
+
+            for (a, b) in rc1.iter().zip(rc2.iter()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        });
+    }
+
+    #[test]
+    fn prolong_scatters_to_collocated_points() {
+        let p = assemble(&spec(ProcGrid::new(1, 1, 1), 4, 2), 0);
+        let l = &p.levels[0];
+        let mut stats = MotifStats::new();
+        let map = l.c2f.as_ref().unwrap();
+        let zc: Vec<f64> = (0..map.n_coarse).map(|i| i as f64 + 1.0).collect();
+        let mut z = vec![0.0f64; l.vec_len()];
+        prolong_add(l, &mut stats, &zc, &mut z);
+        let total: f64 = z.iter().sum();
+        assert_eq!(total, (1..=map.n_coarse as u64).sum::<u64>() as f64);
+        assert!(stats.flops(Motif::Prolongation) > 0.0);
+    }
+
+    #[test]
+    fn dist_dot_reduces_across_ranks() {
+        let results = run_spmd(4, |c| {
+            let mut stats = MotifStats::new();
+            let x = vec![1.0f64; 10];
+            let y = vec![c.rank() as f64; 10];
+            dist_dot(&c, &mut stats, Motif::Dot, &x, &y)
+        });
+        // sum over ranks of 10*rank = 10*(0+1+2+3) = 60.
+        for v in results {
+            assert_eq!(v, 60.0);
+        }
+    }
+
+    #[test]
+    fn dist_norm_single_rank() {
+        let c = SelfComm;
+        let mut stats = MotifStats::new();
+        let x = vec![3.0f32, 4.0];
+        let n = dist_norm2(&c, &mut stats, Motif::Dot, &x);
+        assert!((n - 5.0).abs() < 1e-6);
+        let (_octx, _tl) = ctx(&c, ImplVariant::Optimized);
+    }
+
+    #[test]
+    fn vector_ops_record_motifs() {
+        let mut stats = MotifStats::new();
+        let x = vec![1.0f64; 8];
+        let y = vec![2.0f64; 8];
+        let mut w = vec![0.0f64; 8];
+        waxpby_op(&mut stats, 2.0, &x, 1.0, &y, &mut w);
+        assert_eq!(w[0], 4.0);
+        axpy_op(&mut stats, -1.0, &x, &mut w);
+        assert_eq!(w[0], 3.0);
+        let x32 = vec![0.5f32; 8];
+        let mut y64 = vec![0.0f64; 8];
+        axpy_mixed_op(&mut stats, 2.0, &x32, &mut y64);
+        assert_eq!(y64[0], 1.0);
+        assert!(stats.flops(Motif::Waxpby) > 0.0);
+    }
+}

@@ -1,0 +1,510 @@
+//! Distributed assembly of the benchmark problem and its multigrid
+//! hierarchy.
+//!
+//! Each rank assembles its block of rows of the 27-point operator
+//! (diagonal 26, off-diagonals −1; §3), with ghost columns numbered by
+//! the geometric halo plan, on every level of the 4-level hierarchy.
+//! A [`Level`] carries everything both implementation variants need:
+//! the operator in CSR (reference) and ELL (optimized) storage at both
+//! precisions, the JPL coloring with its interior/boundary split for
+//! overlap, the level schedule and triangular split of the reference
+//! Gauss–Seidel, and the injection map to the next coarser level.
+
+use crate::config::BenchmarkParams;
+use hpgmxp_comm::HaloExchange;
+use hpgmxp_geometry::{GridHierarchy, HaloPlan, LocalGrid, ProcGrid, Stencil27, STENCIL_OFFSETS};
+use hpgmxp_sparse::csr::{CsrBuilder, CsrMatrix};
+use hpgmxp_sparse::gauss_seidel::split_lower_upper;
+use hpgmxp_sparse::{jpl_coloring, Coloring, EllMatrix, Half, LevelSchedule};
+
+/// Global description of a benchmark problem instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemSpec {
+    /// Local mesh points per rank in each dimension.
+    pub local: (u32, u32, u32),
+    /// Processor grid.
+    pub procs: ProcGrid,
+    /// Stencil coefficients (symmetric by default).
+    pub stencil: Stencil27,
+    /// Multigrid levels (benchmark: 4).
+    pub mg_levels: usize,
+    /// Seed for the JPL coloring weights.
+    pub seed: u64,
+}
+
+impl ProblemSpec {
+    /// Spec from benchmark parameters and a rank count.
+    pub fn from_params(params: &BenchmarkParams, nranks: usize) -> Self {
+        ProblemSpec {
+            local: params.local_dims,
+            procs: ProcGrid::factor(nranks as u32),
+            stencil: Stencil27::symmetric(),
+            mg_levels: params.mg_levels,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Global row count of the fine-level problem.
+    pub fn global_rows(&self) -> u64 {
+        self.local.0 as u64
+            * self.local.1 as u64
+            * self.local.2 as u64
+            * self.procs.size() as u64
+    }
+}
+
+/// The reference implementation's triangular data for Gauss–Seidel.
+#[derive(Debug, Clone)]
+pub struct RefPath<S> {
+    /// `D + L` factor.
+    pub lower: CsrMatrix<S>,
+    /// Strictly upper factor (with structural zero diagonal).
+    pub upper: CsrMatrix<S>,
+}
+
+/// One multigrid level of one rank, fully assembled.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The level's local grid.
+    pub grid: LocalGrid,
+    /// Operator, CSR double (reference format / outer residuals).
+    pub csr64: CsrMatrix<f64>,
+    /// Operator, ELL double (optimized format).
+    pub ell64: EllMatrix<f64>,
+    /// Operator, CSR single.
+    pub csr32: CsrMatrix<f32>,
+    /// Operator, ELL single (the mixed solver's working copy).
+    pub ell32: EllMatrix<f32>,
+    /// Operator, CSR half (the future-work fp16 inner solver, §5).
+    pub csr16: CsrMatrix<Half>,
+    /// Operator, ELL half.
+    pub ell16: EllMatrix<Half>,
+    /// JPL multicoloring of the local graph.
+    pub coloring: Coloring,
+    /// Per color: rows whose stencil touches no ghost (safe during
+    /// communication).
+    pub color_interior: Vec<Vec<u32>>,
+    /// Per color: rows that read ghost values (must wait for the halo).
+    pub color_boundary: Vec<Vec<u32>>,
+    /// All interior rows (for overlapped SpMV).
+    pub interior_rows: Vec<u32>,
+    /// All boundary rows.
+    pub boundary_rows: Vec<u32>,
+    /// Level schedule of the lower-triangular sweep (reference GS).
+    pub schedule: LevelSchedule,
+    /// Reference-path triangular factors, double.
+    pub ref64: RefPath<f64>,
+    /// Reference-path triangular factors, single.
+    pub ref32: RefPath<f32>,
+    /// Reference-path triangular factors, half.
+    pub ref16: RefPath<Half>,
+    /// Halo exchange executor for this level.
+    pub halo: HaloExchange,
+    /// Injection map to the next coarser level (`None` on the coarsest).
+    pub c2f: Option<hpgmxp_geometry::CoarseMap>,
+    /// Coarse rows whose collocated fine row is interior (fused
+    /// restriction may compute them during the halo exchange).
+    pub restrict_interior: Vec<u32>,
+    /// Coarse rows whose collocated fine row reads ghosts.
+    pub restrict_boundary: Vec<u32>,
+}
+
+impl Level {
+    /// Owned rows on this level.
+    pub fn n_local(&self) -> usize {
+        self.csr64.nrows()
+    }
+
+    /// Length distributed vectors need on this level (owned + ghosts).
+    pub fn vec_len(&self) -> usize {
+        self.n_local() + self.halo.num_ghosts()
+    }
+
+    /// Stored nonzeros of the local operator.
+    pub fn nnz(&self) -> usize {
+        self.csr64.nnz()
+    }
+
+    /// Fine-matrix nonzeros in the rows collocated with coarse points
+    /// (the work of the fused restriction).
+    pub fn nnz_coarse_rows(&self) -> usize {
+        match &self.c2f {
+            Some(map) => map
+                .c2f
+                .iter()
+                .map(|&f| {
+                    let (cols, _) = self.csr64.row(f as usize);
+                    cols.len()
+                })
+                .sum(),
+            None => 0,
+        }
+    }
+}
+
+/// A rank's fully assembled benchmark problem.
+#[derive(Debug, Clone)]
+pub struct LocalProblem {
+    /// The global problem description.
+    pub spec: ProblemSpec,
+    /// Levels, finest first.
+    pub levels: Vec<Level>,
+    /// Fine-level right-hand side (owned entries only), `b = A·1`.
+    pub b: Vec<f64>,
+    /// The exact solution (all ones), for error checks.
+    pub x_exact: Vec<f64>,
+}
+
+impl LocalProblem {
+    /// Fine-level local row count.
+    pub fn n_local(&self) -> usize {
+        self.levels[0].n_local()
+    }
+
+    /// Fine-level vector length including ghosts.
+    pub fn vec_len(&self) -> usize {
+        self.levels[0].vec_len()
+    }
+}
+
+/// Assemble one level's local operator on `grid` with ghost columns
+/// numbered by `plan`.
+fn assemble_matrix(grid: &LocalGrid, plan: &HaloPlan, stencil: &Stencil27) -> CsrMatrix<f64> {
+    let n = grid.total_points();
+    let global = grid.global();
+    let mut b = CsrBuilder::new(n, n + plan.num_ghosts, n * 27);
+    let mut entries: Vec<(u32, f64)> = Vec::with_capacity(27);
+    for iz in 0..grid.nz {
+        for iy in 0..grid.ny {
+            for ix in 0..grid.nx {
+                entries.clear();
+                let (gx, gy, gz) = grid.to_global(ix, iy, iz);
+                for &(dx, dy, dz) in STENCIL_OFFSETS.iter() {
+                    let (ngx, ngy, ngz) =
+                        (gx as i64 + dx as i64, gy as i64 + dy as i64, gz as i64 + dz as i64);
+                    if !global.contains(ngx, ngy, ngz) {
+                        continue;
+                    }
+                    let (ex, ey, ez) =
+                        (ix as i64 + dx as i64, iy as i64 + dy as i64, iz as i64 + dz as i64);
+                    let col = if ex >= 0
+                        && ey >= 0
+                        && ez >= 0
+                        && ex < grid.nx as i64
+                        && ey < grid.ny as i64
+                        && ez < grid.nz as i64
+                    {
+                        grid.index(ex as u32, ey as u32, ez as u32) as u32
+                    } else {
+                        let g = plan
+                            .ghost_index(ex, ey, ez)
+                            .expect("in-domain off-rank point must have a ghost slot");
+                        (n + g) as u32
+                    };
+                    entries.push((col, stencil.coefficient(dx, dy, dz)));
+                }
+                b.push_row(entries.iter().copied());
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Split row lists of each color into interior/boundary sub-lists.
+fn split_colors(coloring: &Coloring, plan: &HaloPlan, grid: &LocalGrid) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let mut interior = vec![Vec::new(); coloring.num_colors as usize];
+    let mut boundary = vec![Vec::new(); coloring.num_colors as usize];
+    for (c, rows) in coloring.rows_of.iter().enumerate() {
+        for &r in rows {
+            let (ix, iy, iz) = grid.coords(r as usize);
+            if plan.is_boundary_row(ix, iy, iz) {
+                boundary[c].push(r);
+            } else {
+                interior[c].push(r);
+            }
+        }
+    }
+    (interior, boundary)
+}
+
+/// Assemble the complete local problem of `rank`.
+pub fn assemble(spec: &ProblemSpec, rank: usize) -> LocalProblem {
+    let fine_grid = LocalGrid::new(spec.local, spec.procs, rank as u32);
+    let hierarchy = GridHierarchy::build(&fine_grid, spec.mg_levels);
+    let mut levels = Vec::with_capacity(spec.mg_levels);
+
+    for (l, grid) in hierarchy.grids.iter().enumerate() {
+        let plan = HaloPlan::build(grid);
+        let csr64 = assemble_matrix(grid, &plan, &spec.stencil);
+        let ell64 = EllMatrix::from_csr(&csr64);
+        let csr32: CsrMatrix<f32> = csr64.convert();
+        let ell32: EllMatrix<f32> = ell64.convert();
+        let csr16: CsrMatrix<Half> = csr64.convert();
+        let ell16: EllMatrix<Half> = ell64.convert();
+        let coloring = jpl_coloring(&csr64, spec.seed.wrapping_add(l as u64));
+        debug_assert!(coloring.verify(&csr64));
+        let (color_interior, color_boundary) = split_colors(&coloring, &plan, grid);
+        let (interior_rows, boundary_rows) = plan.split_rows();
+        let schedule = LevelSchedule::build(&csr64);
+        let (lower64, upper64) = split_lower_upper(&csr64);
+        let ref64 = RefPath { lower: lower64, upper: upper64 };
+        let (lower32, upper32) = split_lower_upper(&csr32);
+        let ref32 = RefPath { lower: lower32, upper: upper32 };
+        let (lower16, upper16) = split_lower_upper(&csr16);
+        let ref16 = RefPath { lower: lower16, upper: upper16 };
+        let c2f = if l + 1 < spec.mg_levels { Some(hierarchy.maps[l].clone()) } else { None };
+
+        // Coarse-row overlap split for the fused restriction.
+        let (mut restrict_interior, mut restrict_boundary) = (Vec::new(), Vec::new());
+        if let Some(map) = &c2f {
+            for (ci, &f) in map.c2f.iter().enumerate() {
+                let (ix, iy, iz) = grid.coords(f as usize);
+                if plan.is_boundary_row(ix, iy, iz) {
+                    restrict_boundary.push(ci as u32);
+                } else {
+                    restrict_interior.push(ci as u32);
+                }
+            }
+        }
+
+        levels.push(Level {
+            grid: *grid,
+            csr64,
+            ell64,
+            csr32,
+            ell32,
+            csr16,
+            ell16,
+            coloring,
+            color_interior,
+            color_boundary,
+            interior_rows,
+            boundary_rows,
+            schedule,
+            ref64,
+            ref32,
+            ref16,
+            halo: HaloExchange::new(plan),
+            c2f,
+            restrict_interior,
+            restrict_boundary,
+        });
+    }
+
+    // b = A·1 — with the exact solution all-ones, ghost values are also
+    // ones, so no exchange is needed to form the right-hand side.
+    let fine = &levels[0];
+    let ones = vec![1.0f64; fine.vec_len()];
+    let mut b = vec![0.0f64; fine.n_local()];
+    fine.csr64.spmv(&ones, &mut b);
+    let x_exact = vec![1.0f64; fine.n_local()];
+
+    LocalProblem { spec: *spec, levels, b, x_exact }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_1rank(n: u32, levels: usize) -> ProblemSpec {
+        ProblemSpec {
+            local: (n, n, n),
+            procs: ProcGrid::new(1, 1, 1),
+            stencil: Stencil27::symmetric(),
+            mg_levels: levels,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn single_rank_interior_row_has_27_entries() {
+        let p = assemble(&spec_1rank(8, 1), 0);
+        let a = &p.levels[0].csr64;
+        // Center point of the 8³ box is interior.
+        let lg = p.levels[0].grid;
+        let center = lg.index(4, 4, 4);
+        let (cols, vals) = a.row(center);
+        assert_eq!(cols.len(), 27);
+        assert_eq!(a.diag(center), 26.0);
+        let sum: f64 = vals.iter().sum();
+        // Interior row sums to 26 - 26 = 0 (weak diagonal dominance).
+        assert!(sum.abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_row_has_8_entries() {
+        let p = assemble(&spec_1rank(8, 1), 0);
+        let a = &p.levels[0].csr64;
+        let (cols, _) = a.row(0);
+        assert_eq!(cols.len(), 8);
+        assert_eq!(a.diag(0), 26.0);
+    }
+
+    #[test]
+    fn rhs_is_row_sums() {
+        let p = assemble(&spec_1rank(4, 1), 0);
+        let a = &p.levels[0].csr64;
+        for i in 0..a.nrows() {
+            let (_, vals) = a.row(i);
+            let sum: f64 = vals.iter().sum();
+            assert!((p.b[i] - sum).abs() < 1e-12);
+        }
+        // Corner rows: 26 - 7 = 19.
+        assert!((p.b[0] - 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_has_expected_sizes() {
+        let p = assemble(&spec_1rank(16, 4), 0);
+        let sizes: Vec<usize> = p.levels.iter().map(|l| l.n_local()).collect();
+        assert_eq!(sizes, vec![4096, 512, 64, 8]);
+        assert!(p.levels[0].c2f.is_some());
+        assert!(p.levels[3].c2f.is_none());
+    }
+
+    #[test]
+    fn coloring_is_valid_with_8_colors_on_27pt() {
+        let p = assemble(&spec_1rank(8, 1), 0);
+        let l = &p.levels[0];
+        assert!(l.coloring.verify(&l.csr64));
+        // The 27-point stencil needs at least 8 colors (2×2×2 parity).
+        // JPL with random weights typically lands between 8 and ~2x the
+        // chromatic number on this dense stencil graph.
+        assert!(l.coloring.num_colors >= 8 && l.coloring.num_colors <= 20,
+            "got {}", l.coloring.num_colors);
+        // Greedy in lexicographic order achieves the optimum, 8.
+        let greedy = hpgmxp_sparse::greedy_coloring(&l.csr64);
+        assert_eq!(greedy.num_colors, 8);
+    }
+
+    #[test]
+    fn distributed_assembly_has_ghosts() {
+        let spec = ProblemSpec {
+            local: (4, 4, 4),
+            procs: ProcGrid::new(2, 1, 1),
+            stencil: Stencil27::symmetric(),
+            mg_levels: 1,
+            seed: 1,
+        };
+        let p0 = assemble(&spec, 0);
+        let l = &p0.levels[0];
+        assert_eq!(l.halo.num_ghosts(), 16);
+        assert_eq!(l.csr64.ncols(), 64 + 16);
+        // A boundary row on the +x face must reference a ghost column.
+        let row = l.grid.index(3, 1, 1);
+        let (cols, _) = l.csr64.row(row);
+        assert!(cols.iter().any(|&c| c as usize >= 64));
+        // Interior/boundary row split is consistent.
+        assert_eq!(l.interior_rows.len() + l.boundary_rows.len(), 64);
+        assert!(l.boundary_rows.contains(&(row as u32)));
+    }
+
+    #[test]
+    fn color_split_partitions_each_class() {
+        let spec = ProblemSpec {
+            local: (4, 4, 4),
+            procs: ProcGrid::new(2, 2, 1),
+            stencil: Stencil27::symmetric(),
+            mg_levels: 1,
+            seed: 3,
+        };
+        let p = assemble(&spec, 3);
+        let l = &p.levels[0];
+        for c in 0..l.coloring.num_colors as usize {
+            let class = &l.coloring.rows_of[c];
+            assert_eq!(l.color_interior[c].len() + l.color_boundary[c].len(), class.len());
+        }
+    }
+
+    #[test]
+    fn global_row_consistency_across_ranks() {
+        // The two ranks of a 2x1x1 grid assemble complementary halves:
+        // their total nnz must equal the serial assembly's nnz.
+        let spec2 = ProblemSpec {
+            local: (4, 4, 4),
+            procs: ProcGrid::new(2, 1, 1),
+            stencil: Stencil27::symmetric(),
+            mg_levels: 1,
+            seed: 1,
+        };
+        let serial = ProblemSpec {
+            local: (8, 4, 4),
+            procs: ProcGrid::new(1, 1, 1),
+            stencil: Stencil27::symmetric(),
+            mg_levels: 1,
+            seed: 1,
+        };
+        let nnz2: usize = (0..2).map(|r| assemble(&spec2, r).levels[0].nnz()).sum();
+        let nnz1 = assemble(&serial, 0).levels[0].nnz();
+        assert_eq!(nnz2, nnz1);
+    }
+
+    #[test]
+    fn nonsymmetric_variant_assembles() {
+        let spec = ProblemSpec {
+            local: (4, 4, 4),
+            procs: ProcGrid::new(1, 1, 1),
+            stencil: Stencil27::nonsymmetric(0.5),
+            mg_levels: 1,
+            seed: 1,
+        };
+        let p = assemble(&spec, 0);
+        let a = &p.levels[0].csr64;
+        let d = a.to_dense();
+        // Not symmetric...
+        let mut asym = false;
+        for i in 0..a.nrows() {
+            for j in 0..a.nrows() {
+                if (d[i][j] - d[j][i]).abs() > 1e-14 {
+                    asym = true;
+                }
+            }
+        }
+        assert!(asym);
+        // ...but still weakly diagonally dominant.
+        for i in 0..a.nrows() {
+            let off: f64 = (0..a.nrows()).filter(|&j| j != i).map(|j| d[i][j].abs()).sum();
+            assert!(off <= 26.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn restrict_split_covers_coarse_rows() {
+        let spec = ProblemSpec {
+            local: (8, 8, 8),
+            procs: ProcGrid::new(2, 1, 1),
+            stencil: Stencil27::symmetric(),
+            mg_levels: 2,
+            seed: 1,
+        };
+        // Rank 0's inter-rank face is at ix = nx-1 (odd), which no
+        // coarse point collocates with: all its coarse rows are
+        // interior. Rank 1's face is at ix = 0 (even): its coarse rows
+        // there must be classified as boundary.
+        let p0 = assemble(&spec, 0);
+        let l0 = &p0.levels[0];
+        let n_coarse = p0.levels[1].n_local();
+        assert_eq!(l0.restrict_interior.len() + l0.restrict_boundary.len(), n_coarse);
+        assert!(l0.restrict_boundary.is_empty());
+
+        let p1 = assemble(&spec, 1);
+        let l1 = &p1.levels[0];
+        assert_eq!(l1.restrict_interior.len() + l1.restrict_boundary.len(), n_coarse);
+        assert_eq!(l1.restrict_boundary.len(), 16, "the 4x4 coarse face at ix=0");
+    }
+
+    #[test]
+    fn nnz_coarse_rows_counts() {
+        let p = assemble(&spec_1rank(8, 2), 0);
+        let l = &p.levels[0];
+        let expected: usize = l
+            .c2f
+            .as_ref()
+            .unwrap()
+            .c2f
+            .iter()
+            .map(|&f| l.csr64.row(f as usize).0.len())
+            .sum();
+        assert_eq!(l.nnz_coarse_rows(), expected);
+    }
+}

@@ -1,0 +1,184 @@
+//! Factoring a rank count into a near-cubic 3D processor grid.
+//!
+//! HPCG (and therefore HPG-MxP) maps MPI ranks onto a `px × py × pz`
+//! grid mirroring the mesh. Because every rank owns an identical local
+//! box, the communication surface per rank is minimized when the
+//! processor grid is as close to a cube as possible; this module performs
+//! that factorization deterministically.
+
+/// A 3D grid of processors with `px * py * pz` ranks.
+///
+/// Rank numbering follows the same x-fastest convention as the mesh:
+/// `rank = ipx + px*(ipy + py*ipz)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcGrid {
+    /// Ranks along x.
+    pub px: u32,
+    /// Ranks along y.
+    pub py: u32,
+    /// Ranks along z.
+    pub pz: u32,
+}
+
+impl ProcGrid {
+    /// A grid with the given explicit extents.
+    pub fn new(px: u32, py: u32, pz: u32) -> Self {
+        assert!(px > 0 && py > 0 && pz > 0, "processor grid extents must be positive");
+        ProcGrid { px, py, pz }
+    }
+
+    /// Factor `p` ranks into the most cubic `px × py × pz` grid.
+    ///
+    /// Among all ordered factorizations of `p` into three factors this
+    /// picks the one minimizing `(max - min, px+py+pz)`, i.e. the most
+    /// balanced one, breaking ties toward smaller `px`. This mirrors the
+    /// intent of HPCG's `ComputeOptimalShapeXYZ`.
+    pub fn factor(p: u32) -> Self {
+        assert!(p > 0, "cannot factor zero ranks");
+        let mut best: Option<(u32, u32, u32)> = None;
+        let mut best_key = (u32::MAX, u32::MAX);
+        let mut fx = 1;
+        while fx * fx * fx <= p {
+            if p % fx == 0 {
+                let rest = p / fx;
+                let mut fy = fx;
+                while fy * fy <= rest {
+                    if rest % fy == 0 {
+                        let fz = rest / fy;
+                        // fx <= fy <= fz by construction.
+                        let key = (fz - fx, fx + fy + fz);
+                        if key < best_key {
+                            best_key = key;
+                            best = Some((fx, fy, fz));
+                        }
+                    }
+                    fy += 1;
+                }
+            }
+            fx += 1;
+        }
+        let (a, b, c) = best.expect("at least 1*1*p factors p");
+        // Assign the largest factor to z so that x-contiguous (stride-1)
+        // faces are the large ones, matching HPCG's layout preference.
+        ProcGrid { px: a, py: b, pz: c }
+    }
+
+    /// Total rank count.
+    pub fn size(&self) -> u32 {
+        self.px * self.py * self.pz
+    }
+
+    /// Rank id of processor coordinates.
+    #[inline]
+    pub fn rank_of(&self, ipx: u32, ipy: u32, ipz: u32) -> u32 {
+        debug_assert!(ipx < self.px && ipy < self.py && ipz < self.pz);
+        ipx + self.px * (ipy + self.py * ipz)
+    }
+
+    /// Processor coordinates of a rank id.
+    #[inline]
+    pub fn coords_of(&self, rank: u32) -> (u32, u32, u32) {
+        debug_assert!(rank < self.size());
+        (rank % self.px, (rank / self.px) % self.py, rank / (self.px * self.py))
+    }
+
+    /// The rank at offset `(dx,dy,dz)` from `rank`, or `None` at the edge
+    /// of the processor grid (no periodic wrap: the benchmark domain has
+    /// physical boundaries).
+    pub fn neighbor(&self, rank: u32, dx: i32, dy: i32, dz: i32) -> Option<u32> {
+        let (x, y, z) = self.coords_of(rank);
+        let nx = x as i64 + dx as i64;
+        let ny = y as i64 + dy as i64;
+        let nz = z as i64 + dz as i64;
+        if nx < 0
+            || ny < 0
+            || nz < 0
+            || nx >= self.px as i64
+            || ny >= self.py as i64
+            || nz >= self.pz as i64
+        {
+            None
+        } else {
+            Some(self.rank_of(nx as u32, ny as u32, nz as u32))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_perfect_cubes() {
+        for p in [1u32, 8, 27, 64, 512, 4096] {
+            let g = ProcGrid::factor(p);
+            assert_eq!(g.px, g.py);
+            assert_eq!(g.py, g.pz);
+            assert_eq!(g.size(), p);
+        }
+    }
+
+    #[test]
+    fn factor_balanced() {
+        let g = ProcGrid::factor(12);
+        assert_eq!(g.size(), 12);
+        // 12 = 2*2*3 is the most cubic factorization.
+        assert_eq!((g.px, g.py, g.pz), (2, 2, 3));
+
+        let g = ProcGrid::factor(2);
+        assert_eq!((g.px, g.py, g.pz), (1, 1, 2));
+
+        // Primes degrade gracefully to pencils.
+        let g = ProcGrid::factor(7);
+        assert_eq!((g.px, g.py, g.pz), (1, 1, 7));
+    }
+
+    #[test]
+    fn factor_frontier_scales() {
+        // Node counts used in the paper, times 8 GCDs per node.
+        for nodes in [1u32, 2, 8, 64, 128, 1024, 4096, 9408] {
+            let g = ProcGrid::factor(nodes * 8);
+            assert_eq!(g.size(), nodes * 8);
+            assert!(g.px <= g.py && g.py <= g.pz);
+        }
+    }
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let g = ProcGrid::new(3, 4, 5);
+        for r in 0..g.size() {
+            let (x, y, z) = g.coords_of(r);
+            assert_eq!(g.rank_of(x, y, z), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let g = ProcGrid::new(2, 2, 2);
+        assert_eq!(g.neighbor(0, -1, 0, 0), None);
+        assert_eq!(g.neighbor(0, 1, 0, 0), Some(1));
+        assert_eq!(g.neighbor(0, 1, 1, 1), Some(7));
+        assert_eq!(g.neighbor(7, 1, 0, 0), None);
+        assert_eq!(g.neighbor(7, -1, -1, -1), Some(0));
+    }
+
+    #[test]
+    fn neighbor_count_is_26_in_interior() {
+        let g = ProcGrid::new(3, 3, 3);
+        let center = g.rank_of(1, 1, 1);
+        let mut count = 0;
+        for dz in -1..=1 {
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    if (dx, dy, dz) == (0, 0, 0) {
+                        continue;
+                    }
+                    if g.neighbor(center, dx, dy, dz).is_some() {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, 26);
+    }
+}

@@ -1,0 +1,218 @@
+//! Local and global grid descriptors and index arithmetic.
+//!
+//! All index maps follow the HPCG convention: the x coordinate varies
+//! fastest, so the linear index of point `(ix, iy, iz)` on an
+//! `nx × ny × nz` grid is `ix + nx*(iy + ny*iz)`.
+
+use crate::decomp::ProcGrid;
+
+/// The global mesh: the union of all ranks' local boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalGrid {
+    /// Global number of points in x.
+    pub nx: u64,
+    /// Global number of points in y.
+    pub ny: u64,
+    /// Global number of points in z.
+    pub nz: u64,
+}
+
+impl GlobalGrid {
+    /// Total number of grid points (matrix rows) in the global problem.
+    pub fn total_points(&self) -> u64 {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Whether a global coordinate lies inside the domain.
+    ///
+    /// Coordinates are signed because stencil probing produces
+    /// out-of-domain candidates at the physical boundary.
+    pub fn contains(&self, gx: i64, gy: i64, gz: i64) -> bool {
+        gx >= 0
+            && gy >= 0
+            && gz >= 0
+            && (gx as u64) < self.nx
+            && (gy as u64) < self.ny
+            && (gz as u64) < self.nz
+    }
+
+    /// Linear global index of an in-domain point.
+    pub fn index(&self, gx: u64, gy: u64, gz: u64) -> u64 {
+        debug_assert!(self.contains(gx as i64, gy as i64, gz as i64));
+        gx + self.nx * (gy + self.ny * gz)
+    }
+
+    /// Inverse of [`GlobalGrid::index`].
+    pub fn coords(&self, idx: u64) -> (u64, u64, u64) {
+        let gx = idx % self.nx;
+        let gy = (idx / self.nx) % self.ny;
+        let gz = idx / (self.nx * self.ny);
+        (gx, gy, gz)
+    }
+}
+
+/// One rank's sub-box of the global grid, together with its placement.
+///
+/// Every rank owns an identical `nx × ny × nz` box (HPCG requires uniform
+/// local sizes and this implementation asserts it), so a `LocalGrid` is
+/// fully described by the local extents, the owning rank's coordinates in
+/// the processor grid, and the global grid they tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalGrid {
+    /// Local points in x.
+    pub nx: u32,
+    /// Local points in y.
+    pub ny: u32,
+    /// Local points in z.
+    pub nz: u32,
+    /// This rank's coordinates `(ipx, ipy, ipz)` in the processor grid.
+    pub rank_coords: (u32, u32, u32),
+    /// The processor grid this box belongs to.
+    pub procs: ProcGrid,
+}
+
+impl LocalGrid {
+    /// Build the local box of `rank` for a run with `local = (nx,ny,nz)`
+    /// points per rank on processor grid `procs`.
+    pub fn new(local: (u32, u32, u32), procs: ProcGrid, rank: u32) -> Self {
+        let rank_coords = procs.coords_of(rank);
+        LocalGrid {
+            nx: local.0,
+            ny: local.1,
+            nz: local.2,
+            rank_coords,
+            procs,
+        }
+    }
+
+    /// Number of locally-owned points (= locally-owned matrix rows).
+    pub fn total_points(&self) -> usize {
+        self.nx as usize * self.ny as usize * self.nz as usize
+    }
+
+    /// The global grid tiled by this decomposition.
+    pub fn global(&self) -> GlobalGrid {
+        GlobalGrid {
+            nx: self.nx as u64 * self.procs.px as u64,
+            ny: self.ny as u64 * self.procs.py as u64,
+            nz: self.nz as u64 * self.procs.pz as u64,
+        }
+    }
+
+    /// Global coordinate of the first (lowest-corner) local point.
+    pub fn base(&self) -> (u64, u64, u64) {
+        (
+            self.rank_coords.0 as u64 * self.nx as u64,
+            self.rank_coords.1 as u64 * self.ny as u64,
+            self.rank_coords.2 as u64 * self.nz as u64,
+        )
+    }
+
+    /// Linear local index of local coordinates `(ix, iy, iz)`.
+    #[inline]
+    pub fn index(&self, ix: u32, iy: u32, iz: u32) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny && iz < self.nz);
+        ix as usize + self.nx as usize * (iy as usize + self.ny as usize * iz as usize)
+    }
+
+    /// Inverse of [`LocalGrid::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (u32, u32, u32) {
+        let nx = self.nx as usize;
+        let ny = self.ny as usize;
+        ((idx % nx) as u32, ((idx / nx) % ny) as u32, (idx / (nx * ny)) as u32)
+    }
+
+    /// Global coordinates of a local point.
+    #[inline]
+    pub fn to_global(&self, ix: u32, iy: u32, iz: u32) -> (u64, u64, u64) {
+        let (bx, by, bz) = self.base();
+        (bx + ix as u64, by + iy as u64, bz + iz as u64)
+    }
+
+    /// If the global coordinate is owned by this rank, its local coords.
+    pub fn to_local(&self, gx: i64, gy: i64, gz: i64) -> Option<(u32, u32, u32)> {
+        let (bx, by, bz) = self.base();
+        let (bx, by, bz) = (bx as i64, by as i64, bz as i64);
+        if gx >= bx
+            && gx < bx + self.nx as i64
+            && gy >= by
+            && gy < by + self.ny as i64
+            && gz >= bz
+            && gz < bz + self.nz as i64
+        {
+            Some(((gx - bx) as u32, (gy - by) as u32, (gz - bz) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Which rank owns a global coordinate (must be inside the domain).
+    pub fn owner_of(&self, gx: u64, gy: u64, gz: u64) -> u32 {
+        let ipx = (gx / self.nx as u64) as u32;
+        let ipy = (gy / self.ny as u64) as u32;
+        let ipz = (gz / self.nz as u64) as u32;
+        self.procs.rank_of(ipx, ipy, ipz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2x2x2() -> LocalGrid {
+        LocalGrid::new((4, 4, 4), ProcGrid::new(2, 2, 2), 3)
+    }
+
+    #[test]
+    fn global_index_roundtrip() {
+        let g = GlobalGrid { nx: 5, ny: 7, nz: 3 };
+        for idx in 0..g.total_points() {
+            let (x, y, z) = g.coords(idx);
+            assert_eq!(g.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn local_index_roundtrip() {
+        let lg = grid_2x2x2();
+        for idx in 0..lg.total_points() {
+            let (x, y, z) = lg.coords(idx);
+            assert_eq!(lg.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn base_and_ownership() {
+        // Rank 3 of a 2x2x2 grid has coords (1,1,0): rank = x + px*(y + py*z).
+        let lg = grid_2x2x2();
+        assert_eq!(lg.rank_coords, (1, 1, 0));
+        assert_eq!(lg.base(), (4, 4, 0));
+        // A point in rank 3's box is owned by rank 3.
+        assert_eq!(lg.owner_of(5, 6, 1), 3);
+        // The global origin belongs to rank 0.
+        assert_eq!(lg.owner_of(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn to_local_only_inside() {
+        let lg = grid_2x2x2();
+        assert_eq!(lg.to_local(4, 4, 0), Some((0, 0, 0)));
+        assert_eq!(lg.to_local(3, 4, 0), None);
+        assert_eq!(lg.to_local(7, 7, 3), Some((3, 3, 3)));
+        assert_eq!(lg.to_local(8, 7, 3), None);
+    }
+
+    #[test]
+    fn global_matches_tiling() {
+        let lg = grid_2x2x2();
+        let g = lg.global();
+        assert_eq!((g.nx, g.ny, g.nz), (8, 8, 8));
+        // Every local point maps into the domain.
+        for idx in 0..lg.total_points() {
+            let (x, y, z) = lg.coords(idx);
+            let (gx, gy, gz) = lg.to_global(x, y, z);
+            assert!(g.contains(gx as i64, gy as i64, gz as i64));
+        }
+    }
+}

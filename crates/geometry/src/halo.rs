@@ -1,0 +1,346 @@
+//! Halo (ghost-layer) exchange plans — the geometry of `SetupHalo`.
+//!
+//! Each rank owns a box of grid points; the 27-point stencil makes rows
+//! near the box faces reference points owned by up to 26 neighboring
+//! ranks. Those remote values live in a *ghost region* appended after the
+//! locally-owned entries of every distributed vector, so local matrices
+//! can use plain local column indices `0..n_local + n_ghost`.
+//!
+//! The plan computed here is purely geometric and identical on the two
+//! sides of every exchange: for a neighbor in direction `d`, our receive
+//! box (the ghost slab in direction `d`) and the neighbor's send box (its
+//! boundary slab in direction `-d`) are congruent and traversed in the
+//! same lexicographic order, so no index lists ever travel over the wire.
+//! This matches how HPCG/rocHPCG set up their halos for uniform local
+//! boxes.
+
+use crate::grid::LocalGrid;
+use crate::stencil::STENCIL_OFFSETS;
+
+/// One neighbor of a rank in the halo exchange.
+#[derive(Debug, Clone)]
+pub struct Neighbor {
+    /// The neighbor's rank id.
+    pub rank: u32,
+    /// Direction from us to the neighbor on the processor grid.
+    pub direction: (i32, i32, i32),
+    /// Local indices (owned points) we must pack and send, in the
+    /// canonical order the receiver expects.
+    pub send_indices: Vec<u32>,
+    /// Offset of this neighbor's values inside our ghost region.
+    pub recv_start: u32,
+    /// Number of values exchanged in each direction (send and receive
+    /// counts are equal by congruence of the boxes).
+    pub count: u32,
+}
+
+/// The complete halo-exchange plan of one rank.
+#[derive(Debug, Clone)]
+pub struct HaloPlan {
+    /// Neighbors in canonical (stencil-offset) order.
+    pub neighbors: Vec<Neighbor>,
+    /// Total ghost entries; distributed vectors have
+    /// `n_local + num_ghosts` storage.
+    pub num_ghosts: usize,
+    local: LocalGrid,
+    /// `recv_start` per direction index (27 slots, `u32::MAX` if absent),
+    /// for O(1) ghost-id lookup during matrix assembly.
+    dir_base: [u32; 27],
+}
+
+/// Extent of the send/recv box along one axis for direction component
+/// `d` on an axis of local length `n`: faces are single layers, the
+/// in-plane axes span the whole box.
+#[inline]
+fn box_len(d: i32, n: u32) -> u32 {
+    if d == 0 {
+        n
+    } else {
+        1
+    }
+}
+
+/// Canonical index of a direction in `STENCIL_OFFSETS` order.
+#[inline]
+fn dir_index(dx: i32, dy: i32, dz: i32) -> usize {
+    ((dz + 1) * 9 + (dy + 1) * 3 + (dx + 1)) as usize
+}
+
+impl HaloPlan {
+    /// Build the plan for one rank's local box.
+    ///
+    /// Requires (and relies on) uniform local box sizes across ranks,
+    /// which the benchmark guarantees.
+    pub fn build(local: &LocalGrid) -> Self {
+        let (nx, ny, nz) = (local.nx, local.ny, local.nz);
+        let mut neighbors = Vec::new();
+        let mut dir_base = [u32::MAX; 27];
+        let mut ghost_cursor = 0u32;
+
+        for &(dx, dy, dz) in STENCIL_OFFSETS.iter() {
+            if (dx, dy, dz) == (0, 0, 0) {
+                continue;
+            }
+            let Some(nbr_rank) = local.procs.neighbor(
+                local.procs.rank_of(local.rank_coords.0, local.rank_coords.1, local.rank_coords.2),
+                dx,
+                dy,
+                dz,
+            ) else {
+                continue;
+            };
+
+            // Our send box toward direction d: the boundary slab on the d side.
+            let xs = if dx < 0 { 0..1 } else if dx > 0 { nx - 1..nx } else { 0..nx };
+            let ys = if dy < 0 { 0..1 } else if dy > 0 { ny - 1..ny } else { 0..ny };
+            let zs = if dz < 0 { 0..1 } else if dz > 0 { nz - 1..nz } else { 0..nz };
+            let count = box_len(dx, nx) * box_len(dy, ny) * box_len(dz, nz);
+            let mut send_indices = Vec::with_capacity(count as usize);
+            for iz in zs {
+                for iy in ys.clone() {
+                    for ix in xs.clone() {
+                        send_indices.push(local.index(ix, iy, iz) as u32);
+                    }
+                }
+            }
+            debug_assert_eq!(send_indices.len(), count as usize);
+
+            dir_base[dir_index(dx, dy, dz)] = ghost_cursor;
+            neighbors.push(Neighbor {
+                rank: nbr_rank,
+                direction: (dx, dy, dz),
+                send_indices,
+                recv_start: ghost_cursor,
+                count,
+            });
+            ghost_cursor += count;
+        }
+
+        HaloPlan { neighbors, num_ghosts: ghost_cursor as usize, local: *local, dir_base }
+    }
+
+    /// Number of locally-owned points.
+    pub fn n_local(&self) -> usize {
+        self.local.total_points()
+    }
+
+    /// Ghost-region index (0-based within the ghost region) of the point
+    /// at *extended* local coordinates, i.e. coordinates that step one
+    /// layer outside the local box (`-1..=n` per axis).
+    ///
+    /// Returns `None` if the coordinates are inside the box (not a
+    /// ghost) or fall outside the global domain (no neighbor there).
+    pub fn ghost_index(&self, ex: i64, ey: i64, ez: i64) -> Option<usize> {
+        let (nx, ny, nz) = (self.local.nx as i64, self.local.ny as i64, self.local.nz as i64);
+        let dx = if ex < 0 { -1 } else if ex >= nx { 1 } else { 0 };
+        let dy = if ey < 0 { -1 } else if ey >= ny { 1 } else { 0 };
+        let dz = if ez < 0 { -1 } else if ez >= nz { 1 } else { 0 };
+        if (dx, dy, dz) == (0, 0, 0) {
+            return None;
+        }
+        let base = self.dir_base[dir_index(dx, dy, dz)];
+        if base == u32::MAX {
+            return None;
+        }
+        // Box-relative coordinates on the in-plane axes.
+        let bx = if dx == 0 { ex as u64 } else { 0 };
+        let by = if dy == 0 { ey as u64 } else { 0 };
+        let bz = if dz == 0 { ez as u64 } else { 0 };
+        let lx = box_len(dx, self.local.nx) as u64;
+        let ly = box_len(dy, self.local.ny) as u64;
+        let offset = bx + lx * (by + ly * bz);
+        Some(base as usize + offset as usize)
+    }
+
+    /// Whether the row at local coordinates touches any ghost point,
+    /// i.e. must wait for the halo exchange before it can be updated.
+    /// Rows on the *physical* domain boundary (no neighbor rank on that
+    /// side) do not count as boundary rows.
+    pub fn is_boundary_row(&self, ix: u32, iy: u32, iz: u32) -> bool {
+        let rank =
+            self.local.procs.rank_of(self.local.rank_coords.0, self.local.rank_coords.1, self.local.rank_coords.2);
+        let probe = |c: u32, n: u32, axis: usize| -> bool {
+            let mut d = [0i32; 3];
+            if c == 0 {
+                d[axis] = -1;
+                self.local.procs.neighbor(rank, d[0], d[1], d[2]).is_some()
+            } else if c == n - 1 {
+                d[axis] = 1;
+                self.local.procs.neighbor(rank, d[0], d[1], d[2]).is_some()
+            } else {
+                false
+            }
+        };
+        probe(ix, self.local.nx, 0) || probe(iy, self.local.ny, 1) || probe(iz, self.local.nz, 2)
+    }
+
+    /// Partition local rows into (interior, boundary) index lists; the
+    /// interior rows are the ones overlap-capable kernels may update
+    /// while halo messages are in flight.
+    pub fn split_rows(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut interior = Vec::new();
+        let mut boundary = Vec::new();
+        for iz in 0..self.local.nz {
+            for iy in 0..self.local.ny {
+                for ix in 0..self.local.nx {
+                    let idx = self.local.index(ix, iy, iz) as u32;
+                    if self.is_boundary_row(ix, iy, iz) {
+                        boundary.push(idx);
+                    } else {
+                        interior.push(idx);
+                    }
+                }
+            }
+        }
+        (interior, boundary)
+    }
+
+    /// Total values sent per exchange (sum over neighbors).
+    pub fn send_volume(&self) -> usize {
+        self.neighbors.iter().map(|n| n.count as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::ProcGrid;
+
+    fn plan(rank: u32, procs: ProcGrid, n: u32) -> HaloPlan {
+        HaloPlan::build(&LocalGrid::new((n, n, n), procs, rank))
+    }
+
+    #[test]
+    fn single_rank_has_no_neighbors() {
+        let p = plan(0, ProcGrid::new(1, 1, 1), 4);
+        assert!(p.neighbors.is_empty());
+        assert_eq!(p.num_ghosts, 0);
+        let (interior, boundary) = p.split_rows();
+        assert_eq!(interior.len(), 64);
+        assert!(boundary.is_empty());
+    }
+
+    #[test]
+    fn corner_rank_of_2cube_has_7_neighbors() {
+        let p = plan(0, ProcGrid::new(2, 2, 2), 4);
+        assert_eq!(p.neighbors.len(), 7);
+        // 3 faces (16 each) + 3 edges (4 each) + 1 corner (1): 61 ghosts.
+        assert_eq!(p.num_ghosts, 3 * 16 + 3 * 4 + 1);
+    }
+
+    #[test]
+    fn center_rank_of_3cube_has_26_neighbors() {
+        let procs = ProcGrid::new(3, 3, 3);
+        let center = procs.rank_of(1, 1, 1);
+        let p = plan(center, procs, 4);
+        assert_eq!(p.neighbors.len(), 26);
+        // 6 faces (16) + 12 edges (4) + 8 corners (1).
+        assert_eq!(p.num_ghosts, 6 * 16 + 12 * 4 + 8 * 1);
+    }
+
+    #[test]
+    fn send_boxes_are_boundary_points() {
+        let procs = ProcGrid::new(2, 1, 1);
+        let p = plan(0, procs, 4);
+        assert_eq!(p.neighbors.len(), 1);
+        let nbr = &p.neighbors[0];
+        assert_eq!(nbr.direction, (1, 0, 0));
+        assert_eq!(nbr.count, 16);
+        let lg = LocalGrid::new((4, 4, 4), procs, 0);
+        for &si in &nbr.send_indices {
+            let (ix, _, _) = lg.coords(si as usize);
+            assert_eq!(ix, 3, "send box of +x neighbor is the x = nx-1 face");
+        }
+    }
+
+    #[test]
+    fn ghost_index_covers_all_ghosts_exactly_once() {
+        let procs = ProcGrid::new(3, 3, 3);
+        let center = procs.rank_of(1, 1, 1);
+        let n = 4i64;
+        let p = plan(center, procs, n as u32);
+        let mut seen = vec![false; p.num_ghosts];
+        for ez in -1..=n {
+            for ey in -1..=n {
+                for ex in -1..=n {
+                    let inside =
+                        (0..n).contains(&ex) && (0..n).contains(&ey) && (0..n).contains(&ez);
+                    match p.ghost_index(ex, ey, ez) {
+                        Some(g) => {
+                            assert!(!inside);
+                            assert!(!seen[g], "ghost id assigned twice");
+                            seen[g] = true;
+                        }
+                        None => assert!(inside, "center rank must have ghosts on all sides"),
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every ghost id must be reachable");
+    }
+
+    #[test]
+    fn sender_receiver_orders_agree() {
+        // Rank 0 sends its +x face to rank 1; rank 1's ghost slab at
+        // direction -x must enumerate the same global points in the same
+        // order.
+        let procs = ProcGrid::new(2, 1, 1);
+        let n = 3u32;
+        let lg0 = LocalGrid::new((n, n, n), procs, 0);
+        let lg1 = LocalGrid::new((n, n, n), procs, 1);
+        let p0 = HaloPlan::build(&lg0);
+        let p1 = HaloPlan::build(&lg1);
+
+        let send = &p0.neighbors.iter().find(|nb| nb.rank == 1).unwrap().send_indices;
+        let recv = p1.neighbors.iter().find(|nb| nb.rank == 0).unwrap();
+
+        // Enumerate rank 1's ghost slab in the order of increasing ghost id.
+        let mut recv_points = vec![None; recv.count as usize];
+        for ez in 0..n as i64 {
+            for ey in 0..n as i64 {
+                let g = p1.ghost_index(-1, ey, ez).unwrap();
+                assert!(g >= recv.recv_start as usize);
+                let slot = g - recv.recv_start as usize;
+                // Rank 1 ghost (-1, ey, ez) is global (n-1, ey, ez) on rank 0.
+                recv_points[slot] = Some(lg1.to_global(0, ey as u32, ez as u32));
+            }
+        }
+        for (slot, gp) in recv_points.iter().enumerate() {
+            let gp = gp.expect("slab covered");
+            // Shift to the true owned point: ghost x = -1 means global x = base-1.
+            let true_global = (gp.0 - 1, gp.1, gp.2);
+            let (ix, iy, iz) = lg0.to_local(true_global.0 as i64, true_global.1 as i64, true_global.2 as i64).unwrap();
+            assert_eq!(send[slot], lg0.index(ix, iy, iz) as u32);
+        }
+    }
+
+    #[test]
+    fn split_rows_partition() {
+        let procs = ProcGrid::new(2, 2, 2);
+        let p = plan(0, procs, 4);
+        let (interior, boundary) = p.split_rows();
+        assert_eq!(interior.len() + boundary.len(), 64);
+        // Rank 0 has neighbors on +x, +y, +z: boundary rows are the three
+        // far faces: 3*16 - 3*4 + 1 = 37 points.
+        assert_eq!(boundary.len(), 37);
+        // No row is in both sets.
+        let bset: std::collections::HashSet<u32> = boundary.iter().copied().collect();
+        assert!(interior.iter().all(|r| !bset.contains(r)));
+    }
+
+    #[test]
+    fn physical_boundary_rows_are_interior() {
+        // With a single rank there is no exchange, so even the domain
+        // boundary rows are "interior" for overlap purposes.
+        let p = plan(0, ProcGrid::new(1, 1, 1), 3);
+        assert!(!p.is_boundary_row(0, 0, 0));
+        assert!(!p.is_boundary_row(2, 2, 2));
+    }
+
+    #[test]
+    fn send_volume_matches_surface() {
+        let procs = ProcGrid::new(2, 1, 1);
+        let p = plan(0, procs, 8);
+        assert_eq!(p.send_volume(), 64); // one 8x8 face
+    }
+}

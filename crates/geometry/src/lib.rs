@@ -1,0 +1,32 @@
+//! Structured-grid geometry for the HPG-MxP benchmark problem.
+//!
+//! HPG-MxP (like HPCG) discretizes a Poisson-type operator with a 27-point
+//! finite-difference stencil on a uniform Cartesian mesh over a box-shaped
+//! domain. The mesh is block-decomposed over a 3D grid of processors; every
+//! processor owns an identical `nx × ny × nz` sub-box of points.
+//!
+//! This crate owns everything that is *pure geometry*:
+//!
+//! * [`grid`] — local/global grid descriptors and index arithmetic,
+//! * [`decomp`] — factoring `P` ranks into a near-cubic 3D processor grid,
+//! * [`stencil`] — the 27-point stencil and boundary classification,
+//! * [`halo`] — neighbor discovery and the send/ghost index plans used by
+//!   the halo exchange (the structural equivalent of HPCG's `SetupHalo`),
+//! * [`coarsen`] — the geometric-multigrid coarse-grid hierarchy with the
+//!   injection maps used by the benchmark's restriction operator.
+//!
+//! Nothing in this crate allocates matrices or talks to the communication
+//! layer; it only produces index sets that the assembly code in
+//! `hpgmxp-core` and the exchange code in `hpgmxp-comm` consume.
+
+pub mod coarsen;
+pub mod decomp;
+pub mod grid;
+pub mod halo;
+pub mod stencil;
+
+pub use coarsen::{CoarseMap, GridHierarchy};
+pub use decomp::ProcGrid;
+pub use grid::{GlobalGrid, LocalGrid};
+pub use halo::{HaloPlan, Neighbor};
+pub use stencil::{BoundaryKind, Stencil27, STENCIL_OFFSETS};

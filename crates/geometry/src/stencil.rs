@@ -1,0 +1,223 @@
+//! The 27-point stencil used by HPCG and HPG-MxP.
+//!
+//! Every interior mesh point couples to itself and its 26 nearest
+//! neighbors (faces, edges, and corners of the surrounding 3×3×3 cube).
+//! Points on the physical boundary of the global domain simply drop the
+//! out-of-domain couplings, which is what makes the operator weakly
+//! diagonally dominant: the diagonal is 26 and each row's off-diagonal
+//! sum is `-(number of in-domain neighbors) >= -26`.
+
+/// The 27 offsets `(dx, dy, dz)` of the stencil, in lexicographic order
+/// with `dx` fastest — the same traversal order HPCG uses to enumerate
+/// row entries, which keeps column indices sorted for interior rows.
+pub const STENCIL_OFFSETS: [(i32, i32, i32); 27] = build_offsets();
+
+const fn build_offsets() -> [(i32, i32, i32); 27] {
+    let mut out = [(0i32, 0i32, 0i32); 27];
+    let mut i = 0;
+    let mut dz = -1i32;
+    while dz <= 1 {
+        let mut dy = -1i32;
+        while dy <= 1 {
+            let mut dx = -1i32;
+            while dx <= 1 {
+                out[i] = (dx, dy, dz);
+                i += 1;
+                dx += 1;
+            }
+            dy += 1;
+        }
+        dz += 1;
+    }
+    out
+}
+
+/// Classification of a global grid point by how many domain faces it
+/// touches. Determines the number of stencil entries in its matrix row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// Touches no domain face: full 27-entry row.
+    Interior,
+    /// Touches exactly one face: 18-entry row.
+    Face,
+    /// Touches two faces (an edge of the box): 12-entry row.
+    Edge,
+    /// Touches three faces (a corner of the box): 8-entry row.
+    Corner,
+}
+
+impl BoundaryKind {
+    /// Number of nonzeros (including the diagonal) in this row kind.
+    pub fn nnz(self) -> usize {
+        match self {
+            BoundaryKind::Interior => 27,
+            BoundaryKind::Face => 18,
+            BoundaryKind::Edge => 12,
+            BoundaryKind::Corner => 8,
+        }
+    }
+}
+
+/// Value generator for the benchmark matrix's stencil.
+///
+/// The symmetric HPG-MxP/HPCG matrix has `26` on the diagonal and `-1`
+/// on every off-diagonal. The nonsymmetric option keeps the diagonal and
+/// row-scale but biases "upwind" vs "downwind" neighbors by `gamma`
+/// (entries become `-1 - gamma` toward lower-index neighbors and
+/// `-1 + gamma` toward higher ones), preserving weak diagonal dominance
+/// for `|gamma| <= 1`. Yamazaki et al. note the symmetric matrix is at
+/// least as hard for GMRES, so the symmetric form is the default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stencil27 {
+    /// Diagonal coefficient (26 in the benchmark).
+    pub diagonal: f64,
+    /// Magnitude of the nonsymmetric bias; 0 gives the symmetric matrix.
+    pub gamma: f64,
+}
+
+impl Default for Stencil27 {
+    fn default() -> Self {
+        Stencil27::symmetric()
+    }
+}
+
+impl Stencil27 {
+    /// The benchmark's symmetric weakly diagonally dominant stencil.
+    pub fn symmetric() -> Self {
+        Stencil27 { diagonal: 26.0, gamma: 0.0 }
+    }
+
+    /// The nonsymmetric variant with upwind bias `gamma` in `(0, 1]`.
+    pub fn nonsymmetric(gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        Stencil27 { diagonal: 26.0, gamma }
+    }
+
+    /// Whether this stencil generates a symmetric matrix.
+    pub fn is_symmetric(&self) -> bool {
+        self.gamma == 0.0
+    }
+
+    /// Matrix coefficient for the coupling at offset `(dx,dy,dz)`.
+    #[inline]
+    pub fn coefficient(&self, dx: i32, dy: i32, dz: i32) -> f64 {
+        if (dx, dy, dz) == (0, 0, 0) {
+            self.diagonal
+        } else if self.gamma == 0.0 {
+            -1.0
+        } else {
+            // Lexicographic sign of the offset decides upwind/downwind.
+            let s = if dz != 0 { dz } else if dy != 0 { dy } else { dx };
+            if s < 0 {
+                -1.0 - self.gamma
+            } else {
+                -1.0 + self.gamma
+            }
+        }
+    }
+}
+
+/// Classify a global point on an `gnx × gny × gnz` grid.
+pub fn classify(gx: u64, gy: u64, gz: u64, gnx: u64, gny: u64, gnz: u64) -> BoundaryKind {
+    let on = |c: u64, n: u64| -> u32 { u32::from(c == 0 || c == n - 1) };
+    match on(gx, gnx) + on(gy, gny) + on(gz, gnz) {
+        0 => BoundaryKind::Interior,
+        1 => BoundaryKind::Face,
+        2 => BoundaryKind::Edge,
+        _ => BoundaryKind::Corner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_cover_cube_once() {
+        let mut seen = std::collections::HashSet::new();
+        for &(dx, dy, dz) in &STENCIL_OFFSETS {
+            assert!((-1..=1).contains(&dx));
+            assert!((-1..=1).contains(&dy));
+            assert!((-1..=1).contains(&dz));
+            assert!(seen.insert((dx, dy, dz)));
+        }
+        assert_eq!(seen.len(), 27);
+    }
+
+    #[test]
+    fn offsets_are_lexicographic() {
+        // dx fastest means the linearized key is monotone.
+        let keys: Vec<i32> =
+            STENCIL_OFFSETS.iter().map(|&(dx, dy, dz)| (dz + 1) * 9 + (dy + 1) * 3 + (dx + 1)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn symmetric_coefficients() {
+        let s = Stencil27::symmetric();
+        assert_eq!(s.coefficient(0, 0, 0), 26.0);
+        for &(dx, dy, dz) in &STENCIL_OFFSETS {
+            if (dx, dy, dz) != (0, 0, 0) {
+                assert_eq!(s.coefficient(dx, dy, dz), -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_is_weakly_diagonally_dominant() {
+        let s = Stencil27::symmetric();
+        let offdiag: f64 = STENCIL_OFFSETS
+            .iter()
+            .filter(|&&o| o != (0, 0, 0))
+            .map(|&(dx, dy, dz)| s.coefficient(dx, dy, dz).abs())
+            .sum();
+        assert!(offdiag <= s.coefficient(0, 0, 0));
+    }
+
+    #[test]
+    fn nonsymmetric_pairs_mirror() {
+        // a(d) + a(-d) must equal -2 so that the total off-diagonal mass
+        // (and hence dominance) matches the symmetric stencil.
+        let s = Stencil27::nonsymmetric(0.5);
+        for &(dx, dy, dz) in &STENCIL_OFFSETS {
+            if (dx, dy, dz) == (0, 0, 0) {
+                continue;
+            }
+            let a = s.coefficient(dx, dy, dz);
+            let b = s.coefficient(-dx, -dy, -dz);
+            assert!((a + b - (-2.0)).abs() < 1e-15);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn nonsymmetric_stays_dominant() {
+        let s = Stencil27::nonsymmetric(1.0);
+        let offdiag: f64 = STENCIL_OFFSETS
+            .iter()
+            .filter(|&&o| o != (0, 0, 0))
+            .map(|&(dx, dy, dz)| s.coefficient(dx, dy, dz).abs())
+            .sum();
+        // 13 entries of -2 and 13 entries of 0: total magnitude 26.
+        assert!((offdiag - 26.0).abs() < 1e-12);
+        assert!(offdiag <= s.diagonal + 1e-12);
+    }
+
+    #[test]
+    fn classify_kinds() {
+        let (nx, ny, nz) = (10, 10, 10);
+        assert_eq!(classify(5, 5, 5, nx, ny, nz), BoundaryKind::Interior);
+        assert_eq!(classify(0, 5, 5, nx, ny, nz), BoundaryKind::Face);
+        assert_eq!(classify(0, 0, 5, nx, ny, nz), BoundaryKind::Edge);
+        assert_eq!(classify(0, 0, 0, nx, ny, nz), BoundaryKind::Corner);
+        assert_eq!(classify(9, 9, 9, nx, ny, nz), BoundaryKind::Corner);
+    }
+
+    #[test]
+    fn nnz_counts() {
+        assert_eq!(BoundaryKind::Interior.nnz(), 27);
+        assert_eq!(BoundaryKind::Face.nnz(), 18);
+        assert_eq!(BoundaryKind::Edge.nnz(), 12);
+        assert_eq!(BoundaryKind::Corner.nnz(), 8);
+    }
+}

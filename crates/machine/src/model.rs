@@ -1,0 +1,193 @@
+//! Device performance models.
+//!
+//! The benchmark's kernels are memory-bandwidth bound (the paper's
+//! figure 8 shows every hot kernel sitting at the HBM ceiling), so the
+//! model that matters is a roofline: a kernel's runtime is
+//! `max(bytes / achievable_bandwidth, flops / peak_rate)` plus a launch
+//! overhead. Launch overhead is what ruins the reference
+//! implementation's level-scheduled triangular solves (hundreds of
+//! dependent micro-kernels), so it is a first-class model parameter.
+
+use serde::{Deserialize, Serialize};
+
+/// A single accelerator device (one MI250x GCD, one K80 die, …).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Human-readable device name.
+    pub name: String,
+    /// Achievable (STREAM-like) memory bandwidth, bytes/second.
+    pub mem_bw: f64,
+    /// Vendor-claimed peak memory bandwidth, bytes/second (the roofline
+    /// ceiling the paper plots).
+    pub mem_bw_peak: f64,
+    /// Peak FP64 vector throughput, FLOP/s.
+    pub peak_fp64: f64,
+    /// Peak FP32 vector throughput, FLOP/s.
+    pub peak_fp32: f64,
+    /// Kernel launch/dispatch overhead, seconds.
+    pub launch_overhead: f64,
+    /// Devices per node (Frontier: 8 GCDs).
+    pub devices_per_node: usize,
+    /// Host↔device copy bandwidth, bytes/second (PCIe/Infinity
+    /// Fabric) — the path the reference code's host-side
+    /// mixed-precision ops take (§3.1 item 6).
+    pub host_copy_bw: f64,
+    /// Effective amplification of input-vector traffic in stencil
+    /// gathers (27-point reuse is imperfect in L2; 1.0 = perfect reuse
+    /// of each cached element, 27.0 = no reuse at all).
+    pub gather_factor: f64,
+    /// Rows a dependent kernel stage needs to saturate the memory
+    /// system. Level-scheduled triangular solves process one dependency
+    /// level at a time; stages smaller than this run at proportionally
+    /// lower bandwidth — the dominant cost of the reference
+    /// implementation's Gauss–Seidel (§3.1 item 1).
+    pub stage_ramp_rows: f64,
+}
+
+impl MachineModel {
+    /// One Graphics Compute Die of an AMD MI250x as deployed in
+    /// Frontier: 64 GB HBM2e at a claimed 1.6 TB/s (§4), ~1.3 TB/s
+    /// achievable, 23.9 TF FP64/FP32 vector peak, ~4 µs launch latency.
+    pub fn mi250x_gcd() -> Self {
+        MachineModel {
+            name: "AMD MI250x GCD (Frontier)".into(),
+            mem_bw: 1.30e12,
+            mem_bw_peak: 1.60e12,
+            peak_fp64: 23.9e12,
+            peak_fp32: 23.9e12,
+            launch_overhead: 4.0e-6,
+            devices_per_node: 8,
+            host_copy_bw: 36.0e9,
+            gather_factor: 1.8,
+            stage_ramp_rows: 120_000.0,
+        }
+    }
+
+    /// One GK210 die of an NVIDIA Tesla K80 (the paper's figure 6
+    /// cluster): 12 GB GDDR5 at a claimed 240 GB/s per die, ~160 GB/s
+    /// achievable, 1.45 TF FP64 (with boost) / 4.37 TF FP32 peak.
+    pub fn k80_die() -> Self {
+        MachineModel {
+            name: "NVIDIA K80 (GK210 die)".into(),
+            mem_bw: 160.0e9,
+            mem_bw_peak: 240.0e9,
+            peak_fp64: 1.45e12,
+            peak_fp32: 4.37e12,
+            launch_overhead: 8.0e-6,
+            devices_per_node: 4,
+            host_copy_bw: 12.0e9,
+            gather_factor: 2.2,
+            stage_ramp_rows: 30_000.0,
+        }
+    }
+
+    /// A generic modern CPU socket (useful for relating the model to
+    /// the measured numbers this repository produces on a workstation).
+    pub fn cpu_socket() -> Self {
+        MachineModel {
+            name: "generic CPU socket".into(),
+            mem_bw: 80.0e9,
+            mem_bw_peak: 100.0e9,
+            peak_fp64: 1.0e12,
+            peak_fp32: 2.0e12,
+            launch_overhead: 0.0,
+            devices_per_node: 1,
+            host_copy_bw: 80.0e9,
+            gather_factor: 1.5,
+            stage_ramp_rows: 64.0,
+        }
+    }
+
+    /// Peak FLOP rate for a precision given its byte width.
+    pub fn peak_flops(&self, scalar_bytes: usize) -> f64 {
+        if scalar_bytes <= 4 {
+            self.peak_fp32
+        } else {
+            self.peak_fp64
+        }
+    }
+
+    /// Roofline kernel time: bandwidth or compute bound, plus launch.
+    pub fn kernel_time(&self, bytes: f64, flops: f64, scalar_bytes: usize) -> f64 {
+        (bytes / self.mem_bw).max(flops / self.peak_flops(scalar_bytes)) + self.launch_overhead
+    }
+
+    /// Time for `n` dependent micro-kernel launches moving `bytes`
+    /// total — the level-scheduled triangular solve pattern.
+    pub fn staged_kernel_time(&self, stages: usize, bytes: f64, flops: f64, scalar_bytes: usize) -> f64 {
+        (bytes / self.mem_bw).max(flops / self.peak_flops(scalar_bytes))
+            + stages as f64 * self.launch_overhead
+    }
+
+    /// Host↔device transfer time for `bytes`.
+    pub fn host_copy_time(&self, bytes: f64) -> f64 {
+        bytes / self.host_copy_bw + self.launch_overhead
+    }
+
+    /// Achieved-bandwidth fraction of a dependent kernel stage that
+    /// covers `rows_per_stage` rows (clamped below at 2% — even a
+    /// one-row stage moves a cache line).
+    pub fn stage_bandwidth_efficiency(&self, rows_per_stage: f64) -> f64 {
+        if self.stage_ramp_rows <= 1.0 {
+            1.0
+        } else {
+            (rows_per_stage / self.stage_ramp_rows).clamp(0.02, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let gcd = MachineModel::mi250x_gcd();
+        assert!(gcd.mem_bw < gcd.mem_bw_peak);
+        assert_eq!(gcd.devices_per_node, 8);
+        // The paper's headline bandwidth: 1.6 TB/s claimed per GCD.
+        assert_eq!(gcd.mem_bw_peak, 1.6e12);
+
+        let k80 = MachineModel::k80_die();
+        assert!(k80.mem_bw < gcd.mem_bw / 5.0, "K80 is an order slower than a GCD");
+        assert!(k80.peak_fp32 > 2.0 * k80.peak_fp64, "K80 FP64:FP32 is 1:3");
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel() {
+        let m = MachineModel::mi250x_gcd();
+        // A streaming kernel: 1 GB moved, trivial flops.
+        let t = m.kernel_time(1e9, 1e6, 8);
+        assert!((t - (1e9 / m.mem_bw + m.launch_overhead)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let m = MachineModel::mi250x_gcd();
+        // A GEMM-like kernel: tiny bytes, many flops.
+        let t = m.kernel_time(1e3, 1e12, 8);
+        assert!(t > 0.04, "10^12 flops at 23.9 TF/s takes ~42 ms");
+    }
+
+    #[test]
+    fn fp32_peak_selected_by_width() {
+        let m = MachineModel::k80_die();
+        assert_eq!(m.peak_flops(4), m.peak_fp32);
+        assert_eq!(m.peak_flops(8), m.peak_fp64);
+    }
+
+    #[test]
+    fn staged_kernels_pay_per_stage() {
+        let m = MachineModel::mi250x_gcd();
+        let single = m.kernel_time(1e6, 1e6, 8);
+        let staged = m.staged_kernel_time(958, 1e6, 1e6, 8);
+        // 958 anti-diagonal levels of a 320³ box: launches dominate.
+        assert!(staged > single * 100.0);
+    }
+
+    #[test]
+    fn host_copy_is_slow_path() {
+        let m = MachineModel::mi250x_gcd();
+        assert!(m.host_copy_time(1e9) > 10.0 * (1e9 / m.mem_bw));
+    }
+}

@@ -1,0 +1,179 @@
+//! Roofline analysis of the benchmark's hot kernels (figure 8).
+//!
+//! Figure 8 plots the ten most expensive kernels of the benchmark on a
+//! single MI250x GCD in the arithmetic-intensity / throughput plane and
+//! observes that all of them line up at the HBM bandwidth ceiling.
+//! This module derives the same points from the byte/FLOP model: for a
+//! bandwidth-bound kernel the attainable throughput is `AI × BW`, far
+//! below the compute peak for every sparse motif.
+
+use crate::kernels;
+use crate::model::MachineModel;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One kernel's position in the roofline plane.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Kernel name (matches the paper's labels).
+    pub kernel: String,
+    /// Arithmetic intensity, FLOP/byte.
+    pub ai: f64,
+    /// Attainable throughput at the achievable-bandwidth roof, GFLOP/s.
+    pub gflops: f64,
+    /// Attainable throughput at the vendor-claimed peak-bandwidth roof.
+    pub gflops_at_peak_bw: f64,
+    /// Whether the kernel is bandwidth-bound on this machine.
+    pub bandwidth_bound: bool,
+}
+
+/// The machine's roofline ceilings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ceilings {
+    /// Machine name.
+    pub machine: String,
+    /// Achievable-bandwidth roof slope, bytes/s.
+    pub mem_bw: f64,
+    /// Peak-bandwidth roof slope, bytes/s.
+    pub mem_bw_peak: f64,
+    /// FP64 compute roof, GFLOP/s.
+    pub peak_fp64_gflops: f64,
+    /// FP32 compute roof, GFLOP/s.
+    pub peak_fp32_gflops: f64,
+    /// Machine balance (FLOP/byte) at which FP64 kernels leave the
+    /// bandwidth roof.
+    pub balance_fp64: f64,
+}
+
+/// Compute the machine ceilings.
+pub fn ceilings(machine: &MachineModel) -> Ceilings {
+    Ceilings {
+        machine: machine.name.clone(),
+        mem_bw: machine.mem_bw,
+        mem_bw_peak: machine.mem_bw_peak,
+        peak_fp64_gflops: machine.peak_fp64 / 1e9,
+        peak_fp32_gflops: machine.peak_fp32 / 1e9,
+        balance_fp64: machine.peak_fp64 / machine.mem_bw,
+    }
+}
+
+/// The ten most expensive kernels of the benchmark (figure 8): the
+/// double- and single-precision versions of the Gauss–Seidel sweep,
+/// SpMV, the two CGS2 GEMV shapes, and the fused SpMV-restriction.
+pub fn roofline_points(
+    local: (u32, u32, u32),
+    restart: usize,
+    machine: &MachineModel,
+) -> Vec<RooflinePoint> {
+    let wl = Workload::build(local, 4, restart, 1);
+    let s = wl.fine();
+    let n = s.n;
+    let kbar = (restart as f64 + 1.0) / 2.0;
+    let g = machine.gather_factor;
+
+    let mut points = Vec::new();
+    let mut push = |name: &str, kc: kernels::KernelCost, sb: usize| {
+        let ai = kc.ai();
+        let bw_bound = ai * machine.mem_bw < machine.peak_flops(sb);
+        let attain = (ai * machine.mem_bw).min(machine.peak_flops(sb));
+        let attain_peak = (ai * machine.mem_bw_peak).min(machine.peak_flops(sb));
+        points.push(RooflinePoint {
+            kernel: name.to_string(),
+            ai,
+            gflops: attain / 1e9,
+            gflops_at_peak_bw: attain_peak / 1e9,
+            bandwidth_bound: bw_bound,
+        });
+    };
+
+    push("GS sweep (fp64)", kernels::gs_multicolor_ell(s, 8, g), 8);
+    push("GS sweep (fp32)", kernels::gs_multicolor_ell(s, 4, g), 4);
+    push("SpMV (fp64)", kernels::spmv_ell(s, 8, g), 8);
+    push("SpMV (fp32)", kernels::spmv_ell(s, 4, g), 4);
+    push("CGS2 GEMV-T (fp64)", kernels::cgs2_step(n, kbar, 8), 8);
+    push("CGS2 GEMV-T (fp32)", kernels::cgs2_step(n, kbar, 4), 4);
+    push("CGS2 GEMV (fp64)", kernels::basis_combine(n, kbar, 8), 8);
+    push("CGS2 GEMV (fp32)", kernels::basis_combine(n, kbar, 4), 4);
+    // The two unlabelled points of figure 8.
+    push("Fused SpMV-restrict (fp64)", kernels::fused_restrict(s, 8, g), 8);
+    push("Fused SpMV-restrict (fp32)", kernels::fused_restrict(s, 4, g), 4);
+    points
+}
+
+/// Render the roofline as an aligned text table.
+pub fn to_table(points: &[RooflinePoint], ceil: &Ceilings) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Roofline on {} (BW {:.2} TB/s achievable, {:.2} TB/s peak; FP64 roof {:.1} TF)",
+        ceil.machine,
+        ceil.mem_bw / 1e12,
+        ceil.mem_bw_peak / 1e12,
+        ceil.peak_fp64_gflops / 1e3
+    );
+    let _ = writeln!(s, "{:<28} {:>10} {:>12} {:>14} {:>6}", "kernel", "AI (F/B)", "GF/s @BW", "GF/s @peakBW", "bound");
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:<28} {:>10.4} {:>12.1} {:>14.1} {:>6}",
+            p.kernel,
+            p.ai,
+            p.gflops,
+            p.gflops_at_peak_bw,
+            if p.bandwidth_bound { "BW" } else { "FLOP" }
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_kernels_are_bandwidth_bound_on_gcd() {
+        // The paper's central roofline observation.
+        let m = MachineModel::mi250x_gcd();
+        let pts = roofline_points((320, 320, 320), 30, &m);
+        assert_eq!(pts.len(), 10);
+        for p in &pts {
+            assert!(p.bandwidth_bound, "{} must be bandwidth-bound", p.kernel);
+            // Attainable GF/s is far below the 23.9 TF compute roof.
+            assert!(p.gflops < 0.1 * m.peak_fp64 / 1e9);
+        }
+    }
+
+    #[test]
+    fn fp32_attains_more_gflops_than_fp64() {
+        // Same FLOPs, half the value bytes → higher AI → higher
+        // attainable throughput: the memory-wall argument of the title.
+        let m = MachineModel::mi250x_gcd();
+        let pts = roofline_points((64, 64, 64), 30, &m);
+        let find = |name: &str| pts.iter().find(|p| p.kernel == name).unwrap();
+        assert!(find("GS sweep (fp32)").gflops > find("GS sweep (fp64)").gflops);
+        assert!(find("SpMV (fp32)").gflops > find("SpMV (fp64)").gflops);
+        // Dense GEMV doubles exactly; sparse kernels less (index bytes).
+        let gemv_ratio = find("CGS2 GEMV-T (fp32)").gflops / find("CGS2 GEMV-T (fp64)").gflops;
+        assert!((gemv_ratio - 2.0).abs() < 0.05, "got {}", gemv_ratio);
+        let spmv_ratio = find("SpMV (fp32)").gflops / find("SpMV (fp64)").gflops;
+        assert!(spmv_ratio > 1.3 && spmv_ratio < 1.8, "got {}", spmv_ratio);
+    }
+
+    #[test]
+    fn ceilings_and_balance() {
+        let m = MachineModel::mi250x_gcd();
+        let c = ceilings(&m);
+        // MI250x GCD balance: ~18 FLOP/byte — far above any sparse AI.
+        assert!(c.balance_fp64 > 10.0 && c.balance_fp64 < 30.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let m = MachineModel::mi250x_gcd();
+        let pts = roofline_points((32, 32, 32), 30, &m);
+        let t = to_table(&pts, &ceilings(&m));
+        assert!(t.contains("GS sweep (fp64)"));
+        assert!(t.contains("BW"));
+    }
+}

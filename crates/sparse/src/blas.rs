@@ -1,0 +1,327 @@
+//! Dense vector kernels: DOT, NRM2, WAXPBY, AXPY and the blocked
+//! GEMV/GEMV-T pair that CGS2 orthogonalization batches its inner
+//! products into (§3, §4.1).
+//!
+//! All kernels are generic over the working precision, and the mixed
+//! `f64`/`f32` fused variants the optimized implementation runs on the
+//! device (§3.2.5, removing the reference code's host round-trips) are
+//! provided explicitly.
+//!
+//! Only *local* (per-rank) arithmetic lives here; distributed reductions
+//! compose these with an all-reduce in the solver layer.
+
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Local dot product `x · y`.
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert_eq!(x.len(), y.len());
+    let mut acc = S::ZERO;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc = a.mul_add(*b, acc);
+    }
+    acc
+}
+
+/// Parallel local dot product (chunked to keep deterministic-enough
+/// summation order per chunk count).
+pub fn dot_par<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert_eq!(x.len(), y.len());
+    const CHUNK: usize = 1 << 14;
+    x.par_chunks(CHUNK)
+        .zip(y.par_chunks(CHUNK))
+        .map(|(xa, ya)| dot(xa, ya))
+        .sum()
+}
+
+/// Local squared 2-norm.
+pub fn norm2_sq<S: Scalar>(x: &[S]) -> S {
+    dot(x, x)
+}
+
+/// `w = alpha*x + beta*y` (HPCG's WAXPBY motif).
+pub fn waxpby<S: Scalar>(alpha: S, x: &[S], beta: S, y: &[S], w: &mut [S]) {
+    assert!(x.len() == y.len() && y.len() == w.len());
+    for i in 0..w.len() {
+        w[i] = (alpha * x[i]).mul_add(S::ONE, beta * y[i]);
+    }
+}
+
+/// `y += alpha * x`.
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(*xi, *yi);
+    }
+}
+
+/// `x *= alpha`.
+pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// `y = x` for equal-length slices.
+pub fn copy<S: Copy>(x: &[S], y: &mut [S]) {
+    y.copy_from_slice(x);
+}
+
+/// Mixed-precision AXPY: `y (f64) += alpha * x (f32)`.
+///
+/// This is the solution-update kernel of GMRES-IR (line 47 of
+/// Algorithm 3): the correction comes from the low-precision inner
+/// solve, the accumulation happens in double. The reference code did
+/// this on the host; doing it as one fused kernel is the §3.2.5
+/// optimization.
+pub fn axpy_f32_into_f64(alpha: f64, x: &[f32], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(*xi as f64, *yi);
+    }
+}
+
+/// Mixed-precision scaled conversion: `lo = (hi * alpha) as f32`,
+/// the residual hand-off kernel of GMRES-IR (f64 outer residual scaled
+/// and narrowed into the f32 Krylov space).
+pub fn scale_f64_into_f32(alpha: f64, hi: &[f64], lo: &mut [f32]) {
+    assert_eq!(hi.len(), lo.len());
+    for (l, h) in lo.iter_mut().zip(hi.iter()) {
+        *l = (h * alpha) as f32;
+    }
+}
+
+/// Generic narrowing hand-off `lo = (hi * alpha) as S` — lets GMRES-IR
+/// run its inner solve at any low precision (f32 today, fp16 for the
+/// paper's future-work study).
+pub fn scale_f64_into_lo<S: Scalar>(alpha: f64, hi: &[f64], lo: &mut [S]) {
+    assert_eq!(hi.len(), lo.len());
+    for (l, h) in lo.iter_mut().zip(hi.iter()) {
+        *l = S::from_f64(h * alpha);
+    }
+}
+
+/// Generic mixed AXPY: `y (f64) += alpha * x (S)` — the widening
+/// counterpart of [`scale_f64_into_lo`] (Algorithm 3 line 47 at any
+/// inner precision).
+pub fn axpy_lo_into_f64<S: Scalar>(alpha: f64, x: &[S], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(xi.to_f64(), *yi);
+    }
+}
+
+/// Column-major Krylov basis storage `Q ∈ R^{n × max_cols}`.
+///
+/// GMRES stores every basis vector of the current restart cycle; CGS2
+/// works on the block, which is why the paper calls orthogonalization a
+/// dense BLAS-2 motif that benefits maximally from lower precision.
+#[derive(Debug, Clone)]
+pub struct Basis<S> {
+    n: usize,
+    max_cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Basis<S> {
+    /// Allocate an `n × max_cols` basis initialized to zero.
+    pub fn new(n: usize, max_cols: usize) -> Self {
+        Basis { n, max_cols, data: vec![S::ZERO; n * max_cols] }
+    }
+
+    /// Local vector length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Capacity in columns.
+    pub fn max_cols(&self) -> usize {
+        self.max_cols
+    }
+
+    /// Column `k` as a slice.
+    #[inline]
+    pub fn col(&self, k: usize) -> &[S] {
+        &self.data[k * self.n..(k + 1) * self.n]
+    }
+
+    /// Column `k` as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, k: usize) -> &mut [S] {
+        &mut self.data[k * self.n..(k + 1) * self.n]
+    }
+
+    /// GEMV-T: local part of `h = Q[:, 0..k]ᵀ · (col k)` — the batched
+    /// inner products of one CGS2 pass. The caller all-reduces `h`
+    /// before the subtraction.
+    pub fn project_local(&self, k: usize) -> Vec<S> {
+        let (head, tail) = self.data.split_at(k * self.n);
+        let w = &tail[..self.n];
+        (0..k)
+            .into_par_iter()
+            .map(|j| dot(&head[j * self.n..(j + 1) * self.n], w))
+            .collect()
+    }
+
+    /// GEMV: `col k -= Q[:, 0..k] · h` — the update half of a CGS2 pass.
+    pub fn subtract(&mut self, k: usize, h: &[S]) {
+        assert_eq!(h.len(), k);
+        let (head, tail) = self.data.split_at_mut(k * self.n);
+        let w = &mut tail[..self.n];
+        for j in 0..k {
+            let qj = &head[j * self.n..(j + 1) * self.n];
+            let hj = h[j];
+            for (wi, qi) in w.iter_mut().zip(qj.iter()) {
+                *wi = (-hj).mul_add(*qi, *wi);
+            }
+        }
+    }
+
+    /// `col dst -= alpha · col src` with `src < dst` — the elementary
+    /// update of modified Gram–Schmidt.
+    pub fn axpy_cols(&mut self, src: usize, dst: usize, alpha: S) {
+        assert!(src < dst, "source column must precede destination");
+        let (head, tail) = self.data.split_at_mut(dst * self.n);
+        let s = &head[src * self.n..(src + 1) * self.n];
+        let d = &mut tail[..self.n];
+        for (di, si) in d.iter_mut().zip(s.iter()) {
+            *di = (-alpha).mul_add(*si, *di);
+        }
+    }
+
+    /// `out = Q[:, 0..k] · t` (the restart-time basis combination,
+    /// line 46 of Algorithm 3).
+    pub fn combine(&self, k: usize, t: &[S], out: &mut [S]) {
+        assert_eq!(t.len(), k);
+        assert_eq!(out.len(), self.n);
+        for o in out.iter_mut() {
+            *o = S::ZERO;
+        }
+        for j in 0..k {
+            axpy(t[j], self.col(j), out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let x = vec![1.0f64, 2.0, 3.0];
+        let y = vec![4.0f64, -5.0, 6.0];
+        assert_eq!(dot(&x, &y), 4.0 - 10.0 + 18.0);
+        assert_eq!(norm2_sq(&x), 14.0);
+        assert_eq!(dot_par(&x, &y), dot(&x, &y));
+    }
+
+    #[test]
+    fn dot_par_large_matches_serial_closely() {
+        let x: Vec<f64> = (0..100_000).map(|i| ((i % 97) as f64) * 1e-3).collect();
+        let y: Vec<f64> = (0..100_000).map(|i| ((i % 89) as f64) * 1e-3 - 0.04).collect();
+        let a = dot(&x, &y);
+        let b = dot_par(&x, &y);
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn waxpby_axpy_scal() {
+        let x = vec![1.0f64, 2.0];
+        let y = vec![10.0f64, 20.0];
+        let mut w = vec![0.0f64; 2];
+        waxpby(2.0, &x, 0.5, &y, &mut w);
+        assert_eq!(w, vec![7.0, 14.0]);
+        let mut y2 = y.clone();
+        axpy(3.0, &x, &mut y2);
+        assert_eq!(y2, vec![13.0, 26.0]);
+        scal(0.5, &mut y2);
+        assert_eq!(y2, vec![6.5, 13.0]);
+    }
+
+    #[test]
+    fn mixed_axpy_accumulates_in_double() {
+        // A correction of 1e-9 is far below f32 resolution around 1.0
+        // but must survive in the f64 accumulator.
+        let x = vec![1.0f32; 4];
+        let mut y = vec![1.0f64; 4];
+        axpy_f32_into_f64(1e-9, &x, &mut y);
+        for v in &y {
+            assert!((v - (1.0 + 1e-9)).abs() < 1e-16);
+            // The same update in f32 would have been lost entirely.
+            assert_eq!(1.0f32 + 1e-9f32, 1.0f32);
+        }
+    }
+
+    #[test]
+    fn scaled_narrowing() {
+        let hi = vec![2.0f64, -4.0, 8.0];
+        let mut lo = vec![0.0f32; 3];
+        scale_f64_into_f32(0.5, &hi, &mut lo);
+        assert_eq!(lo, vec![1.0f32, -2.0, 4.0]);
+    }
+
+    #[test]
+    fn generic_narrowing_matches_specialized() {
+        let hi = vec![2.0f64, -4.0, 8.0];
+        let mut a = vec![0.0f32; 3];
+        let mut b = vec![0.0f32; 3];
+        scale_f64_into_f32(0.25, &hi, &mut a);
+        scale_f64_into_lo(0.25, &hi, &mut b);
+        assert_eq!(a, b);
+        // And round-trips through f64 via the generic widening axpy.
+        let mut back = vec![0.0f64; 3];
+        axpy_lo_into_f64(4.0, &b, &mut back);
+        assert_eq!(back, hi);
+    }
+
+    #[test]
+    fn generic_axpy_keeps_f64_resolution() {
+        let x = vec![1.0f32; 2];
+        let mut y = vec![1.0f64; 2];
+        axpy_lo_into_f64(1e-9, &x, &mut y);
+        for v in &y {
+            assert!((v - (1.0 + 1e-9)).abs() < 1e-16);
+        }
+    }
+
+    #[test]
+    fn basis_projection_and_subtraction_orthogonalize() {
+        // Two orthonormal columns; a third gets CGS-projected against them.
+        let n = 4;
+        let mut q: Basis<f64> = Basis::new(n, 3);
+        q.col_mut(0).copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        q.col_mut(1).copy_from_slice(&[0.0, 1.0, 0.0, 0.0]);
+        q.col_mut(2).copy_from_slice(&[3.0, 4.0, 5.0, 0.0]);
+        let h = q.project_local(2);
+        assert_eq!(h, vec![3.0, 4.0]);
+        q.subtract(2, &h);
+        assert_eq!(q.col(2), &[0.0, 0.0, 5.0, 0.0]);
+        // Now orthogonal to both prior columns.
+        assert_eq!(dot(q.col(2), q.col(0)), 0.0);
+        assert_eq!(dot(q.col(2), q.col(1)), 0.0);
+    }
+
+    #[test]
+    fn basis_combine() {
+        let n = 3;
+        let mut q: Basis<f64> = Basis::new(n, 2);
+        q.col_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        q.col_mut(1).copy_from_slice(&[0.0, 1.0, 0.0]);
+        let mut out = vec![0.0; 3];
+        q.combine(2, &[2.0, -1.0], &mut out);
+        assert_eq!(out, vec![2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn basis_generic_over_f32() {
+        let mut q: Basis<f32> = Basis::new(2, 2);
+        q.col_mut(0).copy_from_slice(&[0.6, 0.8]);
+        q.col_mut(1).copy_from_slice(&[1.0, 0.0]);
+        let h = q.project_local(1);
+        assert!((h[0] - 0.6).abs() < 1e-6);
+        q.subtract(1, &h);
+        let c = q.col(1);
+        assert!((dot(c, q.col(0))).abs() < 1e-6);
+    }
+}

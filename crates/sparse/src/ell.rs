@@ -1,0 +1,265 @@
+//! ELLPACK (ELL) sparse storage — the paper's optimized format (§3.2.2).
+//!
+//! ELL pads every row to the same width and stores values and column
+//! indices column-major (all first entries of every row contiguously,
+//! then all second entries, …). On GPUs this lets a warp of consecutive
+//! threads read consecutive memory for consecutive rows; we keep the
+//! exact layout so the byte-traffic accounting, padding overhead, and
+//! access pattern studied by the paper are faithfully reproduced.
+//!
+//! Padding convention: a padded slot stores column `= row index` with
+//! value `0`, so kernels need no branch on a sentinel (the extra
+//! multiply-add contributes exactly zero).
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// An ELLPACK matrix with scalar type `S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix<S> {
+    nrows: usize,
+    ncols: usize,
+    width: usize,
+    /// Column-major `width × nrows` indices: entry `k` of row `i` is at
+    /// `k * nrows + i`.
+    col_idx: Vec<u32>,
+    /// Column-major values, same layout as `col_idx`.
+    values: Vec<S>,
+    /// Diagonal values, extracted for the Gauss-Seidel kernels.
+    diag: Vec<S>,
+    /// True (unpadded) nonzero count, for FLOP accounting.
+    nnz: usize,
+}
+
+impl<S: Scalar> EllMatrix<S> {
+    /// Convert from CSR, padding to the maximum row width.
+    pub fn from_csr(a: &CsrMatrix<S>) -> Self {
+        let nrows = a.nrows();
+        let width = a.max_row_nnz();
+        let mut col_idx = vec![0u32; width * nrows];
+        let mut values = vec![S::ZERO; width * nrows];
+        let mut diag = vec![S::ZERO; nrows];
+        for i in 0..nrows {
+            let (cols, vals) = a.row(i);
+            for k in 0..width {
+                let slot = k * nrows + i;
+                if k < cols.len() {
+                    col_idx[slot] = cols[k];
+                    values[slot] = vals[k];
+                    if cols[k] as usize == i {
+                        diag[i] = vals[k];
+                    }
+                } else {
+                    col_idx[slot] = i as u32;
+                    values[slot] = S::ZERO;
+                }
+            }
+        }
+        EllMatrix { nrows, ncols: a.ncols(), width, col_idx, values, diag, nnz: a.nnz() }
+    }
+
+    /// Number of owned rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of referenceable columns (owned + ghost).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Padded row width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// True nonzero count (excludes padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Stored entry count including padding (`width * nrows`).
+    pub fn stored_entries(&self) -> usize {
+        self.width * self.nrows
+    }
+
+    /// The extracted diagonal.
+    pub fn diagonal(&self) -> &[S] {
+        &self.diag
+    }
+
+    /// Entry `k` of row `i` as `(col, value)`.
+    #[inline]
+    pub fn entry(&self, i: usize, k: usize) -> (u32, S) {
+        let slot = k * self.nrows + i;
+        (self.col_idx[slot], self.values[slot])
+    }
+
+    /// `y = A x`, sequential.
+    pub fn spmv(&self, x: &[S], y: &mut [S]) {
+        assert!(x.len() >= self.ncols);
+        assert!(y.len() >= self.nrows);
+        let n = self.nrows;
+        for yi in y[..n].iter_mut() {
+            *yi = S::ZERO;
+        }
+        // Column-major traversal: stream each "slab" of the ELL arrays.
+        for k in 0..self.width {
+            let cs = &self.col_idx[k * n..(k + 1) * n];
+            let vs = &self.values[k * n..(k + 1) * n];
+            for i in 0..n {
+                y[i] = vs[i].mul_add(x[cs[i] as usize], y[i]);
+            }
+        }
+    }
+
+    /// `y = A x`, parallel over rows (each thread walks its row across
+    /// slabs, the transposition of the GPU access pattern that suits
+    /// CPU threads).
+    pub fn spmv_par(&self, x: &[S], y: &mut [S]) {
+        assert!(x.len() >= self.ncols);
+        assert!(y.len() >= self.nrows);
+        let n = self.nrows;
+        let w = self.width;
+        let ci = &self.col_idx;
+        let vs = &self.values;
+        y[..n].par_iter_mut().enumerate().for_each(|(i, yi)| {
+            let mut acc = S::ZERO;
+            for k in 0..w {
+                let slot = k * n + i;
+                acc = vs[slot].mul_add(x[ci[slot] as usize], acc);
+            }
+            *yi = acc;
+        });
+    }
+
+    /// `y[i] = (A x)[i]` for a subset of rows (overlap split, §3.2.3).
+    pub fn spmv_rows(&self, rows: &[u32], x: &[S], y: &mut [S]) {
+        assert!(x.len() >= self.ncols);
+        let n = self.nrows;
+        for &i in rows {
+            let i = i as usize;
+            let mut acc = S::ZERO;
+            for k in 0..self.width {
+                let slot = k * n + i;
+                acc = self.values[slot].mul_add(x[self.col_idx[slot] as usize], acc);
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Convert stored values to another precision.
+    pub fn convert<T: Scalar>(&self) -> EllMatrix<T> {
+        EllMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            width: self.width,
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+            diag: self.diag.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+            nnz: self.nnz,
+        }
+    }
+
+    /// Bytes of matrix data read by one SpMV sweep in this format:
+    /// padded values + padded column indices, no row pointer (the
+    /// trade-off §3.2.2 describes).
+    pub fn spmv_matrix_bytes(&self) -> usize {
+        self.stored_entries() * (S::BYTES + 4)
+    }
+
+    /// Padding overhead ratio `stored / nnz` (1.0 means no padding).
+    pub fn padding_ratio(&self) -> f64 {
+        self.stored_entries() as f64 / self.nnz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    fn example_csr() -> CsrMatrix<f64> {
+        // 4x4 with uneven row lengths and one ghost column (4).
+        let mut b = CsrBuilder::new(4, 5, 12);
+        b.push_row([(0u32, 4.0), (1, -1.0)]);
+        b.push_row([(0u32, -1.0), (1, 4.0), (2, -1.0), (4, -0.5)]);
+        b.push_row([(1u32, -1.0), (2, 4.0)]);
+        b.push_row([(3u32, 4.0)]);
+        b.finish()
+    }
+
+    #[test]
+    fn layout_is_column_major_with_padding() {
+        let a = EllMatrix::from_csr(&example_csr());
+        assert_eq!(a.width(), 4);
+        assert_eq!(a.nnz(), 9);
+        assert_eq!(a.stored_entries(), 16);
+        // Row 3 has one entry then padding pointing at itself with 0.
+        assert_eq!(a.entry(3, 0), (3, 4.0));
+        assert_eq!(a.entry(3, 1), (3, 0.0));
+        // Row 1 keeps its CSR order across slabs.
+        assert_eq!(a.entry(1, 0), (0, -1.0));
+        assert_eq!(a.entry(1, 3), (4, -0.5));
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let csr = example_csr();
+        let ell = EllMatrix::from_csr(&csr);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut y_csr = vec![0.0; 4];
+        let mut y_ell = vec![0.0; 4];
+        csr.spmv(&x, &mut y_csr);
+        ell.spmv(&x, &mut y_ell);
+        assert_eq!(y_csr, y_ell);
+        let mut y_par = vec![0.0; 4];
+        ell.spmv_par(&x, &mut y_par);
+        assert_eq!(y_csr, y_par);
+    }
+
+    #[test]
+    fn spmv_rows_subset_matches() {
+        let csr = example_csr();
+        let ell = EllMatrix::from_csr(&csr);
+        let x = vec![1.0, -1.0, 0.5, 2.0, 3.0];
+        let mut full = vec![0.0; 4];
+        ell.spmv(&x, &mut full);
+        let mut part = vec![f64::NAN; 4];
+        ell.spmv_rows(&[1, 3], &x, &mut part);
+        assert_eq!(part[1], full[1]);
+        assert_eq!(part[3], full[3]);
+        assert!(part[0].is_nan());
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let ell = EllMatrix::from_csr(&example_csr());
+        assert_eq!(ell.diagonal(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn conversion_to_f32() {
+        let ell = EllMatrix::from_csr(&example_csr());
+        let e32: EllMatrix<f32> = ell.convert();
+        assert_eq!(e32.nnz(), ell.nnz());
+        let x = vec![1.0f32; 5];
+        let mut y = vec![0.0f32; 4];
+        e32.spmv(&x, &mut y);
+        let mut y64 = vec![0.0f64; 4];
+        ell.spmv(&vec![1.0f64; 5], &mut y64);
+        for i in 0..4 {
+            assert!((y[i] as f64 - y64[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bytes_and_padding() {
+        let ell = EllMatrix::from_csr(&example_csr());
+        assert_eq!(ell.spmv_matrix_bytes(), 16 * 12);
+        assert!((ell.padding_ratio() - 16.0 / 9.0).abs() < 1e-12);
+        let e32: EllMatrix<f32> = ell.convert();
+        assert_eq!(e32.spmv_matrix_bytes(), 16 * 8);
+    }
+}

@@ -1,0 +1,171 @@
+//! Level scheduling of triangular sweeps.
+//!
+//! The *reference* HPG-MxP implementation parallelizes its Gauss–Seidel
+//! triangular solves with level scheduling (Naumov's cuSPARSE/rocSPARSE
+//! approach, §3.1 item 1): row `i` depends on every row `j < i` with
+//! `a_ij ≠ 0`, so rows whose longest dependency chain has equal length
+//! form a "level" that can be processed in parallel. Level scheduling is
+//! *mathematically identical* to the sequential lexicographic sweep —
+//! unlike multicoloring it does not perturb the preconditioner — but for
+//! stencil matrices the number of levels grows with the subdomain
+//! diameter, so the exposed parallelism is limited (the effect the paper
+//! measures as poor GPU utilization).
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// A level schedule of the lower-triangular dependency DAG of a matrix
+/// in its current row order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSchedule {
+    /// Rows grouped by level, levels in dependency order. Within a
+    /// level, rows are in increasing index order.
+    pub levels: Vec<Vec<u32>>,
+    /// Level of each row (inverse of `levels`).
+    pub level_of: Vec<u32>,
+}
+
+impl LevelSchedule {
+    /// Build the schedule for the forward (lower-triangular) sweep of
+    /// `a`'s owned block. Ghost columns impose no ordering (their values
+    /// are frozen inputs during a local sweep).
+    pub fn build<S: Scalar>(a: &CsrMatrix<S>) -> Self {
+        let n = a.nrows();
+        let mut level_of = vec![0u32; n];
+        let mut max_level = 0u32;
+        for i in 0..n {
+            let (cols, _) = a.row(i);
+            let mut lvl = 0u32;
+            for &c in cols {
+                let j = c as usize;
+                if j < i {
+                    lvl = lvl.max(level_of[j] + 1);
+                }
+            }
+            level_of[i] = lvl;
+            max_level = max_level.max(lvl);
+        }
+        let mut levels = vec![Vec::new(); max_level as usize + 1];
+        for (i, &l) in level_of.iter().enumerate() {
+            levels[l as usize].push(i as u32);
+        }
+        LevelSchedule { levels, level_of }
+    }
+
+    /// Number of levels (the critical path length of the sweep).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Average rows per level — the mean parallelism the schedule
+    /// exposes; the quantity that is small for stencil matrices in
+    /// lexicographic order and large after multicoloring.
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.levels.is_empty() {
+            return 0.0;
+        }
+        self.level_of.len() as f64 / self.levels.len() as f64
+    }
+
+    /// Check the defining property: every lower-triangular dependency
+    /// goes from a strictly earlier level.
+    pub fn verify<S: Scalar>(&self, a: &CsrMatrix<S>) -> bool {
+        let n = a.nrows();
+        for i in 0..n {
+            let (cols, _) = a.row(i);
+            for &c in cols {
+                let j = c as usize;
+                if j < i && self.level_of[j] >= self.level_of[i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    fn tridiag(n: usize) -> CsrMatrix<f64> {
+        let mut b = CsrBuilder::new(n, n, 3 * n);
+        for i in 0..n {
+            let mut row = Vec::new();
+            if i > 0 {
+                row.push(((i - 1) as u32, -1.0));
+            }
+            row.push((i as u32, 2.0));
+            if i + 1 < n {
+                row.push(((i + 1) as u32, -1.0));
+            }
+            b.push_row(row);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn chain_has_n_levels() {
+        // A tridiagonal matrix's forward sweep is fully sequential.
+        let a = tridiag(10);
+        let s = LevelSchedule::build(&a);
+        assert_eq!(s.num_levels(), 10);
+        assert!((s.mean_parallelism() - 1.0).abs() < 1e-12);
+        assert!(s.verify(&a));
+    }
+
+    #[test]
+    fn diagonal_matrix_is_one_level() {
+        let mut b = CsrBuilder::new(4, 4, 4);
+        for i in 0..4u32 {
+            b.push_row([(i, 1.0)]);
+        }
+        let a = b.finish();
+        let s = LevelSchedule::build(&a);
+        assert_eq!(s.num_levels(), 1);
+        assert_eq!(s.levels[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn levels_partition_rows() {
+        let a = tridiag(17);
+        let s = LevelSchedule::build(&a);
+        let total: usize = s.levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 17);
+    }
+
+    #[test]
+    fn stencil_levels_grow_with_diameter() {
+        // For a 2D 5-point stencil on an n×n grid in lexicographic order,
+        // the forward dependency levels are the anti-diagonals: 2n-1 of
+        // them. This is the limited parallelism the paper criticizes.
+        let nx = 6;
+        let n = nx * nx;
+        let mut b = CsrBuilder::new(n, n, 5 * n);
+        for j in 0..nx {
+            for i in 0..nx {
+                let row = j * nx + i;
+                let mut e = Vec::new();
+                if j > 0 {
+                    e.push(((row - nx) as u32, -1.0));
+                }
+                if i > 0 {
+                    e.push(((row - 1) as u32, -1.0));
+                }
+                e.push((row as u32, 4.0));
+                if i + 1 < nx {
+                    e.push(((row + 1) as u32, -1.0));
+                }
+                if j + 1 < nx {
+                    e.push(((row + nx) as u32, -1.0));
+                }
+                b.push_row(e);
+            }
+        }
+        let a = b.finish();
+        let s = LevelSchedule::build(&a);
+        assert_eq!(s.num_levels(), 2 * nx - 1);
+        assert!(s.verify(&a));
+    }
+}

@@ -1,0 +1,181 @@
+//! The working-precision abstraction.
+//!
+//! Every kernel in this workspace is generic over [`Scalar`] so the same
+//! code path runs in IEEE double (`f64`, the benchmark's reference
+//! precision) and IEEE single (`f32`, the low precision this paper
+//! mixes in). The trait also carries the byte width used by the
+//! performance model to account memory traffic per precision.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point working precision (`f32` or `f64`).
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Storage size in bytes (8 for `f64`, 4 for `f32`); the quantity the
+    /// memory-wall argument of the paper is about.
+    const BYTES: usize;
+    /// Human-readable name used in reports ("fp64" / "fp32").
+    const NAME: &'static str;
+    /// Unit roundoff (machine epsilon / 2).
+    const EPSILON: Self;
+
+    /// Lossless (for `f32`→`f64`) or rounding (for `f64`→`f32`)
+    /// conversion from double.
+    fn from_f64(v: f64) -> Self;
+    /// Widen to double.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Max of two values (NaN-propagating is unnecessary here).
+    fn max(self, other: Self) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+    const NAME: &'static str = "fp64";
+    const EPSILON: Self = f64::EPSILON;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+    const NAME: &'static str = "fp32";
+    const EPSILON: Self = f32::EPSILON;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+}
+
+/// Convert a slice between precisions (used when handing the f64 outer
+/// residual of GMRES-IR to the f32 inner solver and back).
+pub fn convert_slice<Src: Scalar, Dst: Scalar>(src: &[Src], dst: &mut [Dst]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = Dst::from_f64(s.to_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::NAME, "fp64");
+        assert_eq!(<f32 as Scalar>::NAME, "fp32");
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let v = 1.25f64; // exactly representable in f32
+        assert_eq!(f32::from_f64(v).to_f64(), v);
+    }
+
+    #[test]
+    fn rounding_f32() {
+        let v = 0.1f64;
+        let r = f32::from_f64(v).to_f64();
+        assert!((r - v).abs() < 1e-7);
+        assert_ne!(r, v);
+    }
+
+    #[test]
+    fn generic_kernel_is_instantiable_at_both_precisions() {
+        fn norm<S: Scalar>(v: &[S]) -> f64 {
+            v.iter().map(|x| (*x * *x).to_f64()).sum::<f64>().sqrt()
+        }
+        assert!((norm(&[3.0f64, 4.0]) - 5.0).abs() < 1e-14);
+        assert!((norm(&[3.0f32, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convert_slice_both_ways() {
+        let xs = vec![1.0f64, 2.5, -3.25];
+        let mut lo = vec![0.0f32; 3];
+        convert_slice(&xs, &mut lo);
+        assert_eq!(lo, vec![1.0f32, 2.5, -3.25]);
+        let mut hi = vec![0.0f64; 3];
+        convert_slice(&lo, &mut hi);
+        assert_eq!(hi, xs);
+    }
+}

@@ -1,0 +1,77 @@
+//! Smoother and ordering study: the §3.2.1 design space, measured.
+//!
+//! Compares the orderings the paper discusses — lexicographic
+//! (sequential), level-scheduled (the reference implementation's
+//! parallelism), JPL multicolor (the optimized implementation's), and
+//! RCM — on coloring quality, exposed parallelism, and the effect on
+//! GMRES convergence.
+//!
+//! Run: `cargo run --release --example smoother_study`
+
+use hpg_mxp::comm::{SelfComm, Timeline};
+use hpg_mxp::core::gmres::{gmres_solve_f64, GmresOptions};
+use hpg_mxp::core::problem::{assemble, ProblemSpec};
+use hpg_mxp::geometry::{ProcGrid, Stencil27};
+use hpg_mxp::sparse::{greedy_coloring, jpl_coloring, LevelSchedule};
+use hpg_mxp::sparse::ordering::rcm_order;
+use hpg_mxp::sparse::ordering::bandwidth;
+
+fn main() {
+    let spec = ProblemSpec {
+        local: (16, 16, 16),
+        procs: ProcGrid::new(1, 1, 1),
+        stencil: Stencil27::symmetric(),
+        mg_levels: 4,
+        seed: 7,
+    };
+    let problem = assemble(&spec, 0);
+    let a = &problem.levels[0].csr64;
+    let n = a.nrows();
+
+    println!("operator: {} rows, {} nonzeros (27-point stencil, 16^3)\n", n, a.nnz());
+
+    // 1. Parallelism exposed by each strategy.
+    let schedule = LevelSchedule::build(a);
+    println!("level scheduling (reference GS parallelism):");
+    println!(
+        "   {} dependency levels, mean {:.1} rows/level ({:.1}% of the matrix per step)",
+        schedule.num_levels(),
+        schedule.mean_parallelism(),
+        schedule.mean_parallelism() / n as f64 * 100.0
+    );
+
+    let jpl = jpl_coloring(a, 42);
+    let greedy = greedy_coloring(a);
+    println!("multicoloring (optimized GS parallelism):");
+    println!(
+        "   JPL:    {} colors, largest class {} rows ({:.1}% of the matrix per step)",
+        jpl.num_colors,
+        jpl.max_class_size(),
+        n as f64 / jpl.num_colors as f64 / n as f64 * 100.0
+    );
+    println!("   greedy: {} colors (the 2x2x2 parity optimum is 8)", greedy.num_colors);
+
+    // 2. RCM, the convergence-friendly ordering the paper cites.
+    let rcm = rcm_order(a);
+    let a_rcm = a.symmetric_permute(&rcm);
+    println!("\nbandwidth: natural {} vs RCM {}", bandwidth(a), bandwidth(&a_rcm));
+
+    // 3. Convergence effect: multicolor (optimized) vs lexicographic
+    // (reference) smoother ordering inside the full solver.
+    let tl = Timeline::disabled();
+    let opts = GmresOptions { tol: 1e-9, max_iters: 500, ..Default::default() };
+    let (_, st_mc) = gmres_solve_f64(&SelfComm, &problem, &opts, &tl);
+    let ref_opts = GmresOptions {
+        variant: hpg_mxp::core::config::ImplVariant::Reference,
+        ..opts
+    };
+    let (_, st_lex) = gmres_solve_f64(&SelfComm, &problem, &ref_opts, &tl);
+    println!("\nGMRES iterations to 1e-9:");
+    println!("   multicolor smoother (optimized):     {}", st_mc.iters);
+    println!("   lexicographic smoother (reference):  {}", st_lex.iters);
+    println!(
+        "   -> the convergence cost of multicoloring at this size: {:+} iterations",
+        st_mc.iters as i64 - st_lex.iters as i64
+    );
+    println!("   (§3.2.1: \"convergence rate sometimes suffers ... less of an issue within a multigrid preconditioner\")");
+}

@@ -1,0 +1,71 @@
+//! What-if study on the Frontier machine model: how do local problem
+//! size, restart length, and implementation variant move the
+//! weak-scaling curve and the mixed-precision speedup?
+//!
+//! This goes beyond the paper's figures: it explores the design space
+//! the benchmark opens up (the paper's conclusion argues this is the
+//! benchmark's purpose).
+//!
+//! Run: `cargo run --release --example weak_scaling_study`
+
+use hpg_mxp::core::config::ImplVariant;
+use hpg_mxp::machine::simulate::{motif_speedups, simulate, SimConfig};
+use hpg_mxp::machine::{MachineModel, NetworkModel};
+
+fn main() {
+    let machine = MachineModel::mi250x_gcd();
+    let net = NetworkModel::frontier_slingshot();
+
+    // 1. Local problem size: smaller boxes expose the all-reduce and
+    // halo latency sooner (surface/volume and comm/compute both worsen).
+    println!("1. Weak-scaling efficiency (1 node -> 9408 nodes) vs local box size:");
+    for n in [64u32, 128, 192, 320] {
+        let cfg = SimConfig { local: (n, n, n), ..SimConfig::paper_mxp() };
+        let one = simulate(&cfg, &machine, &net, 8);
+        let full = simulate(&cfg, &machine, &net, 9408 * 8);
+        println!(
+            "   {:>4}^3/GCD: {:>6.1} GF/GCD at 1 node, {:>6.1} at full system  ({:.1}% efficiency)",
+            n,
+            one.gflops_per_rank,
+            full.gflops_per_rank,
+            full.gflops_per_rank / one.gflops_per_rank * 100.0
+        );
+    }
+
+    // 2. Restart length: longer restarts mean more (and heavier) CGS2
+    // passes per iteration — better flop rate, worse at scale.
+    println!("\n2. Mixed-precision speedup vs restart length (512 nodes):");
+    for m in [10usize, 30, 60, 100] {
+        let cfg = SimConfig { restart: m, ..SimConfig::paper_mxp() };
+        let sp = motif_speedups(&cfg, &machine, &net, 512 * 8);
+        let total = sp.iter().find(|(l, _)| l == "Total").unwrap().1;
+        let ortho = sp.iter().find(|(l, _)| l == "Ortho").unwrap().1;
+        println!("   m = {:>3}: total {:.3}x, ortho {:.3}x", m, total, ortho);
+    }
+
+    // 3. Each §3.2 optimization, ablated via the reference variant.
+    println!("\n3. Optimized vs reference implementation across scales (mixed, GF/GCD):");
+    for nodes in [1usize, 64, 1024, 9408] {
+        let ranks = nodes * 8;
+        let opt = simulate(&SimConfig::paper_mxp(), &machine, &net, ranks);
+        let xsdk = simulate(
+            &SimConfig { variant: ImplVariant::Reference, ..SimConfig::paper_mxp() },
+            &machine,
+            &net,
+            ranks,
+        );
+        println!(
+            "   {:>5} nodes: optimized {:>6.1}, reference {:>5.1}  ({:.1}x)",
+            nodes,
+            opt.gflops_per_rank,
+            xsdk.gflops_per_rank,
+            opt.gflops_per_rank / xsdk.gflops_per_rank
+        );
+    }
+
+    // 4. What would an all-f32 run buy (the 2x ceiling the paper cites)?
+    println!("\n4. Speedup ceiling check (512 nodes): mixed vs double per motif:");
+    for (label, v) in motif_speedups(&SimConfig::paper_mxp(), &machine, &net, 512 * 8) {
+        println!("   {:<8} {:.3}x  (<= 2x bandwidth bound)", label, v);
+    }
+}

@@ -1,0 +1,7 @@
+//! Meta-crate for the HPG-MxP reproduction: re-exports every workspace
+//! crate under one roof and hosts the runnable examples.
+pub use hpgmxp_comm as comm;
+pub use hpgmxp_core as core;
+pub use hpgmxp_geometry as geometry;
+pub use hpgmxp_machine as machine;
+pub use hpgmxp_sparse as sparse;

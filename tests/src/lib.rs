@@ -1,0 +1,36 @@
+//! Integration-test crate: cross-crate tests live in `tests/`.
+//!
+//! Shared helpers for building matched serial/distributed problem pairs.
+
+use hpgmxp_core::problem::{assemble, LocalProblem, ProblemSpec};
+use hpgmxp_geometry::{ProcGrid, Stencil27};
+
+/// Assemble rank `rank` of an `procs`-decomposed problem with cubic
+/// `n`^3 local boxes and `levels` multigrid levels.
+pub fn dist_problem(n: u32, procs: ProcGrid, rank: usize, levels: usize) -> LocalProblem {
+    assemble(
+        &ProblemSpec {
+            local: (n, n, n),
+            procs,
+            stencil: Stencil27::symmetric(),
+            mg_levels: levels,
+            seed: 1234,
+        },
+        rank,
+    )
+}
+
+/// The equivalent single-rank problem covering the same global domain
+/// as `procs` ranks of `n`^3 boxes.
+pub fn serial_equivalent(n: u32, procs: ProcGrid, levels: usize) -> LocalProblem {
+    assemble(
+        &ProblemSpec {
+            local: (n * procs.px, n * procs.py, n * procs.pz),
+            procs: ProcGrid::new(1, 1, 1),
+            stencil: Stencil27::symmetric(),
+            mg_levels: levels,
+            seed: 1234,
+        },
+        0,
+    )
+}
