@@ -33,7 +33,9 @@ fn bench_spmv(c: &mut Criterion) {
     let mut y32 = vec![0.0f32; csr64.nrows()];
 
     let mut g = tune(c).benchmark_group("spmv");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     g.throughput(Throughput::Bytes(csr64.spmv_matrix_bytes() as u64));
     g.bench_function(BenchmarkId::new("csr", "fp64"), |b| {
         b.iter(|| csr64.spmv(black_box(&x64), &mut y64))
@@ -61,7 +63,9 @@ fn bench_gauss_seidel(c: &mut Criterion) {
     let schedule = LevelSchedule::build(&l.csr64);
 
     let mut g = c.benchmark_group("gauss_seidel");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     g.bench_function("lexicographic fp64", |b| {
         let mut z = vec![0.0f64; l.vec_len()];
         b.iter(|| gs_forward(&l.csr64, black_box(&r64), &mut z))
@@ -95,7 +99,9 @@ fn bench_ortho(c: &mut Criterion) {
         }
     }
     let mut g = c.benchmark_group("ortho_gemv");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     g.throughput(Throughput::Bytes((n * k * 8) as u64));
     g.bench_function("project fp64", |b| b.iter(|| black_box(q64.project_local(k))));
     g.throughput(Throughput::Bytes((n * k * 4) as u64));
@@ -111,7 +117,9 @@ fn bench_vector_ops(c: &mut Criterion) {
     let y32 = x32.clone();
 
     let mut g = c.benchmark_group("blas1");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     g.throughput(Throughput::Bytes((n * 16) as u64));
     g.bench_function("dot fp64", |b| b.iter(|| black_box(blas::dot(&x64, &y64))));
     g.throughput(Throughput::Bytes((n * 8) as u64));
@@ -135,11 +143,20 @@ fn bench_coloring(c: &mut Criterion) {
     let prob = single_rank_problem(16, 1);
     let a = &prob.levels[0].csr64;
     let mut g = c.benchmark_group("coloring");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     g.bench_function("jpl 16^3", |b| b.iter(|| black_box(hpgmxp_sparse::jpl_coloring(a, 42))));
     g.bench_function("greedy 16^3", |b| b.iter(|| black_box(hpgmxp_sparse::greedy_coloring(a))));
     g.finish();
 }
 
-criterion_group!(benches, bench_spmv, bench_gauss_seidel, bench_ortho, bench_vector_ops, bench_coloring);
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_gauss_seidel,
+    bench_ortho,
+    bench_vector_ops,
+    bench_coloring
+);
 criterion_main!(benches);

@@ -25,7 +25,9 @@ fn bench_mg_cycle(c: &mut Criterion) {
     let rhs32: Vec<f32> = rhs.iter().map(|&v| v as f32).collect();
 
     let mut g = c.benchmark_group("mg_vcycle_32cubed");
-    g.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2)).sample_size(10);
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
     for variant in [ImplVariant::Optimized, ImplVariant::Reference] {
         let ctx = OpCtx { comm: &comm, variant, timeline: &tl };
         g.bench_function(format!("{:?} fp64", variant), |b| {
@@ -33,7 +35,17 @@ fn bench_mg_cycle(c: &mut Criterion) {
             let mut ws: MgWorkspace<f64> = MgWorkspace::new(&prob.levels);
             let mut out = vec![0.0f64; prob.n_local()];
             b.iter(|| {
-                apply_mg(&ctx, &prob.levels, &mut stats, &mut ws, 1, 1, SmootherKind::Forward, black_box(&rhs), &mut out)
+                apply_mg(
+                    &ctx,
+                    &prob.levels,
+                    &mut stats,
+                    &mut ws,
+                    1,
+                    1,
+                    SmootherKind::Forward,
+                    black_box(&rhs),
+                    &mut out,
+                )
             })
         });
         g.bench_function(format!("{:?} fp32", variant), |b| {
@@ -41,7 +53,17 @@ fn bench_mg_cycle(c: &mut Criterion) {
             let mut ws: MgWorkspace<f32> = MgWorkspace::new(&prob.levels);
             let mut out = vec![0.0f32; prob.n_local()];
             b.iter(|| {
-                apply_mg(&ctx, &prob.levels, &mut stats, &mut ws, 1, 1, SmootherKind::Forward, black_box(&rhs32), &mut out)
+                apply_mg(
+                    &ctx,
+                    &prob.levels,
+                    &mut stats,
+                    &mut ws,
+                    1,
+                    1,
+                    SmootherKind::Forward,
+                    black_box(&rhs32),
+                    &mut out,
+                )
             })
         });
     }
@@ -57,10 +79,10 @@ fn bench_full_solvers(c: &mut Criterion) {
     let opts = GmresOptions { max_iters: 30, tol: 0.0, ..Default::default() };
 
     let mut g = c.benchmark_group("gmres_30_iterations_32cubed");
-    g.warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5)).sample_size(10);
-    g.bench_function("double", |b| {
-        b.iter(|| black_box(gmres_solve_f64(&comm, &prob, &opts, &tl)))
-    });
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
+    g.bench_function("double", |b| b.iter(|| black_box(gmres_solve_f64(&comm, &prob, &opts, &tl))));
     g.bench_function("mxp (GMRES-IR)", |b| {
         b.iter(|| black_box(gmres_ir_solve(&comm, &prob, &opts, &tl)))
     });

@@ -41,17 +41,31 @@ fn main() {
     let kc_mc_ell = kernels::gs_multicolor_ell(s, sb, g);
     let t_mc_ell = kc_mc_ell.bytes / machine.mem_bw + s.colors as f64 * machine.launch_overhead;
 
-    println!("  §3.1 reference (SpMV+SpTRSV, level-sched): {:>8.2}  ({} stages, {:.0}% stage bw)", t_ref * 1e3, s.sched_stages, eff * 100.0);
+    println!(
+        "  §3.1 reference (SpMV+SpTRSV, level-sched): {:>8.2}  ({} stages, {:.0}% stage bw)",
+        t_ref * 1e3,
+        s.sched_stages,
+        eff * 100.0
+    );
     println!("  §3.2.1 multicolor relaxation (one sweep):  {:>8.2}", t_mc_csr * 1e3);
     println!("  §3.2.2 + ELL format:                       {:>8.2}", t_mc_ell * 1e3);
-    println!("  -> multicoloring alone buys {:.1}x; the format is a second-order refinement\n", t_ref / t_mc_csr);
+    println!(
+        "  -> multicoloring alone buys {:.1}x; the format is a second-order refinement\n",
+        t_ref / t_mc_csr
+    );
 
     println!("Restriction cost per V-cycle level 0 (modeled, f32, ms):");
     let kc_runf = kernels::reference_restrict(s, sb, g);
     let kc_rf = kernels::fused_restrict(s, sb, g);
-    println!("  §3.1 unfused (full residual + inject): {:>8.2}", kc_runf.bytes / machine.mem_bw * 1e3);
-    println!("  §3.2.4 fused at coarse points:         {:>8.2}  ({:.1}x)\n",
-        kc_rf.bytes / machine.mem_bw * 1e3, kc_runf.bytes / kc_rf.bytes);
+    println!(
+        "  §3.1 unfused (full residual + inject): {:>8.2}",
+        kc_runf.bytes / machine.mem_bw * 1e3
+    );
+    println!(
+        "  §3.2.4 fused at coarse points:         {:>8.2}  ({:.1}x)\n",
+        kc_rf.bytes / machine.mem_bw * 1e3,
+        kc_runf.bytes / kc_rf.bytes
+    );
 
     println!("Communication exposure per fine-grid sweep (modeled, ms):");
     let comm = net.halo_time(s.halo_msgs, s.halo_values * sb as f64);
@@ -67,8 +81,12 @@ fn main() {
     let host = machine.host_copy_time(4.0 * n * 8.0);
     let device = kernels::scale_narrow(n).bytes / machine.mem_bw
         + kernels::axpy_mixed(n).bytes / machine.mem_bw;
-    println!("  host round-trips: {:>8.2}   fused device kernels (§3.2.5): {:>8.3}  ({:.0}x)\n",
-        host * 1e3, device * 1e3, host / device);
+    println!(
+        "  host round-trips: {:>8.2}   fused device kernels (§3.2.5): {:>8.3}  ({:.0}x)\n",
+        host * 1e3,
+        device * 1e3,
+        host / device
+    );
 
     // Measured: CGS2 vs MGS orthogonality quality and the all-reduce count.
     println!("Measured orthogonalization quality (40 basis vectors, 16^3 problem, f32):");
@@ -95,8 +113,14 @@ fn main() {
     for k in 1..41 {
         mgs(&comm, &mut stats, &mut q2, k);
     }
-    println!("  CGS2 (2 all-reduces/iter): max |q_i . q_j| = {:.3e}", orthogonality_defect(&comm, &q1, 41));
-    println!("  MGS  (k all-reduces/iter): max |q_i . q_j| = {:.3e}", orthogonality_defect(&comm, &q2, 41));
+    println!(
+        "  CGS2 (2 all-reduces/iter): max |q_i . q_j| = {:.3e}",
+        orthogonality_defect(&comm, &q1, 41)
+    );
+    println!(
+        "  MGS  (k all-reduces/iter): max |q_i . q_j| = {:.3e}",
+        orthogonality_defect(&comm, &q2, 41)
+    );
     println!("  -> CGS2 buys blocked reductions (2 vs k all-reduces) at comparable orthogonality,");
     println!("     the §3/§4.1 rationale for the benchmark's choice.");
 }

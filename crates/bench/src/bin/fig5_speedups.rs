@@ -24,7 +24,10 @@ fn main() {
     for &nd in &nodes {
         let sp = motif_speedups(&cfg, &machine, &net, nd * machine.devices_per_node);
         let get = |l: &str| sp.iter().find(|(n, _)| n == l).map(|(_, v)| *v).unwrap_or(0.0);
-        rows.push((nd as f64, vec![get("Total"), get("GS"), get("SpMV"), get("Ortho"), get("Restr")]));
+        rows.push((
+            nd as f64,
+            vec![get("Total"), get("GS"), get("SpMV"), get("Ortho"), get("Restr")],
+        ));
     }
     println!(
         "{}",

@@ -38,7 +38,10 @@ fn main() {
 
     // Real captured timeline from a threaded run on this machine.
     let ranks = env_usize("HPGMXP_RANKS", 8);
-    println!("Measured event timeline ({} thread-ranks, middle rank, one optimized GS sweep):", ranks);
+    println!(
+        "Measured event timeline ({} thread-ranks, middle rank, one optimized GS sweep):",
+        ranks
+    );
     let procs = ProcGrid::factor(ranks as u32);
     let mid = procs.rank_of(procs.px / 2, procs.py / 2, procs.pz / 2) as usize;
     let events = run_spmd(ranks, move |c| {
@@ -77,16 +80,9 @@ fn main() {
         // The figure-9 claim on real hardware terms: while the interior
         // kernel ran, the messages arrived, so the post-kernel receive
         // waits cost (nearly) nothing.
-        let wait: f64 = evs
-            .iter()
-            .filter(|e| e.name == "halo wait")
-            .map(|e| e.end - e.start)
-            .sum();
-        let interior: f64 = evs
-            .iter()
-            .filter(|e| e.name.starts_with("GS interior"))
-            .map(|e| e.end - e.start)
-            .sum();
+        let wait: f64 = evs.iter().filter(|e| e.name == "halo wait").map(|e| e.end - e.start).sum();
+        let interior: f64 =
+            evs.iter().filter(|e| e.name.starts_with("GS interior")).map(|e| e.end - e.start).sum();
         println!(
             "  blocked in halo waits: {:.1} µs vs interior compute window {:.1} µs ({:.1}% exposure)",
             wait * 1e6,

@@ -59,8 +59,10 @@ fn main() {
     );
     println!("  HPCG baseline (CG + symmetric-GS MG): {:>8.3} GF/s", cg_flops / cg_time / 1e9);
     println!("  HPG-MxP (mixed GMRES-IR):             {:>8.3} GF/s", ir_flops / ir_time / 1e9);
-    println!("  ratio: {:.2}x  (paper: 17.23 PF / 10.4 PF = 1.66x; \"not directly comparable\")",
-        (ir_flops / ir_time) / (cg_flops / cg_time));
+    println!(
+        "  ratio: {:.2}x  (paper: 17.23 PF / 10.4 PF = 1.66x; \"not directly comparable\")",
+        (ir_flops / ir_time) / (cg_flops / cg_time)
+    );
 
     println!("\nModeled full system (9408 nodes, 75264 GCDs):");
     let machine = MachineModel::mi250x_gcd();

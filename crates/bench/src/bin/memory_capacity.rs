@@ -14,8 +14,13 @@ const GCD_HBM: f64 = 64.0 * 1024.0 * 1024.0 * 1024.0;
 
 fn main() {
     println!("Memory footprints at the paper's 320^3-per-GCD operating point (GB):\n");
-    println!("{:<22} {:>10} {:>8} {:>9} {:>8}", "configuration", "matrices", "basis", "vectors", "total");
-    for cfg in [StorageConfig::StoredDouble, StorageConfig::StoredMixed, StorageConfig::MatrixFreeMixed] {
+    println!(
+        "{:<22} {:>10} {:>8} {:>9} {:>8}",
+        "configuration", "matrices", "basis", "vectors", "total"
+    );
+    for cfg in
+        [StorageConfig::StoredDouble, StorageConfig::StoredMixed, StorageConfig::MatrixFreeMixed]
+    {
         let f = footprint((320, 320, 320), 4, 30, cfg);
         println!(
             "{:<22} {:>10.2} {:>8.2} {:>9.2} {:>8.2}",
@@ -43,13 +48,19 @@ fn main() {
     let ranks = 512 * 8;
     let round_to_8 = |e: u32| e / 8 * 8;
     let dbl = simulate(
-        &SimConfig { local: (round_to_8(d_edge), round_to_8(d_edge), round_to_8(d_edge)), ..SimConfig::paper_double() },
+        &SimConfig {
+            local: (round_to_8(d_edge), round_to_8(d_edge), round_to_8(d_edge)),
+            ..SimConfig::paper_double()
+        },
         &machine,
         &net,
         ranks,
     );
     let mxp = simulate(
-        &SimConfig { local: (round_to_8(m_edge), round_to_8(m_edge), round_to_8(m_edge)), ..SimConfig::paper_mxp() },
+        &SimConfig {
+            local: (round_to_8(m_edge), round_to_8(m_edge), round_to_8(m_edge)),
+            ..SimConfig::paper_mxp()
+        },
         &machine,
         &net,
         ranks,
@@ -63,5 +74,7 @@ fn main() {
             / simulate(&SimConfig::paper_double(), &machine, &net, ranks).gflops_per_rank
     );
     println!("\n-> the conclusion's point: compensating double's capacity advantage trims the");
-    println!("   mixed speedup slightly; going matrix-free (only the f32 matrix stored) restores it.");
+    println!(
+        "   mixed speedup slightly; going matrix-free (only the f32 matrix stored) restores it."
+    );
 }

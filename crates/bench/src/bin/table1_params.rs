@@ -9,11 +9,7 @@ fn main() {
     println!("Table 1: HPG-MxP parameters used (paper configuration)");
     println!("{:<48} {:>12}", "Parameter", "Value");
     println!("{:<48} {:>12}", "Restart length", p.restart);
-    println!(
-        "{:<48} {:>12}",
-        "Local mesh size",
-        format!("{}^3", p.local_dims.0)
-    );
+    println!("{:<48} {:>12}", "Local mesh size", format!("{}^3", p.local_dims.0));
     println!(
         "{:<48} {:>12}",
         "Specified running time (< 1024 nodes)",

@@ -38,7 +38,10 @@ fn main() {
 
     println!();
     println!("Paper (Frontier, 320^3 per GCD, 8 GCDs/node):");
-    println!("{:>6} {:>10} {:>16} {:>18}", "nodes", "std ratio", "full-scale ratio", "fs rel residual");
+    println!(
+        "{:>6} {:>10} {:>16} {:>18}",
+        "nodes", "std ratio", "full-scale ratio", "fs rel residual"
+    );
     for (nodes, std_r, fs_r, res) in [
         (2, 0.968, 0.966, 9.98e-10),
         (8, 0.968, 1.008, 9.99e-10),

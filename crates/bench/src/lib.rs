@@ -27,7 +27,7 @@ pub fn env_usize(name: &str, default: usize) -> usize {
 /// `HPGMXP_*` environment overrides.
 pub fn workstation_params() -> BenchmarkParams {
     let n = env_usize("HPGMXP_LOCAL_N", 16) as u32;
-    assert!(n % 8 == 0, "HPGMXP_LOCAL_N must be divisible by 8");
+    assert!(n.is_multiple_of(8), "HPGMXP_LOCAL_N must be divisible by 8");
     BenchmarkParams {
         local_dims: (n, n, n),
         benchmark_solves: env_usize("HPGMXP_SOLVES", 1),
@@ -57,7 +57,12 @@ pub fn single_rank_problem(n: u32, levels: usize) -> LocalProblem {
 }
 
 /// Render a two-column numeric series as an aligned text table.
-pub fn series_table(title: &str, xlabel: &str, ylabels: &[&str], rows: &[(f64, Vec<f64>)]) -> String {
+pub fn series_table(
+    title: &str,
+    xlabel: &str,
+    ylabels: &[&str],
+    rows: &[(f64, Vec<f64>)],
+) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(s, "# {}", title);

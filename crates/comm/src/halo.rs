@@ -117,10 +117,10 @@ mod tests {
     fn global_id_vector(lg: &LocalGrid, num_ghosts: usize) -> Vec<f64> {
         let g = lg.global();
         let mut x = vec![-1.0; lg.total_points() + num_ghosts];
-        for idx in 0..lg.total_points() {
+        for (idx, xi) in x[..lg.total_points()].iter_mut().enumerate() {
             let (ix, iy, iz) = lg.coords(idx);
             let (gx, gy, gz) = lg.to_global(ix, iy, iz);
-            x[idx] = g.index(gx, gy, gz) as f64;
+            *xi = g.index(gx, gy, gz) as f64;
         }
         x
     }

@@ -1,6 +1,6 @@
 //! A multi-rank world backed by OS threads and lock-free channels.
 //!
-//! [`ThreadWorld::new`] creates `P` connected [`ThreadComm`] endpoints;
+//! [`ThreadWorld::connect`] creates `P` connected [`ThreadComm`] endpoints;
 //! [`run_spmd`] spawns one thread per rank and runs the same closure on
 //! each — the SPMD execution model of the MPI benchmark. Message
 //! delivery is FIFO per (sender → receiver) pair, like MPI; out-of-tag
@@ -39,7 +39,7 @@ pub struct ThreadWorld;
 
 impl ThreadWorld {
     /// Create a world of `size` connected ranks.
-    pub fn new(size: usize) -> Vec<ThreadComm> {
+    pub fn connect(size: usize) -> Vec<ThreadComm> {
         assert!(size > 0);
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
@@ -71,11 +71,7 @@ impl ThreadWorld {
 impl ThreadComm {
     fn take_from_mailbox(&self, from: usize, tag: u64) -> Option<Vec<u8>> {
         let mut mb = self.mailbox.lock();
-        if let Some(pos) = mb.iter().position(|m| m.from == from && m.tag == tag) {
-            Some(mb.remove(pos).data)
-        } else {
-            None
-        }
+        mb.iter().position(|m| m.from == from && m.tag == tag).map(|pos| mb.remove(pos).data)
     }
 }
 
@@ -146,7 +142,7 @@ where
     T: Send,
     F: Fn(ThreadComm) -> T + Sync,
 {
-    let comms = ThreadWorld::new(size);
+    let comms = ThreadWorld::connect(size);
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()

@@ -101,7 +101,15 @@ impl PhaseResult {
         let motif_flops: Vec<(String, f64)> =
             Motif::ALL.iter().map(|m| (m.label().to_string(), total.flops(*m))).collect();
         let gflops_raw = if wall_time > 0.0 { total.total_flops() / wall_time / 1e9 } else { 0.0 };
-        PhaseResult { label: label.to_string(), ranks, iters, wall_time, motif_seconds, motif_flops, gflops_raw }
+        PhaseResult {
+            label: label.to_string(),
+            ranks,
+            iters,
+            wall_time,
+            motif_seconds,
+            motif_flops,
+            gflops_raw,
+        }
     }
 
     /// FLOPs of one motif (summed over ranks).
@@ -163,7 +171,10 @@ impl BenchmarkReport {
         let _ = writeln!(
             s,
             "  validation [{:?}]: nd = {}, nir = {}, ratio = {:.4}, penalty = {:.4}",
-            self.validation.mode, self.validation.nd, self.validation.nir, self.validation.ratio,
+            self.validation.mode,
+            self.validation.nd,
+            self.validation.nir,
+            self.validation.ratio,
             self.validation.penalty
         );
         for phase in [&self.mxp, &self.double] {
@@ -175,7 +186,13 @@ impl BenchmarkReport {
             for (label, secs) in &phase.motif_seconds {
                 if *secs > 0.0 {
                     let flops = phase.motif_flops.iter().find(|(l, _)| l == label).unwrap().1;
-                    let _ = writeln!(s, "      {:<8} {:>9.4}s  {:>10.3} GF/s", label, secs, flops / secs / 1e9);
+                    let _ = writeln!(
+                        s,
+                        "      {:<8} {:>9.4}s  {:>10.3} GF/s",
+                        label,
+                        secs,
+                        flops / secs / 1e9
+                    );
                 }
             }
         }
@@ -240,7 +257,7 @@ pub fn validate(
         (st_d.iters, st_d.final_relres, st_ir.iters, st_ir.converged)
     });
 
-    let (nd, achieved, nir, ir_ok) = results[0].clone();
+    let (nd, achieved, nir, ir_ok) = results[0];
     assert!(
         ir_ok,
         "GMRES-IR failed to reach the validation target {achieved:.3e} within {} iterations",

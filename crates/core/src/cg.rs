@@ -125,7 +125,13 @@ mod tests {
     use hpgmxp_geometry::{ProcGrid, Stencil27};
 
     fn spec(procs: ProcGrid, n: u32, levels: usize) -> ProblemSpec {
-        ProblemSpec { local: (n, n, n), procs, stencil: Stencil27::symmetric(), mg_levels: levels, seed: 2 }
+        ProblemSpec {
+            local: (n, n, n),
+            procs,
+            stencil: Stencil27::symmetric(),
+            mg_levels: levels,
+            seed: 2,
+        }
     }
 
     #[test]

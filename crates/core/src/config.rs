@@ -81,7 +81,7 @@ impl BenchmarkParams {
 
     /// A laptop-scale configuration for real runs.
     pub fn small(n: u32) -> Self {
-        assert!(n % 8 == 0, "local dim must be divisible by 2^(levels-1)");
+        assert!(n.is_multiple_of(8), "local dim must be divisible by 2^(levels-1)");
         BenchmarkParams { local_dims: (n, n, n), ..Default::default() }
     }
 

@@ -119,15 +119,14 @@ mod tests {
 
     /// Dense reference: compute min ‖β e₁ − H̄ y‖ by normal equations.
     fn dense_lsq(hbar: &[Vec<f64>], beta: f64) -> (Vec<f64>, f64) {
-        let rows = hbar.len();
         let cols = hbar[0].len();
         // Normal equations HᵀH y = Hᵀ (β e₁).
         let mut ata = vec![vec![0.0; cols]; cols];
         let mut atb = vec![0.0; cols];
         for i in 0..cols {
             for j in 0..cols {
-                for r in 0..rows {
-                    ata[i][j] += hbar[r][i] * hbar[r][j];
+                for hr in hbar.iter() {
+                    ata[i][j] += hr[i] * hr[j];
                 }
             }
             atb[i] = hbar[0][i] * beta;
@@ -139,8 +138,9 @@ mod tests {
             let piv = m[p][p];
             for r in p + 1..cols {
                 let f = m[r][p] / piv;
-                for c2 in p..cols {
-                    m[r][c2] -= f * m[p][c2];
+                let mp = m[p].clone();
+                for (c2, mrc) in m[r].iter_mut().enumerate().skip(p) {
+                    *mrc -= f * mp[c2];
                 }
                 y[r] -= f * y[p];
             }
@@ -154,10 +154,10 @@ mod tests {
         }
         // Residual norm.
         let mut res = 0.0;
-        for r in 0..rows {
+        for (r, hr) in hbar.iter().enumerate() {
             let mut v = if r == 0 { beta } else { 0.0 };
-            for c2 in 0..cols {
-                v -= hbar[r][c2] * y[c2];
+            for (c2, yc) in y.iter().enumerate() {
+                v -= hr[c2] * yc;
             }
             res += v * v;
         }

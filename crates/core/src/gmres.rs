@@ -288,7 +288,10 @@ pub fn gmres_solve_f64<C: Comm>(
     }
 
     let solution = x[..n].to_vec();
-    (solution, SolveStats { iters, restarts, converged, final_relres: relres, history, motifs: stats })
+    (
+        solution,
+        SolveStats { iters, restarts, converged, final_relres: relres, history, motifs: stats },
+    )
 }
 
 #[cfg(test)]
@@ -299,7 +302,13 @@ mod tests {
     use hpgmxp_geometry::{ProcGrid, Stencil27};
 
     fn spec(procs: ProcGrid, n: u32, levels: usize) -> ProblemSpec {
-        ProblemSpec { local: (n, n, n), procs, stencil: Stencil27::symmetric(), mg_levels: levels, seed: 11 }
+        ProblemSpec {
+            local: (n, n, n),
+            procs,
+            stencil: Stencil27::symmetric(),
+            mg_levels: levels,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -386,8 +395,7 @@ mod tests {
                 0,
             );
             let tl = Timeline::disabled();
-            let (_, st) =
-                gmres_solve_f64(&SelfComm, &prob, &GmresOptions::default(), &tl);
+            let (_, st) = gmres_solve_f64(&SelfComm, &prob, &GmresOptions::default(), &tl);
             assert!(st.converged);
             st.iters
         };
@@ -418,8 +426,12 @@ mod tests {
         let (_, st_c) = gmres_solve_f64(&SelfComm, &prob, &cgs2_opts, &tl);
         let (_, st_m) = gmres_solve_f64(&SelfComm, &prob, &mgs_opts, &tl);
         assert!(st_c.converged && st_m.converged);
-        assert!((st_c.iters as i64 - st_m.iters as i64).abs() <= 3,
-            "CGS2 {} vs MGS {}", st_c.iters, st_m.iters);
+        assert!(
+            (st_c.iters as i64 - st_m.iters as i64).abs() <= 3,
+            "CGS2 {} vs MGS {}",
+            st_c.iters,
+            st_m.iters
+        );
     }
 
     #[test]
@@ -437,7 +449,15 @@ mod tests {
         let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 16, 4), 0);
         let tl = Timeline::disabled();
         let (_, st) = gmres_solve_f64(&SelfComm, &prob, &GmresOptions::default(), &tl);
-        for motif in [Motif::GaussSeidel, Motif::SpMV, Motif::Ortho, Motif::Restriction, Motif::Prolongation, Motif::Dot, Motif::Waxpby] {
+        for motif in [
+            Motif::GaussSeidel,
+            Motif::SpMV,
+            Motif::Ortho,
+            Motif::Restriction,
+            Motif::Prolongation,
+            Motif::Dot,
+            Motif::Waxpby,
+        ] {
             assert!(st.motifs.flops(motif) > 0.0, "missing flops for {:?}", motif);
         }
         // GS dominates the FLOP profile, as in the paper's figure 7.

@@ -123,7 +123,10 @@ where
     }
 
     let solution = x[..n].to_vec();
-    (solution, SolveStats { iters, restarts, converged, final_relres: relres, history, motifs: stats })
+    (
+        solution,
+        SolveStats { iters, restarts, converged, final_relres: relres, history, motifs: stats },
+    )
 }
 
 #[cfg(test)]
@@ -136,7 +139,13 @@ mod tests {
     use hpgmxp_geometry::{ProcGrid, Stencil27};
 
     fn spec(procs: ProcGrid, n: u32, levels: usize) -> ProblemSpec {
-        ProblemSpec { local: (n, n, n), procs, stencil: Stencil27::symmetric(), mg_levels: levels, seed: 11 }
+        ProblemSpec {
+            local: (n, n, n),
+            procs,
+            stencil: Stencil27::symmetric(),
+            mg_levels: levels,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -202,11 +211,8 @@ mod tests {
     fn reference_variant_ir_converges() {
         let prob = assemble(&spec(ProcGrid::new(1, 1, 1), 8, 2), 0);
         let tl = Timeline::disabled();
-        let opts = GmresOptions {
-            max_iters: 500,
-            variant: ImplVariant::Reference,
-            ..Default::default()
-        };
+        let opts =
+            GmresOptions { max_iters: 500, variant: ImplVariant::Reference, ..Default::default() };
         let (_, st) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
         assert!(st.converged);
     }

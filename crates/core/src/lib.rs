@@ -31,9 +31,9 @@ pub mod cg;
 pub mod config;
 pub mod flops;
 pub mod givens;
-pub mod matrix_free;
 pub mod gmres;
 pub mod gmres_ir;
+pub mod matrix_free;
 pub mod mg;
 pub mod motifs;
 pub mod ops;

@@ -41,8 +41,7 @@ impl StencilOperator {
     pub fn new(grid: LocalGrid, stencil: Stencil27) -> Self {
         let mut strides = [0i64; 27];
         for (k, &(dx, dy, dz)) in STENCIL_OFFSETS.iter().enumerate() {
-            strides[k] = dx as i64
-                + grid.nx as i64 * (dy as i64 + grid.ny as i64 * dz as i64);
+            strides[k] = dx as i64 + grid.nx as i64 * (dy as i64 + grid.ny as i64 * dz as i64);
         }
         StencilOperator { grid, stencil, strides }
     }
@@ -68,18 +67,13 @@ impl StencilOperator {
                     let (gx, gy, gz) = g.to_global(ix as u32, iy as u32, iz as u32);
                     let mut acc = S::ZERO;
                     for (k, &(dx, dy, dz)) in STENCIL_OFFSETS.iter().enumerate() {
-                        let (ngx, ngy, ngz) = (
-                            gx as i64 + dx as i64,
-                            gy as i64 + dy as i64,
-                            gz as i64 + dz as i64,
-                        );
+                        let (ngx, ngy, ngz) =
+                            (gx as i64 + dx as i64, gy as i64 + dy as i64, gz as i64 + dz as i64);
                         if !global.contains(ngx, ngy, ngz) {
                             continue;
                         }
-                        let (ex, ey, ez) =
-                            (ix + dx as i64, iy + dy as i64, iz + dz as i64);
-                        let xv = if ex >= 0 && ey >= 0 && ez >= 0 && ex < nx && ey < ny && ez < nz
-                        {
+                        let (ex, ey, ez) = (ix + dx as i64, iy + dy as i64, iz + dz as i64);
+                        let xv = if ex >= 0 && ey >= 0 && ez >= 0 && ex < nx && ey < ny && ez < nz {
                             x[(row as i64 + self.strides[k]) as usize]
                         } else {
                             let gi = level

@@ -42,6 +42,7 @@ impl<S: Scalar> MgWorkspace<S> {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the paper's smoother signature; bundling would obscure it
 fn smooth<S: Scalar, C: Comm>(
     ctx: &OpCtx<C>,
     level: &Level,
@@ -56,9 +57,7 @@ fn smooth<S: Scalar, C: Comm>(
 {
     for _ in 0..sweeps {
         match kind {
-            SmootherKind::Forward => {
-                dist_gs_sweep(ctx, level, stats, tag, SweepDir::Forward, r, z)
-            }
+            SmootherKind::Forward => dist_gs_sweep(ctx, level, stats, tag, SweepDir::Forward, r, z),
             SmootherKind::Symmetric => {
                 dist_gs_sweep(ctx, level, stats, tag, SweepDir::Forward, r, z);
                 dist_gs_sweep(ctx, level, stats, tag, SweepDir::Backward, r, z);
@@ -173,7 +172,17 @@ mod tests {
 
         // One V-cycle.
         let mut z_mg = vec![0.0f64; p.n_local()];
-        apply_mg(&ctx, &p.levels, &mut stats, &mut ws, 1, 1, SmootherKind::Forward, &rhs, &mut z_mg);
+        apply_mg(
+            &ctx,
+            &p.levels,
+            &mut stats,
+            &mut ws,
+            1,
+            1,
+            SmootherKind::Forward,
+            &rhs,
+            &mut z_mg,
+        );
         let r_mg = residual_norm(&p, &rhs, &z_mg);
 
         // One plain fine-grid sweep.
@@ -183,7 +192,12 @@ mod tests {
         let r_gs = residual_norm(&p, &rhs, &z_gs);
 
         assert!(r_mg < r0, "V-cycle reduces the residual");
-        assert!(r_mg < r_gs, "coarse correction beats a single smoother sweep: {} vs {}", r_mg, r_gs);
+        assert!(
+            r_mg < r_gs,
+            "coarse correction beats a single smoother sweep: {} vs {}",
+            r_mg,
+            r_gs
+        );
     }
 
     #[test]
@@ -212,7 +226,7 @@ mod tests {
                 x[i] += z[i];
             }
         }
-        let rfinal = residual_norm(&p, &p.b, &x[..n].to_vec());
+        let rfinal = residual_norm(&p, &p.b, &x[..n]);
         assert!(
             rfinal < r0 * 1e-6,
             "30 MG iterations must reduce the residual by >1e6: {} -> {}",
@@ -264,13 +278,33 @@ mod tests {
             {
                 let ctx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
                 let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
-                apply_mg(&ctx, &p.levels, &mut stats, &mut ws, 1, 1, SmootherKind::Forward, &rhs, &mut z_opt);
+                apply_mg(
+                    &ctx,
+                    &p.levels,
+                    &mut stats,
+                    &mut ws,
+                    1,
+                    1,
+                    SmootherKind::Forward,
+                    &rhs,
+                    &mut z_opt,
+                );
             }
             let mut z_ref = vec![0.0f64; n];
             {
                 let ctx = OpCtx { comm: &c, variant: ImplVariant::Reference, timeline: &tl };
                 let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
-                apply_mg(&ctx, &p.levels, &mut stats, &mut ws, 1, 1, SmootherKind::Forward, &rhs, &mut z_ref);
+                apply_mg(
+                    &ctx,
+                    &p.levels,
+                    &mut stats,
+                    &mut ws,
+                    1,
+                    1,
+                    SmootherKind::Forward,
+                    &rhs,
+                    &mut z_ref,
+                );
             }
             // The variants use different smoother orderings (multicolor
             // vs lexicographic), so results differ slightly — but both
@@ -305,12 +339,32 @@ mod tests {
 
         let mut ws64: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
         let mut z64 = vec![0.0f64; n];
-        apply_mg(&ctx, &p.levels, &mut stats, &mut ws64, 1, 1, SmootherKind::Forward, &p.b, &mut z64);
+        apply_mg(
+            &ctx,
+            &p.levels,
+            &mut stats,
+            &mut ws64,
+            1,
+            1,
+            SmootherKind::Forward,
+            &p.b,
+            &mut z64,
+        );
 
         let rhs32: Vec<f32> = p.b.iter().map(|&v| v as f32).collect();
         let mut ws32: MgWorkspace<f32> = MgWorkspace::new(&p.levels);
         let mut z32 = vec![0.0f32; n];
-        apply_mg(&ctx, &p.levels, &mut stats, &mut ws32, 1, 1, SmootherKind::Forward, &rhs32, &mut z32);
+        apply_mg(
+            &ctx,
+            &p.levels,
+            &mut stats,
+            &mut ws32,
+            1,
+            1,
+            SmootherKind::Forward,
+            &rhs32,
+            &mut z32,
+        );
 
         for (h, l) in z64.iter().zip(z32.iter()) {
             assert!((h - *l as f64).abs() < 1e-4, "{} vs {}", h, l);

@@ -21,9 +21,7 @@ use crate::problem::{Level, RefPath};
 use hpgmxp_comm::{Comm, Stream, Timeline};
 use hpgmxp_sparse::blas;
 use hpgmxp_sparse::csr::CsrMatrix;
-use hpgmxp_sparse::gauss_seidel::{
-    gs_backward, gs_color_class, gs_forward_reference, SweepMatrix,
-};
+use hpgmxp_sparse::gauss_seidel::{gs_backward, gs_color_class, gs_forward_reference, SweepMatrix};
 use hpgmxp_sparse::{EllMatrix, Half, Scalar};
 use std::time::Instant;
 
@@ -277,7 +275,11 @@ pub fn prolong_add<S: Scalar>(fine: &Level, stats: &mut MotifStats, zc: &[S], z:
     for (i, &c) in zc[..map.n_coarse].iter().enumerate() {
         z[map.c2f[i] as usize] += c;
     }
-    stats.record(Motif::Prolongation, t0.elapsed().as_secs_f64(), flops::prolongation(map.n_coarse));
+    stats.record(
+        Motif::Prolongation,
+        t0.elapsed().as_secs_f64(),
+        flops::prolongation(map.n_coarse),
+    );
 }
 
 /// Distributed dot product over owned entries, reduced across ranks.
@@ -308,7 +310,14 @@ pub fn dist_norm2<S: Scalar, C: Comm>(
 }
 
 /// Recorded `w = alpha x + beta y` (owned entries).
-pub fn waxpby_op<S: Scalar>(stats: &mut MotifStats, alpha: S, x: &[S], beta: S, y: &[S], w: &mut [S]) {
+pub fn waxpby_op<S: Scalar>(
+    stats: &mut MotifStats,
+    alpha: S,
+    x: &[S],
+    beta: S,
+    y: &[S],
+    w: &mut [S],
+) {
     let t0 = Instant::now();
     blas::waxpby(alpha, x, beta, y, w);
     stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), flops::waxpby(w.len()));
@@ -345,12 +354,21 @@ mod tests {
     use hpgmxp_geometry::{ProcGrid, Stencil27};
 
     fn spec(procs: ProcGrid, n: u32, levels: usize) -> ProblemSpec {
-        ProblemSpec { local: (n, n, n), procs, stencil: Stencil27::symmetric(), mg_levels: levels, seed: 7 }
+        ProblemSpec {
+            local: (n, n, n),
+            procs,
+            stencil: Stencil27::symmetric(),
+            mg_levels: levels,
+            seed: 7,
+        }
     }
 
     fn ctx<C: Comm>(comm: &C, variant: ImplVariant) -> (OpCtx<'_, C>, Timeline) {
         let _ = &comm;
-        (OpCtx { comm, variant, timeline: Box::leak(Box::new(Timeline::disabled())) }, Timeline::disabled())
+        (
+            OpCtx { comm, variant, timeline: Box::leak(Box::new(Timeline::disabled())) },
+            Timeline::disabled(),
+        )
     }
 
     /// Distributed SpMV across 2 ranks must equal the serial SpMV of the
@@ -368,10 +386,10 @@ mod tests {
                 // x holds each point's global id.
                 let g = l.grid.global();
                 let mut x = vec![0.0f64; l.vec_len()];
-                for i in 0..l.n_local() {
+                for (i, xi) in x[..l.n_local()].iter_mut().enumerate() {
                     let (ix, iy, iz) = l.grid.coords(i);
                     let (gx, gy, gz) = l.grid.to_global(ix, iy, iz);
-                    x[i] = g.index(gx, gy, gz) as f64 * 0.01;
+                    *xi = g.index(gx, gy, gz) as f64 * 0.01;
                 }
                 let mut y = vec![0.0f64; l.n_local()];
                 dist_spmv(&octx, l, &mut stats, 0, &mut x, &mut y);
@@ -390,26 +408,26 @@ mod tests {
             let sl = &sp.levels[0];
             let g = sl.grid.global();
             let mut x = vec![0.0f64; sl.vec_len()];
-            for i in 0..sl.n_local() {
+            for (i, xi) in x[..sl.n_local()].iter_mut().enumerate() {
                 let (ix, iy, iz) = sl.grid.coords(i);
-                x[i] = g.index(ix as u64, iy as u64, iz as u64) as f64 * 0.01;
+                *xi = g.index(ix as u64, iy as u64, iz as u64) as f64 * 0.01;
             }
             let mut y_serial = vec![0.0f64; sl.n_local()];
             sl.csr64.spmv(&x, &mut y_serial);
 
             for (rank, y) in results {
                 let lg = hpgmxp_geometry::LocalGrid::new((4, 4, 4), procs, rank as u32);
-                for i in 0..y.len() {
+                for (i, yi) in y.iter().enumerate() {
                     let (ix, iy, iz) = lg.coords(i);
                     let (gx, gy, gz) = lg.to_global(ix, iy, iz);
                     let si = g.index(gx, gy, gz) as usize;
                     assert!(
-                        (y[i] - y_serial[si]).abs() < 1e-12,
+                        (yi - y_serial[si]).abs() < 1e-12,
                         "variant {:?} rank {} row {}: {} vs {}",
                         variant,
                         rank,
                         i,
-                        y[i],
+                        yi,
                         y_serial[si]
                     );
                 }

@@ -78,10 +78,10 @@ pub fn mgs<S: Scalar, C: Comm>(
     let t0 = Instant::now();
     let n = q.n();
     let mut h = vec![0.0f64; k];
-    for j in 0..k {
+    for (j, hjs) in h.iter_mut().enumerate() {
         let local = blas::dot(q.col(j), q.col(k)).to_f64();
         let hj = comm.allreduce_scalar(local, ReduceOp::Sum);
-        h[j] = hj;
+        *hjs = hj;
         q.axpy_cols(j, k, S::from_f64(hj));
     }
     let local_sq = blas::norm2_sq(q.col(k)).to_f64();

@@ -46,10 +46,7 @@ impl ProblemSpec {
 
     /// Global row count of the fine-level problem.
     pub fn global_rows(&self) -> u64 {
-        self.local.0 as u64
-            * self.local.1 as u64
-            * self.local.2 as u64
-            * self.procs.size() as u64
+        self.local.0 as u64 * self.local.1 as u64 * self.local.2 as u64 * self.procs.size() as u64
     }
 }
 
@@ -211,7 +208,11 @@ fn assemble_matrix(grid: &LocalGrid, plan: &HaloPlan, stencil: &Stencil27) -> Cs
 }
 
 /// Split row lists of each color into interior/boundary sub-lists.
-fn split_colors(coloring: &Coloring, plan: &HaloPlan, grid: &LocalGrid) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+fn split_colors(
+    coloring: &Coloring,
+    plan: &HaloPlan,
+    grid: &LocalGrid,
+) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
     let mut interior = vec![Vec::new(); coloring.num_colors as usize];
     let mut boundary = vec![Vec::new(); coloring.num_colors as usize];
     for (c, rows) in coloring.rows_of.iter().enumerate() {
@@ -370,8 +371,11 @@ mod tests {
         // The 27-point stencil needs at least 8 colors (2×2×2 parity).
         // JPL with random weights typically lands between 8 and ~2x the
         // chromatic number on this dense stencil graph.
-        assert!(l.coloring.num_colors >= 8 && l.coloring.num_colors <= 20,
-            "got {}", l.coloring.num_colors);
+        assert!(
+            l.coloring.num_colors >= 8 && l.coloring.num_colors <= 20,
+            "got {}",
+            l.coloring.num_colors
+        );
         // Greedy in lexicographic order achieves the optimum, 8.
         let greedy = hpgmxp_sparse::greedy_coloring(&l.csr64);
         assert_eq!(greedy.num_colors, 8);
@@ -453,17 +457,17 @@ mod tests {
         let d = a.to_dense();
         // Not symmetric...
         let mut asym = false;
-        for i in 0..a.nrows() {
-            for j in 0..a.nrows() {
-                if (d[i][j] - d[j][i]).abs() > 1e-14 {
+        for (i, di) in d.iter().enumerate() {
+            for (j, dj) in d.iter().enumerate() {
+                if (di[j] - dj[i]).abs() > 1e-14 {
                     asym = true;
                 }
             }
         }
         assert!(asym);
         // ...but still weakly diagonally dominant.
-        for i in 0..a.nrows() {
-            let off: f64 = (0..a.nrows()).filter(|&j| j != i).map(|j| d[i][j].abs()).sum();
+        for (i, di) in d.iter().enumerate() {
+            let off: f64 = (0..a.nrows()).filter(|&j| j != i).map(|j| di[j].abs()).sum();
             assert!(off <= 26.0 + 1e-12);
         }
     }
@@ -497,14 +501,8 @@ mod tests {
     fn nnz_coarse_rows_counts() {
         let p = assemble(&spec_1rank(8, 2), 0);
         let l = &p.levels[0];
-        let expected: usize = l
-            .c2f
-            .as_ref()
-            .unwrap()
-            .c2f
-            .iter()
-            .map(|&f| l.csr64.row(f as usize).0.len())
-            .sum();
+        let expected: usize =
+            l.c2f.as_ref().unwrap().c2f.iter().map(|&f| l.csr64.row(f as usize).0.len()).sum();
         assert_eq!(l.nnz_coarse_rows(), expected);
     }
 }

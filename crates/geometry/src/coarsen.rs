@@ -36,7 +36,7 @@ impl CoarseMap {
     /// sizes divisible by `2^(levels-1)`.
     pub fn build(fine: &LocalGrid) -> Self {
         assert!(
-            fine.nx % 2 == 0 && fine.ny % 2 == 0 && fine.nz % 2 == 0,
+            fine.nx.is_multiple_of(2) && fine.ny.is_multiple_of(2) && fine.nz.is_multiple_of(2),
             "local grid {}x{}x{} is not coarsenable (odd extent)",
             fine.nx,
             fine.ny,
@@ -102,7 +102,9 @@ impl GridHierarchy {
         assert!(levels >= 1, "hierarchy needs at least one level");
         let div = 1u32 << (levels - 1);
         assert!(
-            fine.nx % div == 0 && fine.ny % div == 0 && fine.nz % div == 0,
+            fine.nx.is_multiple_of(div)
+                && fine.ny.is_multiple_of(div)
+                && fine.nz.is_multiple_of(div),
             "local grid {}x{}x{} not divisible by 2^{} for {} levels",
             fine.nx,
             fine.ny,

@@ -39,11 +39,11 @@ impl ProcGrid {
         let mut best_key = (u32::MAX, u32::MAX);
         let mut fx = 1;
         while fx * fx * fx <= p {
-            if p % fx == 0 {
+            if p.is_multiple_of(fx) {
                 let rest = p / fx;
                 let mut fy = fx;
                 while fy * fy <= rest {
-                    if rest % fy == 0 {
+                    if rest.is_multiple_of(fy) {
                         let fz = rest / fy;
                         // fx <= fy <= fz by construction.
                         let key = (fz - fx, fx + fy + fz);

@@ -76,13 +76,7 @@ impl LocalGrid {
     /// points per rank on processor grid `procs`.
     pub fn new(local: (u32, u32, u32), procs: ProcGrid, rank: u32) -> Self {
         let rank_coords = procs.coords_of(rank);
-        LocalGrid {
-            nx: local.0,
-            ny: local.1,
-            nz: local.2,
-            rank_coords,
-            procs,
-        }
+        LocalGrid { nx: local.0, ny: local.1, nz: local.2, rank_coords, procs }
     }
 
     /// Number of locally-owned points (= locally-owned matrix rows).

@@ -91,9 +91,27 @@ impl HaloPlan {
             };
 
             // Our send box toward direction d: the boundary slab on the d side.
-            let xs = if dx < 0 { 0..1 } else if dx > 0 { nx - 1..nx } else { 0..nx };
-            let ys = if dy < 0 { 0..1 } else if dy > 0 { ny - 1..ny } else { 0..ny };
-            let zs = if dz < 0 { 0..1 } else if dz > 0 { nz - 1..nz } else { 0..nz };
+            let xs = if dx < 0 {
+                0..1
+            } else if dx > 0 {
+                nx - 1..nx
+            } else {
+                0..nx
+            };
+            let ys = if dy < 0 {
+                0..1
+            } else if dy > 0 {
+                ny - 1..ny
+            } else {
+                0..ny
+            };
+            let zs = if dz < 0 {
+                0..1
+            } else if dz > 0 {
+                nz - 1..nz
+            } else {
+                0..nz
+            };
             let count = box_len(dx, nx) * box_len(dy, ny) * box_len(dz, nz);
             let mut send_indices = Vec::with_capacity(count as usize);
             for iz in zs {
@@ -132,9 +150,27 @@ impl HaloPlan {
     /// ghost) or fall outside the global domain (no neighbor there).
     pub fn ghost_index(&self, ex: i64, ey: i64, ez: i64) -> Option<usize> {
         let (nx, ny, nz) = (self.local.nx as i64, self.local.ny as i64, self.local.nz as i64);
-        let dx = if ex < 0 { -1 } else if ex >= nx { 1 } else { 0 };
-        let dy = if ey < 0 { -1 } else if ey >= ny { 1 } else { 0 };
-        let dz = if ez < 0 { -1 } else if ez >= nz { 1 } else { 0 };
+        let dx = if ex < 0 {
+            -1
+        } else if ex >= nx {
+            1
+        } else {
+            0
+        };
+        let dy = if ey < 0 {
+            -1
+        } else if ey >= ny {
+            1
+        } else {
+            0
+        };
+        let dz = if ez < 0 {
+            -1
+        } else if ez >= nz {
+            1
+        } else {
+            0
+        };
         if (dx, dy, dz) == (0, 0, 0) {
             return None;
         }
@@ -157,8 +193,11 @@ impl HaloPlan {
     /// Rows on the *physical* domain boundary (no neighbor rank on that
     /// side) do not count as boundary rows.
     pub fn is_boundary_row(&self, ix: u32, iy: u32, iz: u32) -> bool {
-        let rank =
-            self.local.procs.rank_of(self.local.rank_coords.0, self.local.rank_coords.1, self.local.rank_coords.2);
+        let rank = self.local.procs.rank_of(
+            self.local.rank_coords.0,
+            self.local.rank_coords.1,
+            self.local.rank_coords.2,
+        );
         let probe = |c: u32, n: u32, axis: usize| -> bool {
             let mut d = [0i32; 3];
             if c == 0 {
@@ -235,7 +274,7 @@ mod tests {
         let p = plan(center, procs, 4);
         assert_eq!(p.neighbors.len(), 26);
         // 6 faces (16) + 12 edges (4) + 8 corners (1).
-        assert_eq!(p.num_ghosts, 6 * 16 + 12 * 4 + 8 * 1);
+        assert_eq!(p.num_ghosts, 6 * 16 + 12 * 4 + 8);
     }
 
     #[test]
@@ -309,7 +348,9 @@ mod tests {
             let gp = gp.expect("slab covered");
             // Shift to the true owned point: ghost x = -1 means global x = base-1.
             let true_global = (gp.0 - 1, gp.1, gp.2);
-            let (ix, iy, iz) = lg0.to_local(true_global.0 as i64, true_global.1 as i64, true_global.2 as i64).unwrap();
+            let (ix, iy, iz) = lg0
+                .to_local(true_global.0 as i64, true_global.1 as i64, true_global.2 as i64)
+                .unwrap();
             assert_eq!(send[slot], lg0.index(ix, iy, iz) as u32);
         }
     }

@@ -107,7 +107,13 @@ impl Stencil27 {
             -1.0
         } else {
             // Lexicographic sign of the offset decides upwind/downwind.
-            let s = if dz != 0 { dz } else if dy != 0 { dy } else { dx };
+            let s = if dz != 0 {
+                dz
+            } else if dy != 0 {
+                dy
+            } else {
+                dx
+            };
             if s < 0 {
                 -1.0 - self.gamma
             } else {
@@ -147,8 +153,10 @@ mod tests {
     #[test]
     fn offsets_are_lexicographic() {
         // dx fastest means the linearized key is monotone.
-        let keys: Vec<i32> =
-            STENCIL_OFFSETS.iter().map(|&(dx, dy, dz)| (dz + 1) * 9 + (dy + 1) * 3 + (dx + 1)).collect();
+        let keys: Vec<i32> = STENCIL_OFFSETS
+            .iter()
+            .map(|&(dx, dy, dz)| (dz + 1) * 9 + (dy + 1) * 3 + (dx + 1))
+            .collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -114,7 +114,13 @@ impl MachineModel {
 
     /// Time for `n` dependent micro-kernel launches moving `bytes`
     /// total — the level-scheduled triangular solve pattern.
-    pub fn staged_kernel_time(&self, stages: usize, bytes: f64, flops: f64, scalar_bytes: usize) -> f64 {
+    pub fn staged_kernel_time(
+        &self,
+        stages: usize,
+        bytes: f64,
+        flops: f64,
+        scalar_bytes: usize,
+    ) -> f64 {
         (bytes / self.mem_bw).max(flops / self.peak_flops(scalar_bytes))
             + stages as f64 * self.launch_overhead
     }

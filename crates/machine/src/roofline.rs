@@ -112,7 +112,11 @@ pub fn to_table(points: &[RooflinePoint], ceil: &Ceilings) -> String {
         ceil.mem_bw_peak / 1e12,
         ceil.peak_fp64_gflops / 1e3
     );
-    let _ = writeln!(s, "{:<28} {:>10} {:>12} {:>14} {:>6}", "kernel", "AI (F/B)", "GF/s @BW", "GF/s @peakBW", "bound");
+    let _ = writeln!(
+        s,
+        "{:<28} {:>10} {:>12} {:>14} {:>6}",
+        "kernel", "AI (F/B)", "GF/s @BW", "GF/s @peakBW", "bound"
+    );
     for p in points {
         let _ = writeln!(
             s,

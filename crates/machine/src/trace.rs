@@ -115,19 +115,39 @@ pub fn gs_sweep_trace(
     // Halo stream: pack kernel reads boundary values, writes the buffer.
     let halo_bytes = s.halo_values * sb as f64;
     let t_pack = 2.0 * halo_bytes / machine.mem_bw + machine.launch_overhead;
-    events.push(TraceEvent { name: "pack send buffer".into(), lane: Lane::Halo, start: 0.0, end: t_pack });
+    events.push(TraceEvent {
+        name: "pack send buffer".into(),
+        lane: Lane::Halo,
+        start: 0.0,
+        end: t_pack,
+    });
 
     // Copies stage through the host, as on Frontier in the paper.
     let t_d2h = machine.host_copy_time(halo_bytes);
-    events.push(TraceEvent { name: "D2H send buffer".into(), lane: Lane::Copy, start: t_pack, end: t_pack + t_d2h });
+    events.push(TraceEvent {
+        name: "D2H send buffer".into(),
+        lane: Lane::Copy,
+        start: t_pack,
+        end: t_pack + t_d2h,
+    });
 
     let t_net = net.halo_time(s.halo_msgs, halo_bytes);
     let net_end = t_pack + t_d2h + t_net;
-    events.push(TraceEvent { name: "neighbor messages".into(), lane: Lane::Comm, start: t_pack + t_d2h, end: net_end });
+    events.push(TraceEvent {
+        name: "neighbor messages".into(),
+        lane: Lane::Comm,
+        start: t_pack + t_d2h,
+        end: net_end,
+    });
 
     let t_h2d = machine.host_copy_time(halo_bytes);
     let comm_done = net_end + t_h2d;
-    events.push(TraceEvent { name: "H2D recv buffer".into(), lane: Lane::Copy, start: net_end, end: comm_done });
+    events.push(TraceEvent {
+        name: "H2D recv buffer".into(),
+        lane: Lane::Copy,
+        start: net_end,
+        end: comm_done,
+    });
 
     // Compute stream: the interior kernel of color 0 starts right after
     // packing (the event dependency of §3.2.3).
@@ -143,7 +163,12 @@ pub fn gs_sweep_trace(
     // the arrived halo.
     let b_start = int_end.max(comm_done);
     let b_end = b_start + boundary0;
-    events.push(TraceEvent { name: "GS boundary (color 0)".into(), lane: Lane::Gpu, start: b_start, end: b_end });
+    events.push(TraceEvent {
+        name: "GS boundary (color 0)".into(),
+        lane: Lane::Gpu,
+        start: b_start,
+        end: b_end,
+    });
 
     // Remaining colors back-to-back.
     let mut t = b_end;

@@ -143,16 +143,13 @@ pub struct Workload {
 impl Workload {
     /// Build the workload for `ranks` ranks of `local`-sized boxes with
     /// `mg_levels` multigrid levels and restart length `restart`.
-    pub fn build(
-        local: (u32, u32, u32),
-        mg_levels: usize,
-        restart: usize,
-        ranks: usize,
-    ) -> Self {
+    pub fn build(local: (u32, u32, u32), mg_levels: usize, restart: usize, ranks: usize) -> Self {
         let procs = ProcGrid::factor(ranks as u32);
         let div = 1u32 << (mg_levels - 1);
         assert!(
-            local.0 % div == 0 && local.1 % div == 0 && local.2 % div == 0,
+            local.0.is_multiple_of(div)
+                && local.1.is_multiple_of(div)
+                && local.2.is_multiple_of(div),
             "local dims must be divisible by 2^(levels-1)"
         );
         let mut levels = Vec::with_capacity(mg_levels);

@@ -28,10 +28,7 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
 pub fn dot_par<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len());
     const CHUNK: usize = 1 << 14;
-    x.par_chunks(CHUNK)
-        .zip(y.par_chunks(CHUNK))
-        .map(|(xa, ya)| dot(xa, ya))
-        .sum()
+    x.par_chunks(CHUNK).zip(y.par_chunks(CHUNK)).map(|(xa, ya)| dot(xa, ya)).sum()
 }
 
 /// Local squared 2-norm.
@@ -157,10 +154,7 @@ impl<S: Scalar> Basis<S> {
     pub fn project_local(&self, k: usize) -> Vec<S> {
         let (head, tail) = self.data.split_at(k * self.n);
         let w = &tail[..self.n];
-        (0..k)
-            .into_par_iter()
-            .map(|j| dot(&head[j * self.n..(j + 1) * self.n], w))
-            .collect()
+        (0..k).into_par_iter().map(|j| dot(&head[j * self.n..(j + 1) * self.n], w)).collect()
     }
 
     /// GEMV: `col k -= Q[:, 0..k] · h` — the update half of a CGS2 pass.
@@ -197,8 +191,8 @@ impl<S: Scalar> Basis<S> {
         for o in out.iter_mut() {
             *o = S::ZERO;
         }
-        for j in 0..k {
-            axpy(t[j], self.col(j), out);
+        for (j, &tj) in t.iter().enumerate().take(k) {
+            axpy(tj, self.col(j), out);
         }
     }
 }

@@ -161,13 +161,13 @@ impl<S: Scalar> CsrMatrix<S> {
     pub fn spmv(&self, x: &[S], y: &mut [S]) {
         assert!(x.len() >= self.ncols, "input vector shorter than column space");
         assert!(y.len() >= self.nrows);
-        for i in 0..self.nrows {
+        for (i, yi) in y[..self.nrows].iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = S::ZERO;
             for (c, v) in cols.iter().zip(vals.iter()) {
                 acc = v.mul_add(x[*c as usize], acc);
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -250,10 +250,10 @@ impl<S: Scalar> CsrMatrix<S> {
     /// columns are appended after the owned ones).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; self.ncols]; self.nrows];
-        for i in 0..self.nrows {
+        for (i, row_out) in out.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             for (c, v) in cols.iter().zip(vals.iter()) {
-                out[i][*c as usize] += v.to_f64();
+                row_out[*c as usize] += v.to_f64();
             }
         }
         out
@@ -261,10 +261,7 @@ impl<S: Scalar> CsrMatrix<S> {
 
     /// Maximum nonzeros in any row (the ELL width this matrix needs).
     pub fn max_row_nnz(&self) -> usize {
-        (0..self.nrows)
-            .map(|i| (self.row_ptr[i + 1] - self.row_ptr[i]) as usize)
-            .max()
-            .unwrap_or(0)
+        (0..self.nrows).map(|i| (self.row_ptr[i + 1] - self.row_ptr[i]) as usize).max().unwrap_or(0)
     }
 
     /// Bytes of matrix data read by one SpMV sweep in this format:

@@ -40,7 +40,7 @@ impl<S: Scalar> EllMatrix<S> {
         let mut col_idx = vec![0u32; width * nrows];
         let mut values = vec![S::ZERO; width * nrows];
         let mut diag = vec![S::ZERO; nrows];
-        for i in 0..nrows {
+        for (i, di) in diag.iter_mut().enumerate() {
             let (cols, vals) = a.row(i);
             for k in 0..width {
                 let slot = k * nrows + i;
@@ -48,7 +48,7 @@ impl<S: Scalar> EllMatrix<S> {
                     col_idx[slot] = cols[k];
                     values[slot] = vals[k];
                     if cols[k] as usize == i {
-                        diag[i] = vals[k];
+                        *di = vals[k];
                     }
                 } else {
                     col_idx[slot] = i as u32;
@@ -248,7 +248,7 @@ mod tests {
         let mut y = vec![0.0f32; 4];
         e32.spmv(&x, &mut y);
         let mut y64 = vec![0.0f64; 4];
-        ell.spmv(&vec![1.0f64; 5], &mut y64);
+        ell.spmv(&[1.0f64; 5], &mut y64);
         for i in 0..4 {
             assert!((y[i] as f64 - y64[i]).abs() < 1e-6);
         }

@@ -162,7 +162,12 @@ pub fn gs_color_class<S: Scalar, M: SweepMatrix<S>>(a: &M, rows: &[u32], r: &[S]
 
 /// Multicolor forward Gauss–Seidel: colors in sequence, rows within a
 /// color in parallel (§3.2.1's optimized smoother).
-pub fn gs_multicolor<S: Scalar, M: SweepMatrix<S>>(a: &M, coloring: &Coloring, r: &[S], x: &mut [S]) {
+pub fn gs_multicolor<S: Scalar, M: SweepMatrix<S>>(
+    a: &M,
+    coloring: &Coloring,
+    r: &[S],
+    x: &mut [S],
+) {
     debug_assert_eq!(coloring.color_of.len(), a.nrows());
     for class in &coloring.rows_of {
         gs_color_class(a, class, r, x);
@@ -193,8 +198,12 @@ pub fn split_lower_upper<S: Scalar>(a: &CsrMatrix<S>) -> (CsrMatrix<S>, CsrMatri
     let mut ub = CsrBuilder::new(n, a.ncols(), a.nnz() / 2 + n);
     for i in 0..n {
         let (cols, vals) = a.row(i);
-        let lower: Vec<(u32, S)> =
-            cols.iter().zip(vals).filter(|(c, _)| (**c as usize) <= i).map(|(c, v)| (*c, *v)).collect();
+        let lower: Vec<(u32, S)> = cols
+            .iter()
+            .zip(vals)
+            .filter(|(c, _)| (**c as usize) <= i)
+            .map(|(c, v)| (*c, *v))
+            .collect();
         // U rows keep a zero diagonal so the CSR invariant (every row
         // carries its diagonal) holds; the value does not contribute.
         let mut upper: Vec<(u32, S)> = vec![(i as u32, S::ZERO)];

@@ -87,9 +87,8 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
             }
         }
         _ => {
-            let bits = (((h as u32) & 0x8000) << 16)
-                | (((exp as u32) + 127 - 15) << 23)
-                | (man << 13);
+            let bits =
+                (((h as u32) & 0x8000) << 16) | (((exp as u32) + 127 - 15) << 23) | (man << 13);
             f32::from_bits(bits)
         }
     }

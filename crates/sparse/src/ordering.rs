@@ -133,11 +133,7 @@ pub fn rcm_order<S: Scalar>(a: &CsrMatrix<S>) -> Permutation {
 
     // Cover every connected component (the stencil graph is connected,
     // but generality is cheap and keeps the function total).
-    loop {
-        let seed = match (0..n).filter(|&i| !visited[i]).min_by_key(|&i| degree(i)) {
-            Some(s) => s,
-            None => break,
-        };
+    while let Some(seed) = (0..n).filter(|&i| !visited[i]).min_by_key(|&i| degree(i)) {
         visited[seed] = true;
         queue.push_back(seed as u32);
         while let Some(v) = queue.pop_front() {
@@ -145,9 +141,9 @@ pub fn rcm_order<S: Scalar>(a: &CsrMatrix<S>) -> Permutation {
             let (cols, _) = a.row(v as usize);
             nbrs.clear();
             nbrs.extend(
-                cols.iter()
-                    .copied()
-                    .filter(|&c| (c as usize) < n && !visited[c as usize] && c as usize != v as usize),
+                cols.iter().copied().filter(|&c| {
+                    (c as usize) < n && !visited[c as usize] && c as usize != v as usize
+                }),
             );
             nbrs.sort_unstable_by_key(|&c| degree(c as usize));
             for &c in &nbrs {
@@ -247,9 +243,8 @@ mod tests {
     fn rcm_reduces_bandwidth_of_shuffled_path() {
         // Shuffle a path graph, then check RCM restores bandwidth 1.
         let a = path_graph(16);
-        let shuffle = Permutation::from_new_order(&[
-            7, 0, 12, 3, 15, 9, 1, 13, 5, 11, 2, 14, 6, 10, 4, 8,
-        ]);
+        let shuffle =
+            Permutation::from_new_order(&[7, 0, 12, 3, 15, 9, 1, 13, 5, 11, 2, 14, 6, 10, 4, 8]);
         let shuffled = a.symmetric_permute(&shuffle);
         assert!(bandwidth(&shuffled) > 1);
         let rcm = rcm_order(&shuffled);

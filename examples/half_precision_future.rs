@@ -39,12 +39,13 @@ fn main() {
     let (_, st32) = gmres_ir_solve(&SelfComm, &prob, &opts, &tl);
     let (_, st16) = gmres_ir_solve_fp16(&SelfComm, &prob, &opts, &tl);
 
-    println!("{:<26} {:>8} {:>10} {:>14} {:>12}", "solver", "iters", "cycles", "final relres", "penalty");
-    for (name, st) in [
-        ("double GMRES", &st64),
-        ("GMRES-IR (f32 inner)", &st32),
-        ("GMRES-IR (fp16 inner)", &st16),
-    ] {
+    println!(
+        "{:<26} {:>8} {:>10} {:>14} {:>12}",
+        "solver", "iters", "cycles", "final relres", "penalty"
+    );
+    for (name, st) in
+        [("double GMRES", &st64), ("GMRES-IR (f32 inner)", &st32), ("GMRES-IR (fp16 inner)", &st16)]
+    {
         println!(
             "{:<26} {:>8} {:>10} {:>14.2e} {:>12.3}",
             name,
@@ -55,8 +56,10 @@ fn main() {
         );
         assert!(st.converged);
     }
-    println!("\nfp16 residual per refinement cycle: {:?}",
-        st16.history.iter().map(|r| format!("{:.1e}", r)).collect::<Vec<_>>());
+    println!(
+        "\nfp16 residual per refinement cycle: {:?}",
+        st16.history.iter().map(|r| format!("{:.1e}", r)).collect::<Vec<_>>()
+    );
     println!("-> each cycle gains ~3 digits (fp16 resolution), vs ~6 for f32: more cycles, same final accuracy.\n");
 
     println!("Part 2 — Frontier projection (machine model, 512 nodes):\n");
@@ -75,8 +78,14 @@ fn main() {
     );
     println!("{:<26} {:>14} {:>22}", "configuration", "GF/GCD (raw)", "GF/GCD (penalized)");
     println!("{:<26} {:>14.1} {:>22.1}", "double", d.gflops_per_rank_raw, d.gflops_per_rank);
-    println!("{:<26} {:>14.1} {:>22.1}", "mixed f64/f32", f32c.gflops_per_rank_raw, f32c.gflops_per_rank);
-    println!("{:<26} {:>14.1} {:>22.1}", "mixed f64/fp16", f16c.gflops_per_rank_raw, f16c.gflops_per_rank);
+    println!(
+        "{:<26} {:>14.1} {:>22.1}",
+        "mixed f64/f32", f32c.gflops_per_rank_raw, f32c.gflops_per_rank
+    );
+    println!(
+        "{:<26} {:>14.1} {:>22.1}",
+        "mixed f64/fp16", f16c.gflops_per_rank_raw, f16c.gflops_per_rank
+    );
     println!(
         "\nraw fp16 speedup over double: {:.2}x (f32: {:.2}x) — but the measured iteration penalty ({:.3})",
         f16c.gflops_per_rank_raw / d.gflops_per_rank_raw,

@@ -5,11 +5,11 @@
 //!
 //! Run: `cargo run --release --example mixed_precision_study`
 
+use hpg_mxp::core::problem::{assemble, ProblemSpec};
+use hpg_mxp::geometry::{ProcGrid, Stencil27};
 use hpg_mxp::sparse::blas::{self, Basis};
 use hpg_mxp::sparse::gauss_seidel::gs_multicolor;
 use hpg_mxp::sparse::{CsrMatrix, EllMatrix};
-use hpg_mxp::core::problem::{assemble, ProblemSpec};
-use hpg_mxp::geometry::{ProcGrid, Stencil27};
 use std::hint::black_box;
 use std::time::Instant;
 

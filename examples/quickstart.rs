@@ -33,7 +33,8 @@ fn main() {
     // Solve A x = b with mixed-precision GMRES-IR: all inner work in
     // f32, outer residual and solution updates in f64, converging nine
     // orders of magnitude — the defining feat of the benchmark.
-    let opts = GmresOptions { tol: 1e-9, max_iters: 500, track_history: true, ..Default::default() };
+    let opts =
+        GmresOptions { tol: 1e-9, max_iters: 500, track_history: true, ..Default::default() };
     let timeline = Timeline::disabled();
     let (x, stats) = gmres_ir_solve(&SelfComm, &problem, &opts, &timeline);
 
@@ -42,7 +43,10 @@ fn main() {
         stats.converged, stats.iters, stats.restarts
     );
     println!("relative residual: {:.3e}", stats.final_relres);
-    println!("residual history per refinement: {:?}", stats.history.iter().map(|r| format!("{:.1e}", r)).collect::<Vec<_>>());
+    println!(
+        "residual history per refinement: {:?}",
+        stats.history.iter().map(|r| format!("{:.1e}", r)).collect::<Vec<_>>()
+    );
 
     // The exact solution is all ones.
     let max_err = x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0f64, f64::max);
@@ -61,5 +65,9 @@ fn main() {
             );
         }
     }
-    println!("  total    {:>9.2} ms   {:>8.2} GFLOP/s", stats.motifs.total_seconds() * 1e3, stats.motifs.total_gflops());
+    println!(
+        "  total    {:>9.2} ms   {:>8.2} GFLOP/s",
+        stats.motifs.total_seconds() * 1e3,
+        stats.motifs.total_gflops()
+    );
 }

@@ -12,9 +12,9 @@ use hpg_mxp::comm::{SelfComm, Timeline};
 use hpg_mxp::core::gmres::{gmres_solve_f64, GmresOptions};
 use hpg_mxp::core::problem::{assemble, ProblemSpec};
 use hpg_mxp::geometry::{ProcGrid, Stencil27};
-use hpg_mxp::sparse::{greedy_coloring, jpl_coloring, LevelSchedule};
-use hpg_mxp::sparse::ordering::rcm_order;
 use hpg_mxp::sparse::ordering::bandwidth;
+use hpg_mxp::sparse::ordering::rcm_order;
+use hpg_mxp::sparse::{greedy_coloring, jpl_coloring, LevelSchedule};
 
 fn main() {
     let spec = ProblemSpec {
@@ -61,10 +61,7 @@ fn main() {
     let tl = Timeline::disabled();
     let opts = GmresOptions { tol: 1e-9, max_iters: 500, ..Default::default() };
     let (_, st_mc) = gmres_solve_f64(&SelfComm, &problem, &opts, &tl);
-    let ref_opts = GmresOptions {
-        variant: hpg_mxp::core::config::ImplVariant::Reference,
-        ..opts
-    };
+    let ref_opts = GmresOptions { variant: hpg_mxp::core::config::ImplVariant::Reference, ..opts };
     let (_, st_lex) = gmres_solve_f64(&SelfComm, &problem, &ref_opts, &tl);
     println!("\nGMRES iterations to 1e-9:");
     println!("   multicolor smoother (optimized):     {}", st_mc.iters);

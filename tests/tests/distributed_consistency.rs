@@ -14,11 +14,11 @@ use hpgmxp_integration_tests::{dist_problem, serial_equivalent};
 fn global_fill(lg: &LocalGrid, len: usize) -> Vec<f64> {
     let g = lg.global();
     let mut x = vec![0.0f64; len];
-    for i in 0..lg.total_points() {
+    for (i, xi) in x[..lg.total_points()].iter_mut().enumerate() {
         let (ix, iy, iz) = lg.coords(i);
         let (gx, gy, gz) = lg.to_global(ix, iy, iz);
         let gid = g.index(gx, gy, gz) as f64;
-        x[i] = (gid * 0.001).sin() + 0.5;
+        *xi = (gid * 0.001).sin() + 0.5;
     }
     x
 }
@@ -60,11 +60,7 @@ fn distributed_spmv_bitwise_matches_serial() {
                     let si = g.index(sx_, sy_, sz_);
                     // f64 SpMV is performed in identical entry order on
                     // both sides (stencil order), so the match is exact.
-                    assert_eq!(
-                        yi, sy[si],
-                        "{:?} rank {} row {} mismatch",
-                        variant, rank, i
-                    );
+                    assert_eq!(yi, sy[si], "{:?} rank {} row {} mismatch", variant, rank, i);
                 }
             }
         }
@@ -120,13 +116,7 @@ fn dot_products_are_rank_count_invariant() {
         }
         match reference {
             None => reference = Some(v),
-            Some(rv) => assert!(
-                (v - rv).abs() < 1e-9 * rv.abs(),
-                "{} ranks: {} vs {}",
-                p,
-                v,
-                rv
-            ),
+            Some(rv) => assert!((v - rv).abs() < 1e-9 * rv.abs(), "{} ranks: {} vs {}", p, v, rv),
         }
     }
 }

@@ -55,10 +55,7 @@ fn anisotropic_local_boxes() {
     // tests can't tell apart (nx, ny, nz all different).
     for local in [(8u32, 4u32, 2u32), (2, 8, 4), (4, 2, 8)] {
         let prob = assemble(&spec(local, ProcGrid::new(1, 1, 1), 2), 0);
-        assert_eq!(
-            prob.n_local(),
-            (local.0 * local.1 * local.2) as usize
-        );
+        assert_eq!(prob.n_local(), (local.0 * local.1 * local.2) as usize);
         let tl = Timeline::disabled();
         let opts = GmresOptions { max_iters: 400, tol: 1e-8, ..Default::default() };
         let (x, st) = gmres_solve_f64(&hpgmxp_comm::SelfComm, &prob, &opts, &tl);

@@ -128,14 +128,12 @@ fn measured_motif_flops_agree_between_variants() {
     for m in [Motif::GaussSeidel, Motif::SpMV, Motif::Ortho] {
         let fo = opt.flops_of(m);
         let fr = rf.flops_of(m);
-        assert!(
-            (fo - fr).abs() / fr < 1e-9,
-            "{:?}: {} vs {}",
-            m,
-            fo,
-            fr
-        );
+        assert!((fo - fr).abs() / fr < 1e-9, "{:?}: {} vs {}", m, fo, fr);
     }
     let restr_ratio = rf.flops_of(Motif::Restriction) / opt.flops_of(Motif::Restriction);
-    assert!(restr_ratio > 4.0, "reference restriction must count ~8x the work, got {}", restr_ratio);
+    assert!(
+        restr_ratio > 4.0,
+        "reference restriction must count ~8x the work, got {}",
+        restr_ratio
+    );
 }

@@ -34,10 +34,8 @@ fn arb_dd_matrix(max_n: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
             pairs.sort_unstable();
             pairs.dedup();
             let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-            let mut vi = 0usize;
-            for &(i, j) in &pairs {
+            for (vi, &(i, j)) in pairs.iter().enumerate() {
                 let v = vals[vi % vals.len()];
-                vi += 1;
                 rows[i].push((j as u32, v));
                 rows[j].push((i as u32, v));
             }

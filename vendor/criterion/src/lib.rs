@@ -1,0 +1,236 @@
+//! Shim for `criterion`: the `criterion_group!`/`criterion_main!`
+//! macros, `Criterion`/`BenchmarkGroup`/`Bencher`, `BenchmarkId`, and
+//! `Throughput`, backed by a simple warmup-then-measure timing loop.
+//!
+//! No statistics, plots, or baseline files — each benchmark prints one
+//! line with the mean wall time per iteration (and derived throughput
+//! when one was declared). Honors `--quick` (or the `CRITERION_QUICK`
+//! env var) by capping measurement at one sample, which is what the CI
+//! bench-smoke job uses to keep bench binaries from rotting.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark label (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_secs: f64,
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Run the routine repeatedly and record its mean time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate a single-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size each sample to roughly fill measure/samples.
+        let budget = self.measure.as_secs_f64() / self.samples.max(1) as f64;
+        let iters_per_sample = (budget / per_iter.max(1e-9)).ceil().clamp(1.0, 1e7) as u64;
+        let mut total = 0.0;
+        let mut iters = 0u64;
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            total += t0.elapsed().as_secs_f64();
+            iters += iters_per_sample;
+        }
+        self.mean_secs = total / iters as f64;
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+            samples: 10,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Register a free-standing benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let quick = self.quick;
+        run_one(
+            "",
+            &id.to_string(),
+            quick,
+            Duration::from_millis(300),
+            Duration::from_secs(1),
+            10,
+            None,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warmup duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the total measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    /// Set the number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.to_string(),
+            self.quick,
+            self.warm_up,
+            self.measure,
+            self.samples,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    quick: bool,
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let mut b = Bencher {
+        mean_secs: 0.0,
+        warm_up: if quick { Duration::from_millis(10) } else { warm_up },
+        measure: if quick { Duration::from_millis(10) } else { measure },
+        samples: if quick { 1 } else { samples },
+    };
+    f(&mut b);
+    let per_iter = b.mean_secs;
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>10.3} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64)
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>10.3} Melem/s", n as f64 / per_iter / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {:>12.3} µs/iter{extra}", per_iter * 1e6);
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` (criterion's own lives here).
+pub use std::hint::black_box;

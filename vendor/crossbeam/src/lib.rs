@@ -1,0 +1,74 @@
+//! Shim for `crossbeam`: the `channel` module's unbounded MPSC
+//! channel, backed by `std::sync::mpsc`.
+//!
+//! The workspace uses one receiver per rank (never cloned), so std's
+//! single-consumer channel provides the same FIFO-per-sender ordering
+//! guarantees crossbeam's MPMC channel would.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel (cloneable).
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; errors only if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    ///
+    /// crossbeam's receiver is `Sync` (MPMC); std's is not, so the
+    /// shim serializes access through a mutex. The workspace never
+    /// receives from two threads concurrently, so the lock is
+    /// uncontended.
+    pub struct Receiver<T>(std::sync::Mutex<std::sync::mpsc::Receiver<T>>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner()).try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = std::sync::mpsc::channel();
+        (Sender(s), Receiver(std::sync::Mutex::new(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn fifo_per_sender() {
+        let (s, r) = unbounded();
+        let s2 = s.clone();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                s2.send(i).unwrap();
+            }
+        })
+        .join()
+        .unwrap();
+        for i in 0..100 {
+            assert_eq!(r.recv().unwrap(), i);
+        }
+        assert!(matches!(r.try_recv(), Err(TryRecvError::Empty)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Shim for `rayon` that executes **sequentially**.
+//!
+//! Every `par_*` entry point returns the corresponding `std` iterator,
+//! so downstream adapter chains (`.zip`, `.enumerate`, `.filter`,
+//! `.map`, `.sum`, `.collect`, `.for_each`) type-check and run with
+//! identical results — on one thread. Kernels written against this
+//! shim keep their data-parallel-safe structure (no cross-iteration
+//! dependencies), so swapping in the real rayon later is purely a
+//! manifest change.
+
+pub mod prelude {
+    /// `par_iter`/`par_chunks` on slices (sequential shim).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` on slices (sequential shim).
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges (sequential shim).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for `rayon`'s `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn shim_chains_match_sequential() {
+        let v: Vec<u64> = (0..100u64).collect();
+        let s: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 9900);
+        let picked: Vec<u64> = (0..100u64).into_par_iter().filter(|x| x % 7 == 0).collect();
+        assert_eq!(picked.len(), 15);
+        let mut w = [0u64; 8];
+        w.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u64);
+        assert_eq!(w[7], 7);
+        let c: Vec<u64> = v.par_chunks(32).map(|c| c.iter().sum()).collect();
+        assert_eq!(c.iter().sum::<u64>(), 4950);
+    }
+}

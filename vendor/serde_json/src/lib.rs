@@ -1,0 +1,353 @@
+//! Shim for `serde_json`: compact and pretty writers plus a strict
+//! recursive-descent parser, over the serde shim's [`Value`] tree.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: Serialize>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&v.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable, indented JSON.
+pub fn to_string_pretty<T: Serialize>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&v.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into a value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing input at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if f.is_nan() {
+        // JSON has no NaN; emit null (reads back as NaN for floats).
+        out.push_str("null");
+    } else if f.is_infinite() {
+        // Overflows every finite f64 on parse, recovering the infinity.
+        out.push_str(if f > 0.0 { "1e999" } else { "-1e999" });
+    } else {
+        // Rust's shortest-roundtrip Display is valid JSON.
+        out.push_str(&f.to_string());
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(item, out, indent, level + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b" \t\r\n".contains(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}, got {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::msg(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error::msg(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error::msg(e.to_string()))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::msg(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::msg(e.to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| Error::msg(format!("bad integer `{text}`: {e}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error::msg(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(Error::msg(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v: Vec<(String, Vec<f64>)> = vec![
+            ("alpha \"quoted\"".into(), vec![1.0, -2.5, 1e-30]),
+            ("beta\nline".into(), vec![]),
+        ];
+        let s = to_string(&v).unwrap();
+        let back: Vec<(String, Vec<f64>)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Vec<(String, Vec<f64>)> = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn parses_standard_json() {
+        let (n, x, f): (u64, String, f64) =
+            from_str("[ 18446744073709551615 , \"\\u0041ok\" , -2.5e3 ]").unwrap();
+        assert_eq!(n, u64::MAX);
+        assert_eq!(x, "Aok");
+        assert_eq!(f, -2500.0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("1.0 trailing").is_err());
+        assert!(from_str::<f64>("{unquoted: 1}").is_err());
+    }
+
+    #[test]
+    fn nonfinite_floats_stay_parseable() {
+        let s = to_string(&f64::INFINITY).unwrap();
+        let back: f64 = from_str(&s).unwrap();
+        assert!(back.is_infinite() && back > 0.0);
+        let s = to_string(&f64::NAN).unwrap();
+        let back: f64 = from_str(&s).unwrap();
+        assert!(back.is_nan());
+    }
+}
