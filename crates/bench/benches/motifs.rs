@@ -43,12 +43,31 @@ fn bench_spmv(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("csr", "fp32"), |b| {
         b.iter(|| csr32.spmv(black_box(&x32), &mut y32))
     });
+    g.bench_function(BenchmarkId::new("csr_par", "fp64"), |b| {
+        b.iter(|| csr64.spmv_par(black_box(&x64), &mut y64))
+    });
     g.throughput(Throughput::Bytes(ell64.spmv_matrix_bytes() as u64));
     g.bench_function(BenchmarkId::new("ell", "fp64"), |b| {
         b.iter(|| ell64.spmv(black_box(&x64), &mut y64))
     });
     g.bench_function(BenchmarkId::new("ell", "fp32"), |b| {
         b.iter(|| ell32.spmv(black_box(&x32), &mut y32))
+    });
+    // The CPU traversal study (ROADMAP "ELL SpMV tuning"): sequential
+    // row-blocked walk vs the two parallel traversals; `ell_par` is the
+    // heuristic pick.
+    g.bench_function(BenchmarkId::new("ell_rowblock", "fp64"), |b| {
+        b.iter(|| ell64.spmv_rowblock(black_box(&x64), &mut y64))
+    });
+    g.bench_function(BenchmarkId::new("ell_par_rowwise", "fp64"), |b| {
+        b.iter(|| ell64.spmv_par_rowwise(black_box(&x64), &mut y64))
+    });
+    g.bench_function(BenchmarkId::new("ell_par", "fp64"), |b| {
+        b.iter(|| ell64.spmv_par(black_box(&x64), &mut y64))
+    });
+    g.throughput(Throughput::Bytes(ell32.spmv_matrix_bytes() as u64));
+    g.bench_function(BenchmarkId::new("ell_par", "fp32"), |b| {
+        b.iter(|| ell32.spmv_par(black_box(&x32), &mut y32))
     });
     g.finish();
 }
@@ -66,18 +85,25 @@ fn bench_gauss_seidel(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1))
         .sample_size(10);
+    g.throughput(Throughput::Bytes(l.csr64.spmv_matrix_bytes() as u64));
     g.bench_function("lexicographic fp64", |b| {
         let mut z = vec![0.0f64; l.vec_len()];
         b.iter(|| gs_forward(&l.csr64, black_box(&r64), &mut z))
     });
+    g.throughput(Throughput::Bytes(l.ell64.spmv_matrix_bytes() as u64));
     g.bench_function("multicolor ELL fp64", |b| {
         let mut z = vec![0.0f64; l.vec_len()];
         b.iter(|| gs_multicolor(&l.ell64, &l.coloring, black_box(&r64), &mut z))
     });
+    g.throughput(Throughput::Bytes(l.ell32.spmv_matrix_bytes() as u64));
     g.bench_function("multicolor ELL fp32", |b| {
         let mut z = vec![0.0f32; l.vec_len()];
         b.iter(|| gs_multicolor(&l.ell32, &l.coloring, black_box(&r32), &mut z))
     });
+    // One sweep streams the upper factor (SpMV) then the lower factor
+    // (triangular solve); together they cover A's nonzeros once, plus
+    // the structural zero diagonals and the second row-pointer array.
+    g.throughput(Throughput::Bytes((low.spmv_matrix_bytes() + up.spmv_matrix_bytes()) as u64));
     g.bench_function("reference two-kernel fp64", |b| {
         let mut z = vec![0.0f64; l.vec_len()];
         b.iter(|| gs_forward_reference(&low, &up, &schedule, black_box(&r64), &mut z))
@@ -122,16 +148,27 @@ fn bench_vector_ops(c: &mut Criterion) {
         .sample_size(10);
     g.throughput(Throughput::Bytes((n * 16) as u64));
     g.bench_function("dot fp64", |b| b.iter(|| black_box(blas::dot(&x64, &y64))));
+    g.bench_function("dot_par fp64", |b| b.iter(|| black_box(blas::dot_par(&x64, &y64))));
     g.throughput(Throughput::Bytes((n * 8) as u64));
     g.bench_function("dot fp32", |b| b.iter(|| black_box(blas::dot(&x32, &y32))));
+    // waxpby streams x, y in and w out: 3 slices.
+    g.throughput(Throughput::Bytes((n * 24) as u64));
     g.bench_function("waxpby fp64", |b| {
         let mut w = vec![0.0f64; n];
         b.iter(|| blas::waxpby(2.0, &x64, 0.5, &y64, &mut w))
     });
+    g.throughput(Throughput::Bytes((n * 12) as u64));
     g.bench_function("waxpby fp32", |b| {
         let mut w = vec![0.0f32; n];
         b.iter(|| blas::waxpby(2.0, &x32, 0.5, &y32, &mut w))
     });
+    // axpy reads x and reads+writes y.
+    g.throughput(Throughput::Bytes((n * 24) as u64));
+    g.bench_function("axpy fp64", |b| {
+        let mut y = vec![0.0f64; n];
+        b.iter(|| blas::axpy(1.000001, &x64, &mut y))
+    });
+    g.throughput(Throughput::Bytes((n * 20) as u64));
     g.bench_function("axpy mixed f32->f64", |b| {
         let mut y = vec![0.0f64; n];
         b.iter(|| blas::axpy_f32_into_f64(1.5, &x32, &mut y))

@@ -1,0 +1,261 @@
+//! Record and compare tracked kernel-performance baselines.
+//!
+//! The Criterion shim appends one JSON object per benchmark to the file
+//! named by `CRITERION_JSON` (label, median seconds, thread count,
+//! declared bytes/iter, derived GiB/s). This tool turns those raw runs
+//! into the tracked `BENCH_baseline.json` and gates regressions:
+//!
+//! ```text
+//! # record: merge one or more raw runs into the baseline file
+//! CRITERION_JSON=run1.jsonl RAYON_NUM_THREADS=1 cargo bench --bench motifs
+//! CRITERION_JSON=run4.jsonl RAYON_NUM_THREADS=4 cargo bench --bench motifs
+//! cargo run -p hpgmxp-bench --bin bench_baseline -- record BENCH_baseline.json run1.jsonl run4.jsonl
+//!
+//! # compare: fail (exit 1) if any kernel regressed vs the baseline
+//! cargo run -p hpgmxp-bench --bin bench_baseline -- compare BENCH_baseline.json current.jsonl
+//! ```
+//!
+//! `compare` matches entries by `(bench, threads)` and computes each
+//! kernel's speed ratio `baseline_median / current_median` (>1 means
+//! faster now). Because baselines may be recorded on a different
+//! machine than CI runs on, the default mode normalizes by the *median
+//! ratio across all kernels* — a uniformly slower machine shifts every
+//! ratio equally and trips nothing, while a single kernel falling more
+//! than `--max-regress` (default 20%) below the pack fails loudly.
+//! `--absolute` compares raw ratios instead (for same-machine runs).
+
+use serde::Value;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// One benchmark measurement (from a raw run or the baseline file).
+#[derive(Debug, Clone)]
+struct Entry {
+    bench: String,
+    threads: u64,
+    median_secs: f64,
+    gib_per_s: Option<f64>,
+}
+
+fn parse_entry(v: &Value) -> Option<Entry> {
+    Some(Entry {
+        bench: v.get("bench")?.as_str()?.to_string(),
+        threads: v.get("threads")?.as_f64()? as u64,
+        median_secs: v.get("median_secs")?.as_f64()?,
+        gib_per_s: v.get("gib_per_s").and_then(Value::as_f64),
+    })
+}
+
+/// Read a raw `CRITERION_JSON` file: one JSON object per line.
+fn read_jsonl(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("{path}:{}: bad JSON: {e}", ln + 1))?;
+        out.push(parse_entry(&v).ok_or_else(|| format!("{path}:{}: missing fields", ln + 1))?);
+    }
+    Ok(out)
+}
+
+/// Read the tracked baseline file (`{"schema":1,"entries":[...]}`).
+fn read_baseline(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    let entries = v
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: no `entries` array"))?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| parse_entry(e).ok_or_else(|| format!("{path}: entry {i} missing fields")))
+        .collect()
+}
+
+/// Escape a bench label for embedding in hand-built JSON (labels are
+/// ours, but a quote in a parameter string must not corrupt the file).
+fn escape(label: &str) -> String {
+    label.chars().fold(String::new(), |mut s, c| {
+        if c == '"' || c == '\\' {
+            s.push('\\');
+        }
+        s.push(c);
+        s
+    })
+}
+
+fn write_baseline(path: &str, mut entries: Vec<Entry>) -> Result<(), String> {
+    entries.sort_by(|a, b| (&a.bench, a.threads).cmp(&(&b.bench, b.threads)));
+    entries.dedup_by(|a, b| a.bench == b.bench && a.threads == b.threads);
+    let mut s = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let gib = e.gib_per_s.map_or("null".to_string(), |g| format!("{g:.4}"));
+        let _ = write!(
+            s,
+            "    {{\"bench\": \"{}\", \"threads\": {}, \"median_secs\": {:.6e}, \"gib_per_s\": {}}}",
+            escape(&e.bench),
+            e.threads,
+            e.median_secs,
+            gib
+        );
+        s.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    match v.len() {
+        0 => 1.0,
+        n if n % 2 == 1 => v[n / 2],
+        n => 0.5 * (v[n / 2 - 1] + v[n / 2]),
+    }
+}
+
+fn cmd_record(out: &str, inputs: &[String]) -> Result<(), String> {
+    // Later inputs win on (bench, threads) collisions: start from the
+    // existing baseline (if any) and overlay every input in order. A
+    // present-but-unparseable baseline aborts rather than silently
+    // discarding its entries.
+    let mut entries =
+        if std::path::Path::new(out).exists() { read_baseline(out)? } else { Vec::new() };
+    for path in inputs {
+        for e in read_jsonl(path)? {
+            entries.retain(|x| !(x.bench == e.bench && x.threads == e.threads));
+            entries.push(e);
+        }
+    }
+    let n = entries.len();
+    write_baseline(out, entries)?;
+    println!("recorded {n} baseline entries into {out}");
+    Ok(())
+}
+
+fn cmd_compare(
+    baseline_path: &str,
+    current_path: &str,
+    max_regress: f64,
+    absolute: bool,
+) -> Result<bool, String> {
+    let baseline = read_baseline(baseline_path)?;
+    let current = read_jsonl(current_path)?;
+
+    let mut rows: Vec<(Entry, Entry, f64)> = Vec::new();
+    for b in &baseline {
+        if let Some(c) = current.iter().find(|c| c.bench == b.bench && c.threads == b.threads) {
+            // Speed ratio: >1 means the current run is faster.
+            rows.push((b.clone(), c.clone(), b.median_secs / c.median_secs));
+        }
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no (bench, threads) overlap between {baseline_path} and {current_path}"
+        ));
+    }
+
+    let mut ratios: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    let med = median(&mut ratios);
+    let reference = if absolute { 1.0 } else { med };
+    let floor = reference * (1.0 - max_regress);
+
+    println!(
+        "comparing {} kernels against {} ({} mode, median speed ratio {:.3}, fail floor {:.3})",
+        rows.len(),
+        baseline_path,
+        if absolute { "absolute" } else { "machine-normalized" },
+        med,
+        floor,
+    );
+    println!(
+        "{:<44} {:>8} {:>12} {:>12} {:>8}  status",
+        "bench/threads", "ratio", "base", "current", "GiB/s"
+    );
+    let mut failed = false;
+    for (b, c, ratio) in &rows {
+        let bad = *ratio < floor;
+        failed |= bad;
+        println!(
+            "{:<44} {:>8.3} {:>10.1}µs {:>10.1}µs {:>8}  {}",
+            format!("{}/{}t", b.bench, b.threads),
+            ratio,
+            b.median_secs * 1e6,
+            c.median_secs * 1e6,
+            c.gib_per_s.map_or("-".into(), |g| format!("{g:.2}")),
+            if bad { "REGRESSED" } else { "ok" },
+        );
+    }
+    // A baseline kernel that the current run *should* have measured
+    // (same thread count) but didn't is a failure — a renamed or
+    // crashed benchmark must not slip past the gate. Baseline entries
+    // at thread counts the current run never measured are only noted.
+    let measured_threads: Vec<u64> = current.iter().map(|c| c.threads).collect();
+    for b in &baseline {
+        if current.iter().any(|c| c.bench == b.bench && c.threads == b.threads) {
+            continue;
+        }
+        let label = format!("{}/{}t", b.bench, b.threads);
+        if measured_threads.contains(&b.threads) {
+            println!("{label:<44} MISSING from current run");
+            failed = true;
+        } else {
+            println!("{label:<44} (thread count not measured in this run)");
+        }
+    }
+    Ok(!failed)
+}
+
+fn usage() -> String {
+    "usage:\n  bench_baseline record  <baseline.json> <run.jsonl>...\n  \
+     bench_baseline compare <baseline.json> <current.jsonl> [--max-regress 0.20] [--absolute]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") if args.len() >= 3 => cmd_record(&args[1], &args[2..]).map(|()| true),
+        Some("compare") if args.len() >= 3 => {
+            let mut max_regress = 0.20;
+            let mut absolute = false;
+            let mut it = args[3..].iter();
+            let mut ok = true;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--max-regress" => {
+                        max_regress = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                            ok = false;
+                            max_regress
+                        })
+                    }
+                    "--absolute" => absolute = true,
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        ok = false;
+                    }
+                }
+            }
+            if ok {
+                cmd_compare(&args[1], &args[2], max_regress, absolute)
+            } else {
+                Err(usage())
+            }
+        }
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("kernel performance regression detected (see table above)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,6 +23,7 @@ use hpgmxp_sparse::blas;
 use hpgmxp_sparse::csr::CsrMatrix;
 use hpgmxp_sparse::gauss_seidel::{gs_backward, gs_color_class, gs_forward_reference, SweepMatrix};
 use hpgmxp_sparse::{EllMatrix, Half, Scalar};
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Access to a level's operator data at one precision; implemented for
@@ -110,19 +111,22 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
         ImplVariant::Optimized => {
             // Overlap: send boundary values, compute interior rows while
             // messages fly, then finish with boundary rows (§3.2.3).
+            // Both halves run on the thread pool; per-row accumulation
+            // order is fixed, so results match the sequential path bit
+            // for bit at every thread count.
             level.halo.begin(ctx.comm, tag, x, ctx.timeline);
             {
                 let _s = ctx.timeline.span("SpMV interior", Stream::Compute);
-                level.ell().spmv_rows(&level.interior_rows, x, y);
+                level.ell().spmv_rows_par(&level.interior_rows, x, y);
             }
             level.halo.finish(ctx.comm, tag, x, ctx.timeline);
             let _s = ctx.timeline.span("SpMV boundary", Stream::Compute);
-            level.ell().spmv_rows(&level.boundary_rows, x, y);
+            level.ell().spmv_rows_par(&level.boundary_rows, x, y);
         }
         ImplVariant::Reference => {
             level.halo.exchange(ctx.comm, tag, x, ctx.timeline);
             let _s = ctx.timeline.span("SpMV", Stream::Compute);
-            level.csr().spmv(x, y);
+            level.csr().spmv_par(x, y);
         }
     }
     stats.record(Motif::SpMV, t0.elapsed().as_secs_f64(), flops::spmv(level.nnz()));
@@ -228,17 +232,11 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
             fine.halo.begin(ctx.comm, tag, z, ctx.timeline);
             {
                 let _s = ctx.timeline.span("fused SpMV-restrict interior", Stream::Compute);
-                for &ci in &fine.restrict_interior {
-                    let f = map.c2f[ci as usize] as usize;
-                    rc[ci as usize] = b_f[f] - ell.row_dot(f, z);
-                }
+                fused_restrict_rows(ell, &fine.restrict_interior, &map.c2f, b_f, z, rc);
             }
             fine.halo.finish(ctx.comm, tag, z, ctx.timeline);
             let _s = ctx.timeline.span("fused SpMV-restrict boundary", Stream::Compute);
-            for &ci in &fine.restrict_boundary {
-                let f = map.c2f[ci as usize] as usize;
-                rc[ci as usize] = b_f[f] - ell.row_dot(f, z);
-            }
+            fused_restrict_rows(ell, &fine.restrict_boundary, &map.c2f, b_f, z, rc);
             stats.record(
                 Motif::Restriction,
                 t0.elapsed().as_secs_f64(),
@@ -266,15 +264,44 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
     }
 }
 
+/// Fused residual-evaluate-and-inject over one list of coarse points
+/// (§3.2.4), parallel over the list.
+fn fused_restrict_rows<S: Scalar, M: SweepMatrix<S>>(
+    ell: &M,
+    coarse_rows: &[u32],
+    c2f: &[u32],
+    b_f: &[S],
+    z: &[S],
+    rc: &mut [S],
+) {
+    let shared = hpgmxp_sparse::shared::SharedMut::new(rc);
+    let sh = &shared;
+    coarse_rows.par_iter().for_each(move |&ci| {
+        assert!((ci as usize) < sh.len(), "coarse row {} out of range {}", ci, sh.len());
+        let f = c2f[ci as usize] as usize;
+        // SAFETY: `coarse_rows` lists pairwise-distinct coarse indices;
+        // each task writes only its own `rc[ci]` and reads only `b_f`
+        // and `z`, which no task writes.
+        unsafe { *sh.get_mut(ci as usize) = b_f[f] - ell.row_dot(f, z) };
+    });
+}
+
 /// Prolongation + correction: `z += Rᵀ zc` — scatter each coarse value
-/// onto its collocated fine point. Purely local (collocated points are
-/// always owned by the same rank).
+/// onto its collocated fine point, in parallel (collocated points are
+/// always owned by the same rank, and the coarse→fine map is
+/// injective).
 pub fn prolong_add<S: Scalar>(fine: &Level, stats: &mut MotifStats, zc: &[S], z: &mut [S]) {
     let map = fine.c2f.as_ref().expect("prolongation requires a coarser level");
     let t0 = Instant::now();
-    for (i, &c) in zc[..map.n_coarse].iter().enumerate() {
-        z[map.c2f[i] as usize] += c;
-    }
+    let shared = hpgmxp_sparse::shared::SharedMut::new(z);
+    let sh = &shared;
+    zc[..map.n_coarse].par_iter().enumerate().for_each(move |(i, &c)| {
+        let f = map.c2f[i] as usize;
+        assert!(f < sh.len(), "fine point {} out of range {}", f, sh.len());
+        // SAFETY: `c2f` is injective, so every task touches a distinct
+        // fine-grid element and nothing else reads `z` concurrently.
+        unsafe { *sh.get_mut(f) += c };
+    });
     stats.record(
         Motif::Prolongation,
         t0.elapsed().as_secs_f64(),
@@ -284,7 +311,9 @@ pub fn prolong_add<S: Scalar>(fine: &Level, stats: &mut MotifStats, zc: &[S], z:
 
 /// Distributed dot product over owned entries, reduced across ranks.
 /// Local arithmetic runs in `S`; the reduction always happens in `f64`
-/// (as MPI would with a higher-precision reduction type).
+/// (as MPI would with a higher-precision reduction type). The local
+/// part uses the deterministic blocked-pairwise reduction, so residual
+/// histories are bit-identical at every `RAYON_NUM_THREADS`.
 pub fn dist_dot<S: Scalar, C: Comm>(
     comm: &C,
     stats: &mut MotifStats,
@@ -293,7 +322,7 @@ pub fn dist_dot<S: Scalar, C: Comm>(
     y: &[S],
 ) -> f64 {
     let t0 = Instant::now();
-    let local = blas::dot(x, y).to_f64();
+    let local = blas::dot_par(x, y).to_f64();
     let global = comm.allreduce_scalar(local, hpgmxp_comm::ReduceOp::Sum);
     stats.record(motif, t0.elapsed().as_secs_f64(), flops::dot(x.len()));
     global

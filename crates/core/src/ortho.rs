@@ -54,8 +54,8 @@ pub fn cgs2<S: Scalar, C: Comm>(
         }
     }
 
-    // Normalize.
-    let local_sq = blas::norm2_sq(q.col(k)).to_f64();
+    // Normalize (deterministic blocked parallel reduction).
+    let local_sq = blas::norm2_sq_par(q.col(k)).to_f64();
     let beta = comm.allreduce_scalar(local_sq, ReduceOp::Sum).max(0.0).sqrt();
     let breakdown = beta <= f64::EPSILON;
     if !breakdown {
@@ -79,12 +79,12 @@ pub fn mgs<S: Scalar, C: Comm>(
     let n = q.n();
     let mut h = vec![0.0f64; k];
     for (j, hjs) in h.iter_mut().enumerate() {
-        let local = blas::dot(q.col(j), q.col(k)).to_f64();
+        let local = blas::dot_par(q.col(j), q.col(k)).to_f64();
         let hj = comm.allreduce_scalar(local, ReduceOp::Sum);
         *hjs = hj;
         q.axpy_cols(j, k, S::from_f64(hj));
     }
-    let local_sq = blas::norm2_sq(q.col(k)).to_f64();
+    let local_sq = blas::norm2_sq_par(q.col(k)).to_f64();
     let beta = comm.allreduce_scalar(local_sq, ReduceOp::Sum).max(0.0).sqrt();
     let breakdown = beta <= f64::EPSILON;
     if !breakdown {

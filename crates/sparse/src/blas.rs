@@ -13,7 +13,19 @@
 use crate::scalar::Scalar;
 use rayon::prelude::*;
 
-/// Local dot product `x · y`.
+/// Fixed reduction block for [`dot_par`]: partial sums are always
+/// computed over `DOT_BLOCK`-element blocks regardless of thread
+/// count, so the summation tree — and the bits of the result — depend
+/// only on the vector length.
+pub const DOT_BLOCK: usize = 1 << 14;
+
+/// Leaf size for parallel elementwise kernels. Elementwise updates are
+/// bit-identical at any chunking; this only tunes scheduling
+/// granularity (32 KiB of f64 per leaf).
+const ELEM_CHUNK: usize = 4096;
+
+/// Local dot product `x · y`, sequential (the yardstick the
+/// deterministic parallel reduction is built from).
 pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len());
     let mut acc = S::ZERO;
@@ -23,12 +35,35 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     acc
 }
 
-/// Parallel local dot product (chunked to keep deterministic-enough
-/// summation order per chunk count).
+/// Deterministic pairwise sum over a slice of partial results: the
+/// recursion shape depends only on `v.len()`.
+fn pairwise_sum<S: Scalar>(v: &[S]) -> S {
+    match v.len() {
+        0 => S::ZERO,
+        1 => v[0],
+        2 => v[0] + v[1],
+        n => {
+            let (lo, hi) = v.split_at(n / 2);
+            pairwise_sum(lo) + pairwise_sum(hi)
+        }
+    }
+}
+
+/// Parallel local dot product with a **deterministic blocked-pairwise
+/// reduction**: per-block partial dots are computed in parallel but
+/// collected in block order (the pool's `collect` preserves sequential
+/// order), then combined by a pairwise tree whose shape depends only
+/// on the vector length. The result is bit-identical for every
+/// `RAYON_NUM_THREADS`, which is what keeps GMRES residual histories
+/// reproducible across thread counts.
 pub fn dot_par<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len());
-    const CHUNK: usize = 1 << 14;
-    x.par_chunks(CHUNK).zip(y.par_chunks(CHUNK)).map(|(xa, ya)| dot(xa, ya)).sum()
+    if x.len() <= DOT_BLOCK {
+        return dot(x, y);
+    }
+    let partials: Vec<S> =
+        x.par_chunks(DOT_BLOCK).zip(y.par_chunks(DOT_BLOCK)).map(|(xa, ya)| dot(xa, ya)).collect();
+    pairwise_sum(&partials)
 }
 
 /// Local squared 2-norm.
@@ -36,27 +71,44 @@ pub fn norm2_sq<S: Scalar>(x: &[S]) -> S {
     dot(x, x)
 }
 
-/// `w = alpha*x + beta*y` (HPCG's WAXPBY motif).
+/// Parallel local squared 2-norm with the deterministic blocked
+/// reduction of [`dot_par`].
+pub fn norm2_sq_par<S: Scalar>(x: &[S]) -> S {
+    dot_par(x, x)
+}
+
+/// `w = alpha*x + beta*y` (HPCG's WAXPBY motif), parallel over chunks.
+/// Elementwise, so the result is bit-identical at every thread count.
 pub fn waxpby<S: Scalar>(alpha: S, x: &[S], beta: S, y: &[S], w: &mut [S]) {
     assert!(x.len() == y.len() && y.len() == w.len());
-    for i in 0..w.len() {
-        w[i] = (alpha * x[i]).mul_add(S::ONE, beta * y[i]);
-    }
+    w.par_chunks_mut(ELEM_CHUNK)
+        .zip(x.par_chunks(ELEM_CHUNK))
+        .zip(y.par_chunks(ELEM_CHUNK))
+        .for_each(|((wc, xc), yc)| {
+            for ((wi, xi), yi) in wc.iter_mut().zip(xc).zip(yc) {
+                *wi = (alpha * *xi).mul_add(S::ONE, beta * *yi);
+            }
+        });
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x`, parallel over chunks (bit-identical at every
+/// thread count).
 pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi = alpha.mul_add(*xi, *yi);
-    }
+    y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
+        for (yi, xi) in yc.iter_mut().zip(xc) {
+            *yi = alpha.mul_add(*xi, *yi);
+        }
+    });
 }
 
-/// `x *= alpha`.
+/// `x *= alpha`, parallel over chunks.
 pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    x.par_chunks_mut(ELEM_CHUNK).for_each(|xc| {
+        for xi in xc.iter_mut() {
+            *xi *= alpha;
+        }
+    });
 }
 
 /// `y = x` for equal-length slices.
@@ -73,9 +125,11 @@ pub fn copy<S: Copy>(x: &[S], y: &mut [S]) {
 /// optimization.
 pub fn axpy_f32_into_f64(alpha: f64, x: &[f32], y: &mut [f64]) {
     assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi = alpha.mul_add(*xi as f64, *yi);
-    }
+    y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
+        for (yi, xi) in yc.iter_mut().zip(xc) {
+            *yi = alpha.mul_add(*xi as f64, *yi);
+        }
+    });
 }
 
 /// Mixed-precision scaled conversion: `lo = (hi * alpha) as f32`,
@@ -83,9 +137,11 @@ pub fn axpy_f32_into_f64(alpha: f64, x: &[f32], y: &mut [f64]) {
 /// and narrowed into the f32 Krylov space).
 pub fn scale_f64_into_f32(alpha: f64, hi: &[f64], lo: &mut [f32]) {
     assert_eq!(hi.len(), lo.len());
-    for (l, h) in lo.iter_mut().zip(hi.iter()) {
-        *l = (h * alpha) as f32;
-    }
+    lo.par_chunks_mut(ELEM_CHUNK).zip(hi.par_chunks(ELEM_CHUNK)).for_each(|(lc, hc)| {
+        for (l, h) in lc.iter_mut().zip(hc) {
+            *l = (h * alpha) as f32;
+        }
+    });
 }
 
 /// Generic narrowing hand-off `lo = (hi * alpha) as S` — lets GMRES-IR
@@ -93,9 +149,11 @@ pub fn scale_f64_into_f32(alpha: f64, hi: &[f64], lo: &mut [f32]) {
 /// paper's future-work study).
 pub fn scale_f64_into_lo<S: Scalar>(alpha: f64, hi: &[f64], lo: &mut [S]) {
     assert_eq!(hi.len(), lo.len());
-    for (l, h) in lo.iter_mut().zip(hi.iter()) {
-        *l = S::from_f64(h * alpha);
-    }
+    lo.par_chunks_mut(ELEM_CHUNK).zip(hi.par_chunks(ELEM_CHUNK)).for_each(|(lc, hc)| {
+        for (l, h) in lc.iter_mut().zip(hc) {
+            *l = S::from_f64(h * alpha);
+        }
+    });
 }
 
 /// Generic mixed AXPY: `y (f64) += alpha * x (S)` — the widening
@@ -103,9 +161,11 @@ pub fn scale_f64_into_lo<S: Scalar>(alpha: f64, hi: &[f64], lo: &mut [S]) {
 /// inner precision).
 pub fn axpy_lo_into_f64<S: Scalar>(alpha: f64, x: &[S], y: &mut [f64]) {
     assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi = alpha.mul_add(xi.to_f64(), *yi);
-    }
+    y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
+        for (yi, xi) in yc.iter_mut().zip(xc) {
+            *yi = alpha.mul_add(xi.to_f64(), *yi);
+        }
+    });
 }
 
 /// Column-major Krylov basis storage `Q ∈ R^{n × max_cols}`.
@@ -157,18 +217,25 @@ impl<S: Scalar> Basis<S> {
         (0..k).into_par_iter().map(|j| dot(&head[j * self.n..(j + 1) * self.n], w)).collect()
     }
 
-    /// GEMV: `col k -= Q[:, 0..k] · h` — the update half of a CGS2 pass.
+    /// GEMV: `col k -= Q[:, 0..k] · h` — the update half of a CGS2
+    /// pass. Parallel over row blocks of the target column; each block
+    /// applies all `k` column updates in order, so the result is
+    /// bit-identical to the sequential double loop.
     pub fn subtract(&mut self, k: usize, h: &[S]) {
         assert_eq!(h.len(), k);
-        let (head, tail) = self.data.split_at_mut(k * self.n);
-        let w = &mut tail[..self.n];
-        for j in 0..k {
-            let qj = &head[j * self.n..(j + 1) * self.n];
-            let hj = h[j];
-            for (wi, qi) in w.iter_mut().zip(qj.iter()) {
-                *wi = (-hj).mul_add(*qi, *wi);
+        let n = self.n;
+        let (head, tail) = self.data.split_at_mut(k * n);
+        let head = &*head;
+        let w = &mut tail[..n];
+        w.par_chunks_mut(ELEM_CHUNK).enumerate().for_each(|(ci, wc)| {
+            let off = ci * ELEM_CHUNK;
+            for (j, &hj) in h.iter().enumerate() {
+                let qj = &head[j * n + off..j * n + off + wc.len()];
+                for (wi, qi) in wc.iter_mut().zip(qj.iter()) {
+                    *wi = (-hj).mul_add(*qi, *wi);
+                }
             }
-        }
+        });
     }
 
     /// `col dst -= alpha · col src` with `src < dst` — the elementary
@@ -178,9 +245,11 @@ impl<S: Scalar> Basis<S> {
         let (head, tail) = self.data.split_at_mut(dst * self.n);
         let s = &head[src * self.n..(src + 1) * self.n];
         let d = &mut tail[..self.n];
-        for (di, si) in d.iter_mut().zip(s.iter()) {
-            *di = (-alpha).mul_add(*si, *di);
-        }
+        d.par_chunks_mut(ELEM_CHUNK).zip(s.par_chunks(ELEM_CHUNK)).for_each(|(dc, sc)| {
+            for (di, si) in dc.iter_mut().zip(sc.iter()) {
+                *di = (-alpha).mul_add(*si, *di);
+            }
+        });
     }
 
     /// `out = Q[:, 0..k] · t` (the restart-time basis combination,
@@ -217,6 +286,24 @@ mod tests {
         let a = dot(&x, &y);
         let b = dot_par(&x, &y);
         assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_par_is_bit_identical_across_thread_counts() {
+        let x: Vec<f64> = (0..3 * DOT_BLOCK + 17).map(|i| ((i * 37 % 1013) as f64).sin()).collect();
+        let y: Vec<f64> = (0..x.len()).map(|i| ((i * 53 % 997) as f64).cos()).collect();
+        let reference = dot_par(&x, &y);
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPool::new(threads);
+            let d = pool.install(|| dot_par(&x, &y));
+            assert_eq!(d.to_bits(), reference.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn dot_par_below_one_block_equals_serial_exactly() {
+        let x: Vec<f64> = (0..4096).map(|i| (i as f64).sqrt()).collect();
+        assert_eq!(dot_par(&x, &x).to_bits(), dot(&x, &x).to_bits());
     }
 
     #[test]

@@ -204,6 +204,28 @@ impl<S: Scalar> CsrMatrix<S> {
         }
     }
 
+    /// Parallel [`CsrMatrix::spmv_rows`]: the interior/boundary halves
+    /// of the overlap split are large row sets, so they go through the
+    /// pool too. `rows` must not contain duplicates.
+    pub fn spmv_rows_par(&self, rows: &[u32], x: &[S], y: &mut [S]) {
+        assert!(x.len() >= self.ncols);
+        assert!(y.len() >= self.nrows);
+        let shared = crate::shared::SharedMut::new(y);
+        let sh = &shared;
+        rows.par_iter().for_each(move |&i| {
+            let i = i as usize;
+            assert!(i < self.nrows, "row {} out of range {}", i, self.nrows);
+            let (cols, vals) = self.row(i);
+            let mut acc = S::ZERO;
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                acc = v.mul_add(x[*c as usize], acc);
+            }
+            // SAFETY: `rows` lists pairwise-distinct row indices and the
+            // kernel reads only `x`; each task writes its own `y[i]`.
+            unsafe { *sh.get_mut(i) = acc };
+        });
+    }
+
     /// Convert every stored value to another precision. Ghost structure
     /// and sparsity are unchanged; this is how the mixed-precision solver
     /// obtains its low-precision operator copy.
@@ -344,6 +366,11 @@ mod tests {
             } else {
                 assert!(partial[i].is_nan());
             }
+        }
+        let mut par = vec![f64::NAN; 10];
+        a.spmv_rows_par(&evens, &x, &mut par);
+        for i in (0..10).step_by(2) {
+            assert_eq!(par[i], full[i]);
         }
     }
 

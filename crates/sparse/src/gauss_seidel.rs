@@ -125,18 +125,6 @@ pub fn gs_rows_ordered<S: Scalar, M: SweepMatrix<S>>(a: &M, rows: &[u32], r: &[S
     }
 }
 
-/// Shared mutable vector handle for the color-parallel sweep.
-///
-/// Safety argument: within one color, the rows form an independent set
-/// of the matrix graph. Each task writes only `x[i]` for its own row
-/// `i`, and reads `x[j]` only for stored columns `j` of row `i` — which
-/// by the coloring invariant are never rows of the *same* color (other
-/// than `i` itself). Hence all concurrent writes are to disjoint
-/// elements and no element is concurrently read and written.
-struct SharedX<S>(*mut S, usize);
-unsafe impl<S: Send> Send for SharedX<S> {}
-unsafe impl<S: Send> Sync for SharedX<S> {}
-
 /// Update every row of one color class in parallel (the body of the
 /// multicolor sweep; exposed so the solver can interleave colors with
 /// halo communication).
@@ -145,17 +133,20 @@ unsafe impl<S: Send> Sync for SharedX<S> {}
 /// may be coupled by a stored entry.
 pub fn gs_color_class<S: Scalar, M: SweepMatrix<S>>(a: &M, rows: &[u32], r: &[S], x: &mut [S]) {
     assert!(x.len() >= a.ncols() && r.len() >= a.nrows());
-    let shared = SharedX(x.as_mut_ptr(), x.len());
-    let xs: &SharedX<S> = &shared;
+    let shared = crate::shared::SharedMut::new(x);
+    let xs = &shared;
     rows.par_iter().for_each(move |&iw| {
         let i = iw as usize;
-        // SAFETY: see `SharedX` — writes are disjoint (one per row in an
-        // independent set) and reads never alias a concurrent write.
+        // SAFETY: within one color the rows form an independent set of
+        // the matrix graph. Each task writes only `x[i]` for its own
+        // row `i`, and reads `x[j]` only for stored columns `j` of row
+        // `i` — which by the coloring invariant are never rows of the
+        // *same* color (other than `i` itself). Hence all concurrent
+        // writes are disjoint and no element is concurrently read and
+        // written.
         unsafe {
-            let xslice = std::slice::from_raw_parts(xs.0, xs.1);
-            let acc = a.row_dot(i, xslice);
-            let xi = xs.0.add(i);
-            *xi += (r[i] - acc) / a.diag(i);
+            let acc = a.row_dot(i, xs.slice());
+            *xs.get_mut(i) += (r[i] - acc) / a.diag(i);
         }
     });
 }
@@ -230,8 +221,8 @@ pub fn sptrsv_lower_level_scheduled<S: Scalar>(
 ) {
     assert!(x.len() >= l.nrows() && rhs.len() >= l.nrows());
     for level in &schedule.levels {
-        let shared = SharedX(x.as_mut_ptr(), x.len());
-        let xs: &SharedX<S> = &shared;
+        let shared = crate::shared::SharedMut::new(x);
+        let xs = &shared;
         level.par_iter().for_each(move |&iw| {
             let i = iw as usize;
             let (cols, vals) = l.row(i);
@@ -239,7 +230,7 @@ pub fn sptrsv_lower_level_scheduled<S: Scalar>(
             // strictly earlier levels (LevelSchedule invariant), so no
             // concurrent read/write aliasing occurs within a level.
             unsafe {
-                let xslice = std::slice::from_raw_parts(xs.0, xs.1);
+                let xslice = xs.slice();
                 let mut acc = S::ZERO;
                 let mut diag = S::ONE;
                 for (c, v) in cols.iter().zip(vals.iter()) {
@@ -249,7 +240,7 @@ pub fn sptrsv_lower_level_scheduled<S: Scalar>(
                         diag = *v;
                     }
                 }
-                *xs.0.add(i) = (rhs[i] - acc) / diag;
+                *xs.get_mut(i) = (rhs[i] - acc) / diag;
             }
         });
     }

@@ -34,6 +34,7 @@ pub mod half;
 pub mod levels;
 pub mod ordering;
 pub mod scalar;
+pub mod shared;
 
 pub use coloring::{greedy_coloring, jpl_coloring, Coloring};
 pub use csr::{CsrBuilder, CsrMatrix};

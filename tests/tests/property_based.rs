@@ -214,3 +214,72 @@ proptest! {
         prop_assert_eq!(out32, v32);
     }
 }
+
+/// Pool-coverage properties of the work-stealing runtime: whatever the
+/// slice length, chunk size, and thread count, a parallel mutable
+/// traversal must visit every index exactly once, and parallel
+/// reductions must agree with their sequential counterparts.
+mod pool_properties {
+    use proptest::prelude::*;
+    use rayon::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn par_iter_mut_visits_every_index_exactly_once(
+            len in 1usize..20_000,
+            threads in 1usize..9,
+        ) {
+            let pool = rayon::ThreadPool::new(threads);
+            let mut v = vec![0u32; len];
+            pool.install(|| {
+                v.par_iter_mut().for_each(|x| *x += 1);
+            });
+            prop_assert!(v.iter().all(|&x| x == 1), "some index missed or repeated");
+        }
+
+        #[test]
+        fn par_chunks_mut_covers_every_index_exactly_once(
+            len in 1usize..20_000,
+            chunk in 1usize..500,
+            threads in 1usize..9,
+        ) {
+            let pool = rayon::ThreadPool::new(threads);
+            let counters: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+            let mut v = vec![0u8; len];
+            pool.install(|| {
+                v.par_chunks_mut(chunk).enumerate().for_each(|(b, c)| {
+                    for (i, _) in c.iter_mut().enumerate() {
+                        counters[b * chunk + i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            prop_assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+
+        #[test]
+        fn par_collect_preserves_order(
+            len in 0usize..10_000,
+            threads in 1usize..9,
+        ) {
+            let pool = rayon::ThreadPool::new(threads);
+            let out: Vec<usize> =
+                pool.install(|| (0..len).into_par_iter().map(|i| i * 3).collect());
+            prop_assert_eq!(out, (0..len).map(|i| i * 3).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn par_integer_sum_matches_sequential(
+            v in proptest::collection::vec(0u64..1_000_000, 0..5_000),
+            threads in 1usize..9,
+        ) {
+            // Integer sums are exact, so even the thread-shaped reduction
+            // tree must agree with the sequential sum.
+            let pool = rayon::ThreadPool::new(threads);
+            let par: u64 = pool.install(|| v.par_iter().map(|&x| x).sum());
+            prop_assert_eq!(par, v.iter().sum::<u64>());
+        }
+    }
+}

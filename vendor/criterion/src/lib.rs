@@ -1,14 +1,27 @@
 //! Shim for `criterion`: the `criterion_group!`/`criterion_main!`
 //! macros, `Criterion`/`BenchmarkGroup`/`Bencher`, `BenchmarkId`, and
-//! `Throughput`, backed by a simple warmup-then-measure timing loop.
+//! `Throughput`, backed by a warmup-then-measure timing loop.
 //!
-//! No statistics, plots, or baseline files — each benchmark prints one
-//! line with the mean wall time per iteration (and derived throughput
-//! when one was declared). Honors `--quick` (or the `CRITERION_QUICK`
-//! env var) by capping measurement at one sample, which is what the CI
-//! bench-smoke job uses to keep bench binaries from rotting.
+//! Reporting is built for the tracked perf baselines in
+//! `BENCH_baseline.json`:
+//!
+//! * each benchmark takes N timed samples and reports the **median**
+//!   per-iteration time (robust against scheduler noise, unlike a
+//!   plain mean), plus derived throughput (GiB/s for
+//!   [`Throughput::Bytes`], Melem/s for [`Throughput::Elements`]);
+//! * when the `CRITERION_JSON` env var names a file, one JSON object
+//!   per benchmark is appended to it (label, median seconds, sample
+//!   count, thread count, declared per-iteration work, derived
+//!   throughput) — the raw material `bench_baseline record/compare`
+//!   works from;
+//! * `--quick` (or `CRITERION_QUICK`) caps measurement at one sample,
+//!   which is what the CI bench-smoke job uses.
+//!
+//! No plots and no statistics beyond the median; see vendor/README.md
+//! for the swap-back-to-real-criterion path.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Declared per-iteration work, used to derive throughput.
@@ -42,15 +55,16 @@ impl Display for BenchmarkId {
 
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
-    /// Mean seconds per iteration, filled in by `iter`.
-    mean_secs: f64,
+    /// Per-iteration seconds of each timed sample, filled in by `iter`.
+    sample_secs: Vec<f64>,
     warm_up: Duration,
     measure: Duration,
     samples: usize,
 }
 
 impl Bencher {
-    /// Run the routine repeatedly and record its mean time.
+    /// Run the routine repeatedly, recording one per-iteration time per
+    /// sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm up and estimate a single-iteration cost.
         let warm_start = Instant::now();
@@ -66,17 +80,30 @@ impl Bencher {
         // Size each sample to roughly fill measure/samples.
         let budget = self.measure.as_secs_f64() / self.samples.max(1) as f64;
         let iters_per_sample = (budget / per_iter.max(1e-9)).ceil().clamp(1.0, 1e7) as u64;
-        let mut total = 0.0;
-        let mut iters = 0u64;
+        self.sample_secs.clear();
         for _ in 0..self.samples.max(1) {
             let t0 = Instant::now();
             for _ in 0..iters_per_sample {
                 std::hint::black_box(routine());
             }
-            total += t0.elapsed().as_secs_f64();
-            iters += iters_per_sample;
+            self.sample_secs.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
         }
-        self.mean_secs = total / iters as f64;
+    }
+
+    /// Median per-iteration seconds across samples (midpoint average
+    /// for even counts).
+    fn median_secs(&self) -> f64 {
+        let mut s = self.sample_secs.clone();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let n = s.len();
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            0.5 * (s[n / 2 - 1] + s[n / 2])
+        }
     }
 }
 
@@ -179,6 +206,16 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The thread-count the pool will resolve to, mirroring the vendored
+/// rayon's policy (this crate cannot depend on it directly).
+fn resolved_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_one<F: FnMut(&mut Bencher)>(
     group: &str,
@@ -192,23 +229,78 @@ fn run_one<F: FnMut(&mut Bencher)>(
 ) {
     let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
     let mut b = Bencher {
-        mean_secs: 0.0,
+        sample_secs: Vec::new(),
         warm_up: if quick { Duration::from_millis(10) } else { warm_up },
         measure: if quick { Duration::from_millis(10) } else { measure },
         samples: if quick { 1 } else { samples },
     };
     f(&mut b);
-    let per_iter = b.mean_secs;
-    let extra = match throughput {
-        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
-            format!("  {:>10.3} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64)
+    let median = b.median_secs();
+    let n_samples = b.sample_secs.len();
+
+    let gib_per_s = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+            Some(bytes as f64 / median / (1u64 << 30) as f64)
         }
-        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
-            format!("  {:>10.3} Melem/s", n as f64 / per_iter / 1e6)
+        _ => None,
+    };
+    let extra = match throughput {
+        Some(Throughput::Bytes(_)) => {
+            format!("  {:>10.3} GiB/s", gib_per_s.unwrap_or(0.0))
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.3} Melem/s", n as f64 / median / 1e6)
         }
         _ => String::new(),
     };
-    println!("bench {label:<48} {:>12.3} µs/iter{extra}", per_iter * 1e6);
+    println!("bench {label:<48} {:>12.3} µs/iter (median of {n_samples}){extra}", median * 1e6);
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_record(&path, &label, median, n_samples, throughput, gib_per_s);
+        }
+    }
+}
+
+/// Append one machine-readable record for `bench_baseline`. Fields are
+/// written by hand (this shim deliberately has no dependencies); the
+/// label is group/id text under our control plus user parameter labels,
+/// so quotes and backslashes are escaped defensively.
+fn append_json_record(
+    path: &str,
+    label: &str,
+    median_secs: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+    gib_per_s: Option<f64>,
+) {
+    let esc: String = label.chars().fold(String::new(), |mut s, c| {
+        if c == '"' || c == '\\' {
+            s.push('\\');
+        }
+        s.push(c);
+        s
+    });
+    let (bytes, elems) = match throughput {
+        Some(Throughput::Bytes(b)) => (b.to_string(), "null".to_string()),
+        Some(Throughput::Elements(e)) => ("null".to_string(), e.to_string()),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let gib = gib_per_s.map_or("null".to_string(), |g| format!("{g:.6}"));
+    let line = format!(
+        "{{\"bench\":\"{esc}\",\"median_secs\":{median_secs:e},\"samples\":{samples},\
+         \"threads\":{},\"bytes_per_iter\":{bytes},\"elems_per_iter\":{elems},\
+         \"gib_per_s\":{gib}}}\n",
+        resolved_threads()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut fh| fh.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion: could not append to CRITERION_JSON={path}: {e}");
+    }
 }
 
 /// Collect benchmark functions into a runnable group.
@@ -234,3 +326,45 @@ macro_rules! criterion_main {
 
 /// Re-export of `std::hint::black_box` (criterion's own lives here).
 pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        let b = Bencher {
+            sample_secs: vec![1.0, 1.1, 0.9, 50.0, 1.05],
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(1),
+            samples: 5,
+        };
+        assert!((b.median_secs() - 1.05).abs() < 1e-12);
+        let even = Bencher { sample_secs: vec![1.0, 3.0], ..b };
+        assert!((even.median_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_records_append_and_escape() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let p = path.to_str().unwrap();
+        append_json_record(
+            p,
+            "spmv/csr/fp64",
+            1.5e-3,
+            10,
+            Some(Throughput::Bytes(1024)),
+            Some(0.6),
+        );
+        append_json_record(p, "odd \"label\"", 2.0e-6, 1, None, None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\":\"spmv/csr/fp64\""));
+        assert!(lines[0].contains("\"bytes_per_iter\":1024"));
+        assert!(lines[1].contains("\\\"label\\\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

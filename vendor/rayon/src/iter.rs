@@ -1,0 +1,592 @@
+//! Parallel iterators with real splitting semantics.
+//!
+//! A [`ParallelIterator`] here is a *splittable producer*: it knows the
+//! length of its index domain, can split itself at any interior point
+//! ([`ParallelIterator::split_at`]), and can fold a leaf piece
+//! sequentially ([`ParallelIterator::fold_with`]). The drivers
+//! (`for_each`, `sum`, `reduce`, `collect`, `count`) recursively split
+//! the producer into roughly `8 × num_threads` pieces via
+//! [`crate::join`], so idle workers steal the large untouched front
+//! halves while busy ones chew through their own back halves.
+//!
+//! Ranges split by index arithmetic; slices split with
+//! `split_at`/`split_at_mut`; chunk producers split on chunk
+//! boundaries. `collect` concatenates leaf vectors strictly
+//! left-to-right, so **element order — and therefore any
+//! order-sensitive reduction built on `collect` — is independent of
+//! the thread count**. That invariant is what the deterministic
+//! blocked dot products in the sparse crate are built on.
+//!
+//! [`IndexedParallelIterator`] marks producers with exact per-index
+//! correspondence (slices, ranges, chunks, and their `zip`/`enumerate`
+//! compositions); `filter` drops the marker, exactly as in rayon.
+
+use crate::join;
+use crate::registry::Registry;
+use std::iter::Sum;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A splittable, sequentially-foldable parallel producer.
+///
+/// The three `#[doc(hidden)]` plumbing methods (`par_len`, `split_at`,
+/// `fold_with`) define the producer; everything else is provided.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Length of the index domain (an upper bound on produced items —
+    /// exact except downstream of `filter`).
+    #[doc(hidden)]
+    fn par_len(&self) -> usize;
+
+    /// Split into `[0, mid)` and `[mid, len)` halves of the domain.
+    #[doc(hidden)]
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Sequentially fold this (leaf) piece.
+    #[doc(hidden)]
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, g: G) -> A;
+
+    /// Apply `f` to every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(self, &|piece: Self| piece.fold_with((), |(), item| f(item)), &|(), ()| ());
+    }
+
+    /// Lazily map every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { inner: self, f: Arc::new(f) }
+    }
+
+    /// Lazily keep only items satisfying `p`.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { inner: self, p: Arc::new(p) }
+    }
+
+    /// Sum all items. The reduction tree depends on the split points,
+    /// so floating-point results may vary with thread count; kernels
+    /// that need run-to-run determinism use `collect` + a fixed-shape
+    /// pairwise sum instead (see `hpgmxp-sparse::blas::dot_par`).
+    fn sum<S>(self) -> S
+    where
+        S: Send + Sum<Self::Item> + Sum<S>,
+    {
+        let total = drive(
+            self,
+            &|piece: Self| {
+                piece.fold_with(None::<S>, |acc, item| {
+                    let v: S = std::iter::once(item).sum();
+                    Some(match acc {
+                        None => v,
+                        Some(a) => [a, v].into_iter().sum(),
+                    })
+                })
+            },
+            &|a, b| match (a, b) {
+                (Some(a), Some(b)) => Some([a, b].into_iter().sum()),
+                (x, None) | (None, x) => x,
+            },
+        );
+        total.unwrap_or_else(|| std::iter::empty::<Self::Item>().sum())
+    }
+
+    /// Reduce with an associative operator and an identity constructor.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(self, &|piece: Self| piece.fold_with(identity(), &op), &|a, b| op(a, b))
+    }
+
+    /// Collect into a container, preserving the sequential order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let parts = drive(
+            self,
+            &|piece: Self| {
+                let mut v = Vec::with_capacity(piece.par_len());
+                v = piece.fold_with(v, |mut v, item| {
+                    v.push(item);
+                    v
+                });
+                v
+            },
+            &|mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        C::from_par_vec(parts)
+    }
+
+    /// Count the produced items.
+    fn count(self) -> usize {
+        drive(self, &|piece: Self| piece.fold_with(0usize, |n, _| n + 1), &|a, b| a + b)
+    }
+}
+
+/// Conversion into a container from an order-preserving parallel
+/// collection.
+pub trait FromParallelIterator<T> {
+    /// Build from the in-order item vector.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// Producers whose domain indices correspond one-to-one with produced
+/// items, enabling `zip` and `enumerate`.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// The sequential iterator a leaf piece lowers to.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Lower this piece to its sequential iterator.
+    #[doc(hidden)]
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Iterate two producers in lockstep (truncating to the shorter).
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self, offset: 0 }
+    }
+}
+
+/// Recursively split `iter` and run the pieces on the pool.
+///
+/// Entered through `Registry::in_worker`, so a call from outside the
+/// pool injects exactly one root job and blocks; all splitting then
+/// happens on worker threads. With one thread (or a trivial domain)
+/// the whole fold runs inline — the sequential fallback.
+fn drive<I, R, L, C>(iter: I, leaf: &L, combine: &C) -> R
+where
+    I: ParallelIterator,
+    R: Send,
+    L: Fn(I) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    let registry = Registry::current();
+    let len = iter.par_len();
+    if registry.num_threads() <= 1 || len <= 1 {
+        return leaf(iter);
+    }
+    let grain = (len / (registry.num_threads() * 8)).max(1);
+    registry.in_worker(move || drive_rec(iter, grain, leaf, combine))
+}
+
+fn drive_rec<I, R, L, C>(iter: I, grain: usize, leaf: &L, combine: &C) -> R
+where
+    I: ParallelIterator,
+    R: Send,
+    L: Fn(I) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    let len = iter.par_len();
+    if len <= grain {
+        return leaf(iter);
+    }
+    let (left, right) = iter.split_at(len / 2);
+    let (ra, rb) =
+        join(|| drive_rec(left, grain, leaf, combine), || drive_rec(right, grain, leaf, combine));
+    combine(ra, rb)
+}
+
+// ---------------------------------------------------------------------
+// Base producers: slices, mutable slices, chunks, ranges, vectors.
+// ---------------------------------------------------------------------
+
+/// Parallel shared-slice producer (`[T]::par_iter`).
+pub struct ParSlice<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (ParSlice { slice: l }, ParSlice { slice: r })
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, g: G) -> A {
+        self.slice.iter().fold(acc, g)
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParSlice<'a, T> {
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel mutable-slice producer (`[T]::par_iter_mut`), split with
+/// `split_at_mut`.
+pub struct ParSliceMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid);
+        (ParSliceMut { slice: l }, ParSliceMut { slice: r })
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, g: G) -> A {
+        self.slice.iter_mut().fold(acc, g)
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParSliceMut<'a, T> {
+    type SeqIter = std::slice::IterMut<'a, T>;
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel chunk producer (`[T]::par_chunks`); splits on chunk
+/// boundaries so chunk contents match the sequential `chunks` exactly.
+pub struct ParChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid * self.chunk);
+        (ParChunks { slice: l, chunk: self.chunk }, ParChunks { slice: r, chunk: self.chunk })
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, g: G) -> A {
+        self.slice.chunks(self.chunk).fold(acc, g)
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {
+    type SeqIter = std::slice::Chunks<'a, T>;
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Parallel mutable chunk producer (`[T]::par_chunks_mut`).
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid * self.chunk);
+        (ParChunksMut { slice: l, chunk: self.chunk }, ParChunksMut { slice: r, chunk: self.chunk })
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, g: G) -> A {
+        self.slice.chunks_mut(self.chunk).fold(acc, g)
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParChunksMut<'a, T> {
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Parallel integer-range producer, split by index arithmetic.
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                self.range.end.saturating_sub(self.range.start) as usize
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let m = self.range.start + mid as $t;
+                (
+                    ParRange { range: self.range.start..m },
+                    ParRange { range: m..self.range.end },
+                )
+            }
+            fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, g: G) -> A {
+                self.range.fold(acc, g)
+            }
+        }
+
+        impl IndexedParallelIterator for ParRange<$t> {
+            type SeqIter = Range<$t>;
+            fn into_seq(self) -> Self::SeqIter {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+impl_par_range!(usize, u8, u16, u32, u64);
+
+/// Parallel owning producer for vectors; splitting moves the tail into
+/// a fresh vector.
+pub struct ParVec<T: Send> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(mid);
+        (self, ParVec { vec: tail })
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, g: G) -> A {
+        self.vec.into_iter().fold(acc, g)
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParVec<T> {
+    type SeqIter = std::vec::IntoIter<T>;
+    fn into_seq(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { vec: self }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------
+
+/// Lazily mapped producer (closure shared across splits via `Arc`).
+pub struct Map<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(mid);
+        (Map { inner: l, f: Arc::clone(&self.f) }, Map { inner: r, f: self.f })
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, mut g: G) -> A {
+        let f = self.f;
+        self.inner.fold_with(acc, move |a, x| g(a, f(x)))
+    }
+}
+
+/// Lazily filtered producer. Not indexed: the domain length becomes an
+/// upper bound on produced items.
+pub struct Filter<I, P> {
+    inner: I,
+    p: Arc<P>,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(mid);
+        (Filter { inner: l, p: Arc::clone(&self.p) }, Filter { inner: r, p: self.p })
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, mut g: G) -> A {
+        let p = self.p;
+        self.inner.fold_with(acc, move |a, x| if p(&x) { g(a, x) } else { a })
+    }
+}
+
+/// Lockstep pairing of two indexed producers.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+    fn fold_with<A2, G: FnMut(A2, Self::Item) -> A2>(self, acc: A2, g: G) -> A2 {
+        self.a.into_seq().zip(self.b.into_seq()).fold(acc, g)
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Index-pairing adapter; the base offset survives splitting so every
+/// item sees its global index.
+pub struct Enumerate<I> {
+    inner: I,
+    offset: usize,
+}
+
+impl<I: IndexedParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(mid);
+        (
+            Enumerate { inner: l, offset: self.offset },
+            Enumerate { inner: r, offset: self.offset + mid },
+        )
+    }
+    fn fold_with<A, G: FnMut(A, Self::Item) -> A>(self, acc: A, mut g: G) -> A {
+        let (acc, _) = self.inner.fold_with((acc, self.offset), |(a, i), x| (g(a, (i, x)), i + 1));
+        acc
+    }
+}
+
+/// Sequential counterpart of [`Enumerate`] carrying the split offset.
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type SeqIter = EnumerateSeq<I::SeqIter>;
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeq { inner: self.inner.into_seq(), next: self.offset }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits on std types.
+// ---------------------------------------------------------------------
+
+/// `par_iter`/`par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> ParSlice<'_, T>;
+    /// Parallel iteration over `chunk_size`-element pieces.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { slice: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { slice: self, chunk: chunk_size }
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel mutable iteration.
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+    /// Parallel mutable iteration over `chunk_size`-element pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        ParSliceMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk: chunk_size }
+    }
+}
+
+/// `into_par_iter` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The producer type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert into a parallel producer.
+    fn into_par_iter(self) -> Self::Iter;
+}

@@ -1,65 +1,251 @@
-//! Shim for `rayon` that executes **sequentially**.
+//! Vendored work-stealing data-parallelism runtime, API-compatible with
+//! the subset of `rayon` this workspace uses.
 //!
-//! Every `par_*` entry point returns the corresponding `std` iterator,
-//! so downstream adapter chains (`.zip`, `.enumerate`, `.filter`,
-//! `.map`, `.sum`, `.collect`, `.for_each`) type-check and run with
-//! identical results — on one thread. Kernels written against this
-//! shim keep their data-parallel-safe structure (no cross-iteration
-//! dependencies), so swapping in the real rayon later is purely a
-//! manifest change.
+//! Until PR 2 this crate was a sequential shim; it is now a real
+//! thread pool (see [`registry`]) driving real splittable parallel
+//! iterators (see [`iter`]):
+//!
+//! * **spawn-once workers** — the global pool starts its threads on
+//!   first use and keeps them; [`ThreadPool`] instances own their
+//!   workers and stop them on drop;
+//! * **per-worker deques with stealing** — owners push/pop LIFO at the
+//!   back, idle workers steal FIFO from the front, so the biggest
+//!   unsplit pieces migrate to idle cores;
+//! * **`join`/`scope`** with panic propagation;
+//! * **thread count** from `RAYON_NUM_THREADS` (default: available
+//!   parallelism), with a true sequential fallback at 1 thread — no
+//!   worker threads are spawned and every operation runs inline.
+//!
+//! Determinism contract relied on by the solver layer: `collect`
+//! preserves sequential order regardless of thread count, and every
+//! `for_each` over disjoint mutable data is trivially deterministic.
+//! Only `sum`/`reduce` have thread-count-dependent float rounding;
+//! kernels that feed residual norms avoid them (see
+//! `hpgmxp-sparse::blas::dot_par`).
 
+mod iter;
+mod registry;
+
+use registry::{current_worker, HeapJob, Registry};
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub use iter::{
+    Enumerate, Filter, FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, Map,
+    ParChunks, ParChunksMut, ParRange, ParSlice, ParSliceMut, ParVec, ParallelIterator,
+    ParallelSlice, ParallelSliceMut, Zip,
+};
+
+/// Everything kernels import: the iterator traits.
 pub mod prelude {
-    /// `par_iter`/`par_chunks` on slices (sequential shim).
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of compute threads parallel work on this thread will use.
+pub fn current_num_threads() -> usize {
+    Registry::current().num_threads()
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// `b` is offered to thieves while the calling context runs `a`; if
+/// nobody stole it, it runs inline (sequential order preserved). A
+/// panic in either closure propagates after both have finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    // A worker joins on its own registry even if another pool is
+    // "installed" — its deque is where children must go.
+    if let Some((reg, index)) = current_worker() {
+        return reg.join_here(index, a, b);
+    }
+    let reg = Registry::current();
+    if reg.num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    reg.in_worker(move || {
+        let (wreg, index) = current_worker().expect("in_worker must run on a pool worker");
+        wreg.join_here(index, a, b)
+    })
+}
+
+/// A scope for spawning borrowing tasks; all spawned tasks complete
+/// before `scope` returns. Panics from tasks propagate to the caller.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Pointer to a scope that may cross threads (validity guaranteed by
+/// the completion counter: `scope` does not return while jobs live).
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` to run on the pool before the scope ends. `f` may
+    /// borrow from outside the scope and may itself spawn.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        if self.registry.num_threads() <= 1 {
+            self.run_task(f);
+            return;
+        }
+        let ptr = ScopePtr(self as *const Scope<'scope>);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // Capture the whole Send wrapper, not its raw-pointer field
+            // (edition-2021 closures capture disjoint fields by default).
+            let ptr = ptr;
+            // SAFETY: the scope stays alive until `pending` hits zero,
+            // and `run_task`'s final decrement is the LAST access to it
+            // — the moment it lands, `scope()` may return and free the
+            // Scope, so the completion notification must go through a
+            // registry handle cloned beforehand, never through `scope`.
+            let registry = unsafe { Arc::clone(&(*ptr.0).registry) };
+            unsafe { (*ptr.0).run_task(f) };
+            registry.notify_done();
+        });
+        // SAFETY: lifetime erasure to queue the job; `scope` blocks on
+        // the counter before any borrowed data can die.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        self.registry.spawn_job(HeapJob::new(task).into_job_ref());
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    fn run_task<F: FnOnce(&Scope<'scope>)>(&self, f: F) {
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(self))) {
+            self.panic.lock().unwrap().get_or_insert(payload);
         }
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
+        self.pending.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// `par_iter_mut`/`par_chunks_mut` on slices (sequential shim).
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn wait(&self) {
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let done = || self.pending.load(Ordering::SeqCst) == 0;
+        if let Some((reg, index)) = current_worker() {
+            if Arc::ptr_eq(&reg, &self.registry) {
+                reg.wait_stealing(index, done);
+                return;
+            }
+        }
+        self.registry.wait_blocked(done);
+    }
+}
+
+/// Create a [`Scope`], run `f` in it, and wait for every spawned task.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        registry: Registry::current(),
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    s.wait();
+    if let Some(payload) = s.panic.lock().unwrap().take() {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// An explicitly sized pool. Parallel operations started while
+/// [`ThreadPool::install`] is active dispatch into this pool instead of
+/// the global one — how the determinism suite runs the same kernel at
+/// 1, 2, and 8 threads inside one process.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+}
+
+impl ThreadPool {
+    /// Build a pool with exactly `num_threads` compute threads
+    /// (1 = sequential, no threads spawned).
+    pub fn new(num_threads: usize) -> ThreadPool {
+        ThreadPool { registry: Registry::new(num_threads) }
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
+    /// Run `op` on the calling thread with this pool as the dispatch
+    /// target for all parallel work `op` starts. Restores the previous
+    /// target on exit (including on panic).
+    ///
+    /// Unlike real rayon the closure itself stays on the calling
+    /// thread, and the override does not propagate to threads `op`
+    /// spawns.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        registry::with_installed(&self.registry, op)
     }
 
-    /// `into_par_iter` on owned collections and ranges (sequential shim).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for `rayon`'s `into_par_iter`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
+    /// This pool's compute thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+    }
+}
+
+/// Builder-style constructor mirroring rayon's API.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start a builder.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+    /// Request an exact thread count (default: `RAYON_NUM_THREADS` or
+    /// available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Infallible in this implementation.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        let n = self
+            .num_threads
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        Ok(ThreadPool::new(n))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
     #[test]
-    fn shim_chains_match_sequential() {
+    fn chains_match_sequential() {
         let v: Vec<u64> = (0..100u64).collect();
         let s: u64 = v.par_iter().map(|&x| x * 2).sum();
         assert_eq!(s, 9900);
@@ -70,5 +256,169 @@ mod tests {
         assert_eq!(w[7], 7);
         let c: Vec<u64> = v.par_chunks(32).map(|c| c.iter().sum()).collect();
         assert_eq!(c.iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn collect_preserves_order_on_a_multithread_pool() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<usize> = pool.install(|| (0..10_000usize).into_par_iter().collect());
+        assert_eq!(out, (0..10_000).collect::<Vec<_>>());
+        let filtered: Vec<usize> =
+            pool.install(|| (0..10_000usize).into_par_iter().filter(|x| x % 3 == 0).collect());
+        assert_eq!(filtered, (0..10_000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_actually_uses_multiple_threads() {
+        let pool = ThreadPool::new(4);
+        let ids = std::sync::Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                // Slow items give thieves a window even on a one-core
+                // host, where workers only run when the OS preempts.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            });
+        });
+        let n = ids.lock().unwrap().len();
+        assert!(n >= 2, "expected work on >= 2 worker threads, saw {n}");
+    }
+
+    #[test]
+    fn every_index_visited_exactly_once() {
+        let pool = ThreadPool::new(8);
+        let n = 100_000;
+        let counters: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        pool.install(|| {
+            counters.par_iter().for_each(|c| {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) =
+            pool.install(|| join(|| (0..1000u64).sum::<u64>(), || (0..100u64).product::<u64>()));
+        assert_eq!(a, 499_500);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| join(|| 1, || panic!("boom-b")))
+        }));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| join(|| panic!("boom-a"), || 2))
+        }));
+        assert!(r.is_err());
+        // The pool survives a propagated panic.
+        let (x, y) = pool.install(|| join(|| 1, || 2));
+        assert_eq!((x, y), (1, 2));
+    }
+
+    #[test]
+    fn for_each_propagates_panics() {
+        let pool = ThreadPool::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    if i == 777 {
+                        panic!("item panic");
+                    }
+                })
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_completes_all_spawns() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|s2| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        s2.spawn(|_| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        });
+                    });
+                }
+            })
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 128);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panic() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| scope(|s| s.spawn(|_| panic!("scoped panic"))))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.current_num_threads(), 1);
+        let tid = std::thread::current().id();
+        pool.install(|| {
+            (0..100usize).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), tid);
+            })
+        });
+    }
+
+    #[test]
+    fn install_is_scoped_and_nested_pools_work() {
+        let pool2 = ThreadPool::new(2);
+        let pool3 = ThreadPool::new(3);
+        pool2.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            pool3.install(|| assert_eq!(current_num_threads(), 3));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn mutable_chunks_split_disjointly() {
+        let pool = ThreadPool::new(4);
+        let mut v = vec![0u32; 10_000];
+        pool.install(|| {
+            v.par_chunks_mut(128).enumerate().for_each(|(b, chunk)| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = (b * 128 + i) as u32;
+                }
+            })
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn zip_of_mut_and_shared_slices() {
+        let pool = ThreadPool::new(4);
+        let x: Vec<f64> = (0..50_000).map(|i| i as f64).collect();
+        let mut y = vec![1.0f64; 50_000];
+        pool.install(|| {
+            y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += xi);
+        });
+        assert!(y.iter().enumerate().all(|(i, &v)| v == 1.0 + i as f64));
+    }
+
+    #[test]
+    fn reduce_and_count() {
+        let pool = ThreadPool::new(4);
+        let m = pool.install(|| (1..1001u64).into_par_iter().reduce(|| 0, |a, b| a.max(b)));
+        assert_eq!(m, 1000);
+        let c = pool.install(|| (0..999usize).into_par_iter().filter(|x| x % 2 == 0).count());
+        assert_eq!(c, 500);
     }
 }

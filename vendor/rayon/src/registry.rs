@@ -1,0 +1,442 @@
+//! The work-stealing thread pool behind every `par_*` entry point.
+//!
+//! One [`Registry`] owns N spawn-once worker threads. Each worker has a
+//! private deque of jobs: it pushes and pops at the back (LIFO, so the
+//! hot end stays cache-warm) while idle workers steal from the front
+//! (FIFO, so thieves take the largest unsplit pieces). Jobs created by
+//! threads outside the pool go through a shared injector queue and the
+//! injecting thread blocks until its job tree completes — so
+//! `RAYON_NUM_THREADS=N` means exactly N compute threads, regardless of
+//! how many application threads drive parallel operations.
+//!
+//! The deques are mutex-protected rather than lock-free Chase–Lev
+//! deques: every job here is a *chunk* of a kernel (thousands of rows
+//! or vector elements), so queue operations are orders of magnitude
+//! rarer than in a task-per-item design and the mutex is never the
+//! bottleneck. What matters for the memory-wall experiments is that
+//! stealing balances uneven chunk costs across cores, and it does.
+//!
+//! Panics inside jobs are caught, carried back to the thread that owns
+//! the corresponding `join`/`scope`/drive, and resumed there.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Type-erased pointer to a job owned by some stack frame (`StackJob`)
+/// or heap allocation (`HeapJob`). The owner guarantees the pointee
+/// outlives execution.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the job types it
+// points at synchronize hand-off through `done`/queue mutexes.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job. Must be called exactly once.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute)(self.data)
+    }
+
+    fn points_at(&self, data: *const ()) -> bool {
+        std::ptr::eq(self.data, data)
+    }
+}
+
+/// A job whose closure and result live on the stack of the thread that
+/// created it. That thread MUST NOT return before `done()` is true.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+// SAFETY: `func`/`result` are touched by exactly one thread at a time —
+// the thief (or inline executor) before `done` flips, the owner after
+// observing `done` with Acquire ordering.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn as_job_ref(&self) -> JobRef {
+        JobRef { data: self as *const Self as *const (), execute: Self::execute_in_place }
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    unsafe fn execute_in_place(ptr: *const ()) {
+        let job = &*(ptr as *const Self);
+        let f = (*job.func.get()).take().expect("job executed twice");
+        let res = panic::catch_unwind(AssertUnwindSafe(f));
+        *job.result.get() = Some(res);
+        job.done.store(true, Ordering::Release);
+    }
+
+    /// Take the result after `done()` returned true, resuming any panic
+    /// the job raised.
+    pub(crate) fn into_result(self) -> R {
+        debug_assert!(self.done());
+        match self.result.into_inner().expect("job finished without storing a result") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by `scope::spawn`; the
+/// scope's completion counter keeps the spawner alive until it ran).
+pub(crate) struct HeapJob {
+    f: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl HeapJob {
+    pub(crate) fn new(f: Box<dyn FnOnce() + Send>) -> Box<Self> {
+        Box::new(HeapJob { f: Some(f) })
+    }
+
+    pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef { data: Box::into_raw(self) as *const (), execute: Self::execute_boxed }
+    }
+
+    unsafe fn execute_boxed(ptr: *const ()) {
+        let mut job = Box::from_raw(ptr as *mut HeapJob);
+        // The closure does its own panic containment (scope stores the
+        // payload); a stray panic here would abort via unwind-in-drop.
+        (job.f.take().expect("heap job executed twice"))();
+    }
+}
+
+/// One worker's deque. The owner pushes/pops at the back; thieves pop
+/// at the front.
+struct Shard {
+    deque: Mutex<VecDeque<JobRef>>,
+}
+
+/// A pool instance: worker threads + injector + sleep machinery.
+pub(crate) struct Registry {
+    shards: Vec<Shard>,
+    injected: Mutex<VecDeque<JobRef>>,
+    /// Guards check-then-wait in sleepers; pairs with `cv`.
+    sleep: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+    num_threads: usize,
+    terminate: AtomicBool,
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread: its registry + index.
+    static WORKER: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+    /// `ThreadPool::install` override for non-worker threads.
+    static INSTALLED: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+/// The registry (+ worker index) of the current thread, if it is a pool
+/// worker.
+pub(crate) fn current_worker() -> Option<(Arc<Registry>, usize)> {
+    WORKER.with(|w| w.borrow().clone())
+}
+
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry::new(threads_from_env()))
+}
+
+/// Thread count policy: `RAYON_NUM_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+fn threads_from_env() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+impl Registry {
+    /// Build a registry with `num_threads` compute threads. At 1 the
+    /// registry spawns no workers and every operation runs inline on
+    /// the calling thread (the sequential fallback).
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        let n = num_threads.max(1);
+        let workers = if n >= 2 { n } else { 0 };
+        let registry = Arc::new(Registry {
+            shards: (0..workers).map(|_| Shard { deque: Mutex::new(VecDeque::new()) }).collect(),
+            injected: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(()),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            num_threads: n,
+            terminate: AtomicBool::new(false),
+        });
+        for index in 0..workers {
+            let reg = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name(format!("hpgmxp-rayon-{index}"))
+                .spawn(move || worker_loop(reg, index))
+                .expect("failed to spawn pool worker");
+        }
+        registry
+    }
+
+    /// The registry parallel operations on this thread dispatch into:
+    /// the thread's own pool if it is a worker, else an installed
+    /// override, else the global pool.
+    pub(crate) fn current() -> Arc<Registry> {
+        if let Some((reg, _)) = current_worker() {
+            return reg;
+        }
+        if let Some(reg) = INSTALLED.with(|c| c.borrow().clone()) {
+            return reg;
+        }
+        Arc::clone(global_registry())
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Ask workers to exit (used by `ThreadPool::drop`). Outstanding
+    /// work is impossible by construction: every parallel operation
+    /// blocks its caller until completion.
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+        let _g = self.sleep.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    /// Wake sleeping waiters after out-of-band completion bookkeeping
+    /// (scope task counters).
+    pub(crate) fn notify_done(&self) {
+        self.notify_all();
+    }
+
+    fn notify_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Lock-then-notify serializes with a sleeper's
+            // check-then-wait, closing the lost-wakeup window.
+            let _g = self.sleep.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Enqueue a job from outside the pool.
+    fn inject(&self, job: JobRef) {
+        self.injected.lock().unwrap().push_back(job);
+        self.notify_all();
+    }
+
+    /// Enqueue a job on worker `index`'s own deque.
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.shards[index].deque.lock().unwrap().push_back(job);
+        self.notify_all();
+    }
+
+    /// Pop our own newest job, steal an injected job, or steal the
+    /// oldest job of another worker (round-robin from our right-hand
+    /// neighbor, spreading contention).
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.shards[index].deque.lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injected.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.shards.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) = self.shards[victim].deque.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.injected.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.shards.iter().any(|s| !s.deque.lock().unwrap().is_empty())
+    }
+
+    /// Run `op` with the pool's full thread count: directly if the
+    /// current thread already is a worker of this registry, otherwise
+    /// injected as a root job while the caller blocks. Sequential
+    /// registries run inline.
+    pub(crate) fn in_worker<R, OP>(self: &Arc<Self>, op: OP) -> R
+    where
+        R: Send,
+        OP: FnOnce() -> R + Send,
+    {
+        if self.num_threads <= 1 {
+            return op();
+        }
+        if let Some((reg, _)) = current_worker() {
+            if Arc::ptr_eq(&reg, self) {
+                return op();
+            }
+        }
+        let job = StackJob::new(op);
+        self.inject(job.as_job_ref());
+        self.wait_blocked(|| job.done());
+        job.into_result()
+    }
+
+    /// Parallel `join` on worker `index` of this registry: offer `b` to
+    /// thieves, run `a` ourselves, then run or await `b`.
+    pub(crate) fn join_here<A, RA, B, RB>(self: &Arc<Self>, index: usize, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RB: Send,
+    {
+        let job_b = StackJob::new(b);
+        self.push_local(index, job_b.as_job_ref());
+
+        let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+        // LIFO discipline: everything `a` pushed has completed, so the
+        // back of our deque is either `b` (retract and run inline) or
+        // empty/foreign (b was stolen — execute other work until the
+        // thief finishes it).
+        let data = &job_b as *const _ as *const ();
+        let retracted = {
+            let mut q = self.shards[index].deque.lock().unwrap();
+            match q.back() {
+                Some(job) if job.points_at(data) => {
+                    q.pop_back();
+                    true
+                }
+                _ => false,
+            }
+        };
+        if retracted {
+            unsafe { job_b.as_job_ref().execute() };
+        } else {
+            self.wait_stealing(index, || job_b.done());
+        }
+
+        match result_a {
+            Ok(ra) => (ra, job_b.into_result()),
+            Err(payload) => {
+                // `a` panicked: b's result (or panic) is already in; drop
+                // it and propagate a's panic, like rayon.
+                panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    /// Block a non-worker thread until `cond` holds (completion
+    /// notifications wake it; a timeout bounds any residual race).
+    pub(crate) fn wait_blocked(&self, cond: impl Fn() -> bool) {
+        let mut idle = 0u32;
+        while !cond() {
+            idle += 1;
+            if idle < 8 {
+                std::thread::yield_now();
+                continue;
+            }
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let g = self.sleep.lock().unwrap();
+                if !cond() {
+                    let _ = self.cv.wait_timeout(g, Duration::from_millis(1)).unwrap();
+                }
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Busy-wait on worker `index` until `cond` holds, executing any
+    /// available work instead of spinning whenever possible.
+    pub(crate) fn wait_stealing(self: &Arc<Self>, index: usize, cond: impl Fn() -> bool) {
+        let mut idle = 0u32;
+        while !cond() {
+            if let Some(job) = self.find_work(index) {
+                unsafe { job.execute() };
+                self.notify_all();
+                idle = 0;
+                continue;
+            }
+            idle += 1;
+            if idle < 32 {
+                std::hint::spin_loop();
+            } else if idle < 128 {
+                std::thread::yield_now();
+            } else {
+                self.sleepers.fetch_add(1, Ordering::SeqCst);
+                {
+                    let g = self.sleep.lock().unwrap();
+                    if !cond() && !self.has_work() {
+                        let _ = self.cv.wait_timeout(g, Duration::from_micros(500)).unwrap();
+                    }
+                }
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Push a heap job from any thread (worker-local when possible).
+    pub(crate) fn spawn_job(self: &Arc<Self>, job: JobRef) {
+        if let Some((reg, index)) = current_worker() {
+            if Arc::ptr_eq(&reg, self) {
+                self.push_local(index, job);
+                return;
+            }
+        }
+        self.inject(job);
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&registry), index)));
+    while !registry.terminate.load(Ordering::SeqCst) {
+        if let Some(job) = registry.find_work(index) {
+            unsafe { job.execute() };
+            // A completed job may be what a sleeping waiter needs.
+            registry.notify_all();
+            continue;
+        }
+        registry.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let g = registry.sleep.lock().unwrap();
+            if !registry.has_work() && !registry.terminate.load(Ordering::SeqCst) {
+                let _ = registry.cv.wait_timeout(g, Duration::from_millis(2)).unwrap();
+            }
+        }
+        registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+    WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+/// Install `registry` as the current thread's dispatch target for the
+/// duration of `op` (restored on exit, panic-safe).
+pub(crate) fn with_installed<R>(registry: &Arc<Registry>, op: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Registry>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INSTALLED.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(INSTALLED.with(|c| c.replace(Some(Arc::clone(registry)))));
+    op()
+}

@@ -39,6 +39,31 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Numeric view: `Int` and `Float` as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// Serialization/deserialization error.
@@ -70,6 +95,20 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Reconstruct `Self`, failing on shape mismatches.
     fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON (`serde_json::from_str::<Value>`) and walk it with `get`/`as_*`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
 }
 
 /// Helper used by derived code: extract and deserialize a struct field.
