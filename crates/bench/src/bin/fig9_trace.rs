@@ -2,14 +2,18 @@
 //! in an 8-node run — fine grid (9a, communication fully hidden) and
 //! coarsest grid (9b, communication partially exposed).
 //!
-//! Two sections: the modeled rocprof-style timelines on the Frontier
-//! machine model, and a *real* event timeline captured from an actual
-//! threaded run of the optimized smoother on this machine.
+//! Two sections, printed side by side: the modeled rocprof-style
+//! timelines on the Frontier machine model, and a *measured* event
+//! timeline + per-exchange overlap records captured from an actual
+//! threaded run of the optimized smoother on this machine — including
+//! the measured `overlap_efficiency()`, the testable counterpart of
+//! the model's `hidden_fraction`.
 //!
 //! Run: `cargo run --release -p hpgmxp-bench --bin fig9_trace`
+//! Env: `HPGMXP_RANKS` (default 8), `HPGMXP_LOCAL` (default 16).
 
 use hpgmxp_bench::env_usize;
-use hpgmxp_comm::{run_spmd, Comm, Stream, Timeline};
+use hpgmxp_comm::{run_spmd, Comm, OverlapRecord, Timeline};
 use hpgmxp_core::config::ImplVariant;
 use hpgmxp_core::motifs::MotifStats;
 use hpgmxp_core::ops::{dist_gs_sweep, OpCtx, SweepDir};
@@ -18,6 +22,56 @@ use hpgmxp_geometry::{ProcGrid, Stencil27};
 use hpgmxp_machine::trace::{gs_sweep_trace, render_ascii};
 use hpgmxp_machine::workload::Workload;
 use hpgmxp_machine::{MachineModel, NetworkModel};
+
+fn print_records(records: &[OverlapRecord]) {
+    println!(
+        "    {:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "tag", "bytes", "pack µs", "window µs", "wait µs", "unpack µs", "hidden"
+    );
+    for r in records {
+        println!(
+            "    {:<6} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>7.1}%",
+            r.tag,
+            r.bytes_sent,
+            r.pack * 1e6,
+            r.window * 1e6,
+            r.wire_wait * 1e6,
+            r.unpack * 1e6,
+            r.hidden_fraction() * 100.0
+        );
+    }
+}
+
+/// One measured sweep on a `local³` box per rank: returns the middle
+/// rank's per-exchange overlap records and overlap efficiency.
+fn measured_sweep(ranks: usize, local: u32, sweeps: usize) -> (Vec<OverlapRecord>, Option<f64>) {
+    let procs = ProcGrid::factor(ranks as u32);
+    let mid = procs.rank_of(procs.px / 2, procs.py / 2, procs.pz / 2) as usize;
+    let mut out = run_spmd(ranks, move |c| {
+        let prob = assemble(
+            &ProblemSpec {
+                local: (local, local, local),
+                procs,
+                stencil: Stencil27::symmetric(),
+                mg_levels: 1,
+                seed: 9,
+            },
+            c.rank(),
+        );
+        let l = &prob.levels[0];
+        let tl = Timeline::enabled();
+        let mut stats = MotifStats::new();
+        let ctx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+        let r = vec![1.0f64; l.n_local()];
+        let mut z = vec![0.0f64; l.vec_len()];
+        for s in 0..sweeps {
+            dist_gs_sweep(&ctx, l, &mut stats, s as u64, SweepDir::Forward, &r, &mut z);
+        }
+        (c.rank(), tl.overlap_records(), tl.overlap_efficiency())
+    });
+    let (_, records, eff) = out.swap_remove(out.iter().position(|(r, _, _)| *r == mid).unwrap());
+    (records, eff)
+}
 
 fn main() {
     let machine = MachineModel::mi250x_gcd();
@@ -36,59 +90,34 @@ fn main() {
         coarse.hidden_fraction * 100.0
     );
 
-    // Real captured timeline from a threaded run on this machine.
+    // Measured counterpart: real ThreadWorld runs of the optimized GS
+    // sweep on this machine, fine-ish local box vs tiny coarse box,
+    // with per-exchange overlap records from the persistent-buffer halo
+    // engine.
     let ranks = env_usize("HPGMXP_RANKS", 8);
+    let local = env_usize("HPGMXP_LOCAL", 16) as u32;
+    let sweeps = 4;
     println!(
-        "Measured event timeline ({} thread-ranks, middle rank, one optimized GS sweep):",
-        ranks
+        "Measured (ThreadWorld, {ranks} thread-ranks, middle rank, {sweeps} optimized GS sweeps):"
     );
-    let procs = ProcGrid::factor(ranks as u32);
-    let mid = procs.rank_of(procs.px / 2, procs.py / 2, procs.pz / 2) as usize;
-    let events = run_spmd(ranks, move |c| {
-        let prob = assemble(
-            &ProblemSpec {
-                local: (16, 16, 16),
-                procs,
-                stencil: Stencil27::symmetric(),
-                mg_levels: 1,
-                seed: 9,
-            },
-            c.rank(),
-        );
-        let l = &prob.levels[0];
-        let tl = Timeline::enabled();
-        let mut stats = MotifStats::new();
-        let ctx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
-        let r = vec![1.0f64; l.n_local()];
-        let mut z = vec![0.0f64; l.vec_len()];
-        dist_gs_sweep(&ctx, l, &mut stats, 0, SweepDir::Forward, &r, &mut z);
-        (c.rank(), tl.events())
-    });
-    for (rank, evs) in events {
-        if rank != mid {
-            continue;
-        }
-        for e in &evs {
-            println!(
-                "  [{:<4}] {:<28} {:>9.1} µs -> {:>9.1} µs",
-                e.stream.label(),
-                e.name,
-                e.start * 1e6,
-                e.end * 1e6
-            );
-        }
-        // The figure-9 claim on real hardware terms: while the interior
-        // kernel ran, the messages arrived, so the post-kernel receive
-        // waits cost (nearly) nothing.
-        let wait: f64 = evs.iter().filter(|e| e.name == "halo wait").map(|e| e.end - e.start).sum();
-        let interior: f64 =
-            evs.iter().filter(|e| e.name.starts_with("GS interior")).map(|e| e.end - e.start).sum();
-        println!(
-            "  blocked in halo waits: {:.1} µs vs interior compute window {:.1} µs ({:.1}% exposure)",
-            wait * 1e6,
-            interior * 1e6,
-            wait / interior * 100.0
-        );
-        let _ = Stream::Comm;
-    }
+
+    println!("  (a) fine grid, {local}\u{b3} local box:");
+    let (rec_fine, eff_fine) = measured_sweep(ranks, local, sweeps);
+    print_records(&rec_fine);
+    println!("  (b) coarse grid, 4\u{b3} local box:");
+    let (rec_coarse, eff_coarse) = measured_sweep(ranks, 4, sweeps);
+    print_records(&rec_coarse);
+
+    println!("\nmodeled vs measured overlap (fraction of communication hidden under compute):");
+    println!(
+        "  fine grid:    modeled {:>5.1}%   measured {:>5.1}%",
+        fine.hidden_fraction * 100.0,
+        eff_fine.unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "  coarse grid:  modeled {:>5.1}%   measured {:>5.1}%",
+        coarse.hidden_fraction * 100.0,
+        eff_coarse.unwrap_or(0.0) * 100.0
+    );
+    println!("overlap_efficiency (measured, fine grid): {:.3}", eff_fine.unwrap_or(f64::NAN));
 }

@@ -1,11 +1,19 @@
-//! The [`Comm`] trait and the single-rank world.
+//! The [`Comm`] trait (v2) and the single-rank world.
 //!
 //! Messages are byte buffers; scalar payloads are packed/unpacked with
-//! the little helpers below so that both `f64` (reference solver) and
-//! `f32` (mixed-precision inner solver) halos travel through one code
-//! path — at half the volume for `f32`, exactly the effect the
-//! benchmark measures.
+//! the little helpers below so that `f64` (reference solver), `f32`
+//! (mixed-precision inner solver), and emulated `f16` halos all travel
+//! through one code path — at half/quarter the volume for the low
+//! precisions, exactly the effect the benchmark measures.
+//!
+//! v2 is allocation-free on the hot path: callers lend byte slices in
+//! both directions (`send_from` copies into backend-pooled storage,
+//! `recv_into` fills a caller-owned buffer), and [`Comm::wait_any`]
+//! lets a rank drain whichever neighbor's message lands first instead
+//! of receiving in a fixed order — the `MPI_Waitany` pattern the halo
+//! engine uses to unpack ghosts as they arrive.
 
+use hpgmxp_sparse::half::{f16_bits_to_f32, f32_to_f16_bits};
 use hpgmxp_sparse::Scalar;
 
 /// Reduction operator of an all-reduce.
@@ -38,12 +46,37 @@ pub(crate) fn reduce_into(op: ReduceOp, a: &mut [f64], b: &[f64]) {
     }
 }
 
+/// One posted receive: where the message comes from and where its
+/// bytes go. The expected message length is `buf.len()` — backends
+/// reject mismatches loudly, since the halo plan fixes both sides.
+#[derive(Debug)]
+pub struct RecvPost<'a> {
+    /// Sending rank.
+    pub from: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Destination buffer; its length is the expected message length.
+    pub buf: &'a mut [u8],
+}
+
+impl<'a> RecvPost<'a> {
+    /// Post a receive of `buf.len()` bytes from `(from, tag)`.
+    pub fn new(from: usize, tag: u64, buf: &'a mut [u8]) -> Self {
+        RecvPost { from, tag, buf }
+    }
+}
+
 /// The communication interface every solver is written against.
 ///
 /// Semantics mirror the MPI subset the benchmark uses:
-/// * `send_bytes` is buffered and non-blocking (like `MPI_Isend` with
-///   an eager protocol);
-/// * `recv_bytes` blocks until the matching message arrives;
+/// * `send_from` is buffered and non-blocking (like `MPI_Isend` with an
+///   eager protocol); the backend copies the bytes into pooled storage
+///   before returning, so the caller's buffer is immediately reusable;
+/// * `recv_into` blocks until the matching message arrives and copies
+///   it into the caller's buffer (posted-receive discipline — no
+///   backend allocation hands a `Vec` across the interface);
+/// * `wait_any` completes whichever posted receive matches first, the
+///   `MPI_Waitany` pattern;
 /// * messages between one (sender, receiver) pair with the same tag are
 ///   delivered in FIFO order;
 /// * `allreduce` and `barrier` are collectives every rank must enter.
@@ -52,12 +85,38 @@ pub trait Comm: Send + Sync {
     fn rank(&self) -> usize;
     /// World size.
     fn size(&self) -> usize;
-    /// Non-blocking buffered send of a tagged message.
-    fn send_bytes(&self, to: usize, tag: u64, data: Vec<u8>);
+    /// Non-blocking buffered send of a tagged message. The backend
+    /// copies `bytes` into pooled storage; no ownership transfer.
+    fn send_from(&self, to: usize, tag: u64, bytes: &[u8]);
     /// Blocking receive of the next message from `from` with `tag`.
-    fn recv_bytes(&self, from: usize, tag: u64) -> Vec<u8>;
-    /// Poll for a matching message without blocking.
-    fn try_recv_bytes(&self, from: usize, tag: u64) -> Option<Vec<u8>>;
+    /// The message length must equal `out.len()`.
+    fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]);
+    /// Poll for a matching message without blocking; `true` if `out`
+    /// was filled.
+    fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool;
+    /// Block until one of the still-posted receives (the `Some` slots)
+    /// completes, fill its buffer, and hand the completed post back as
+    /// `(slot index, post)`. Returns `None` once every slot is `None`.
+    ///
+    /// The default implementation polls; backends with a real mailbox
+    /// override it with a blocking wait.
+    fn wait_any<'p>(&self, posts: &mut [Option<RecvPost<'p>>]) -> Option<(usize, RecvPost<'p>)> {
+        loop {
+            let mut live = false;
+            for (i, slot) in posts.iter_mut().enumerate() {
+                let Some(p) = slot.as_mut() else { continue };
+                live = true;
+                if self.try_recv_into(p.from, p.tag, p.buf) {
+                    let post = slot.take().expect("slot checked above");
+                    return Some((i, post));
+                }
+            }
+            if !live {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
     /// In-place elementwise all-reduce over all ranks.
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp);
     /// Block until every rank has entered the barrier.
@@ -70,47 +129,85 @@ pub trait Comm: Send + Sync {
         buf[0]
     }
 
-    /// Typed send of a scalar slice.
+    /// Typed send of a scalar slice (setup-path convenience; packs
+    /// through a temporary buffer).
     fn send_slice<S: Scalar>(&self, to: usize, tag: u64, data: &[S])
     where
         Self: Sized,
     {
-        self.send_bytes(to, tag, pack(data));
+        self.send_from(to, tag, &pack(data));
     }
 
-    /// Typed blocking receive into a scalar slice of the expected length.
+    /// Typed blocking receive into a scalar slice of the expected
+    /// length (setup-path convenience).
     fn recv_slice<S: Scalar>(&self, from: usize, tag: u64, out: &mut [S])
     where
         Self: Sized,
     {
-        let bytes = self.recv_bytes(from, tag);
+        let mut bytes = vec![0u8; out.len() * S::BYTES];
+        self.recv_into(from, tag, &mut bytes);
         unpack(&bytes, out);
     }
 }
 
-/// Pack a scalar slice into little-endian bytes.
-pub fn pack<S: Scalar>(data: &[S]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() * S::BYTES);
-    for v in data {
-        if S::BYTES == 4 {
-            out.extend_from_slice(&(v.to_f64() as f32).to_le_bytes());
-        } else {
-            out.extend_from_slice(&v.to_f64().to_le_bytes());
+/// The one wire encoder: append scalars onto `out` (cleared first) as
+/// little-endian bytes at `S`'s wire width (2/4/8 for f16/f32/f64).
+/// With sufficient capacity this never allocates — the halo engine's
+/// persistent staging buffers rely on that.
+pub(crate) fn encode_scalars<S: Scalar>(values: impl Iterator<Item = S>, out: &mut Vec<u8>) {
+    out.clear();
+    match S::BYTES {
+        2 => {
+            for v in values {
+                out.extend_from_slice(&f32_to_f16_bits(v.to_f64() as f32).to_le_bytes());
+            }
+        }
+        4 => {
+            for v in values {
+                out.extend_from_slice(&(v.to_f64() as f32).to_le_bytes());
+            }
+        }
+        _ => {
+            for v in values {
+                out.extend_from_slice(&v.to_f64().to_le_bytes());
+            }
         }
     }
+}
+
+/// Append a scalar slice as little-endian bytes onto `out` (which is
+/// cleared first).
+pub fn pack_into<S: Scalar>(data: &[S], out: &mut Vec<u8>) {
+    encode_scalars(data.iter().copied(), out);
+}
+
+/// Pack a scalar slice into freshly allocated little-endian bytes.
+pub fn pack<S: Scalar>(data: &[S]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * S::BYTES);
+    pack_into(data, &mut out);
     out
 }
 
 /// Unpack little-endian bytes into a scalar slice (length must match).
 pub fn unpack<S: Scalar>(bytes: &[u8], out: &mut [S]) {
     assert_eq!(bytes.len(), out.len() * S::BYTES, "message length mismatch");
-    if S::BYTES == 4 {
-        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-            *o = S::from_f64(f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64);
+    match S::BYTES {
+        2 => {
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+                *o = S::from_f64(f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])) as f64);
+            }
         }
-    } else {
-        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
-            *o = S::from_f64(f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]));
+        4 => {
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+                *o = S::from_f64(f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64);
+            }
+        }
+        _ => {
+            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+                *o = S::from_f64(f64::from_le_bytes([
+                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                ]));
+            }
         }
     }
 }
@@ -127,13 +224,17 @@ impl Comm for SelfComm {
     fn size(&self) -> usize {
         1
     }
-    fn send_bytes(&self, _to: usize, _tag: u64, _data: Vec<u8>) {
+    fn send_from(&self, _to: usize, _tag: u64, _bytes: &[u8]) {
         unreachable!("SelfComm has no peers to send to");
     }
-    fn recv_bytes(&self, _from: usize, _tag: u64) -> Vec<u8> {
+    fn recv_into(&self, _from: usize, _tag: u64, _out: &mut [u8]) {
         unreachable!("SelfComm has no peers to receive from");
     }
-    fn try_recv_bytes(&self, _from: usize, _tag: u64) -> Option<Vec<u8>> {
+    fn try_recv_into(&self, _from: usize, _tag: u64, _out: &mut [u8]) -> bool {
+        false
+    }
+    fn wait_any<'p>(&self, posts: &mut [Option<RecvPost<'p>>]) -> Option<(usize, RecvPost<'p>)> {
+        assert!(posts.iter().all(Option::is_none), "SelfComm has no peers to receive from");
         None
     }
     fn allreduce(&self, _vals: &mut [f64], _op: ReduceOp) {}
@@ -143,6 +244,7 @@ impl Comm for SelfComm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpgmxp_sparse::Half;
 
     #[test]
     fn pack_unpack_f64_roundtrip() {
@@ -165,6 +267,32 @@ mod tests {
     }
 
     #[test]
+    fn pack_unpack_f16_roundtrip_and_quarter_volume() {
+        // fp16 ghosts travel as 2 bytes per value — a quarter of the
+        // f64 volume, the §5 future-work configuration's wire benefit.
+        let data = vec![Half::from_f32(1.5), Half::from_f32(-2.25), Half::from_f32(0.0)];
+        let bytes = pack(&data);
+        assert_eq!(bytes.len(), 6, "f16 halo messages are a quarter of the f64 volume");
+        let mut out = vec![Half::from_f32(9.0); 3];
+        unpack(&bytes, &mut out);
+        for (a, b) in out.iter().zip(data.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pack_into_reuses_capacity() {
+        let data = vec![1.0f64; 64];
+        let mut buf = Vec::with_capacity(64 * 8);
+        let cap_ptr = buf.as_ptr();
+        for _ in 0..10 {
+            pack_into(&data, &mut buf);
+            assert_eq!(buf.len(), 512);
+        }
+        assert_eq!(buf.as_ptr(), cap_ptr, "pack_into must never reallocate a sized buffer");
+    }
+
+    #[test]
     fn self_comm_collectives_are_identity() {
         let c = SelfComm;
         assert_eq!(c.rank(), 0);
@@ -174,6 +302,13 @@ mod tests {
         assert_eq!(v, vec![3.0, -1.0]);
         assert_eq!(c.allreduce_scalar(7.5, ReduceOp::Max), 7.5);
         c.barrier();
+    }
+
+    #[test]
+    fn self_comm_wait_any_with_no_posts_is_none() {
+        let c = SelfComm;
+        let mut posts: [Option<RecvPost>; 2] = [None, None];
+        assert!(c.wait_any(&mut posts).is_none());
     }
 
     #[test]

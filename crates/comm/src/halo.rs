@@ -6,7 +6,7 @@
 //!
 //! * [`HaloExchange::exchange`] — the blocking pattern of the reference
 //!   implementation (pack, send, receive, unpack, then compute);
-//! * [`HaloExchange::begin`] / [`HaloExchange::finish`] — the
+//! * [`HaloExchange::begin`] / [`ActiveExchange::finish`] — the
 //!   split-phase pattern of the optimized implementation (§3.2.3): after
 //!   `begin`, the caller updates interior rows while messages are in
 //!   flight, and calls `finish` before touching boundary rows. The
@@ -15,26 +15,82 @@
 //!   been packed" — is satisfied structurally here because `begin`
 //!   returns only after packing.
 //!
-//! Message volume halves in `f32`, which is precisely the halo-traffic
-//! benefit the mixed-precision solver enjoys.
+//! The engine is **allocation-free at steady state**: every neighbor
+//! has owned send/recv staging buffers sized once (at the widest
+//! precision) from the plan, and the transport copies through pooled
+//! backend storage. `begin` returns a type-state [`ActiveExchange`]
+//! handle that `finish` consumes — calling `finish` without `begin` is
+//! a compile error, and a second `begin` while one exchange is active
+//! panics immediately instead of corrupting the staging buffers.
+//! `finish` drains neighbors in *arrival order* ([`Comm::wait_any`])
+//! and unpacks each message while later ones are still in flight,
+//! recording a per-exchange [`OverlapRecord`] so the hidden/exposed
+//! split of figure 9 is measured, not assumed.
+//!
+//! Message volume halves in `f32` (quarters in `f16`), which is
+//! precisely the halo-traffic benefit the mixed-precision solver
+//! enjoys.
 
-use crate::comm::{pack, unpack, Comm};
-use crate::timeline::{Stream, Timeline};
+use crate::comm::{unpack, Comm, RecvPost};
+use crate::timeline::{OverlapRecord, Stream, Timeline};
 use hpgmxp_geometry::HaloPlan;
 use hpgmxp_sparse::Scalar;
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::MutexGuard;
 
-/// Executor for one level's halo exchange.
-#[derive(Debug, Clone)]
+/// Upper bound on halo neighbors of a 27-point stencil rank, used to
+/// size the stack-allocated receive-post array in `finish`.
+const MAX_NEIGHBORS: usize = 26;
+
+/// Widest scalar that travels through a halo (f64): staging buffers are
+/// sized once for it so every precision reuses them without growing.
+const MAX_SCALAR_BYTES: usize = 8;
+
+/// Per-neighbor persistent staging storage, sized at construction.
+#[derive(Debug)]
+struct HaloBufs {
+    /// One send staging buffer per neighbor (capacity `count * 8`).
+    send: Vec<Vec<u8>>,
+    /// One receive staging buffer per neighbor (capacity `count * 8`).
+    recv: Vec<Vec<u8>>,
+}
+
+impl HaloBufs {
+    fn sized_for(plan: &HaloPlan) -> Self {
+        let cap =
+            |n: &hpgmxp_geometry::Neighbor| Vec::with_capacity(n.staging_bytes(MAX_SCALAR_BYTES));
+        HaloBufs {
+            send: plan.neighbors.iter().map(cap).collect(),
+            recv: plan.neighbors.iter().map(cap).collect(),
+        }
+    }
+}
+
+/// Executor for one level's halo exchange, with owned per-neighbor
+/// staging buffers.
+#[derive(Debug)]
 pub struct HaloExchange {
     plan: HaloPlan,
     n_local: usize,
+    bufs: Mutex<HaloBufs>,
+}
+
+impl Clone for HaloExchange {
+    /// Cloning re-derives fresh staging buffers from the plan; an
+    /// in-flight exchange is never cloned into the copy.
+    fn clone(&self) -> Self {
+        HaloExchange::new(self.plan.clone())
+    }
 }
 
 impl HaloExchange {
-    /// Wrap a geometric plan.
+    /// Wrap a geometric plan, sizing the persistent staging buffers
+    /// once (at the widest precision) from its neighbor counts.
     pub fn new(plan: HaloPlan) -> Self {
         let n_local = plan.n_local();
-        HaloExchange { plan, n_local }
+        let bufs = Mutex::new(HaloBufs::sized_for(&plan));
+        HaloExchange { plan, n_local, bufs }
     }
 
     /// The underlying plan.
@@ -61,41 +117,60 @@ impl HaloExchange {
         }
     }
 
-    /// Pack boundary values of `x` and send them to every neighbor.
-    /// Returns after all sends are buffered (non-blocking transport).
-    pub fn begin<S: Scalar, C: Comm>(&self, comm: &C, tag: u64, x: &[S], tl: &Timeline) {
+    /// Pack boundary values of `x` into the persistent staging buffers
+    /// and send them to every neighbor (non-blocking transport; the
+    /// backend copies out of the staging buffers before returning).
+    ///
+    /// Returns the type-state handle for this exchange: interior
+    /// compute may run while it is alive, and [`ActiveExchange::finish`]
+    /// consumes it to scatter the arriving ghosts. Beginning a second
+    /// exchange on the same `HaloExchange` while a handle is alive is a
+    /// usage error and panics.
+    pub fn begin<'a, S: Scalar, C: Comm>(
+        &'a self,
+        comm: &C,
+        tag: u64,
+        x: &[S],
+        tl: &Timeline,
+    ) -> ActiveExchange<'a, S> {
         assert!(x.len() >= self.n_local + self.num_ghosts());
-        let mut buf: Vec<S> = Vec::new();
-        for nbr in &self.plan.neighbors {
-            let _pack_span = tl.span("halo pack", Stream::Halo);
-            buf.clear();
-            buf.extend(nbr.send_indices.iter().map(|&i| x[i as usize]));
-            drop(_pack_span);
+        let mut bufs = self
+            .bufs
+            .try_lock()
+            .expect("halo begin() while a previous exchange on this level is still active");
+        // Untraced exchanges (the production hot path) skip every clock
+        // read; the timing bookkeeping exists only for overlap records.
+        let traced = tl.is_enabled();
+        let mut pack_secs = 0.0;
+        let mut bytes_sent = 0usize;
+        for (nbr, buf) in self.plan.neighbors.iter().zip(bufs.send.iter_mut()) {
+            let t0 = if traced { tl.now() } else { 0.0 };
+            {
+                let _pack_span = tl.span("halo pack", Stream::Halo);
+                pack_gather_into(x, &nbr.send_indices, buf);
+            }
+            if traced {
+                pack_secs += tl.now() - t0;
+            }
             let _send_span = tl.span("halo send", Stream::Comm);
-            comm.send_bytes(nbr.rank as usize, tag, pack(&buf));
+            comm.send_from(nbr.rank as usize, tag, buf);
+            bytes_sent += buf.len();
         }
-    }
-
-    /// Receive from every neighbor and scatter into the ghost region of
-    /// `x`. Blocks until all messages have arrived.
-    pub fn finish<S: Scalar, C: Comm>(&self, comm: &C, tag: u64, x: &mut [S], tl: &Timeline) {
-        assert!(x.len() >= self.n_local + self.num_ghosts());
-        for nbr in &self.plan.neighbors {
-            let bytes = {
-                let _wait_span = tl.span("halo wait", Stream::Comm);
-                comm.recv_bytes(nbr.rank as usize, tag)
-            };
-            let _unpack_span = tl.span("halo unpack", Stream::Copy);
-            let start = self.n_local + nbr.recv_start as usize;
-            unpack(&bytes, &mut x[start..start + nbr.count as usize]);
+        ActiveExchange {
+            hx: self,
+            bufs,
+            tag,
+            pack_secs,
+            bytes_sent,
+            begin_end: if traced { tl.now() } else { 0.0 },
+            _precision: PhantomData,
         }
     }
 
     /// Blocking exchange: `begin` immediately followed by `finish`
     /// (the reference implementation's non-overlapped pattern, §3.1).
     pub fn exchange<S: Scalar, C: Comm>(&self, comm: &C, tag: u64, x: &mut [S], tl: &Timeline) {
-        self.begin(comm, tag, x, tl);
-        self.finish(comm, tag, x, tl);
+        self.begin(comm, tag, x, tl).finish(comm, x, tl);
     }
 
     /// Values sent per exchange (per rank), for communication-volume
@@ -103,6 +178,106 @@ impl HaloExchange {
     pub fn send_volume(&self) -> usize {
         self.plan.send_volume()
     }
+
+    /// Bytes sent per exchange at precision `S` — the same number the
+    /// timeline records on the wire and the network model charges
+    /// (`halo_values × S::BYTES`), so figure 9 and the roofline use one
+    /// accounting.
+    pub fn send_bytes<S: Scalar>(&self) -> usize {
+        self.plan.send_volume_bytes(S::BYTES)
+    }
+}
+
+/// Type-state handle of an in-flight split-phase exchange at precision
+/// `S`, returned by [`HaloExchange::begin`] and consumed by
+/// [`ActiveExchange::finish`]. Holding it is holding the level's
+/// staging buffers: misuse (finish-without-begin, double-finish) is a
+/// compile error, and begin-while-active panics at the `begin` call.
+#[must_use = "an exchange left unfinished strands neighbor messages; call finish()"]
+pub struct ActiveExchange<'a, S: Scalar> {
+    hx: &'a HaloExchange,
+    bufs: MutexGuard<'a, HaloBufs>,
+    tag: u64,
+    pack_secs: f64,
+    bytes_sent: usize,
+    begin_end: f64,
+    _precision: PhantomData<fn(S)>,
+}
+
+impl<S: Scalar> ActiveExchange<'_, S> {
+    /// Message tag of this exchange.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Receive from every neighbor — in whatever order the messages
+    /// land — and scatter each into the ghost region of `x` while later
+    /// messages are still in flight. Consumes the handle; records an
+    /// [`OverlapRecord`] on the timeline.
+    pub fn finish<C: Comm>(mut self, comm: &C, x: &mut [S], tl: &Timeline) {
+        let hx = self.hx;
+        assert!(x.len() >= hx.n_local + hx.num_ghosts());
+        let traced = tl.is_enabled();
+        let window = if traced { tl.now() - self.begin_end } else { 0.0 };
+
+        let nbrs = &hx.plan.neighbors;
+        assert!(nbrs.len() <= MAX_NEIGHBORS);
+        let mut posts: [Option<RecvPost>; MAX_NEIGHBORS] = [const { None }; MAX_NEIGHBORS];
+        for (slot, (nbr, buf)) in nbrs.iter().zip(self.bufs.recv.iter_mut()).enumerate() {
+            buf.resize(nbr.count as usize * S::BYTES, 0);
+            posts[slot] = Some(RecvPost::new(nbr.rank as usize, self.tag, buf));
+        }
+
+        let mut wire_wait = 0.0;
+        let mut unpack_secs = 0.0;
+        let mut bytes_received = 0usize;
+        loop {
+            let t0 = if traced { tl.now() } else { 0.0 };
+            let completed = {
+                let _wait_span = tl.span("halo wait", Stream::Comm);
+                comm.wait_any(&mut posts[..nbrs.len()])
+            };
+            let Some((slot, post)) = completed else { break };
+            let t1 = if traced {
+                let t1 = tl.now();
+                wire_wait += t1 - t0;
+                t1
+            } else {
+                0.0
+            };
+            let _unpack_span = tl.span("halo unpack", Stream::Copy);
+            let nbr = &nbrs[slot];
+            let start = hx.n_local + nbr.recv_start as usize;
+            unpack(post.buf, &mut x[start..start + nbr.count as usize]);
+            bytes_received += post.buf.len();
+            if traced {
+                unpack_secs += tl.now() - t1;
+            }
+        }
+
+        if traced {
+            tl.add_overlap(OverlapRecord {
+                tag: self.tag,
+                bytes_sent: self.bytes_sent,
+                bytes_received,
+                pack: self.pack_secs,
+                window,
+                wire_wait,
+                unpack: unpack_secs,
+            });
+        }
+        // Dropping `self` releases the staging buffers for the next
+        // exchange on this level.
+    }
+}
+
+/// Gather `x[indices]` into `buf` through the one wire encoder
+/// ([`crate::comm::encode_scalars`], also behind `pack`/`send_slice`,
+/// so send packing can never desynchronize from setup-path packing).
+/// `buf` is cleared first; with the staging capacity reserved at
+/// construction this never allocates.
+fn pack_gather_into<S: Scalar>(x: &[S], indices: &[u32], buf: &mut Vec<u8>) {
+    crate::comm::encode_scalars(indices.iter().map(|&i| x[i as usize]), buf);
 }
 
 #[cfg(test)]
@@ -193,13 +368,60 @@ mod tests {
             hx.exchange(&c, 1, &mut x1, &tl);
 
             let mut x2 = global_id_vector(&lg, hx.num_ghosts());
-            hx.begin(&c, 2, &x2, &tl);
+            let active = hx.begin(&c, 2, &x2, &tl);
             // Simulated interior work between the phases.
             std::hint::black_box(x2.iter().sum::<f64>());
-            hx.finish(&c, 2, &mut x2, &tl);
+            active.finish(&c, &mut x2, &tl);
 
             assert_eq!(x1, x2);
         });
+    }
+
+    #[test]
+    fn repeated_exchanges_reuse_buffers_across_precisions() {
+        // f64 then f32 then f64 again through the same staging buffers;
+        // every exchange must deliver correct ghosts.
+        let procs = ProcGrid::new(2, 1, 1);
+        run_spmd(2, move |c| {
+            let lg = LocalGrid::new((3, 3, 3), procs, c.rank() as u32);
+            let hx = HaloExchange::new(HaloPlan::build(&lg));
+            let tl = Timeline::disabled();
+            for round in 0..5u64 {
+                let mut x = global_id_vector(&lg, hx.num_ghosts());
+                hx.exchange(&c, round * 2, &mut x, &tl);
+                check_ghosts(&lg, hx.plan(), &x);
+
+                let n = lg.total_points();
+                let mut x32 = vec![0.0f32; n + hx.num_ghosts()];
+                for (i, v) in x32[..n].iter_mut().enumerate() {
+                    *v = (c.rank() * 1000 + i) as f32;
+                }
+                hx.exchange(&c, round * 2 + 1, &mut x32, &tl);
+                let expect_base = if c.rank() == 0 { 1000.0 } else { 0.0 };
+                // +x face of rank 0 is x=2 column: indices 2,5,8,...
+                // -x face of rank 1 is x=0 column: indices 0,3,6,...
+                let ghost0 = x32[n];
+                if c.rank() == 1 {
+                    assert_eq!(ghost0, expect_base + 2.0);
+                } else {
+                    assert_eq!(ghost0, expect_base);
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "still active")]
+    fn begin_while_active_panics() {
+        // Single-rank world: no neighbors, so begin packs nothing, but
+        // the staging-buffer lock is still held by the live handle.
+        let lg = LocalGrid::new((2, 2, 2), ProcGrid::new(1, 1, 1), 0);
+        let hx = HaloExchange::new(HaloPlan::build(&lg));
+        let tl = Timeline::disabled();
+        let c = crate::comm::SelfComm;
+        let x = vec![0.0f64; lg.total_points()];
+        let _active = hx.begin(&c, 0, &x, &tl);
+        let _second = hx.begin(&c, 1, &x, &tl); // must panic
     }
 
     #[test]
@@ -226,20 +448,61 @@ mod tests {
     }
 
     #[test]
-    fn timeline_captures_halo_events() {
+    fn f16_exchange_delivers_values() {
+        use hpgmxp_sparse::Half;
         let procs = ProcGrid::new(2, 1, 1);
-        let counts = run_spmd(2, move |c| {
+        run_spmd(2, move |c| {
+            let lg = LocalGrid::new((2, 2, 2), procs, c.rank() as u32);
+            let hx = HaloExchange::new(HaloPlan::build(&lg));
+            let n = lg.total_points();
+            let mut x = vec![Half::from_f32(0.0); n + hx.num_ghosts()];
+            for (i, v) in x[..n].iter_mut().enumerate() {
+                *v = Half::from_f32((c.rank() * 100 + i) as f32);
+            }
+            let tl = Timeline::disabled();
+            hx.exchange(&c, 0, &mut x, &tl);
+            let got: Vec<f32> = x[n..n + 4].iter().map(|h| h.to_f32()).collect();
+            if c.rank() == 1 {
+                assert_eq!(got, vec![1.0, 3.0, 5.0, 7.0]);
+            } else {
+                assert_eq!(got, vec![100.0, 102.0, 104.0, 106.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn timeline_captures_halo_events_and_overlap_record() {
+        let procs = ProcGrid::new(2, 1, 1);
+        let per_rank = run_spmd(2, move |c| {
             let lg = LocalGrid::new((2, 2, 2), procs, c.rank() as u32);
             let hx = HaloExchange::new(HaloPlan::build(&lg));
             let n = lg.total_points();
             let mut x = vec![1.0f64; n + hx.num_ghosts()];
             let tl = Timeline::enabled();
             hx.exchange(&c, 0, &mut x, &tl);
-            tl.events().len()
+            (tl.events().len(), tl.overlap_records(), hx.send_bytes::<f64>())
         });
-        // pack + send + wait + unpack per neighbor (1 neighbor each).
-        for n in counts {
-            assert_eq!(n, 4);
+        for (n_events, records, wire_bytes) in per_rank {
+            // pack + send + wait + unpack per neighbor (1 neighbor each),
+            // plus the final no-more-posts wait probe.
+            assert_eq!(n_events, 5);
+            assert_eq!(records.len(), 1, "one exchange, one overlap record");
+            let r = &records[0];
+            assert_eq!(r.bytes_sent, wire_bytes);
+            assert_eq!(r.bytes_sent, 4 * 8, "one 2x2 face of f64");
+            assert_eq!(r.bytes_received, r.bytes_sent);
+            assert!(r.pack >= 0.0 && r.wire_wait >= 0.0 && r.unpack >= 0.0);
         }
+    }
+
+    #[test]
+    fn send_bytes_accounts_per_precision() {
+        use hpgmxp_sparse::Half;
+        let lg = LocalGrid::new((8, 8, 8), ProcGrid::new(2, 1, 1), 0);
+        let hx = HaloExchange::new(HaloPlan::build(&lg));
+        assert_eq!(hx.send_volume(), 64);
+        assert_eq!(hx.send_bytes::<f64>(), 64 * 8);
+        assert_eq!(hx.send_bytes::<f32>(), 64 * 4);
+        assert_eq!(hx.send_bytes::<Half>(), 64 * 2);
     }
 }

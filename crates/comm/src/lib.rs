@@ -5,20 +5,26 @@
 //! with up to 26 neighbors) and global all-reduces (the inner products
 //! of GMRES). This crate reproduces that execution model in-process:
 //!
-//! * [`comm`] — the [`Comm`] trait every solver is written against,
-//!   with the exact operation set the benchmark needs (tagged
-//!   nonblocking sends, blocking/polling receives, all-reduce, barrier),
-//!   plus [`SelfComm`], the trivial single-rank world;
+//! * [`comm`] — the [`Comm`] trait (v2) every solver is written
+//!   against, with the exact operation set the benchmark needs: tagged
+//!   nonblocking sends out of caller buffers (`send_from`), posted
+//!   receives into caller buffers (`recv_into`), an any-neighbor
+//!   completion wait (`wait_any`, the `MPI_Waitany` pattern),
+//!   all-reduce, barrier — plus [`SelfComm`], the trivial single-rank
+//!   world;
 //! * [`thread_world`] — [`ThreadWorld`]: a world of `P` ranks backed by
-//!   OS threads and lock-free channels, with MPI-like per-pair FIFO
-//!   ordering;
-//! * [`halo`] — the halo exchange executor built on a geometric
-//!   [`hpgmxp_geometry::HaloPlan`], including the split **begin/finish**
-//!   interface used to overlap interior computation with communication
-//!   (§3.2.3 of the paper);
+//!   OS threads and condvar-signalled mailboxes with pooled message
+//!   buffers (allocation-free at steady state), with MPI-like per-pair
+//!   FIFO ordering;
+//! * [`halo`] — the halo exchange engine built on a geometric
+//!   [`hpgmxp_geometry::HaloPlan`]: persistent per-neighbor staging
+//!   buffers sized once from the plan, and the type-state
+//!   **begin/finish** split ([`halo::ActiveExchange`]) used to overlap
+//!   interior computation with communication (§3.2.3 of the paper);
 //! * [`timeline`] — a lightweight event recorder that timestamps
-//!   compute/pack/send/wait intervals, the source of the
-//!   rocprof-style traces of figure 9.
+//!   compute/pack/send/wait intervals and per-exchange
+//!   [`timeline::OverlapRecord`]s, the source of the rocprof-style
+//!   traces of figure 9 and the measured `overlap_efficiency()`.
 //!
 //! The substitution argument (see DESIGN.md): solvers written against
 //! [`Comm`] perform the same message pattern, volume, and ordering as
@@ -29,7 +35,7 @@ pub mod halo;
 pub mod thread_world;
 pub mod timeline;
 
-pub use comm::{Comm, ReduceOp, SelfComm};
-pub use halo::HaloExchange;
+pub use comm::{Comm, RecvPost, ReduceOp, SelfComm};
+pub use halo::{ActiveExchange, HaloExchange};
 pub use thread_world::{run_spmd, ThreadComm, ThreadWorld};
-pub use timeline::{Stream, Timeline, TimelineEvent};
+pub use timeline::{OverlapRecord, Stream, Timeline, TimelineEvent};

@@ -1,16 +1,23 @@
-//! A multi-rank world backed by OS threads and lock-free channels.
+//! A multi-rank world backed by OS threads and shared-memory mailboxes.
 //!
 //! [`ThreadWorld::connect`] creates `P` connected [`ThreadComm`] endpoints;
 //! [`run_spmd`] spawns one thread per rank and runs the same closure on
 //! each — the SPMD execution model of the MPI benchmark. Message
 //! delivery is FIFO per (sender → receiver) pair, like MPI; out-of-tag
-//! arrivals are parked in a mailbox until a matching receive, which is
-//! MPI's unexpected-message queue.
+//! arrivals stay parked in the mailbox until a matching receive, which
+//! is MPI's unexpected-message queue.
+//!
+//! The v2 transport is allocation-free at steady state: `send_from`
+//! copies the caller's bytes into a buffer drawn from a world-wide
+//! pool, the receiver copies them out into its posted buffer and
+//! returns the pool buffer. Each rank's inbox is a `VecDeque` guarded
+//! by a mutex + condvar, so [`Comm::wait_any`] is a real blocking wait
+//! on *any* neighbor (`MPI_Waitany`), not a poll loop.
 
-use crate::comm::{reduce_into, Comm, ReduceOp};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::comm::{reduce_into, Comm, RecvPost, ReduceOp};
 use parking_lot::Mutex;
-use std::sync::{Arc, Barrier};
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier, Condvar, Mutex as StdMutex};
 
 struct Message {
     from: usize,
@@ -18,19 +25,55 @@ struct Message {
     data: Vec<u8>,
 }
 
+/// One rank's incoming mailbox: arrival-ordered, scanned for matches.
+/// Scanning the deque front-to-back preserves FIFO per (sender, tag)
+/// pair because each sender appends its messages in program order.
+struct Inbox {
+    queue: StdMutex<VecDeque<Message>>,
+    arrived: Condvar,
+}
+
 struct WorldShared {
     barrier: Barrier,
     reduce_slots: Vec<Mutex<Vec<f64>>>,
     reduce_result: Mutex<Vec<f64>>,
+    inboxes: Vec<Inbox>,
+    /// World-wide free list of message buffers. Buffers only ever grow,
+    /// so after warm-up every message is served without a heap
+    /// allocation (the zero-allocation steady state the halo engine's
+    /// test asserts).
+    pool: StdMutex<Vec<Vec<u8>>>,
+}
+
+impl WorldShared {
+    /// Take a pool buffer that can hold `len` bytes without growing.
+    /// Best fit (smallest sufficient capacity) so a small message never
+    /// claims the pool's only large buffer and forces the next large
+    /// send to reallocate — the steady state must stay allocation-free
+    /// under any interleaving.
+    fn pool_take(&self, len: usize) -> Vec<u8> {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        let best = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(pos) => pool.swap_remove(pos),
+            None => pool.pop().unwrap_or_default(),
+        }
+    }
+
+    fn pool_put(&self, buf: Vec<u8>) {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).push(buf);
+    }
 }
 
 /// One rank's endpoint in a [`ThreadWorld`].
 pub struct ThreadComm {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Message>>,
-    receiver: Receiver<Message>,
-    mailbox: Mutex<Vec<Message>>,
     shared: Arc<WorldShared>,
 }
 
@@ -41,37 +84,41 @@ impl ThreadWorld {
     /// Create a world of `size` connected ranks.
     pub fn connect(size: usize) -> Vec<ThreadComm> {
         assert!(size > 0);
-        let mut senders = Vec::with_capacity(size);
-        let mut receivers = Vec::with_capacity(size);
-        for _ in 0..size {
-            let (s, r) = unbounded::<Message>();
-            senders.push(s);
-            receivers.push(r);
-        }
         let shared = Arc::new(WorldShared {
             barrier: Barrier::new(size),
             reduce_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
             reduce_result: Mutex::new(Vec::new()),
+            inboxes: (0..size)
+                .map(|_| Inbox { queue: StdMutex::new(VecDeque::new()), arrived: Condvar::new() })
+                .collect(),
+            pool: StdMutex::new(Vec::new()),
         });
-        receivers
-            .into_iter()
-            .enumerate()
-            .map(|(rank, receiver)| ThreadComm {
-                rank,
-                size,
-                senders: senders.clone(),
-                receiver,
-                mailbox: Mutex::new(Vec::new()),
-                shared: Arc::clone(&shared),
-            })
-            .collect()
+        (0..size).map(|rank| ThreadComm { rank, size, shared: Arc::clone(&shared) }).collect()
     }
 }
 
 impl ThreadComm {
-    fn take_from_mailbox(&self, from: usize, tag: u64) -> Option<Vec<u8>> {
-        let mut mb = self.mailbox.lock();
-        mb.iter().position(|m| m.from == from && m.tag == tag).map(|pos| mb.remove(pos).data)
+    fn position_matching(queue: &VecDeque<Message>, from: usize, tag: u64) -> Option<usize> {
+        queue.iter().position(|m| m.from == from && m.tag == tag)
+    }
+
+    /// Remove the message at `pos`, copy it into `out`, and recycle the
+    /// buffer. The queue lock must already be released by the caller
+    /// passing an owned message — split so the pool lock is never taken
+    /// under the queue lock.
+    fn deliver(&self, msg: Message, out: &mut [u8]) {
+        assert_eq!(
+            msg.data.len(),
+            out.len(),
+            "message length mismatch: rank {} got {} bytes from {} tag {}, posted {}",
+            self.rank,
+            msg.data.len(),
+            msg.from,
+            msg.tag,
+            out.len()
+        );
+        out.copy_from_slice(&msg.data);
+        self.shared.pool_put(msg.data);
     }
 }
 
@@ -84,36 +131,72 @@ impl Comm for ThreadComm {
         self.size
     }
 
-    fn send_bytes(&self, to: usize, tag: u64, data: Vec<u8>) {
-        self.senders[to]
-            .send(Message { from: self.rank, tag, data })
-            .expect("receiving rank has shut down");
+    fn send_from(&self, to: usize, tag: u64, bytes: &[u8]) {
+        let mut data = self.shared.pool_take(bytes.len());
+        data.clear();
+        data.extend_from_slice(bytes);
+        let inbox = &self.shared.inboxes[to];
+        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(Message { from: self.rank, tag, data });
+        drop(q);
+        inbox.arrived.notify_all();
     }
 
-    fn recv_bytes(&self, from: usize, tag: u64) -> Vec<u8> {
-        if let Some(data) = self.take_from_mailbox(from, tag) {
-            return data;
-        }
+    fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]) {
+        let inbox = &self.shared.inboxes[self.rank];
+        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            let msg = self.receiver.recv().expect("world has shut down");
-            if msg.from == from && msg.tag == tag {
-                return msg.data;
+            if let Some(pos) = Self::position_matching(&q, from, tag) {
+                let msg = q.remove(pos).expect("position is in range");
+                drop(q);
+                self.deliver(msg, out);
+                return;
             }
-            self.mailbox.lock().push(msg);
+            q = inbox.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    fn try_recv_bytes(&self, from: usize, tag: u64) -> Option<Vec<u8>> {
-        if let Some(data) = self.take_from_mailbox(from, tag) {
-            return Some(data);
-        }
-        while let Ok(msg) = self.receiver.try_recv() {
-            if msg.from == from && msg.tag == tag {
-                return Some(msg.data);
+    fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool {
+        let inbox = &self.shared.inboxes[self.rank];
+        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match Self::position_matching(&q, from, tag) {
+            Some(pos) => {
+                let msg = q.remove(pos).expect("position is in range");
+                drop(q);
+                self.deliver(msg, out);
+                true
             }
-            self.mailbox.lock().push(msg);
+            None => false,
         }
-        None
+    }
+
+    fn wait_any<'p>(&self, posts: &mut [Option<RecvPost<'p>>]) -> Option<(usize, RecvPost<'p>)> {
+        if posts.iter().all(Option::is_none) {
+            return None;
+        }
+        let inbox = &self.shared.inboxes[self.rank];
+        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // Earliest arrival that matches any still-posted receive:
+            // drain whichever neighbor landed first.
+            let hit = q.iter().position(|m| {
+                posts.iter().any(|p| p.as_ref().is_some_and(|p| p.from == m.from && p.tag == m.tag))
+            });
+            if let Some(pos) = hit {
+                let msg = q.remove(pos).expect("position is in range");
+                drop(q);
+                let slot = posts
+                    .iter()
+                    .position(|p| {
+                        p.as_ref().is_some_and(|p| p.from == msg.from && p.tag == msg.tag)
+                    })
+                    .expect("a post matched above");
+                let post = posts[slot].take().expect("slot matched above");
+                self.deliver(msg, post.buf);
+                return Some((slot, post));
+            }
+            q = inbox.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
@@ -164,11 +247,14 @@ mod tests {
     fn ping_pong() {
         let results = run_spmd(2, |c| {
             if c.rank() == 0 {
-                c.send_bytes(1, 7, vec![1, 2, 3]);
-                c.recv_bytes(1, 8)
+                c.send_from(1, 7, &[1, 2, 3]);
+                let mut got = vec![0u8; 1];
+                c.recv_into(1, 8, &mut got);
+                got
             } else {
-                let got = c.recv_bytes(0, 7);
-                c.send_bytes(0, 8, vec![9]);
+                let mut got = vec![0u8; 3];
+                c.recv_into(0, 7, &mut got);
+                c.send_from(0, 8, &[9]);
                 got
             }
         });
@@ -222,13 +308,15 @@ mod tests {
     fn out_of_order_tags_are_matched() {
         let results = run_spmd(2, |c| {
             if c.rank() == 0 {
-                c.send_bytes(1, 1, vec![1]);
-                c.send_bytes(1, 2, vec![2]);
+                c.send_from(1, 1, &[1]);
+                c.send_from(1, 2, &[2]);
                 vec![]
             } else {
                 // Receive tag 2 first although tag 1 arrived first.
-                let b = c.recv_bytes(0, 2);
-                let a = c.recv_bytes(0, 1);
+                let mut b = [0u8; 1];
+                c.recv_into(0, 2, &mut b);
+                let mut a = [0u8; 1];
+                c.recv_into(0, 1, &mut a);
                 vec![a[0], b[0]]
             }
         });
@@ -240,11 +328,17 @@ mod tests {
         let results = run_spmd(2, |c| {
             if c.rank() == 0 {
                 for i in 0..10u8 {
-                    c.send_bytes(1, 0, vec![i]);
+                    c.send_from(1, 0, &[i]);
                 }
                 vec![]
             } else {
-                (0..10).map(|_| c.recv_bytes(0, 0)[0]).collect()
+                (0..10)
+                    .map(|_| {
+                        let mut b = [0u8; 1];
+                        c.recv_into(0, 0, &mut b);
+                        b[0]
+                    })
+                    .collect()
             }
         });
         assert_eq!(results[1], (0..10).collect::<Vec<u8>>());
@@ -256,14 +350,15 @@ mod tests {
             if c.rank() == 0 {
                 c.barrier();
                 // After the barrier the message is guaranteed sent.
+                let mut d = vec![0u8; 1];
                 loop {
-                    if let Some(d) = c.try_recv_bytes(1, 5) {
+                    if c.try_recv_into(1, 5, &mut d) {
                         return d;
                     }
                     std::thread::yield_now();
                 }
             } else {
-                c.send_bytes(0, 5, vec![42]);
+                c.send_from(0, 5, &[42]);
                 c.barrier();
                 vec![]
             }
@@ -272,13 +367,46 @@ mod tests {
     }
 
     #[test]
+    fn wait_any_completes_in_arrival_order() {
+        // Rank 2 waits on both neighbors at once and records completion
+        // order; whichever message arrived first must complete first.
+        let results = run_spmd(3, |c| {
+            if c.rank() == 2 {
+                let mut b0 = [0u8; 1];
+                let mut b1 = [0u8; 1];
+                // Rank 1's send is ordered (via the barrier) before
+                // rank 0's, so it must complete first.
+                c.barrier();
+                let mut posts =
+                    [Some(RecvPost::new(0, 9, &mut b0)), Some(RecvPost::new(1, 9, &mut b1))];
+                let (first, post) = c.wait_any(&mut posts).expect("two posts live");
+                let first_val = post.buf[0];
+                let (second, post) = c.wait_any(&mut posts).expect("one post live");
+                let second_val = post.buf[0];
+                assert!(c.wait_any(&mut posts).is_none(), "all posts drained");
+                vec![first as u8, first_val, second as u8, second_val]
+            } else if c.rank() == 1 {
+                c.send_from(2, 9, &[11]);
+                c.barrier();
+                vec![]
+            } else {
+                c.barrier();
+                c.send_from(2, 9, &[10]);
+                vec![]
+            }
+        });
+        assert_eq!(results[2], vec![1, 11, 0, 10]);
+    }
+
+    #[test]
     fn typed_slices_roundtrip() {
         let results = run_spmd(2, |c| {
             if c.rank() == 0 {
-                c.send_bytes(1, 0, pack(&[1.5f32, -2.5]));
+                c.send_from(1, 0, &pack(&[1.5f32, -2.5]));
                 0.0
             } else {
-                let bytes = c.recv_bytes(0, 0);
+                let mut bytes = vec![0u8; 8];
+                c.recv_into(0, 0, &mut bytes);
                 let mut out = vec![0.0f32; 2];
                 unpack(&bytes, &mut out);
                 out[0] as f64 + out[1] as f64
@@ -294,6 +422,33 @@ mod tests {
     }
 
     #[test]
+    fn pool_buffers_are_recycled() {
+        // After a message is received its buffer returns to the pool;
+        // repeated same-size traffic must not grow the pool without
+        // bound.
+        let results = run_spmd(2, |c| {
+            // Ping-pong keeps at most one message in flight per
+            // direction, so steady-state traffic cannot out-run the
+            // receiver and force fresh buffers.
+            let mut buf = [0u8; 256];
+            for round in 0..100u64 {
+                if c.rank() == 0 {
+                    c.send_from(1, round, &[7u8; 256]);
+                    c.recv_into(1, round, &mut buf);
+                } else {
+                    c.recv_into(0, round, &mut buf);
+                    c.send_from(0, round, &buf);
+                }
+            }
+            c.barrier();
+            c.shared.pool.lock().unwrap().len()
+        });
+        // Bounded in-flight traffic: the pool holds a handful of
+        // buffers, not one per round.
+        assert!(results[0] <= 4, "pool grew to {} buffers", results[0]);
+    }
+
+    #[test]
     fn many_ranks_stress() {
         // A ring shift: rank r sends to (r+1) % p and receives from
         // (r-1+p) % p, repeated.
@@ -304,9 +459,10 @@ mod tests {
             let prev = (r + p - 1) % p;
             let mut token = r as u64;
             for round in 0..20 {
-                c.send_bytes(next, round, token.to_le_bytes().to_vec());
-                let got = c.recv_bytes(prev, round);
-                token = u64::from_le_bytes(got.try_into().unwrap()) + 1;
+                c.send_from(next, round, &token.to_le_bytes());
+                let mut got = [0u8; 8];
+                c.recv_into(prev, round, &mut got);
+                token = u64::from_le_bytes(got) + 1;
             }
             token
         });

@@ -49,6 +49,45 @@ pub struct TimelineEvent {
     pub end: f64,
 }
 
+/// Measured anatomy of one split-phase halo exchange: what the halo
+/// engine actually did between `begin` and `finish`, recorded so the
+/// figure-9 "communication is hidden" claim is testable instead of
+/// modeled. All durations are in seconds.
+#[derive(Debug, Clone)]
+pub struct OverlapRecord {
+    /// Message tag of the exchange.
+    pub tag: u64,
+    /// Bytes packed and sent to all neighbors.
+    pub bytes_sent: usize,
+    /// Bytes received and unpacked from all neighbors.
+    pub bytes_received: usize,
+    /// Time spent packing boundary values into the send staging buffers.
+    pub pack: f64,
+    /// Interior-compute span the exchange overlapped with: the gap
+    /// between the end of `begin` and the start of `finish`, during
+    /// which messages were in flight while the caller computed.
+    pub window: f64,
+    /// Time `finish` spent blocked waiting for messages — the *exposed*
+    /// communication the overlap failed to hide.
+    pub wire_wait: f64,
+    /// Time spent scattering received values into the ghost region.
+    pub unpack: f64,
+}
+
+impl OverlapRecord {
+    /// Fraction of this exchange's communication hidden under compute:
+    /// `window / (window + wire_wait)`. 1.0 means `finish` never
+    /// blocked; 0.0 means nothing was overlapped.
+    pub fn hidden_fraction(&self) -> f64 {
+        let total = self.window + self.wire_wait;
+        if total > 0.0 {
+            self.window / total
+        } else {
+            1.0
+        }
+    }
+}
+
 /// A concurrent event recorder. A disabled timeline records nothing and
 /// costs one branch per event.
 #[derive(Debug)]
@@ -56,17 +95,28 @@ pub struct Timeline {
     enabled: bool,
     epoch: Instant,
     events: Mutex<Vec<TimelineEvent>>,
+    overlaps: Mutex<Vec<OverlapRecord>>,
 }
 
 impl Timeline {
     /// A recording timeline with its epoch at creation time.
     pub fn enabled() -> Self {
-        Timeline { enabled: true, epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+        Timeline {
+            enabled: true,
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            overlaps: Mutex::new(Vec::new()),
+        }
     }
 
     /// A no-op timeline.
     pub fn disabled() -> Self {
-        Timeline { enabled: false, epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+        Timeline {
+            enabled: false,
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            overlaps: Mutex::new(Vec::new()),
+        }
     }
 
     /// Whether events are being recorded.
@@ -89,6 +139,38 @@ impl Timeline {
     /// RAII guard that records `[creation, drop]` as an interval.
     pub fn span<'a>(&'a self, name: &'a str, stream: Stream) -> Span<'a> {
         Span { tl: self, name, stream, start: self.now() }
+    }
+
+    /// Record the measured anatomy of one halo exchange.
+    pub fn add_overlap(&self, record: OverlapRecord) {
+        if self.enabled {
+            self.overlaps.lock().push(record);
+        }
+    }
+
+    /// Snapshot of the per-exchange overlap records, in completion order.
+    pub fn overlap_records(&self) -> Vec<OverlapRecord> {
+        self.overlaps.lock().clone()
+    }
+
+    /// Measured overlap efficiency over every recorded exchange: the
+    /// fraction of total communication time (in-flight window + exposed
+    /// wait) that was hidden under interior compute. `None` if no
+    /// exchange was recorded. This is the measured counterpart of the
+    /// modeled `hidden_fraction` in the figure-9 trace.
+    pub fn overlap_efficiency(&self) -> Option<f64> {
+        let recs = self.overlaps.lock();
+        if recs.is_empty() {
+            return None;
+        }
+        let window: f64 = recs.iter().map(|r| r.window).sum();
+        let wait: f64 = recs.iter().map(|r| r.wire_wait).sum();
+        let total = window + wait;
+        if total > 0.0 {
+            Some(window / total)
+        } else {
+            Some(1.0)
+        }
     }
 
     /// Snapshot of the recorded events, sorted by start time.
@@ -234,5 +316,46 @@ mod tests {
     fn stream_labels() {
         assert_eq!(Stream::Compute.label(), "GPU");
         assert_eq!(Stream::Copy.label(), "COPY");
+    }
+
+    fn record(window: f64, wait: f64) -> OverlapRecord {
+        OverlapRecord {
+            tag: 0,
+            bytes_sent: 100,
+            bytes_received: 100,
+            pack: 1e-6,
+            window,
+            wire_wait: wait,
+            unpack: 1e-6,
+        }
+    }
+
+    #[test]
+    fn overlap_efficiency_aggregates_records() {
+        let tl = Timeline::enabled();
+        assert_eq!(tl.overlap_efficiency(), None, "no exchange recorded yet");
+        tl.add_overlap(record(3e-6, 1e-6)); // 75% hidden
+        tl.add_overlap(record(1e-6, 3e-6)); // 25% hidden
+        let eff = tl.overlap_efficiency().unwrap();
+        assert!((eff - 0.5).abs() < 1e-12, "got {eff}");
+        assert_eq!(tl.overlap_records().len(), 2);
+        assert!((tl.overlap_records()[0].hidden_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_timeline_records_no_overlaps() {
+        let tl = Timeline::disabled();
+        tl.add_overlap(record(1.0, 1.0));
+        assert!(tl.overlap_records().is_empty());
+        assert_eq!(tl.overlap_efficiency(), None);
+    }
+
+    #[test]
+    fn fully_hidden_exchange_has_unit_efficiency() {
+        let tl = Timeline::enabled();
+        tl.add_overlap(record(5e-6, 0.0));
+        assert_eq!(tl.overlap_efficiency(), Some(1.0));
+        // Degenerate zero-duration record counts as hidden.
+        assert_eq!(record(0.0, 0.0).hidden_fraction(), 1.0);
     }
 }

@@ -114,7 +114,18 @@ pub fn cg_solve<C: Comm>(
         }
     }
 
-    (x, SolveStats { iters, restarts: 0, converged, final_relres: relres, history, motifs: stats })
+    (
+        x,
+        SolveStats {
+            iters,
+            restarts: 0,
+            converged,
+            final_relres: relres,
+            history,
+            motifs: stats,
+            overlap_efficiency: timeline.overlap_efficiency(),
+        },
+    )
 }
 
 #[cfg(test)]

@@ -91,6 +91,10 @@ pub struct SolveStats {
     pub history: Vec<f64>,
     /// Per-motif time and FLOP accounting for this rank.
     pub motifs: MotifStats,
+    /// Measured halo-overlap efficiency over the solve (fraction of
+    /// communication hidden under interior compute), when the run's
+    /// timeline was enabled; `None` on untraced runs.
+    pub overlap_efficiency: Option<f64>,
 }
 
 /// Workspace reused across restart cycles of one solve.
@@ -290,7 +294,15 @@ pub fn gmres_solve_f64<C: Comm>(
     let solution = x[..n].to_vec();
     (
         solution,
-        SolveStats { iters, restarts, converged, final_relres: relres, history, motifs: stats },
+        SolveStats {
+            iters,
+            restarts,
+            converged,
+            final_relres: relres,
+            history,
+            motifs: stats,
+            overlap_efficiency: timeline.overlap_efficiency(),
+        },
     )
 }
 

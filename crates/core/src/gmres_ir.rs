@@ -125,7 +125,15 @@ where
     let solution = x[..n].to_vec();
     (
         solution,
-        SolveStats { iters, restarts, converged, final_relres: relres, history, motifs: stats },
+        SolveStats {
+            iters,
+            restarts,
+            converged,
+            final_relres: relres,
+            history,
+            motifs: stats,
+            overlap_efficiency: timeline.overlap_efficiency(),
+        },
     )
 }
 

@@ -113,13 +113,15 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
             // messages fly, then finish with boundary rows (§3.2.3).
             // Both halves run on the thread pool; per-row accumulation
             // order is fixed, so results match the sequential path bit
-            // for bit at every thread count.
-            level.halo.begin(ctx.comm, tag, x, ctx.timeline);
+            // for bit at every thread count. The type-state handle from
+            // `begin` guarantees the finish is paired and lets `finish`
+            // unpack whichever neighbor lands first.
+            let halo = level.halo.begin(ctx.comm, tag, x, ctx.timeline);
             {
                 let _s = ctx.timeline.span("SpMV interior", Stream::Compute);
                 level.ell().spmv_rows_par(&level.interior_rows, x, y);
             }
-            level.halo.finish(ctx.comm, tag, x, ctx.timeline);
+            halo.finish(ctx.comm, x, ctx.timeline);
             let _s = ctx.timeline.span("SpMV boundary", Stream::Compute);
             level.ell().spmv_rows_par(&level.boundary_rows, x, y);
         }
@@ -160,12 +162,12 @@ pub fn dist_gs_sweep<S: Scalar, C: Comm>(
                 SweepDir::Forward => 0,
                 SweepDir::Backward => ncolors - 1,
             };
-            level.halo.begin(ctx.comm, tag, z, ctx.timeline);
+            let halo = level.halo.begin(ctx.comm, tag, z, ctx.timeline);
             {
                 let _s = ctx.timeline.span("GS interior (first color)", Stream::Compute);
                 gs_color_class(ell, &level.color_interior[first], r, z);
             }
-            level.halo.finish(ctx.comm, tag, z, ctx.timeline);
+            halo.finish(ctx.comm, z, ctx.timeline);
             {
                 let _s = ctx.timeline.span("GS boundary (first color)", Stream::Compute);
                 gs_color_class(ell, &level.color_boundary[first], r, z);
@@ -229,12 +231,12 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
     match ctx.variant {
         ImplVariant::Optimized => {
             let ell = fine.ell();
-            fine.halo.begin(ctx.comm, tag, z, ctx.timeline);
+            let halo = fine.halo.begin(ctx.comm, tag, z, ctx.timeline);
             {
                 let _s = ctx.timeline.span("fused SpMV-restrict interior", Stream::Compute);
                 fused_restrict_rows(ell, &fine.restrict_interior, &map.c2f, b_f, z, rc);
             }
-            fine.halo.finish(ctx.comm, tag, z, ctx.timeline);
+            halo.finish(ctx.comm, z, ctx.timeline);
             let _s = ctx.timeline.span("fused SpMV-restrict boundary", Stream::Compute);
             fused_restrict_rows(ell, &fine.restrict_boundary, &map.c2f, b_f, z, rc);
             stats.record(

@@ -34,6 +34,14 @@ pub struct Neighbor {
     pub count: u32,
 }
 
+impl Neighbor {
+    /// Staging-buffer bytes this neighbor needs at a given per-value
+    /// wire width — what the persistent halo buffers are sized from.
+    pub fn staging_bytes(&self, bytes_per_value: usize) -> usize {
+        self.count as usize * bytes_per_value
+    }
+}
+
 /// The complete halo-exchange plan of one rank.
 #[derive(Debug, Clone)]
 pub struct HaloPlan {
@@ -238,6 +246,13 @@ impl HaloPlan {
     pub fn send_volume(&self) -> usize {
         self.neighbors.iter().map(|n| n.count as usize).sum()
     }
+
+    /// Total bytes sent per exchange at a given per-value wire width —
+    /// the one number the halo engine, the timeline records, and the
+    /// network model all agree on (`send_volume × bytes_per_value`).
+    pub fn send_volume_bytes(&self, bytes_per_value: usize) -> usize {
+        self.send_volume() * bytes_per_value
+    }
 }
 
 #[cfg(test)]
@@ -383,5 +398,8 @@ mod tests {
         let procs = ProcGrid::new(2, 1, 1);
         let p = plan(0, procs, 8);
         assert_eq!(p.send_volume(), 64); // one 8x8 face
+        assert_eq!(p.send_volume_bytes(8), 512); // fp64 wire
+        assert_eq!(p.send_volume_bytes(2), 128); // fp16 wire
+        assert_eq!(p.neighbors[0].staging_bytes(8), 512);
     }
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Re-record the tracked kernel-performance baseline (BENCH_baseline.json)
-# on this machine: full-sampling motif bench at 1 and 4 threads, merged
-# by the bench_baseline tool. Run from the repository root.
+# on this machine: full-sampling motif + solver benches at 1 and 4
+# threads, merged by the bench_baseline tool. Run from the repository
+# root.
 set -euo pipefail
 
 tmp1=$(mktemp /tmp/hpgmxp-bench-t1.XXXXXX.jsonl)
@@ -11,8 +12,14 @@ trap 'rm -f "$tmp1" "$tmp4"' EXIT
 echo "== motif bench, RAYON_NUM_THREADS=1 =="
 RAYON_NUM_THREADS=1 CRITERION_JSON="$tmp1" cargo bench -p hpgmxp-bench --bench motifs
 
+echo "== solvers bench, RAYON_NUM_THREADS=1 =="
+RAYON_NUM_THREADS=1 CRITERION_JSON="$tmp1" cargo bench -p hpgmxp-bench --bench solvers
+
 echo "== motif bench, RAYON_NUM_THREADS=4 =="
 RAYON_NUM_THREADS=4 CRITERION_JSON="$tmp4" cargo bench -p hpgmxp-bench --bench motifs
+
+echo "== solvers bench, RAYON_NUM_THREADS=4 =="
+RAYON_NUM_THREADS=4 CRITERION_JSON="$tmp4" cargo bench -p hpgmxp-bench --bench solvers
 
 cargo run --release -p hpgmxp-bench --bin bench_baseline -- \
     record BENCH_baseline.json "$tmp1" "$tmp4"

@@ -1,0 +1,113 @@
+//! Steady-state halo exchanges perform **zero heap allocations**.
+//!
+//! The comm-v2 redesign gives `HaloExchange` persistent per-neighbor
+//! staging buffers and the `ThreadWorld` transport a recycled buffer
+//! pool, so after a warm-up phase (which grows every buffer to its
+//! steady-state capacity) an exchange at any precision touches the
+//! allocator exactly zero times. This test pins that property with a
+//! counting global allocator: all ranks warm up, synchronize, and then
+//! run N more exchanges while the (process-global) allocation counter
+//! must not move.
+//!
+//! This file must stay a single-test binary: the global allocator and
+//! its counter are process-wide, and a concurrently running unrelated
+//! test would pollute the counted window.
+
+use hpgmxp_comm::{run_spmd, Comm, Timeline};
+use hpgmxp_core::problem::{assemble, ProblemSpec};
+use hpgmxp_geometry::{ProcGrid, Stencil27};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counts every allocator entry (alloc/realloc) while armed.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_exchange_allocates_nothing() {
+    const WARMUP: usize = 100;
+    const MEASURED: usize = 50;
+    let procs = ProcGrid::new(2, 2, 1);
+
+    let counted = run_spmd(4, move |c| {
+        let prob = assemble(
+            &ProblemSpec {
+                local: (6, 6, 6),
+                procs,
+                stencil: Stencil27::symmetric(),
+                mg_levels: 1,
+                seed: 11,
+            },
+            c.rank(),
+        );
+        let l = &prob.levels[0];
+        let tl = Timeline::disabled();
+        let mut x64 = vec![0.5f64; l.vec_len()];
+        let mut x32 = vec![0.5f32; l.vec_len()];
+
+        // Warm-up: grow the staging buffers, transport pool, and
+        // mailbox deques to steady-state capacity at both precisions.
+        for i in 0..WARMUP as u64 {
+            l.halo.exchange(&c, 2 * i, &mut x64, &tl);
+            l.halo.exchange(&c, 2 * i + 1, &mut x32, &tl);
+        }
+
+        // Everyone parks between the barriers doing nothing but
+        // exchanges, so the process-global counter isolates the
+        // steady-state exchange path.
+        c.barrier();
+        if c.rank() == 0 {
+            ALLOCATIONS.store(0, Ordering::SeqCst);
+            ARMED.store(true, Ordering::SeqCst);
+        }
+        c.barrier();
+
+        for i in 0..MEASURED as u64 {
+            let tag = (WARMUP as u64 + i) * 2;
+            l.halo.exchange(&c, tag, &mut x64, &tl);
+            l.halo.exchange(&c, tag + 1, &mut x32, &tl);
+        }
+
+        c.barrier();
+        let count = if c.rank() == 0 {
+            ARMED.store(false, Ordering::SeqCst);
+            Some(ALLOCATIONS.load(Ordering::SeqCst))
+        } else {
+            None
+        };
+        c.barrier();
+        count
+    });
+
+    let allocations = counted[0].expect("rank 0 reports the counter");
+    assert_eq!(
+        allocations, 0,
+        "steady-state halo exchange must not touch the allocator: \
+         {allocations} allocations across {MEASURED} exchange rounds on 4 ranks"
+    );
+}

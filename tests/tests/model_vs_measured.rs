@@ -73,6 +73,64 @@ fn workload_shape_matches_measured_problem_dimensions() {
 }
 
 #[test]
+fn halo_bytes_reconcile_measured_vs_model_per_precision() {
+    // One byte accounting for figure 9 and the roofline: the bytes the
+    // halo engine actually puts on the wire (timeline overlap records),
+    // the bytes `HaloExchange::send_bytes::<S>()` claims, and the bytes
+    // the network model is charged (`halo_values × S::BYTES` in
+    // trace/simulate) must agree — at fp64, fp32, and fp16 ghosts.
+    use hpgmxp_comm::{run_spmd, Comm, Timeline};
+    use hpgmxp_core::problem::{assemble, ProblemSpec};
+    use hpgmxp_geometry::{ProcGrid, Stencil27};
+    use hpgmxp_sparse::{Half, Scalar};
+
+    fn measured_bytes<S: Scalar + 'static>(ranks: u32, local: u32) -> (usize, usize, f64) {
+        let procs = ProcGrid::factor(ranks);
+        let mid = procs.rank_of(procs.px / 2, procs.py / 2, procs.pz / 2) as usize;
+        let results = run_spmd(ranks as usize, move |c| {
+            let prob = assemble(
+                &ProblemSpec {
+                    local: (local, local, local),
+                    procs,
+                    stencil: Stencil27::symmetric(),
+                    mg_levels: 1,
+                    seed: 3,
+                },
+                c.rank(),
+            );
+            let l = &prob.levels[0];
+            let tl = Timeline::enabled();
+            let mut x = vec![S::ZERO; l.vec_len()];
+            l.halo.exchange(&c, 0, &mut x, &tl);
+            let wire: usize = tl.overlap_records().iter().map(|r| r.bytes_sent).sum();
+            let recv: usize = tl.overlap_records().iter().map(|r| r.bytes_received).sum();
+            assert_eq!(
+                wire,
+                l.halo.send_bytes::<S>(),
+                "engine accounting != wire bytes on rank {}",
+                c.rank()
+            );
+            (c.rank(), wire, recv)
+        });
+        let wl = Workload::build((local, local, local), 1, 30, ranks as usize);
+        let modeled = wl.fine().halo_values * S::BYTES as f64;
+        let &(_, wire, recv) = results.iter().find(|(r, _, _)| *r == mid).unwrap();
+        (wire, recv, modeled)
+    }
+
+    for (wire, recv, modeled) in [
+        measured_bytes::<f64>(8, 4),
+        measured_bytes::<f32>(8, 4),
+        measured_bytes::<Half>(8, 4),
+        measured_bytes::<f64>(2, 6),
+        measured_bytes::<f32>(4, 3),
+    ] {
+        assert_eq!(wire as f64, modeled, "wire bytes must equal the network model's charge");
+        assert_eq!(recv as f64, modeled, "received bytes must equal sent bytes (congruent boxes)");
+    }
+}
+
+#[test]
 fn model_time_is_monotone_in_problem_size_and_scale() {
     let m = MachineModel::mi250x_gcd();
     let n = NetworkModel::frontier_slingshot();

@@ -18,6 +18,15 @@ impl<T> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attempt to acquire the lock without blocking; `None` if held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(|e| e.into_inner())
@@ -54,6 +63,12 @@ mod tests {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(*m.lock(), vec![1, 2, 3]);
+        {
+            let held = m.try_lock().expect("uncontended try_lock succeeds");
+            assert_eq!(held.len(), 3);
+            assert!(m.try_lock().is_none(), "second try_lock while held fails");
+        }
+        assert!(m.try_lock().is_some());
         let r = RwLock::new(5);
         assert_eq!(*r.read(), 5);
         *r.write() = 6;
