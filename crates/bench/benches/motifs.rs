@@ -22,8 +22,8 @@ fn tune(c: &mut Criterion) -> &mut Criterion {
 
 fn bench_spmv(c: &mut Criterion) {
     let prob = single_rank_problem(N, 1);
-    let csr64 = &prob.levels[0].csr64;
-    let ell64 = &prob.levels[0].ell64;
+    let csr64 = &prob.levels[0].csr64();
+    let ell64 = &prob.levels[0].ell64();
     let csr32: CsrMatrix<f32> = csr64.convert();
     let ell32: EllMatrix<f32> = ell64.convert();
     let n = csr64.ncols();
@@ -69,6 +69,19 @@ fn bench_spmv(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("ell_par", "fp32"), |b| {
         b.iter(|| ell32.spmv_par(black_box(&x32), &mut y32))
     });
+    // Split-precision kernels (precision-policy engine): values loaded
+    // at a narrower storage precision than the accumulators — the
+    // matrix-value stream halves/quarters while results keep the
+    // accumulate precision's rounding.
+    let ell16: EllMatrix<hpgmxp_sparse::Half> = ell64.convert();
+    g.throughput(Throughput::Bytes(ell32.spmv_matrix_bytes() as u64));
+    g.bench_function(BenchmarkId::new("ell_split", "f32s-f64a"), |b| {
+        b.iter(|| ell32.spmv_par(black_box(&x64), &mut y64))
+    });
+    g.throughput(Throughput::Bytes(ell16.spmv_matrix_bytes() as u64));
+    g.bench_function(BenchmarkId::new("ell_split", "f16s-f32a"), |b| {
+        b.iter(|| ell16.spmv_par(black_box(&x32), &mut y32))
+    });
     g.finish();
 }
 
@@ -78,27 +91,33 @@ fn bench_gauss_seidel(c: &mut Criterion) {
     let n = l.n_local();
     let r64: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
     let r32: Vec<f32> = r64.iter().map(|&v| v as f32).collect();
-    let (low, up) = split_lower_upper(&l.csr64);
-    let schedule = LevelSchedule::build(&l.csr64);
+    let (low, up) = split_lower_upper(l.csr64());
+    let schedule = LevelSchedule::build(l.csr64());
 
     let mut g = c.benchmark_group("gauss_seidel");
     g.warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1))
         .sample_size(10);
-    g.throughput(Throughput::Bytes(l.csr64.spmv_matrix_bytes() as u64));
+    g.throughput(Throughput::Bytes(l.csr64().spmv_matrix_bytes() as u64));
     g.bench_function("lexicographic fp64", |b| {
         let mut z = vec![0.0f64; l.vec_len()];
-        b.iter(|| gs_forward(&l.csr64, black_box(&r64), &mut z))
+        b.iter(|| gs_forward(l.csr64(), black_box(&r64), &mut z))
     });
-    g.throughput(Throughput::Bytes(l.ell64.spmv_matrix_bytes() as u64));
+    g.throughput(Throughput::Bytes(l.ell64().spmv_matrix_bytes() as u64));
     g.bench_function("multicolor ELL fp64", |b| {
         let mut z = vec![0.0f64; l.vec_len()];
-        b.iter(|| gs_multicolor(&l.ell64, &l.coloring, black_box(&r64), &mut z))
+        b.iter(|| gs_multicolor(l.ell64(), &l.coloring, black_box(&r64), &mut z))
     });
-    g.throughput(Throughput::Bytes(l.ell32.spmv_matrix_bytes() as u64));
+    g.throughput(Throughput::Bytes(l.ell32().spmv_matrix_bytes() as u64));
     g.bench_function("multicolor ELL fp32", |b| {
         let mut z = vec![0.0f32; l.vec_len()];
-        b.iter(|| gs_multicolor(&l.ell32, &l.coloring, black_box(&r32), &mut z))
+        b.iter(|| gs_multicolor(l.ell32(), &l.coloring, black_box(&r32), &mut z))
+    });
+    // Split sweep (precision-policy engine): fp32-stored values, f64
+    // relaxation arithmetic — matrix traffic of fp32 at f64 rounding.
+    g.bench_function("multicolor ELL split f32s-f64a", |b| {
+        let mut z = vec![0.0f64; l.vec_len()];
+        b.iter(|| gs_multicolor(l.ell32(), &l.coloring, black_box(&r64), &mut z))
     });
     // One sweep streams the upper factor (SpMV) then the lower factor
     // (triangular solve); together they cover A's nonzeros once, plus
@@ -178,7 +197,7 @@ fn bench_vector_ops(c: &mut Criterion) {
 
 fn bench_coloring(c: &mut Criterion) {
     let prob = single_rank_problem(16, 1);
-    let a = &prob.levels[0].csr64;
+    let a = &prob.levels[0].csr64();
     let mut g = c.benchmark_group("coloring");
     g.warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1))

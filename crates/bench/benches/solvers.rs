@@ -29,7 +29,7 @@ fn bench_mg_cycle(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .sample_size(10);
     for variant in [ImplVariant::Optimized, ImplVariant::Reference] {
-        let ctx = OpCtx { comm: &comm, variant, timeline: &tl };
+        let ctx = OpCtx::new(&comm, variant, &tl);
         g.bench_function(format!("{:?} fp64", variant), |b| {
             let mut stats = MotifStats::new();
             let mut ws: MgWorkspace<f64> = MgWorkspace::new(&prob.levels);

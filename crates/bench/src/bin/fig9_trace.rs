@@ -61,7 +61,7 @@ fn measured_sweep(ranks: usize, local: u32, sweeps: usize) -> (Vec<OverlapRecord
         let l = &prob.levels[0];
         let tl = Timeline::enabled();
         let mut stats = MotifStats::new();
-        let ctx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+        let ctx = OpCtx::new(&c, ImplVariant::Optimized, &tl);
         let r = vec![1.0f64; l.n_local()];
         let mut z = vec![0.0f64; l.vec_len()];
         for s in 0..sweeps {

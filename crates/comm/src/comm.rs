@@ -155,8 +155,21 @@ pub trait Comm: Send + Sync {
 /// With sufficient capacity this never allocates — the halo engine's
 /// persistent staging buffers rely on that.
 pub(crate) fn encode_scalars<S: Scalar>(values: impl Iterator<Item = S>, out: &mut Vec<u8>) {
+    encode_scalars_wire(values, S::BYTES, out)
+}
+
+/// [`encode_scalars`] with the wire width chosen at runtime,
+/// independent of the compute scalar: values of any `S` are rounded to
+/// a 2/4/8-byte wire format. This is the pack half of the precision
+/// policy's *wire* axis (fp16 ghosts under an f32 — or even f64 —
+/// compute precision).
+pub(crate) fn encode_scalars_wire<S: Scalar>(
+    values: impl Iterator<Item = S>,
+    wire_bytes: usize,
+    out: &mut Vec<u8>,
+) {
     out.clear();
-    match S::BYTES {
+    match wire_bytes {
         2 => {
             for v in values {
                 out.extend_from_slice(&f32_to_f16_bits(v.to_f64() as f32).to_le_bytes());
@@ -167,11 +180,12 @@ pub(crate) fn encode_scalars<S: Scalar>(values: impl Iterator<Item = S>, out: &m
                 out.extend_from_slice(&(v.to_f64() as f32).to_le_bytes());
             }
         }
-        _ => {
+        8 => {
             for v in values {
                 out.extend_from_slice(&v.to_f64().to_le_bytes());
             }
         }
+        w => panic!("unsupported wire width {w} (expected 2, 4, or 8)"),
     }
 }
 
@@ -190,8 +204,15 @@ pub fn pack<S: Scalar>(data: &[S]) -> Vec<u8> {
 
 /// Unpack little-endian bytes into a scalar slice (length must match).
 pub fn unpack<S: Scalar>(bytes: &[u8], out: &mut [S]) {
-    assert_eq!(bytes.len(), out.len() * S::BYTES, "message length mismatch");
-    match S::BYTES {
+    unpack_wire(bytes, S::BYTES, out)
+}
+
+/// [`unpack`] with a runtime wire width: decode 2/4/8-byte wire values
+/// and widen (or round) into the compute scalar `S` — the unpack half
+/// of the policy's wire axis.
+pub fn unpack_wire<S: Scalar>(bytes: &[u8], wire_bytes: usize, out: &mut [S]) {
+    assert_eq!(bytes.len(), out.len() * wire_bytes, "message length mismatch");
+    match wire_bytes {
         2 => {
             for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
                 *o = S::from_f64(f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])) as f64);
@@ -202,13 +223,14 @@ pub fn unpack<S: Scalar>(bytes: &[u8], out: &mut [S]) {
                 *o = S::from_f64(f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64);
             }
         }
-        _ => {
+        8 => {
             for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
                 *o = S::from_f64(f64::from_le_bytes([
                     c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
                 ]));
             }
         }
+        w => panic!("unsupported wire width {w} (expected 2, 4, or 8)"),
     }
 }
 

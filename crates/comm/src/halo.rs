@@ -31,7 +31,7 @@
 //! precisely the halo-traffic benefit the mixed-precision solver
 //! enjoys.
 
-use crate::comm::{unpack, Comm, RecvPost};
+use crate::comm::{unpack_wire, Comm, RecvPost};
 use crate::timeline::{OverlapRecord, Stream, Timeline};
 use hpgmxp_geometry::HaloPlan;
 use hpgmxp_sparse::Scalar;
@@ -57,9 +57,9 @@ struct HaloBufs {
 }
 
 impl HaloBufs {
-    fn sized_for(plan: &HaloPlan) -> Self {
+    fn sized_for(plan: &HaloPlan, max_wire_bytes: usize) -> Self {
         let cap =
-            |n: &hpgmxp_geometry::Neighbor| Vec::with_capacity(n.staging_bytes(MAX_SCALAR_BYTES));
+            |n: &hpgmxp_geometry::Neighbor| Vec::with_capacity(n.staging_bytes(max_wire_bytes));
         HaloBufs {
             send: plan.neighbors.iter().map(cap).collect(),
             recv: plan.neighbors.iter().map(cap).collect(),
@@ -88,8 +88,18 @@ impl HaloExchange {
     /// Wrap a geometric plan, sizing the persistent staging buffers
     /// once (at the widest precision) from its neighbor counts.
     pub fn new(plan: HaloPlan) -> Self {
+        Self::new_sized(plan, MAX_SCALAR_BYTES)
+    }
+
+    /// Wrap a plan with staging buffers sized for a policy-chosen
+    /// widest wire scalar: a level whose exchanges never travel wider
+    /// than `max_wire_bytes` (e.g. a coarse level used only by an
+    /// fp16-wire inner solve) reserves proportionally less staging
+    /// memory. Exceeding the reservation later is not unsound — the
+    /// `Vec`s grow — but it forfeits the zero-allocation steady state.
+    pub fn new_sized(plan: HaloPlan, max_wire_bytes: usize) -> Self {
         let n_local = plan.n_local();
-        let bufs = Mutex::new(HaloBufs::sized_for(&plan));
+        let bufs = Mutex::new(HaloBufs::sized_for(&plan, max_wire_bytes));
         HaloExchange { plan, n_local, bufs }
     }
 
@@ -133,6 +143,23 @@ impl HaloExchange {
         x: &[S],
         tl: &Timeline,
     ) -> ActiveExchange<'a, S> {
+        self.begin_wire(comm, tag, x, S::BYTES, tl)
+    }
+
+    /// [`HaloExchange::begin`] with the ghost **wire format** chosen at
+    /// runtime, independently of the compute scalar `S` (the precision
+    /// policy's wire axis): boundary values are rounded to
+    /// `wire_bytes`-wide wire scalars during the pack, and `finish`
+    /// widens arriving ghosts back into `S`. `wire_bytes == S::BYTES`
+    /// is exactly the native exchange.
+    pub fn begin_wire<'a, S: Scalar, C: Comm>(
+        &'a self,
+        comm: &C,
+        tag: u64,
+        x: &[S],
+        wire_bytes: usize,
+        tl: &Timeline,
+    ) -> ActiveExchange<'a, S> {
         assert!(x.len() >= self.n_local + self.num_ghosts());
         let mut bufs = self
             .bufs
@@ -147,7 +174,7 @@ impl HaloExchange {
             let t0 = if traced { tl.now() } else { 0.0 };
             {
                 let _pack_span = tl.span("halo pack", Stream::Halo);
-                pack_gather_into(x, &nbr.send_indices, buf);
+                pack_gather_into(x, &nbr.send_indices, wire_bytes, buf);
             }
             if traced {
                 pack_secs += tl.now() - t0;
@@ -160,6 +187,7 @@ impl HaloExchange {
             hx: self,
             bufs,
             tag,
+            wire_bytes,
             pack_secs,
             bytes_sent,
             begin_end: if traced { tl.now() } else { 0.0 },
@@ -171,6 +199,19 @@ impl HaloExchange {
     /// (the reference implementation's non-overlapped pattern, §3.1).
     pub fn exchange<S: Scalar, C: Comm>(&self, comm: &C, tag: u64, x: &mut [S], tl: &Timeline) {
         self.begin(comm, tag, x, tl).finish(comm, x, tl);
+    }
+
+    /// Blocking exchange at an explicit wire width (see
+    /// [`HaloExchange::begin_wire`]).
+    pub fn exchange_wire<S: Scalar, C: Comm>(
+        &self,
+        comm: &C,
+        tag: u64,
+        x: &mut [S],
+        wire_bytes: usize,
+        tl: &Timeline,
+    ) {
+        self.begin_wire(comm, tag, x, wire_bytes, tl).finish(comm, x, tl);
     }
 
     /// Values sent per exchange (per rank), for communication-volume
@@ -186,6 +227,13 @@ impl HaloExchange {
     pub fn send_bytes<S: Scalar>(&self) -> usize {
         self.plan.send_volume_bytes(S::BYTES)
     }
+
+    /// Bytes sent per exchange at a runtime-chosen wire width —
+    /// `send_volume × wire_bytes`, the quantity a wire-precision policy
+    /// shrinks and the policy-aware network model charges.
+    pub fn send_bytes_wire(&self, wire_bytes: usize) -> usize {
+        self.plan.send_volume_bytes(wire_bytes)
+    }
 }
 
 /// Type-state handle of an in-flight split-phase exchange at precision
@@ -198,6 +246,8 @@ pub struct ActiveExchange<'a, S: Scalar> {
     hx: &'a HaloExchange,
     bufs: MutexGuard<'a, HaloBufs>,
     tag: u64,
+    /// Wire width of this exchange's ghost payloads (2/4/8).
+    wire_bytes: usize,
     pack_secs: f64,
     bytes_sent: usize,
     begin_end: f64,
@@ -224,7 +274,7 @@ impl<S: Scalar> ActiveExchange<'_, S> {
         assert!(nbrs.len() <= MAX_NEIGHBORS);
         let mut posts: [Option<RecvPost>; MAX_NEIGHBORS] = [const { None }; MAX_NEIGHBORS];
         for (slot, (nbr, buf)) in nbrs.iter().zip(self.bufs.recv.iter_mut()).enumerate() {
-            buf.resize(nbr.count as usize * S::BYTES, 0);
+            buf.resize(nbr.count as usize * self.wire_bytes, 0);
             posts[slot] = Some(RecvPost::new(nbr.rank as usize, self.tag, buf));
         }
 
@@ -248,7 +298,7 @@ impl<S: Scalar> ActiveExchange<'_, S> {
             let _unpack_span = tl.span("halo unpack", Stream::Copy);
             let nbr = &nbrs[slot];
             let start = hx.n_local + nbr.recv_start as usize;
-            unpack(post.buf, &mut x[start..start + nbr.count as usize]);
+            unpack_wire(post.buf, self.wire_bytes, &mut x[start..start + nbr.count as usize]);
             bytes_received += post.buf.len();
             if traced {
                 unpack_secs += tl.now() - t1;
@@ -272,12 +322,13 @@ impl<S: Scalar> ActiveExchange<'_, S> {
 }
 
 /// Gather `x[indices]` into `buf` through the one wire encoder
-/// ([`crate::comm::encode_scalars`], also behind `pack`/`send_slice`,
-/// so send packing can never desynchronize from setup-path packing).
-/// `buf` is cleared first; with the staging capacity reserved at
-/// construction this never allocates.
-fn pack_gather_into<S: Scalar>(x: &[S], indices: &[u32], buf: &mut Vec<u8>) {
-    crate::comm::encode_scalars(indices.iter().map(|&i| x[i as usize]), buf);
+/// ([`crate::comm::encode_scalars_wire`], also behind `pack`/
+/// `send_slice`, so send packing can never desynchronize from
+/// setup-path packing), rounding each value to the exchange's wire
+/// width. `buf` is cleared first; with the staging capacity reserved
+/// at construction this never allocates.
+fn pack_gather_into<S: Scalar>(x: &[S], indices: &[u32], wire_bytes: usize, buf: &mut Vec<u8>) {
+    crate::comm::encode_scalars_wire(indices.iter().map(|&i| x[i as usize]), wire_bytes, buf);
 }
 
 #[cfg(test)]
@@ -467,6 +518,59 @@ mod tests {
             } else {
                 assert_eq!(got, vec![100.0, 102.0, 104.0, 106.0]);
             }
+        });
+    }
+
+    #[test]
+    fn fp16_wire_under_f64_compute_rounds_ghosts() {
+        // The wire axis decoupled from compute: f64 vectors, 2-byte
+        // ghosts. Received ghosts equal the fp16 rounding of the
+        // sender's values, at a quarter of the f64 wire volume.
+        use hpgmxp_sparse::half::f16_bits_to_f32;
+        use hpgmxp_sparse::half::f32_to_f16_bits;
+        let procs = ProcGrid::new(2, 1, 1);
+        run_spmd(2, move |c| {
+            let lg = LocalGrid::new((3, 3, 3), procs, c.rank() as u32);
+            let hx = HaloExchange::new(HaloPlan::build(&lg));
+            let n = lg.total_points();
+            let mut x = vec![0.0f64; n + hx.num_ghosts()];
+            for (i, v) in x[..n].iter_mut().enumerate() {
+                *v = 0.1 + (c.rank() * 100 + i) as f64 * 0.01;
+            }
+            let sent: Vec<f64> = x[..n].to_vec();
+            let tl = Timeline::disabled();
+            hx.exchange_wire(&c, 0, &mut x, 2, &tl);
+            // Ghost 0 mirrors the peer's first boundary point; +x face
+            // of rank 0 is column x=2 (local index 2), -x face of rank
+            // 1 is column x=0 (local index 0).
+            let peer_first = if c.rank() == 0 {
+                // our ghost mirrors rank 1's x=0 column, index 0
+                0.1 + (100) as f64 * 0.01
+            } else {
+                0.1 + 2.0 * 0.01
+            };
+            let expect = f16_bits_to_f32(f32_to_f16_bits(peer_first as f32)) as f64;
+            assert_eq!(x[n], expect, "rank {}", c.rank());
+            // Wire accounting: a 3x3 face at 2 bytes.
+            assert_eq!(hx.send_bytes_wire(2), 9 * 2);
+            assert_eq!(hx.send_bytes_wire(8), 9 * 8);
+            // Owned values untouched.
+            assert_eq!(&x[..n], &sent[..]);
+        });
+    }
+
+    #[test]
+    fn wire_native_matches_typed_exchange_bitwise() {
+        let procs = ProcGrid::new(2, 1, 1);
+        run_spmd(2, move |c| {
+            let lg = LocalGrid::new((3, 3, 3), procs, c.rank() as u32);
+            let hx = HaloExchange::new(HaloPlan::build(&lg));
+            let tl = Timeline::disabled();
+            let mut a = global_id_vector(&lg, hx.num_ghosts());
+            let mut b = a.clone();
+            hx.exchange(&c, 0, &mut a, &tl);
+            hx.exchange_wire(&c, 1, &mut b, 8, &tl);
+            assert_eq!(a, b);
         });
     }
 

@@ -120,6 +120,23 @@ impl ThreadComm {
         out.copy_from_slice(&msg.data);
         self.shared.pool_put(msg.data);
     }
+
+    /// Grow every currently pooled transport buffer to at least
+    /// `min_capacity` bytes. The pool is shared by all ranks and holds
+    /// buffers of whatever sizes past messages had; a stale small
+    /// buffer can otherwise surface under a larger message arbitrarily
+    /// late (one realloc at a scheduler-dependent moment). Calling
+    /// this once after warm-up — while no messages are in flight —
+    /// makes the zero-allocation steady state deterministic instead of
+    /// high-water-mark-dependent.
+    pub fn prewarm_pool(&self, min_capacity: usize) {
+        let mut pool = self.shared.pool.lock().unwrap_or_else(|e| e.into_inner());
+        for buf in pool.iter_mut() {
+            if buf.capacity() < min_capacity {
+                buf.reserve(min_capacity - buf.len());
+            }
+        }
+    }
 }
 
 impl Comm for ThreadComm {

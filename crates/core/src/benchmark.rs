@@ -23,9 +23,10 @@
 
 use crate::config::{BenchmarkParams, ImplVariant};
 use crate::gmres::{gmres_solve_f64, GmresOptions, SolveStats};
-use crate::gmres_ir::gmres_ir_solve;
+use crate::gmres_ir::{gmres_ir_solve, gmres_ir_solve_policy};
 use crate::motifs::{Motif, MotifStats};
-use crate::problem::{assemble, ProblemSpec};
+use crate::policy::PrecisionPolicy;
+use crate::problem::{assemble, assemble_with_policy, ProblemSpec};
 use hpgmxp_comm::{run_spmd, Comm, Timeline};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -77,6 +78,12 @@ pub struct PhaseResult {
     pub motif_seconds: Vec<(String, f64)>,
     /// Per-motif FLOPs summed over ranks.
     pub motif_flops: Vec<(String, f64)>,
+    /// Per-motif measured data bytes summed over ranks (matrix values
+    /// + indices + vector passes; wire payloads under "Comm").
+    pub motif_bytes: Vec<(String, f64)>,
+    /// Measured matrix-*value* bytes summed over ranks — the share a
+    /// precision policy's storage axis shrinks.
+    pub matrix_value_bytes: f64,
     /// Raw (unpenalized) GFLOP/s: total FLOPs / wall time.
     pub gflops_raw: f64,
 }
@@ -100,6 +107,9 @@ impl PhaseResult {
         }
         let motif_flops: Vec<(String, f64)> =
             Motif::ALL.iter().map(|m| (m.label().to_string(), total.flops(*m))).collect();
+        let motif_bytes: Vec<(String, f64)> =
+            Motif::ALL.iter().map(|m| (m.label().to_string(), total.bytes(*m))).collect();
+        let matrix_value_bytes: f64 = Motif::ALL.iter().map(|m| total.value_bytes(*m)).sum();
         let gflops_raw = if wall_time > 0.0 { total.total_flops() / wall_time / 1e9 } else { 0.0 };
         PhaseResult {
             label: label.to_string(),
@@ -108,7 +118,24 @@ impl PhaseResult {
             wall_time,
             motif_seconds,
             motif_flops,
+            motif_bytes,
+            matrix_value_bytes,
             gflops_raw,
+        }
+    }
+
+    /// Measured data bytes of one motif (summed over ranks).
+    pub fn bytes_of(&self, motif: Motif) -> f64 {
+        self.motif_bytes.iter().find(|(l, _)| l == motif.label()).map(|(_, v)| *v).unwrap_or(0.0)
+    }
+
+    /// Total measured data bytes per inner iteration, per rank.
+    pub fn bytes_per_iteration(&self) -> f64 {
+        let total: f64 = self.motif_bytes.iter().map(|(_, v)| v).sum();
+        if self.iters > 0 {
+            total / self.iters as f64 / self.ranks as f64
+        } else {
+            0.0
         }
     }
 
@@ -321,6 +348,101 @@ pub fn run_phase(
         (agg.expect("at least one solve"), t0.elapsed().as_secs_f64())
     });
     PhaseResult::from_rank_results(if mixed { "mxp" } else { "double" }, results)
+}
+
+/// Run one timed phase under a runtime precision policy: the problem
+/// is assembled with exactly the policy's storage precisions and the
+/// solver is GMRES-IR at the policy's compute/wire mapping. The
+/// returned phase carries the measured per-motif bytes, which the
+/// policy-aware machine model reconciles against.
+pub fn run_policy_phase(
+    params: &BenchmarkParams,
+    variant: ImplVariant,
+    ranks: usize,
+    policy: &PrecisionPolicy,
+) -> PhaseResult {
+    let params = *params;
+    let spec = spec_for(&params, ranks);
+    let policy = policy.clone();
+    let label = policy.name.clone();
+    let results = run_spmd(ranks, move |c| {
+        let prob = assemble_with_policy(&spec, c.rank(), &policy);
+        let tl = Timeline::disabled();
+        let opts = GmresOptions {
+            restart: params.restart,
+            max_iters: params.max_iters_per_solve,
+            tol: 0.0,
+            variant,
+            pre_smooth: params.pre_smooth,
+            post_smooth: params.post_smooth,
+            precondition: true,
+            ortho: crate::gmres::OrthoMethod::Cgs2,
+            track_history: false,
+        };
+        let t0 = Instant::now();
+        let mut agg: Option<SolveStats> = None;
+        for _ in 0..params.benchmark_solves.max(1) {
+            let (_, st) = gmres_ir_solve_policy(&c, &prob, &policy, &opts, &tl);
+            agg = Some(match agg {
+                None => st,
+                Some(mut a) => {
+                    a.iters += st.iters;
+                    a.motifs.merge(&st.motifs);
+                    a
+                }
+            });
+        }
+        (agg.expect("at least one solve"), t0.elapsed().as_secs_f64())
+    });
+    PhaseResult::from_rank_results(&label, results)
+}
+
+/// Validation under a policy: double-precision GMRES to the target
+/// (`n_d`), then policy-configured GMRES-IR chasing the same residual
+/// (`n_ir`); the ratio is the policy's iteration penalty.
+pub fn validate_policy(
+    params: &BenchmarkParams,
+    variant: ImplVariant,
+    ranks: usize,
+    policy: &PrecisionPolicy,
+) -> ValidationResult {
+    let params = *params;
+    let v_ranks = params.validation_ranks.min(ranks);
+    let spec = spec_for(&params, v_ranks);
+    let policy = policy.clone();
+    let results = run_spmd(v_ranks, move |c| {
+        let prob = assemble(&spec, c.rank());
+        let prob_policy = assemble_with_policy(&spec, c.rank(), &policy);
+        let tl = Timeline::disabled();
+        let d_opts = GmresOptions {
+            restart: params.restart,
+            max_iters: params.validation_max_iters,
+            tol: params.validation_tol,
+            variant,
+            pre_smooth: params.pre_smooth,
+            post_smooth: params.post_smooth,
+            precondition: true,
+            ortho: crate::gmres::OrthoMethod::Cgs2,
+            track_history: false,
+        };
+        let (_, st_d) = gmres_solve_f64(&c, &prob, &d_opts, &tl);
+        let ir_opts =
+            GmresOptions { max_iters: params.validation_max_iters.saturating_mul(4), ..d_opts };
+        let (_, st_ir) = gmres_ir_solve_policy(&c, &prob_policy, &policy, &ir_opts, &tl);
+        (st_d.iters, st_d.final_relres, st_ir.iters, st_ir.converged)
+    });
+    let (nd, achieved, nir, ir_ok) = results[0];
+    assert!(ir_ok, "policy GMRES-IR failed to reach {achieved:.3e}");
+    let ratio = nd as f64 / nir as f64;
+    ValidationResult {
+        mode: ValidationMode::Standard,
+        ranks: v_ranks,
+        nd,
+        nir,
+        achieved_relres: achieved,
+        ratio,
+        penalty: ratio.min(1.0),
+    }
 }
 
 /// Run the complete benchmark: validation, mxp phase, double phase.

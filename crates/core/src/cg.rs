@@ -52,7 +52,7 @@ pub fn cg_solve<C: Comm>(
     opts: &CgOptions,
     timeline: &Timeline,
 ) -> (Vec<f64>, SolveStats) {
-    let ctx = OpCtx { comm, variant: opts.variant, timeline };
+    let ctx = OpCtx::new(comm, opts.variant, timeline);
     let mut stats = MotifStats::new();
     let levels = &prob.levels[..];
     let n = levels[0].n_local();

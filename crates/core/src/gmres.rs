@@ -15,7 +15,7 @@ use crate::config::ImplVariant;
 use crate::givens::GivensQr;
 use crate::mg::{apply_mg, MgWorkspace, SmootherKind};
 use crate::motifs::{Motif, MotifStats};
-use crate::ops::{axpy_op, dist_norm2, dist_spmv, waxpby_op, OpCtx, PrecLevel};
+use crate::ops::{axpy_op, dist_norm2, dist_spmv, waxpby_op, OpCtx};
 use crate::ortho::{cgs2, mgs};
 use crate::problem::{Level, LocalProblem};
 use hpgmxp_comm::{Comm, Timeline};
@@ -144,10 +144,7 @@ pub(crate) fn gmres_cycle<S: Scalar, C: Comm>(
     rho: f64,
     rho0: f64,
     iter_budget: usize,
-) -> CycleOutcome<S>
-where
-    Level: PrecLevel<S>,
-{
+) -> CycleOutcome<S> {
     let levels = &prob.levels[..];
     let n = levels[0].n_local();
     let m = opts.restart;
@@ -234,7 +231,7 @@ pub fn gmres_solve_f64<C: Comm>(
     opts: &GmresOptions,
     timeline: &Timeline,
 ) -> (Vec<f64>, SolveStats) {
-    let ctx = OpCtx { comm, variant: opts.variant, timeline };
+    let ctx = OpCtx::new(comm, opts.variant, timeline);
     let mut stats = MotifStats::new();
     let levels = &prob.levels[..];
     let n = levels[0].n_local();
@@ -263,6 +260,11 @@ pub fn gmres_solve_f64<C: Comm>(
         }
         if relres < opts.tol {
             converged = true;
+            break;
+        }
+        if !rho.is_finite() {
+            // The inner precision broke down (inf/NaN residual); no
+            // further cycle can repair it. Report honestly.
             break;
         }
         if iters >= opts.max_iters {

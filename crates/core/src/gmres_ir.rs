@@ -11,11 +11,12 @@
 
 use crate::gmres::{gmres_cycle, CycleWorkspace, GmresOptions, SolveStats};
 use crate::motifs::{Motif, MotifStats};
-use crate::ops::{axpy_lo_mixed_op, dist_norm2, dist_spmv, waxpby_op, OpCtx, PrecLevel};
-use crate::problem::{Level, LocalProblem};
+use crate::ops::{axpy_lo_mixed_op, dist_norm2, dist_spmv, waxpby_op, OpCtx};
+use crate::policy::{PrecCtx, PrecisionPolicy};
+use crate::problem::LocalProblem;
 use hpgmxp_comm::{Comm, Timeline};
 use hpgmxp_sparse::blas::scale_f64_into_lo;
-use hpgmxp_sparse::{Half, Scalar};
+use hpgmxp_sparse::{Half, PrecKind, Scalar};
 use std::time::Instant;
 
 /// Solve `A x = b` with mixed-precision GMRES-IR: the benchmark's
@@ -45,6 +46,27 @@ pub fn gmres_ir_solve_fp16<C: Comm>(
     gmres_ir_solve_in::<Half, C>(comm, prob, opts, timeline)
 }
 
+/// GMRES-IR under a runtime [`PrecisionPolicy`]: the inner solve runs
+/// at the policy's compute precision, loading matrices stored at the
+/// policy's per-level storage precision (split kernels widen on load)
+/// and shipping halo ghosts in the policy's wire format. The outer
+/// residual and solution update stay `f64` with natively-stored
+/// matrices, which is what recovers 1e-9 under every policy.
+pub fn gmres_ir_solve_policy<C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    policy: &PrecisionPolicy,
+    opts: &GmresOptions,
+    timeline: &Timeline,
+) -> (Vec<f64>, SolveStats) {
+    let prec = policy.ctx();
+    match policy.compute {
+        PrecKind::F64 => gmres_ir_solve_prec::<f64, C>(comm, prob, opts, timeline, prec),
+        PrecKind::F32 => gmres_ir_solve_prec::<f32, C>(comm, prob, opts, timeline, prec),
+        PrecKind::F16 => gmres_ir_solve_prec::<Half, C>(comm, prob, opts, timeline, prec),
+    }
+}
+
 /// Mixed-precision GMRES-IR generic over the inner (low) precision
 /// `SLo`: the blue region of Algorithm 3 runs entirely in `SLo`, the
 /// outer residual and solution updates in `f64`.
@@ -53,11 +75,23 @@ pub fn gmres_ir_solve_in<SLo: Scalar, C: Comm>(
     prob: &LocalProblem,
     opts: &GmresOptions,
     timeline: &Timeline,
-) -> (Vec<f64>, SolveStats)
-where
-    Level: PrecLevel<SLo>,
-{
-    let ctx = OpCtx { comm, variant: opts.variant, timeline };
+) -> (Vec<f64>, SolveStats) {
+    gmres_ir_solve_prec::<SLo, C>(comm, prob, opts, timeline, PrecCtx::native())
+}
+
+/// [`gmres_ir_solve_in`] with an explicit precision context for the
+/// *inner* solve (storage kind per level + ghost wire format). The
+/// outer residual loop always runs with the native f64 mapping.
+pub fn gmres_ir_solve_prec<SLo: Scalar, C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    opts: &GmresOptions,
+    timeline: &Timeline,
+    inner_prec: PrecCtx,
+) -> (Vec<f64>, SolveStats) {
+    // Outer residual: always f64 with natively-stored (f64) matrices.
+    let ctx = OpCtx::new(comm, opts.variant, timeline);
+    let ctx_inner = OpCtx::with_prec(comm, opts.variant, timeline, inner_prec);
     let mut stats = MotifStats::new();
     let levels = &prob.levels[..];
     let n = levels[0].n_local();
@@ -90,6 +124,11 @@ where
             converged = true;
             break;
         }
+        if !rho.is_finite() {
+            // The inner precision broke down (inf/NaN residual); no
+            // further cycle can repair it. Report honestly.
+            break;
+        }
         if iters >= opts.max_iters {
             break;
         }
@@ -100,9 +139,10 @@ where
         scale_f64_into_lo(1.0 / rho, &r, &mut r_unit_lo);
         stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), crate::flops::scal(n));
 
-        // The blue region: one restart cycle entirely in low precision.
+        // The blue region: one restart cycle entirely in low precision,
+        // under the policy's storage/wire mapping.
         let outcome = gmres_cycle(
-            &ctx,
+            &ctx_inner,
             prob,
             &mut stats,
             &mut ws,

@@ -23,6 +23,8 @@
 //! * [`gmres`] — restarted right-preconditioned GMRES, Algorithm 2;
 //! * [`gmres_ir`] — mixed-precision GMRES-IR, Algorithm 3;
 //! * [`cg`] — the HPCG baseline (preconditioned CG, Algorithm 1);
+//! * [`policy`] — the precision-policy engine: runtime-selected
+//!   storage (per level) / compute / wire precisions, decoupled;
 //! * [`benchmark`] — validation (standard and fullscale, §3.3), the
 //!   timed phases, the penalty metric, and report generation.
 
@@ -38,10 +40,12 @@ pub mod mg;
 pub mod motifs;
 pub mod ops;
 pub mod ortho;
+pub mod policy;
 pub mod problem;
 
 pub use benchmark::{BenchmarkReport, ValidationMode, ValidationResult};
 pub use config::{BenchmarkParams, ImplVariant};
 pub use gmres::{GmresOptions, SolveStats};
 pub use motifs::{Motif, MotifStats};
+pub use policy::{PrecCtx, PrecisionPolicy};
 pub use problem::{Level, LocalProblem, ProblemSpec};

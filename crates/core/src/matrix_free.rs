@@ -147,7 +147,7 @@ mod tests {
         let mut y_mf = vec![0.0f64; l.n_local()];
         op.apply(l, &x, &mut y_mf);
         let mut y_csr = vec![0.0f64; l.n_local()];
-        l.csr64.spmv(&x, &mut y_csr);
+        l.csr64().spmv(&x, &mut y_csr);
         assert_eq!(y_mf, y_csr, "same coupling order => bitwise equality");
     }
 
@@ -159,7 +159,7 @@ mod tests {
             let l = &p.levels[0];
             let op = StencilOperator::new(l.grid, p.spec.stencil);
             let tl = Timeline::disabled();
-            let ctx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+            let ctx = OpCtx::new(&c, ImplVariant::Optimized, &tl);
             let mut stats = MotifStats::new();
             let mut x: Vec<f64> =
                 (0..l.vec_len()).map(|i| ((i + c.rank() * 7) as f64).cos()).collect();
@@ -168,7 +168,7 @@ mod tests {
             dist_spmv_matrix_free(&ctx, &op, l, &mut stats, 0, &mut x, &mut y_mf);
 
             let mut y_csr = vec![0.0f64; l.n_local()];
-            l.csr64.spmv(&x, &mut y_csr); // ghosts already fresh
+            l.csr64().spmv(&x, &mut y_csr); // ghosts already fresh
             assert_eq!(y_mf, y_csr);
         });
     }
@@ -182,7 +182,7 @@ mod tests {
         let mut y_mf = vec![0.0f32; l.n_local()];
         op.apply(l, &x, &mut y_mf);
         let mut y_csr = vec![0.0f32; l.n_local()];
-        l.csr32.spmv(&x, &mut y_csr);
+        l.csr32().spmv(&x, &mut y_csr);
         assert_eq!(y_mf, y_csr);
     }
 
@@ -202,7 +202,7 @@ mod tests {
         let mut y_mf = vec![0.0f64; l.n_local()];
         op.apply(l, &x, &mut y_mf);
         let mut y_csr = vec![0.0f64; l.n_local()];
-        l.csr64.spmv(&x, &mut y_csr);
+        l.csr64().spmv(&x, &mut y_csr);
         assert_eq!(y_mf, y_csr);
     }
 

@@ -9,7 +9,7 @@
 //! post-smooth; the coarsest level is only smoothed.
 
 use crate::motifs::MotifStats;
-use crate::ops::{dist_gs_sweep, dist_restrict, prolong_add, OpCtx, PrecLevel, SweepDir};
+use crate::ops::{dist_gs_sweep, dist_restrict, prolong_add, OpCtx, SweepDir};
 use crate::problem::Level;
 use hpgmxp_comm::Comm;
 use hpgmxp_sparse::Scalar;
@@ -52,9 +52,7 @@ fn smooth<S: Scalar, C: Comm>(
     sweeps: usize,
     r: &[S],
     z: &mut [S],
-) where
-    Level: PrecLevel<S>,
-{
+) {
     for _ in 0..sweeps {
         match kind {
             SmootherKind::Forward => dist_gs_sweep(ctx, level, stats, tag, SweepDir::Forward, r, z),
@@ -77,9 +75,7 @@ fn vcycle<S: Scalar, C: Comm>(
     post: usize,
     kind: SmootherKind,
     tag: u64,
-) where
-    Level: PrecLevel<S>,
-{
+) {
     let level = &levels[0];
     let (z0, zrest) = zs.split_first_mut().expect("workspace depth");
     let (r0, rrest) = rs.split_first_mut().expect("workspace depth");
@@ -112,9 +108,7 @@ pub fn apply_mg<S: Scalar, C: Comm>(
     kind: SmootherKind,
     rhs: &[S],
     out: &mut [S],
-) where
-    Level: PrecLevel<S>,
-{
+) {
     let n = levels[0].n_local();
     ws.r[0][..n].copy_from_slice(&rhs[..n]);
     vcycle(ctx, levels, stats, &mut ws.z, &mut ws.r, pre, post, kind, 100);
@@ -155,7 +149,7 @@ mod tests {
         let mut x = vec![0.0f64; l.vec_len()];
         x[..l.n_local()].copy_from_slice(&z[..l.n_local()]);
         let mut az = vec![0.0f64; l.n_local()];
-        l.csr64.spmv(&x, &mut az);
+        l.csr64().spmv(&x, &mut az);
         rhs.iter().zip(az.iter()).map(|(r, a)| (r - a) * (r - a)).sum::<f64>().sqrt()
     }
 
@@ -164,7 +158,7 @@ mod tests {
         let p = problem_1rank(16, 4);
         let comm = SelfComm;
         let tl = Timeline::disabled();
-        let ctx = OpCtx { comm: &comm, variant: ImplVariant::Optimized, timeline: &tl };
+        let ctx = OpCtx::new(&comm, ImplVariant::Optimized, &tl);
         let mut stats = MotifStats::new();
         let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
         let rhs = p.b.clone();
@@ -205,7 +199,7 @@ mod tests {
         let p = problem_1rank(8, 2);
         let comm = SelfComm;
         let tl = Timeline::disabled();
-        let ctx = OpCtx { comm: &comm, variant: ImplVariant::Optimized, timeline: &tl };
+        let ctx = OpCtx::new(&comm, ImplVariant::Optimized, &tl);
         let mut stats = MotifStats::new();
         let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
         let n = p.n_local();
@@ -217,7 +211,7 @@ mod tests {
         let r0 = residual_norm(&p, &p.b, &vec![0.0; n]);
         for _ in 0..30 {
             let mut ax = vec![0.0f64; n];
-            p.levels[0].csr64.spmv(&x, &mut ax);
+            p.levels[0].csr64().spmv(&x, &mut ax);
             for i in 0..n {
                 r[i] = p.b[i] - ax[i];
             }
@@ -244,7 +238,7 @@ mod tests {
         let p = problem_1rank(16, 4);
         let comm = SelfComm;
         let tl = Timeline::disabled();
-        let ctx = OpCtx { comm: &comm, variant: ImplVariant::Optimized, timeline: &tl };
+        let ctx = OpCtx::new(&comm, ImplVariant::Optimized, &tl);
         let mut stats = MotifStats::new();
         let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
         let mut z = vec![0.0f64; p.n_local()];
@@ -276,7 +270,7 @@ mod tests {
 
             let mut z_opt = vec![0.0f64; n];
             {
-                let ctx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+                let ctx = OpCtx::new(&c, ImplVariant::Optimized, &tl);
                 let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
                 apply_mg(
                     &ctx,
@@ -292,7 +286,7 @@ mod tests {
             }
             let mut z_ref = vec![0.0f64; n];
             {
-                let ctx = OpCtx { comm: &c, variant: ImplVariant::Reference, timeline: &tl };
+                let ctx = OpCtx::new(&c, ImplVariant::Reference, &tl);
                 let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
                 apply_mg(
                     &ctx,
@@ -323,7 +317,7 @@ mod tests {
             let mut x = vec![0.0f64; l.vec_len()];
             x[..l.n_local()].copy_from_slice(z);
             let mut az = vec![0.0f64; l.n_local()];
-            l.csr64.spmv(&x, &mut az);
+            l.csr64().spmv(&x, &mut az);
             rhs.iter().zip(az.iter()).map(|(r, a)| (r - a) * (r - a)).sum::<f64>().sqrt()
         }
     }
@@ -333,7 +327,7 @@ mod tests {
         let p = problem_1rank(8, 2);
         let comm = SelfComm;
         let tl = Timeline::disabled();
-        let ctx = OpCtx { comm: &comm, variant: ImplVariant::Optimized, timeline: &tl };
+        let ctx = OpCtx::new(&comm, ImplVariant::Optimized, &tl);
         let mut stats = MotifStats::new();
         let n = p.n_local();
 
@@ -376,7 +370,7 @@ mod tests {
         let p = problem_1rank(8, 1);
         let comm = SelfComm;
         let tl = Timeline::disabled();
-        let ctx = OpCtx { comm: &comm, variant: ImplVariant::Optimized, timeline: &tl };
+        let ctx = OpCtx::new(&comm, ImplVariant::Optimized, &tl);
         let mut stats = MotifStats::new();
         let mut ws: MgWorkspace<f64> = MgWorkspace::new(&p.levels);
         let mut z = vec![0.0f64; p.n_local()];

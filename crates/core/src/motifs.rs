@@ -72,11 +72,25 @@ impl Motif {
     }
 }
 
-/// Accumulated seconds and FLOPs per motif.
+/// Accumulated seconds, FLOPs, and measured data traffic per motif.
+///
+/// Traffic is *measured* in the only sense available without hardware
+/// counters: accumulated at kernel execution time from the actual data
+/// structures each kernel traversed (stored matrix values at their
+/// storage precision, index metadata, vector passes at the accumulate
+/// precision, wire payloads at the wire precision). This is what the
+/// precision-policy engine reconciles against the machine model's
+/// closed-form byte accounting.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MotifStats {
     seconds: [f64; 8],
     flops: [f64; 8],
+    /// Total data bytes touched (matrix values + indices + vectors,
+    /// or wire payloads for [`Motif::Comm`]).
+    bytes: [f64; 8],
+    /// Matrix *value* bytes only — the storage-precision-dependent
+    /// share a policy shrinks (the paper's ~2x claim is about this).
+    value_bytes: [f64; 8],
 }
 
 impl MotifStats {
@@ -89,6 +103,29 @@ impl MotifStats {
     pub fn record(&mut self, motif: Motif, secs: f64, flops: f64) {
         self.seconds[motif.index()] += secs;
         self.flops[motif.index()] += flops;
+    }
+
+    /// Record measured traffic under a motif: `value_bytes` of matrix
+    /// values (at their storage precision) out of `total_bytes` of all
+    /// data the kernel touched.
+    pub fn record_traffic(&mut self, motif: Motif, value_bytes: f64, total_bytes: f64) {
+        self.value_bytes[motif.index()] += value_bytes;
+        self.bytes[motif.index()] += total_bytes;
+    }
+
+    /// Accumulated measured data bytes of a motif.
+    pub fn bytes(&self, motif: Motif) -> f64 {
+        self.bytes[motif.index()]
+    }
+
+    /// Accumulated measured matrix-value bytes of a motif.
+    pub fn value_bytes(&self, motif: Motif) -> f64 {
+        self.value_bytes[motif.index()]
+    }
+
+    /// Total measured bytes across motifs.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes.iter().sum()
     }
 
     /// Time a closure and attribute it to a motif with the given FLOPs.
@@ -144,6 +181,8 @@ impl MotifStats {
         for i in 0..8 {
             self.seconds[i] += other.seconds[i];
             self.flops[i] += other.flops[i];
+            self.bytes[i] += other.bytes[i];
+            self.value_bytes[i] += other.value_bytes[i];
         }
     }
 
@@ -185,6 +224,22 @@ mod tests {
         assert_eq!(v, 42);
         assert_eq!(s.flops(Motif::Dot), 100.0);
         assert!(s.seconds(Motif::Dot) >= 0.0);
+    }
+
+    #[test]
+    fn traffic_recording_and_merge() {
+        let mut s = MotifStats::new();
+        s.record_traffic(Motif::SpMV, 100.0, 160.0);
+        s.record_traffic(Motif::SpMV, 100.0, 160.0);
+        s.record_traffic(Motif::Comm, 0.0, 32.0);
+        assert_eq!(s.value_bytes(Motif::SpMV), 200.0);
+        assert_eq!(s.bytes(Motif::SpMV), 320.0);
+        assert_eq!(s.bytes(Motif::Comm), 32.0);
+        assert_eq!(s.total_bytes(), 352.0);
+        let mut t = MotifStats::new();
+        t.merge(&s);
+        assert_eq!(t.bytes(Motif::SpMV), 320.0);
+        assert_eq!(t.value_bytes(Motif::SpMV), 200.0);
     }
 
     #[test]

@@ -17,14 +17,143 @@
 use crate::config::ImplVariant;
 use crate::flops;
 use crate::motifs::{Motif, MotifStats};
+use crate::policy::PrecCtx;
 use crate::problem::{Level, RefPath};
 use hpgmxp_comm::{Comm, Stream, Timeline};
 use hpgmxp_sparse::blas;
 use hpgmxp_sparse::csr::CsrMatrix;
 use hpgmxp_sparse::gauss_seidel::{gs_backward, gs_color_class, gs_forward_reference, SweepMatrix};
-use hpgmxp_sparse::{EllMatrix, Half, Scalar};
+use hpgmxp_sparse::{EllMatrix, Half, PrecKind, Scalar};
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// A borrowed view of one level's ELL operator at a runtime-selected
+/// storage precision — the enum-dispatch layer that maps a
+/// [`crate::policy::PrecisionPolicy`] back onto the monomorphized
+/// split-precision kernels.
+#[derive(Clone, Copy)]
+pub enum EllRef<'a> {
+    /// Double-stored values.
+    F64(&'a EllMatrix<f64>),
+    /// Single-stored values.
+    F32(&'a EllMatrix<f32>),
+    /// Half-stored values.
+    F16(&'a EllMatrix<Half>),
+}
+
+/// A borrowed view of one level's CSR operator at a runtime storage
+/// precision (the reference variant's format).
+#[derive(Clone, Copy)]
+pub enum CsrRef<'a> {
+    /// Double-stored values.
+    F64(&'a CsrMatrix<f64>),
+    /// Single-stored values.
+    F32(&'a CsrMatrix<f32>),
+    /// Half-stored values.
+    F16(&'a CsrMatrix<Half>),
+}
+
+/// A borrowed view of the reference-path triangular factors at a
+/// runtime storage precision.
+#[derive(Clone, Copy)]
+pub enum RefPathRef<'a> {
+    /// Double-stored factors.
+    F64(&'a RefPath<f64>),
+    /// Single-stored factors.
+    F32(&'a RefPath<f32>),
+    /// Half-stored factors.
+    F16(&'a RefPath<Half>),
+}
+
+/// Run `$body` with `$m` bound to the concrete matrix inside an
+/// [`EllRef`] / [`CsrRef`] / [`RefPathRef`] — each kernel body is
+/// written once and monomorphized per storage precision.
+macro_rules! with_storage {
+    ($r:expr, $enum:ident, $m:ident => $body:expr) => {
+        match $r {
+            $enum::F64($m) => $body,
+            $enum::F32($m) => $body,
+            $enum::F16($m) => $body,
+        }
+    };
+}
+
+impl<'a> EllRef<'a> {
+    /// Storage kind of the viewed matrix.
+    pub fn kind(&self) -> PrecKind {
+        match self {
+            EllRef::F64(_) => PrecKind::F64,
+            EllRef::F32(_) => PrecKind::F32,
+            EllRef::F16(_) => PrecKind::F16,
+        }
+    }
+
+    /// Padded row width.
+    pub fn width(&self) -> usize {
+        with_storage!(self, EllRef, m => m.width())
+    }
+
+    /// Matrix-value bytes of one full pass (storage precision).
+    pub fn value_bytes(&self) -> usize {
+        with_storage!(self, EllRef, m => m.value_bytes())
+    }
+
+    /// Value + index bytes of one full pass.
+    pub fn spmv_matrix_bytes(&self) -> usize {
+        with_storage!(self, EllRef, m => m.spmv_matrix_bytes())
+    }
+}
+
+impl<'a> CsrRef<'a> {
+    /// Storage kind of the viewed matrix.
+    pub fn kind(&self) -> PrecKind {
+        match self {
+            CsrRef::F64(_) => PrecKind::F64,
+            CsrRef::F32(_) => PrecKind::F32,
+            CsrRef::F16(_) => PrecKind::F16,
+        }
+    }
+
+    /// Matrix-value bytes of one full pass (storage precision).
+    pub fn value_bytes(&self) -> usize {
+        with_storage!(self, CsrRef, m => m.value_bytes())
+    }
+
+    /// Value + index + row-pointer bytes of one full pass.
+    pub fn spmv_matrix_bytes(&self) -> usize {
+        with_storage!(self, CsrRef, m => m.spmv_matrix_bytes())
+    }
+}
+
+impl Level {
+    /// This level's ELL operator at a runtime storage kind (panics if
+    /// the assembly policy never materialized it).
+    pub fn ell_at(&self, kind: PrecKind) -> EllRef<'_> {
+        match kind {
+            PrecKind::F64 => EllRef::F64(self.ell64()),
+            PrecKind::F32 => EllRef::F32(self.ell32()),
+            PrecKind::F16 => EllRef::F16(self.ell16()),
+        }
+    }
+
+    /// This level's CSR operator at a runtime storage kind.
+    pub fn csr_at(&self, kind: PrecKind) -> CsrRef<'_> {
+        match kind {
+            PrecKind::F64 => CsrRef::F64(self.csr64()),
+            PrecKind::F32 => CsrRef::F32(self.csr32()),
+            PrecKind::F16 => CsrRef::F16(self.csr16()),
+        }
+    }
+
+    /// This level's reference-path factors at a runtime storage kind.
+    pub fn refpath_at(&self, kind: PrecKind) -> RefPathRef<'_> {
+        match kind {
+            PrecKind::F64 => RefPathRef::F64(self.ref64()),
+            PrecKind::F32 => RefPathRef::F32(self.ref32()),
+            PrecKind::F16 => RefPathRef::F16(self.ref16()),
+        }
+    }
+}
 
 /// Access to a level's operator data at one precision; implemented for
 /// `f64` (reference precision) and `f32` (the benchmark's low
@@ -40,37 +169,37 @@ pub trait PrecLevel<S: Scalar> {
 
 impl PrecLevel<f64> for Level {
     fn csr(&self) -> &CsrMatrix<f64> {
-        &self.csr64
+        self.csr64()
     }
     fn ell(&self) -> &EllMatrix<f64> {
-        &self.ell64
+        self.ell64()
     }
     fn refpath(&self) -> &RefPath<f64> {
-        &self.ref64
+        self.ref64()
     }
 }
 
 impl PrecLevel<f32> for Level {
     fn csr(&self) -> &CsrMatrix<f32> {
-        &self.csr32
+        self.csr32()
     }
     fn ell(&self) -> &EllMatrix<f32> {
-        &self.ell32
+        self.ell32()
     }
     fn refpath(&self) -> &RefPath<f32> {
-        &self.ref32
+        self.ref32()
     }
 }
 
 impl PrecLevel<Half> for Level {
     fn csr(&self) -> &CsrMatrix<Half> {
-        &self.csr16
+        self.csr16()
     }
     fn ell(&self) -> &EllMatrix<Half> {
-        &self.ell16
+        self.ell16()
     }
     fn refpath(&self) -> &RefPath<Half> {
-        &self.ref16
+        self.ref16()
     }
 }
 
@@ -82,6 +211,28 @@ pub struct OpCtx<'a, C: Comm> {
     pub variant: ImplVariant,
     /// Event recorder (usually disabled).
     pub timeline: &'a Timeline,
+    /// Precision context: storage kind per level and halo wire format.
+    /// [`PrecCtx::native`] follows the compute scalar everywhere —
+    /// bit-identical to the pre-policy behavior.
+    pub prec: PrecCtx,
+}
+
+impl<'a, C: Comm> OpCtx<'a, C> {
+    /// Context with the native precision mapping (storage and wire
+    /// follow the compute scalar).
+    pub fn new(comm: &'a C, variant: ImplVariant, timeline: &'a Timeline) -> Self {
+        OpCtx { comm, variant, timeline, prec: PrecCtx::native() }
+    }
+
+    /// Context with an explicit precision policy view.
+    pub fn with_prec(
+        comm: &'a C,
+        variant: ImplVariant,
+        timeline: &'a Timeline,
+        prec: PrecCtx,
+    ) -> Self {
+        OpCtx { comm, variant, timeline, prec }
+    }
 }
 
 /// Direction of a Gauss–Seidel sweep.
@@ -103,10 +254,10 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
     tag: u64,
     x: &mut [S],
     y: &mut [S],
-) where
-    Level: PrecLevel<S>,
-{
+) {
     let t0 = Instant::now();
+    let kind = ctx.prec.storage_kind(level.depth, S::KIND);
+    let wire = ctx.prec.wire_bytes(S::KIND);
     match ctx.variant {
         ImplVariant::Optimized => {
             // Overlap: send boundary values, compute interior rows while
@@ -115,22 +266,39 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
             // order is fixed, so results match the sequential path bit
             // for bit at every thread count. The type-state handle from
             // `begin` guarantees the finish is paired and lets `finish`
-            // unpack whichever neighbor lands first.
-            let halo = level.halo.begin(ctx.comm, tag, x, ctx.timeline);
+            // unpack whichever neighbor lands first. Storage precision
+            // and ghost wire format come from the policy context; the
+            // kernels widen stored values into `S` on load.
+            let ell = level.ell_at(kind);
+            let halo = level.halo.begin_wire(ctx.comm, tag, x, wire, ctx.timeline);
             {
                 let _s = ctx.timeline.span("SpMV interior", Stream::Compute);
-                level.ell().spmv_rows_par(&level.interior_rows, x, y);
+                with_storage!(ell, EllRef, m => m.spmv_rows_par(&level.interior_rows, x, y));
             }
             halo.finish(ctx.comm, x, ctx.timeline);
-            let _s = ctx.timeline.span("SpMV boundary", Stream::Compute);
-            level.ell().spmv_rows_par(&level.boundary_rows, x, y);
+            {
+                let _s = ctx.timeline.span("SpMV boundary", Stream::Compute);
+                with_storage!(ell, EllRef, m => m.spmv_rows_par(&level.boundary_rows, x, y));
+            }
+            stats.record_traffic(
+                Motif::SpMV,
+                ell.value_bytes() as f64,
+                (ell.spmv_matrix_bytes() + 2 * level.n_local() * S::BYTES) as f64,
+            );
         }
         ImplVariant::Reference => {
-            level.halo.exchange(ctx.comm, tag, x, ctx.timeline);
+            level.halo.exchange_wire(ctx.comm, tag, x, wire, ctx.timeline);
             let _s = ctx.timeline.span("SpMV", Stream::Compute);
-            level.csr().spmv_par(x, y);
+            let csr = level.csr_at(kind);
+            with_storage!(csr, CsrRef, m => m.spmv_par(x, y));
+            stats.record_traffic(
+                Motif::SpMV,
+                csr.value_bytes() as f64,
+                (csr.spmv_matrix_bytes() + 2 * level.n_local() * S::BYTES) as f64,
+            );
         }
     }
+    stats.record_traffic(Motif::Comm, 0.0, level.halo.send_bytes_wire(wire) as f64);
     stats.record(Motif::SpMV, t0.elapsed().as_secs_f64(), flops::spmv(level.nnz()));
 }
 
@@ -146,13 +314,12 @@ pub fn dist_gs_sweep<S: Scalar, C: Comm>(
     dir: SweepDir,
     r: &[S],
     z: &mut [S],
-) where
-    Level: PrecLevel<S>,
-{
+) {
     let t0 = Instant::now();
+    let kind = ctx.prec.storage_kind(level.depth, S::KIND);
+    let wire = ctx.prec.wire_bytes(S::KIND);
     match ctx.variant {
         ImplVariant::Optimized => {
-            let ell = level.ell();
             let ncolors = level.coloring.num_colors as usize;
             // The first-processed color's interior rows hide the halo
             // exchange; its boundary rows and all later colors run after
@@ -162,44 +329,64 @@ pub fn dist_gs_sweep<S: Scalar, C: Comm>(
                 SweepDir::Forward => 0,
                 SweepDir::Backward => ncolors - 1,
             };
-            let halo = level.halo.begin(ctx.comm, tag, z, ctx.timeline);
-            {
-                let _s = ctx.timeline.span("GS interior (first color)", Stream::Compute);
-                gs_color_class(ell, &level.color_interior[first], r, z);
-            }
-            halo.finish(ctx.comm, z, ctx.timeline);
-            {
-                let _s = ctx.timeline.span("GS boundary (first color)", Stream::Compute);
-                gs_color_class(ell, &level.color_boundary[first], r, z);
-            }
-            let _s = ctx.timeline.span("GS remaining colors", Stream::Compute);
-            match dir {
-                SweepDir::Forward => {
-                    for c in 1..ncolors {
-                        gs_color_class(ell, &level.coloring.rows_of[c], r, z);
+            let ell = level.ell_at(kind);
+            with_storage!(ell, EllRef, m => {
+                let halo = level.halo.begin_wire(ctx.comm, tag, z, wire, ctx.timeline);
+                {
+                    let _s = ctx.timeline.span("GS interior (first color)", Stream::Compute);
+                    gs_color_class(m, &level.color_interior[first], r, z);
+                }
+                halo.finish(ctx.comm, z, ctx.timeline);
+                {
+                    let _s = ctx.timeline.span("GS boundary (first color)", Stream::Compute);
+                    gs_color_class(m, &level.color_boundary[first], r, z);
+                }
+                let _s = ctx.timeline.span("GS remaining colors", Stream::Compute);
+                match dir {
+                    SweepDir::Forward => {
+                        for c in 1..ncolors {
+                            gs_color_class(m, &level.coloring.rows_of[c], r, z);
+                        }
+                    }
+                    SweepDir::Backward => {
+                        for c in (0..ncolors - 1).rev() {
+                            gs_color_class(m, &level.coloring.rows_of[c], r, z);
+                        }
                     }
                 }
-                SweepDir::Backward => {
-                    for c in (0..ncolors - 1).rev() {
-                        gs_color_class(ell, &level.coloring.rows_of[c], r, z);
-                    }
-                }
-            }
+            });
+            // One pass over the padded matrix + rhs read + solution
+            // read-modify-write at the compute precision.
+            stats.record_traffic(
+                Motif::GaussSeidel,
+                ell.value_bytes() as f64,
+                (ell.spmv_matrix_bytes() + 3 * level.n_local() * S::BYTES) as f64,
+            );
         }
         ImplVariant::Reference => {
-            level.halo.exchange(ctx.comm, tag, z, ctx.timeline);
+            level.halo.exchange_wire(ctx.comm, tag, z, wire, ctx.timeline);
             let _s = ctx.timeline.span("GS (reference)", Stream::Compute);
             match dir {
                 SweepDir::Forward => {
-                    let rp = level.refpath();
-                    gs_forward_reference(&rp.lower, &rp.upper, &level.schedule, r, z);
+                    with_storage!(level.refpath_at(kind), RefPathRef, rp => {
+                        gs_forward_reference(&rp.lower, &rp.upper, &level.schedule, r, z);
+                    });
                 }
                 // The reference code has no backward path on GPU; the
                 // sequential sweep is its semantic equivalent.
-                SweepDir::Backward => gs_backward(level.csr(), r, z),
+                SweepDir::Backward => {
+                    with_storage!(level.csr_at(kind), CsrRef, m => gs_backward(m, r, z))
+                }
             }
+            let csr = level.csr_at(kind);
+            stats.record_traffic(
+                Motif::GaussSeidel,
+                csr.value_bytes() as f64,
+                (csr.spmv_matrix_bytes() + 5 * level.n_local() * S::BYTES) as f64,
+            );
         }
     }
+    stats.record_traffic(Motif::Comm, 0.0, level.halo.send_bytes_wire(wire) as f64);
     stats.record(
         Motif::GaussSeidel,
         t0.elapsed().as_secs_f64(),
@@ -223,22 +410,32 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
     b_f: &[S],
     z: &mut [S],
     rc: &mut [S],
-) where
-    Level: PrecLevel<S>,
-{
+) {
     let map = fine.c2f.as_ref().expect("restriction requires a coarser level");
     let t0 = Instant::now();
+    let kind = ctx.prec.storage_kind(fine.depth, S::KIND);
+    let wire = ctx.prec.wire_bytes(S::KIND);
     match ctx.variant {
         ImplVariant::Optimized => {
-            let ell = fine.ell();
-            let halo = fine.halo.begin(ctx.comm, tag, z, ctx.timeline);
-            {
-                let _s = ctx.timeline.span("fused SpMV-restrict interior", Stream::Compute);
-                fused_restrict_rows(ell, &fine.restrict_interior, &map.c2f, b_f, z, rc);
-            }
-            halo.finish(ctx.comm, z, ctx.timeline);
-            let _s = ctx.timeline.span("fused SpMV-restrict boundary", Stream::Compute);
-            fused_restrict_rows(ell, &fine.restrict_boundary, &map.c2f, b_f, z, rc);
+            let ell = fine.ell_at(kind);
+            with_storage!(ell, EllRef, m => {
+                let halo = fine.halo.begin_wire(ctx.comm, tag, z, wire, ctx.timeline);
+                {
+                    let _s = ctx.timeline.span("fused SpMV-restrict interior", Stream::Compute);
+                    fused_restrict_rows(m, &fine.restrict_interior, &map.c2f, b_f, z, rc);
+                }
+                halo.finish(ctx.comm, z, ctx.timeline);
+                let _s = ctx.timeline.span("fused SpMV-restrict boundary", Stream::Compute);
+                fused_restrict_rows(m, &fine.restrict_boundary, &map.c2f, b_f, z, rc);
+            });
+            // The fused kernel touches `width` padded entries of each
+            // coarse-collocated row (ELL row walk).
+            let touched = ell.width() * map.n_coarse;
+            stats.record_traffic(
+                Motif::Restriction,
+                (touched * kind.bytes()) as f64,
+                (touched * (kind.bytes() + 4) + map.n_coarse * 2 * S::BYTES) as f64,
+            );
             stats.record(
                 Motif::Restriction,
                 t0.elapsed().as_secs_f64(),
@@ -246,17 +443,23 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
             );
         }
         ImplVariant::Reference => {
-            fine.halo.exchange(ctx.comm, tag, z, ctx.timeline);
+            fine.halo.exchange_wire(ctx.comm, tag, z, wire, ctx.timeline);
             let _s = ctx.timeline.span("residual SpMV + restrict", Stream::Compute);
             let n = fine.n_local();
             let mut tmp = vec![S::ZERO; n];
-            fine.csr().spmv(z, &mut tmp);
+            let csr = fine.csr_at(kind);
+            with_storage!(csr, CsrRef, m => m.spmv(z, &mut tmp));
             for i in 0..n {
                 tmp[i] = b_f[i] - tmp[i];
             }
             for (ci, &f) in map.c2f.iter().enumerate() {
                 rc[ci] = tmp[f as usize];
             }
+            stats.record_traffic(
+                Motif::Restriction,
+                csr.value_bytes() as f64,
+                (csr.spmv_matrix_bytes() + (3 * n + 2 * map.n_coarse) * S::BYTES) as f64,
+            );
             stats.record(
                 Motif::Restriction,
                 t0.elapsed().as_secs_f64(),
@@ -264,6 +467,7 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
             );
         }
     }
+    stats.record_traffic(Motif::Comm, 0.0, fine.halo.send_bytes_wire(wire) as f64);
 }
 
 /// Fused residual-evaluate-and-inject over one list of coarse points
@@ -330,14 +534,23 @@ pub fn dist_dot<S: Scalar, C: Comm>(
     global
 }
 
-/// Distributed 2-norm over owned entries.
+/// Distributed 2-norm over owned entries. NaN inputs (e.g. an fp16
+/// inner solve that overflowed — the paper's standalone-half
+/// breakdown) propagate as NaN instead of being masked to zero by the
+/// `max`, so a broken solve reports non-convergence rather than a
+/// silent false success.
 pub fn dist_norm2<S: Scalar, C: Comm>(
     comm: &C,
     stats: &mut MotifStats,
     motif: Motif,
     x: &[S],
 ) -> f64 {
-    dist_dot(comm, stats, motif, x, x).max(0.0).sqrt()
+    let d = dist_dot(comm, stats, motif, x, x);
+    if d.is_nan() {
+        f64::NAN
+    } else {
+        d.max(0.0).sqrt()
+    }
 }
 
 /// Recorded `w = alpha x + beta y` (owned entries).
@@ -361,16 +574,11 @@ pub fn axpy_op<S: Scalar>(stats: &mut MotifStats, alpha: S, x: &[S], y: &mut [S]
     stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), flops::axpy(y.len()));
 }
 
-/// Recorded mixed-precision solution update `y(f64) += alpha·x(f32)` —
-/// line 47 of Algorithm 3 as a single fused device kernel (§3.2.5).
-pub fn axpy_mixed_op(stats: &mut MotifStats, alpha: f64, x: &[f32], y: &mut [f64]) {
-    let t0 = Instant::now();
-    blas::axpy_f32_into_f64(alpha, x, y);
-    stats.record(Motif::Waxpby, t0.elapsed().as_secs_f64(), flops::axpy(y.len()));
-}
-
-/// Generic-precision variant of [`axpy_mixed_op`] for the fp16
-/// future-work inner solver.
+/// Recorded mixed-precision solution update `y(f64) += alpha·x(S)` —
+/// line 47 of Algorithm 3 as a single fused device kernel (§3.2.5),
+/// generic over the inner (low) precision. This is the one mixed-AXPY
+/// code path: the former f32-hardwired `axpy_mixed_op` was this
+/// function instantiated at `S = f32`, bit for bit.
 pub fn axpy_lo_mixed_op<S: Scalar>(stats: &mut MotifStats, alpha: f64, x: &[S], y: &mut [f64]) {
     let t0 = Instant::now();
     blas::axpy_lo_into_f64(alpha, x, y);
@@ -396,10 +604,7 @@ mod tests {
 
     fn ctx<C: Comm>(comm: &C, variant: ImplVariant) -> (OpCtx<'_, C>, Timeline) {
         let _ = &comm;
-        (
-            OpCtx { comm, variant, timeline: Box::leak(Box::new(Timeline::disabled())) },
-            Timeline::disabled(),
-        )
+        (OpCtx::new(comm, variant, Box::leak(Box::new(Timeline::disabled()))), Timeline::disabled())
     }
 
     /// Distributed SpMV across 2 ranks must equal the serial SpMV of the
@@ -413,7 +618,7 @@ mod tests {
                 let l = &p.levels[0];
                 let mut stats = MotifStats::new();
                 let tl = Timeline::disabled();
-                let octx = OpCtx { comm: &c, variant, timeline: &tl };
+                let octx = OpCtx::new(&c, variant, &tl);
                 // x holds each point's global id.
                 let g = l.grid.global();
                 let mut x = vec![0.0f64; l.vec_len()];
@@ -444,7 +649,7 @@ mod tests {
                 *xi = g.index(ix as u64, iy as u64, iz as u64) as f64 * 0.01;
             }
             let mut y_serial = vec![0.0f64; sl.n_local()];
-            sl.csr64.spmv(&x, &mut y_serial);
+            sl.csr64().spmv(&x, &mut y_serial);
 
             for (rank, y) in results {
                 let lg = hpgmxp_geometry::LocalGrid::new((4, 4, 4), procs, rank as u32);
@@ -479,25 +684,25 @@ mod tests {
             let r: Vec<f64> = (0..l.n_local()).map(|i| (i as f64) * 0.1 - 2.0).collect();
 
             // Overlapped optimized sweep.
-            let octx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+            let octx = OpCtx::new(&c, ImplVariant::Optimized, &tl);
             let mut z_opt = vec![0.3f64; l.vec_len()];
             dist_gs_sweep(&octx, l, &mut stats, 0, SweepDir::Forward, &r, &mut z_opt);
 
             // Plain (non-overlapped) multicolor sweep: exchange then sweep.
             let mut z_plain = vec![0.3f64; l.vec_len()];
             l.halo.exchange(&c, 1, &mut z_plain, &tl);
-            hpgmxp_sparse::gauss_seidel::gs_multicolor(&l.ell64, &l.coloring, &r, &mut z_plain);
+            hpgmxp_sparse::gauss_seidel::gs_multicolor(l.ell64(), &l.coloring, &r, &mut z_plain);
             for (a, b) in z_opt.iter().zip(z_plain.iter()) {
                 assert!((a - b).abs() < 1e-14);
             }
 
             // Reference sweep equals the sequential lexicographic sweep.
-            let rctx = OpCtx { comm: &c, variant: ImplVariant::Reference, timeline: &tl };
+            let rctx = OpCtx::new(&c, ImplVariant::Reference, &tl);
             let mut z_ref = vec![0.3f64; l.vec_len()];
             dist_gs_sweep(&rctx, l, &mut stats, 2, SweepDir::Forward, &r, &mut z_ref);
             let mut z_lex = vec![0.3f64; l.vec_len()];
             l.halo.exchange(&c, 3, &mut z_lex, &tl);
-            hpgmxp_sparse::gauss_seidel::gs_forward(&l.csr64, &r, &mut z_lex);
+            hpgmxp_sparse::gauss_seidel::gs_forward(l.csr64(), &r, &mut z_lex);
             for (a, b) in z_ref.iter().zip(z_lex.iter()) {
                 assert!((a - b).abs() < 1e-13);
             }
@@ -517,12 +722,12 @@ mod tests {
             let b_f: Vec<f64> = (0..l.n_local()).map(|i| (i % 11) as f64).collect();
             let z0: Vec<f64> = (0..l.vec_len()).map(|i| ((i * 3) % 7) as f64 * 0.1).collect();
 
-            let octx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+            let octx = OpCtx::new(&c, ImplVariant::Optimized, &tl);
             let mut z1 = z0.clone();
             let mut rc1 = vec![0.0f64; nc];
             dist_restrict(&octx, l, &mut stats, 0, &b_f, &mut z1, &mut rc1);
 
-            let rctx = OpCtx { comm: &c, variant: ImplVariant::Reference, timeline: &tl };
+            let rctx = OpCtx::new(&c, ImplVariant::Reference, &tl);
             let mut z2 = z0.clone();
             let mut rc2 = vec![0.0f64; nc];
             dist_restrict(&rctx, l, &mut stats, 1, &b_f, &mut z2, &mut rc2);
@@ -583,7 +788,7 @@ mod tests {
         assert_eq!(w[0], 3.0);
         let x32 = vec![0.5f32; 8];
         let mut y64 = vec![0.0f64; 8];
-        axpy_mixed_op(&mut stats, 2.0, &x32, &mut y64);
+        axpy_lo_mixed_op(&mut stats, 2.0, &x32, &mut y64);
         assert_eq!(y64[0], 1.0);
         assert!(stats.flops(Motif::Waxpby) > 0.0);
     }

@@ -11,11 +11,12 @@
 //! Gauss–Seidel, and the injection map to the next coarser level.
 
 use crate::config::BenchmarkParams;
+use crate::policy::PrecisionPolicy;
 use hpgmxp_comm::HaloExchange;
 use hpgmxp_geometry::{GridHierarchy, HaloPlan, LocalGrid, ProcGrid, Stencil27, STENCIL_OFFSETS};
 use hpgmxp_sparse::csr::{CsrBuilder, CsrMatrix};
 use hpgmxp_sparse::gauss_seidel::split_lower_upper;
-use hpgmxp_sparse::{jpl_coloring, Coloring, EllMatrix, Half, LevelSchedule};
+use hpgmxp_sparse::{jpl_coloring, Coloring, EllMatrix, Half, LevelSchedule, PrecKind, Scalar};
 
 /// Global description of a benchmark problem instance.
 #[derive(Debug, Clone, Copy)]
@@ -59,23 +60,92 @@ pub struct RefPath<S> {
     pub upper: CsrMatrix<S>,
 }
 
+/// One level's operator data at one *storage* precision: both formats
+/// plus the reference-path triangular factors. Under the precision
+/// policy a level materializes only the sets its policy needs (storage
+/// precision per level, plus `f64` on the fine level for the outer
+/// residual); the split kernels widen stored values on load, so one
+/// set serves every compute precision.
+#[derive(Debug, Clone)]
+pub struct MatrixSet<S> {
+    /// CSR form (reference format).
+    pub csr: CsrMatrix<S>,
+    /// ELL form (optimized format).
+    pub ell: EllMatrix<S>,
+    /// Reference-path `(D+L, U)` factors.
+    pub refpath: RefPath<S>,
+}
+
+impl<S: Scalar> MatrixSet<S> {
+    fn build(csr64: &CsrMatrix<f64>) -> Self {
+        let csr: CsrMatrix<S> = csr64.convert();
+        let ell = EllMatrix::from_csr(&csr);
+        let (lower, upper) = split_lower_upper(&csr);
+        MatrixSet { csr, ell, refpath: RefPath { lower, upper } }
+    }
+}
+
+/// The per-precision matrix sets one level holds (absent = the policy
+/// this problem was assembled under never touches that precision on
+/// this level).
+#[derive(Debug, Clone, Default)]
+pub struct LevelStore {
+    /// Double-precision set.
+    pub m64: Option<MatrixSet<f64>>,
+    /// Single-precision set.
+    pub m32: Option<MatrixSet<f32>>,
+    /// Half-precision set.
+    pub m16: Option<MatrixSet<Half>>,
+}
+
+impl LevelStore {
+    /// Which kinds are materialized.
+    pub fn kinds(&self) -> Vec<PrecKind> {
+        let mut out = Vec::new();
+        if self.m64.is_some() {
+            out.push(PrecKind::F64);
+        }
+        if self.m32.is_some() {
+            out.push(PrecKind::F32);
+        }
+        if self.m16.is_some() {
+            out.push(PrecKind::F16);
+        }
+        out
+    }
+
+    /// Resident bytes of all materialized matrix values (the capacity
+    /// cost a policy pays; indices excluded — they are shared-size).
+    pub fn value_bytes(&self) -> usize {
+        let mut b = 0;
+        if let Some(m) = &self.m64 {
+            b += m.ell.value_bytes() + m.csr.value_bytes();
+        }
+        if let Some(m) = &self.m32 {
+            b += m.ell.value_bytes() + m.csr.value_bytes();
+        }
+        if let Some(m) = &self.m16 {
+            b += m.ell.value_bytes() + m.csr.value_bytes();
+        }
+        b
+    }
+}
+
 /// One multigrid level of one rank, fully assembled.
 #[derive(Debug, Clone)]
 pub struct Level {
     /// The level's local grid.
     pub grid: LocalGrid,
-    /// Operator, CSR double (reference format / outer residuals).
-    pub csr64: CsrMatrix<f64>,
-    /// Operator, ELL double (optimized format).
-    pub ell64: EllMatrix<f64>,
-    /// Operator, CSR single.
-    pub csr32: CsrMatrix<f32>,
-    /// Operator, ELL single (the mixed solver's working copy).
-    pub ell32: EllMatrix<f32>,
-    /// Operator, CSR half (the future-work fp16 inner solver, §5).
-    pub csr16: CsrMatrix<Half>,
-    /// Operator, ELL half.
-    pub ell16: EllMatrix<Half>,
+    /// Depth in the multigrid hierarchy (0 = finest); the index the
+    /// precision policy's per-level storage axis keys on.
+    pub depth: usize,
+    /// Operator data per materialized storage precision.
+    pub store: LevelStore,
+    /// Stored nonzeros of the local operator (precision-independent).
+    nnz_stored: usize,
+    /// Fine-matrix nonzeros in coarse-collocated rows (fused
+    /// restriction work; 0 on the coarsest level).
+    nnz_coarse: usize,
     /// JPL multicoloring of the local graph.
     pub coloring: Coloring,
     /// Per color: rows whose stencil touches no ghost (safe during
@@ -89,12 +159,6 @@ pub struct Level {
     pub boundary_rows: Vec<u32>,
     /// Level schedule of the lower-triangular sweep (reference GS).
     pub schedule: LevelSchedule,
-    /// Reference-path triangular factors, double.
-    pub ref64: RefPath<f64>,
-    /// Reference-path triangular factors, single.
-    pub ref32: RefPath<f32>,
-    /// Reference-path triangular factors, half.
-    pub ref16: RefPath<Half>,
     /// Halo exchange executor for this level.
     pub halo: HaloExchange,
     /// Injection map to the next coarser level (`None` on the coarsest).
@@ -109,7 +173,7 @@ pub struct Level {
 impl Level {
     /// Owned rows on this level.
     pub fn n_local(&self) -> usize {
-        self.csr64.nrows()
+        self.grid.total_points()
     }
 
     /// Length distributed vectors need on this level (owned + ghosts).
@@ -119,23 +183,83 @@ impl Level {
 
     /// Stored nonzeros of the local operator.
     pub fn nnz(&self) -> usize {
-        self.csr64.nnz()
+        self.nnz_stored
     }
 
     /// Fine-matrix nonzeros in the rows collocated with coarse points
     /// (the work of the fused restriction).
     pub fn nnz_coarse_rows(&self) -> usize {
-        match &self.c2f {
-            Some(map) => map
-                .c2f
-                .iter()
-                .map(|&f| {
-                    let (cols, _) = self.csr64.row(f as usize);
-                    cols.len()
-                })
-                .sum(),
-            None => 0,
-        }
+        self.nnz_coarse
+    }
+
+    fn missing(&self, kind: PrecKind) -> ! {
+        panic!(
+            "level {} was assembled without {} matrices (materialized: {:?}); \
+             assemble with a policy whose storage covers this level's kernels",
+            self.depth,
+            kind.name(),
+            self.store.kinds()
+        )
+    }
+
+    /// Double-precision matrix set (panics if not materialized).
+    pub fn set64(&self) -> &MatrixSet<f64> {
+        self.store.m64.as_ref().unwrap_or_else(|| self.missing(PrecKind::F64))
+    }
+
+    /// Single-precision matrix set (panics if not materialized).
+    pub fn set32(&self) -> &MatrixSet<f32> {
+        self.store.m32.as_ref().unwrap_or_else(|| self.missing(PrecKind::F32))
+    }
+
+    /// Half-precision matrix set (panics if not materialized).
+    pub fn set16(&self) -> &MatrixSet<Half> {
+        self.store.m16.as_ref().unwrap_or_else(|| self.missing(PrecKind::F16))
+    }
+
+    /// Operator, CSR double (reference format / outer residuals).
+    pub fn csr64(&self) -> &CsrMatrix<f64> {
+        &self.set64().csr
+    }
+
+    /// Operator, ELL double (optimized format).
+    pub fn ell64(&self) -> &EllMatrix<f64> {
+        &self.set64().ell
+    }
+
+    /// Operator, CSR single.
+    pub fn csr32(&self) -> &CsrMatrix<f32> {
+        &self.set32().csr
+    }
+
+    /// Operator, ELL single.
+    pub fn ell32(&self) -> &EllMatrix<f32> {
+        &self.set32().ell
+    }
+
+    /// Operator, CSR half.
+    pub fn csr16(&self) -> &CsrMatrix<Half> {
+        &self.set16().csr
+    }
+
+    /// Operator, ELL half.
+    pub fn ell16(&self) -> &EllMatrix<Half> {
+        &self.set16().ell
+    }
+
+    /// Reference-path factors, double.
+    pub fn ref64(&self) -> &RefPath<f64> {
+        &self.set64().refpath
+    }
+
+    /// Reference-path factors, single.
+    pub fn ref32(&self) -> &RefPath<f32> {
+        &self.set32().refpath
+    }
+
+    /// Reference-path factors, half.
+    pub fn ref16(&self) -> &RefPath<Half> {
+        &self.set16().refpath
     }
 }
 
@@ -228,8 +352,60 @@ fn split_colors(
     (interior, boundary)
 }
 
-/// Assemble the complete local problem of `rank`.
+/// Assemble the complete local problem of `rank`, materializing every
+/// precision on every level (the compatibility kitchen-sink used by
+/// tests, examples, and ad-hoc experiments that mix precisions
+/// freely). The benchmark and ablation paths use
+/// [`assemble_with_policy`], which builds each level's matrices once
+/// in their policy precision instead.
 pub fn assemble(spec: &ProblemSpec, rank: usize) -> LocalProblem {
+    assemble_storing(spec, rank, |_| vec![PrecKind::F64, PrecKind::F32, PrecKind::F16], |_| 8)
+}
+
+/// Assemble only what `policy` needs: per level, the policy's storage
+/// precision for that depth, plus `f64` on the fine level (the GMRES-IR
+/// outer residual is always double — that invariant is what recovers
+/// 1e-9 under every policy). Halo staging is sized from the policy's
+/// wire scalar (and the widest exchange the level will actually run)
+/// instead of unconditionally at 8 bytes.
+pub fn assemble_with_policy(
+    spec: &ProblemSpec,
+    rank: usize,
+    policy: &PrecisionPolicy,
+) -> LocalProblem {
+    assemble_storing(
+        spec,
+        rank,
+        |depth| {
+            let mut kinds = vec![policy.storage_at(depth)];
+            if depth == 0 && !kinds.contains(&PrecKind::F64) {
+                kinds.push(PrecKind::F64);
+            }
+            kinds
+        },
+        // Halo staging capacity: the widest wire format each level's
+        // exchanges use — f64 on the fine level (the outer residual
+        // exchanges at native f64 wire), the policy wire / compute
+        // width on the coarser, inner-solve-only levels.
+        |depth| {
+            if depth == 0 {
+                8
+            } else {
+                policy.wire.bytes().max(policy.compute.bytes())
+            }
+        },
+    )
+}
+
+/// Shared assembly skeleton: `kinds_of(depth)` chooses which storage
+/// precisions to materialize on each level; `staging_of(depth)` the
+/// halo staging width in bytes.
+fn assemble_storing(
+    spec: &ProblemSpec,
+    rank: usize,
+    kinds_of: impl Fn(usize) -> Vec<PrecKind>,
+    staging_of: impl Fn(usize) -> usize,
+) -> LocalProblem {
     let fine_grid = LocalGrid::new(spec.local, spec.procs, rank as u32);
     let hierarchy = GridHierarchy::build(&fine_grid, spec.mg_levels);
     let mut levels = Vec::with_capacity(spec.mg_levels);
@@ -237,26 +413,17 @@ pub fn assemble(spec: &ProblemSpec, rank: usize) -> LocalProblem {
     for (l, grid) in hierarchy.grids.iter().enumerate() {
         let plan = HaloPlan::build(grid);
         let csr64 = assemble_matrix(grid, &plan, &spec.stencil);
-        let ell64 = EllMatrix::from_csr(&csr64);
-        let csr32: CsrMatrix<f32> = csr64.convert();
-        let ell32: EllMatrix<f32> = ell64.convert();
-        let csr16: CsrMatrix<Half> = csr64.convert();
-        let ell16: EllMatrix<Half> = ell64.convert();
         let coloring = jpl_coloring(&csr64, spec.seed.wrapping_add(l as u64));
         debug_assert!(coloring.verify(&csr64));
         let (color_interior, color_boundary) = split_colors(&coloring, &plan, grid);
         let (interior_rows, boundary_rows) = plan.split_rows();
         let schedule = LevelSchedule::build(&csr64);
-        let (lower64, upper64) = split_lower_upper(&csr64);
-        let ref64 = RefPath { lower: lower64, upper: upper64 };
-        let (lower32, upper32) = split_lower_upper(&csr32);
-        let ref32 = RefPath { lower: lower32, upper: upper32 };
-        let (lower16, upper16) = split_lower_upper(&csr16);
-        let ref16 = RefPath { lower: lower16, upper: upper16 };
         let c2f = if l + 1 < spec.mg_levels { Some(hierarchy.maps[l].clone()) } else { None };
 
-        // Coarse-row overlap split for the fused restriction.
+        // Coarse-row overlap split for the fused restriction, plus the
+        // fused-restriction work count (precision-independent).
         let (mut restrict_interior, mut restrict_boundary) = (Vec::new(), Vec::new());
+        let mut nnz_coarse = 0usize;
         if let Some(map) = &c2f {
             for (ci, &f) in map.c2f.iter().enumerate() {
                 let (ix, iy, iz) = grid.coords(f as usize);
@@ -265,27 +432,40 @@ pub fn assemble(spec: &ProblemSpec, rank: usize) -> LocalProblem {
                 } else {
                     restrict_interior.push(ci as u32);
                 }
+                nnz_coarse += csr64.row(f as usize).0.len();
+            }
+        }
+
+        // Materialize exactly the storage precisions this level needs.
+        let mut store = LevelStore::default();
+        for kind in kinds_of(l) {
+            match kind {
+                PrecKind::F64 if store.m64.is_none() => {
+                    store.m64 = Some(MatrixSet::build(&csr64));
+                }
+                PrecKind::F32 if store.m32.is_none() => {
+                    store.m32 = Some(MatrixSet::build(&csr64));
+                }
+                PrecKind::F16 if store.m16.is_none() => {
+                    store.m16 = Some(MatrixSet::build(&csr64));
+                }
+                _ => {}
             }
         }
 
         levels.push(Level {
             grid: *grid,
-            csr64,
-            ell64,
-            csr32,
-            ell32,
-            csr16,
-            ell16,
+            depth: l,
+            nnz_stored: csr64.nnz(),
+            nnz_coarse,
+            store,
             coloring,
             color_interior,
             color_boundary,
             interior_rows,
             boundary_rows,
             schedule,
-            ref64,
-            ref32,
-            ref16,
-            halo: HaloExchange::new(plan),
+            halo: HaloExchange::new_sized(plan, staging_of(l)),
             c2f,
             restrict_interior,
             restrict_boundary,
@@ -293,11 +473,13 @@ pub fn assemble(spec: &ProblemSpec, rank: usize) -> LocalProblem {
     }
 
     // b = A·1 — with the exact solution all-ones, ghost values are also
-    // ones, so no exchange is needed to form the right-hand side.
+    // ones, so no exchange is needed to form the right-hand side. The
+    // fine level always carries f64 (enforced for policies above); the
+    // kitchen-sink path materializes it unconditionally.
     let fine = &levels[0];
     let ones = vec![1.0f64; fine.vec_len()];
     let mut b = vec![0.0f64; fine.n_local()];
-    fine.csr64.spmv(&ones, &mut b);
+    fine.csr64().spmv(&ones, &mut b);
     let x_exact = vec![1.0f64; fine.n_local()];
 
     LocalProblem { spec: *spec, levels, b, x_exact }
@@ -320,7 +502,7 @@ mod tests {
     #[test]
     fn single_rank_interior_row_has_27_entries() {
         let p = assemble(&spec_1rank(8, 1), 0);
-        let a = &p.levels[0].csr64;
+        let a = &p.levels[0].csr64();
         // Center point of the 8³ box is interior.
         let lg = p.levels[0].grid;
         let center = lg.index(4, 4, 4);
@@ -335,7 +517,7 @@ mod tests {
     #[test]
     fn corner_row_has_8_entries() {
         let p = assemble(&spec_1rank(8, 1), 0);
-        let a = &p.levels[0].csr64;
+        let a = &p.levels[0].csr64();
         let (cols, _) = a.row(0);
         assert_eq!(cols.len(), 8);
         assert_eq!(a.diag(0), 26.0);
@@ -344,7 +526,7 @@ mod tests {
     #[test]
     fn rhs_is_row_sums() {
         let p = assemble(&spec_1rank(4, 1), 0);
-        let a = &p.levels[0].csr64;
+        let a = &p.levels[0].csr64();
         for i in 0..a.nrows() {
             let (_, vals) = a.row(i);
             let sum: f64 = vals.iter().sum();
@@ -367,7 +549,7 @@ mod tests {
     fn coloring_is_valid_with_8_colors_on_27pt() {
         let p = assemble(&spec_1rank(8, 1), 0);
         let l = &p.levels[0];
-        assert!(l.coloring.verify(&l.csr64));
+        assert!(l.coloring.verify(l.csr64()));
         // The 27-point stencil needs at least 8 colors (2×2×2 parity).
         // JPL with random weights typically lands between 8 and ~2x the
         // chromatic number on this dense stencil graph.
@@ -377,7 +559,7 @@ mod tests {
             l.coloring.num_colors
         );
         // Greedy in lexicographic order achieves the optimum, 8.
-        let greedy = hpgmxp_sparse::greedy_coloring(&l.csr64);
+        let greedy = hpgmxp_sparse::greedy_coloring(l.csr64());
         assert_eq!(greedy.num_colors, 8);
     }
 
@@ -393,10 +575,10 @@ mod tests {
         let p0 = assemble(&spec, 0);
         let l = &p0.levels[0];
         assert_eq!(l.halo.num_ghosts(), 16);
-        assert_eq!(l.csr64.ncols(), 64 + 16);
+        assert_eq!(l.csr64().ncols(), 64 + 16);
         // A boundary row on the +x face must reference a ghost column.
         let row = l.grid.index(3, 1, 1);
-        let (cols, _) = l.csr64.row(row);
+        let (cols, _) = l.csr64().row(row);
         assert!(cols.iter().any(|&c| c as usize >= 64));
         // Interior/boundary row split is consistent.
         assert_eq!(l.interior_rows.len() + l.boundary_rows.len(), 64);
@@ -453,7 +635,7 @@ mod tests {
             seed: 1,
         };
         let p = assemble(&spec, 0);
-        let a = &p.levels[0].csr64;
+        let a = &p.levels[0].csr64();
         let d = a.to_dense();
         // Not symmetric...
         let mut asym = false;
@@ -502,7 +684,7 @@ mod tests {
         let p = assemble(&spec_1rank(8, 2), 0);
         let l = &p.levels[0];
         let expected: usize =
-            l.c2f.as_ref().unwrap().c2f.iter().map(|&f| l.csr64.row(f as usize).0.len()).sum();
+            l.c2f.as_ref().unwrap().c2f.iter().map(|&f| l.csr64().row(f as usize).0.len()).sum();
         assert_eq!(l.nnz_coarse_rows(), expected);
     }
 }

@@ -31,11 +31,42 @@ impl KernelCost {
 /// SpMV in ELL format (optimized variant): padded matrix slabs, output
 /// write, gathered input reads.
 pub fn spmv_ell(s: &LevelShape, sb: usize, gather: f64) -> KernelCost {
+    spmv_ell_split(s, sb, sb, gather)
+}
+
+/// SpMV in ELL with the precision-policy axes decoupled: matrix values
+/// stored at `storage_b` bytes, vectors and accumulation at `acc_b`
+/// bytes. `storage_b == acc_b` is the classic same-precision kernel;
+/// fp32 storage under f64 accumulation halves the dominant
+/// matrix-value term while the (index + vector) terms are unchanged —
+/// the policy engine's headline trade.
+pub fn spmv_ell_split(s: &LevelShape, storage_b: usize, acc_b: usize, gather: f64) -> KernelCost {
     let stored = s.ell_width * s.n;
     KernelCost {
-        bytes: stored * (sb as f64 + 4.0) + s.n * sb as f64 * (1.0 + gather),
+        bytes: stored * (storage_b as f64 + 4.0) + s.n * acc_b as f64 * (1.0 + gather),
         flops: flops::spmv(s.nnz as usize),
     }
+}
+
+/// Matrix-*value* bytes of one ELL pass at a storage width — the
+/// policy-dependent share, reconciled against the measured
+/// `MotifStats::value_bytes`.
+pub fn ell_value_bytes(s: &LevelShape, storage_b: usize) -> f64 {
+    s.ell_width * s.n * storage_b as f64
+}
+
+/// Matrix bytes (values + indices) of one ELL pass at a storage width
+/// — the deterministic part of [`spmv_ell_split`], exactly equal to
+/// the measured `EllMatrix::spmv_matrix_bytes` of the policy's stored
+/// operator.
+pub fn ell_matrix_bytes(s: &LevelShape, storage_b: usize) -> f64 {
+    s.ell_width * s.n * (storage_b as f64 + 4.0)
+}
+
+/// Halo wire bytes of one exchange at a policy wire width (per rank,
+/// middle-rank surface).
+pub fn halo_wire_bytes(s: &LevelShape, wire_b: usize) -> f64 {
+    s.halo_values * wire_b as f64
 }
 
 /// SpMV in CSR format (reference variant): exact nonzeros plus the row
@@ -51,9 +82,20 @@ pub fn spmv_csr(s: &LevelShape, sb: usize, gather: f64) -> KernelCost {
 /// one pass over the padded matrix, the rhs read, the solution read,
 /// updated in place, plus gathered neighbor reads.
 pub fn gs_multicolor_ell(s: &LevelShape, sb: usize, gather: f64) -> KernelCost {
+    gs_multicolor_ell_split(s, sb, sb, gather)
+}
+
+/// Multicolor Gauss–Seidel with storage and accumulate widths
+/// decoupled (see [`spmv_ell_split`]).
+pub fn gs_multicolor_ell_split(
+    s: &LevelShape,
+    storage_b: usize,
+    acc_b: usize,
+    gather: f64,
+) -> KernelCost {
     let stored = s.ell_width * s.n;
     KernelCost {
-        bytes: stored * (sb as f64 + 4.0) + s.n * sb as f64 * (3.0 + gather),
+        bytes: stored * (storage_b as f64 + 4.0) + s.n * acc_b as f64 * (3.0 + gather),
         flops: flops::gs_sweep(s.nnz as usize, s.n as usize),
     }
 }
@@ -204,6 +246,25 @@ mod tests {
         ] {
             assert!(c.ai() > 0.05 && c.ai() < 0.5, "AI = {}", c.ai());
         }
+    }
+
+    #[test]
+    fn split_kernels_decouple_the_axes() {
+        let s = fine();
+        // fp32 storage + f64 accumulation: value term halves, vector
+        // term unchanged vs pure f64.
+        let full = spmv_ell_split(&s, 8, 8, 1.8);
+        let split = spmv_ell_split(&s, 4, 8, 1.8);
+        assert_eq!(full.flops, split.flops);
+        let value_saving = ell_value_bytes(&s, 8) - ell_value_bytes(&s, 4);
+        assert!((full.bytes - split.bytes - value_saving).abs() < 1e-9);
+        assert_eq!(ell_value_bytes(&s, 8), 2.0 * ell_value_bytes(&s, 4));
+        // Same-width split equals the classic kernels exactly.
+        assert_eq!(spmv_ell(&s, 4, 1.8), spmv_ell_split(&s, 4, 4, 1.8));
+        assert_eq!(gs_multicolor_ell(&s, 8, 1.8), gs_multicolor_ell_split(&s, 8, 8, 1.8));
+        // Wire accounting scales linearly with the wire width.
+        assert_eq!(halo_wire_bytes(&s, 8), 4.0 * halo_wire_bytes(&s, 2));
+        assert_eq!(ell_matrix_bytes(&s, 4), ell_value_bytes(&s, 4) + s.ell_width * s.n * 4.0);
     }
 
     #[test]

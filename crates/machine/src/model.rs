@@ -8,6 +8,7 @@
 //! implementation's level-scheduled triangular solves (hundreds of
 //! dependent micro-kernels), so it is a first-class model parameter.
 
+use hpgmxp_sparse::PrecKind;
 use serde::{Deserialize, Serialize};
 
 /// A single accelerator device (one MI250x GCD, one K80 die, …).
@@ -112,6 +113,14 @@ impl MachineModel {
         (bytes / self.mem_bw).max(flops / self.peak_flops(scalar_bytes)) + self.launch_overhead
     }
 
+    /// [`MachineModel::kernel_time`] keyed by a precision kind (the
+    /// policy engine's compute axis); fp16 currently shares the fp32
+    /// vector peak — these kernels are bandwidth-bound anyway, so the
+    /// byte side dominates.
+    pub fn kernel_time_kind(&self, bytes: f64, flops: f64, kind: PrecKind) -> f64 {
+        self.kernel_time(bytes, flops, kind.bytes())
+    }
+
     /// Time for `n` dependent micro-kernel launches moving `bytes`
     /// total — the level-scheduled triangular solve pattern.
     pub fn staged_kernel_time(
@@ -180,6 +189,15 @@ mod tests {
         let m = MachineModel::k80_die();
         assert_eq!(m.peak_flops(4), m.peak_fp32);
         assert_eq!(m.peak_flops(8), m.peak_fp64);
+    }
+
+    #[test]
+    fn kind_keyed_kernel_time_matches_byte_widths() {
+        let m = MachineModel::mi250x_gcd();
+        assert_eq!(m.kernel_time_kind(1e9, 1e6, PrecKind::F64), m.kernel_time(1e9, 1e6, 8));
+        assert_eq!(m.kernel_time_kind(1e9, 1e6, PrecKind::F16), m.kernel_time(1e9, 1e6, 2));
+        // fp16 shares the fp32 vector peak.
+        assert_eq!(m.peak_flops(PrecKind::F16.bytes()), m.peak_fp32);
     }
 
     #[test]

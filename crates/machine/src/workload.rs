@@ -15,6 +15,7 @@
 //! stencil's `nx+ny+nz−2` anti-diagonal count. The formula is verified
 //! against the real `LevelSchedule` in the integration tests.
 
+use hpgmxp_core::policy::PrecisionPolicy;
 use hpgmxp_geometry::ProcGrid;
 use serde::{Deserialize, Serialize};
 
@@ -178,6 +179,31 @@ impl Workload {
     pub fn fine(&self) -> &LevelShape {
         &self.levels[0]
     }
+
+    /// Modeled matrix bytes (values + 4-byte indices) of one ELL SpMV
+    /// or GS pass on `level` under `policy` — the deterministic share
+    /// that must reconcile *exactly* with the measured
+    /// `MotifStats::bytes` matrix term of the policy's stored operator.
+    pub fn policy_matrix_bytes(&self, policy: &PrecisionPolicy, level: usize) -> f64 {
+        let s = &self.levels[level];
+        crate::kernels::ell_matrix_bytes(s, policy.storage_at(level).bytes())
+    }
+
+    /// Modeled matrix-*value* bytes of one pass on `level` under
+    /// `policy` (the share the storage axis shrinks; reconciles with
+    /// the measured `MotifStats::value_bytes`).
+    pub fn policy_value_bytes(&self, policy: &PrecisionPolicy, level: usize) -> f64 {
+        let s = &self.levels[level];
+        crate::kernels::ell_value_bytes(s, policy.storage_at(level).bytes())
+    }
+
+    /// Modeled wire bytes of one halo exchange on `level` under
+    /// `policy` (middle-rank surface × wire width; reconciles with the
+    /// measured `MotifStats::bytes` under the Comm motif per
+    /// exchange).
+    pub fn policy_wire_bytes(&self, policy: &PrecisionPolicy, level: usize) -> f64 {
+        crate::kernels::halo_wire_bytes(&self.levels[level], policy.wire.bytes())
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +274,27 @@ mod tests {
         assert!(wl.levels[3].n_coarse == 0.0);
         // Communication surface shrinks with the level.
         assert!(wl.levels[1].halo_values < wl.levels[0].halo_values);
+    }
+
+    #[test]
+    fn policy_traffic_reconciles_with_kernel_formulas() {
+        use hpgmxp_core::policy::PrecisionPolicy;
+        let wl = Workload::build((16, 16, 16), 2, 30, 2);
+        let f64p = PrecisionPolicy::by_name("f64").unwrap();
+        let split = PrecisionPolicy::by_name("f32s-f64c").unwrap();
+        // fp32 storage halves exactly the value share, per level.
+        for l in 0..2 {
+            assert_eq!(wl.policy_value_bytes(&f64p, l), 2.0 * wl.policy_value_bytes(&split, l));
+            let idx = wl.levels[l].ell_width * wl.levels[l].n * 4.0;
+            assert_eq!(wl.policy_matrix_bytes(&split, l), wl.policy_value_bytes(&split, l) + idx);
+        }
+        // Wire bytes follow the policy's wire kind.
+        let w16 = PrecisionPolicy::by_name("f32-w16").unwrap();
+        assert_eq!(wl.policy_wire_bytes(&f64p, 0), 4.0 * wl.policy_wire_bytes(&w16, 0));
+        // The descent policy keys storage per level.
+        let descent = PrecisionPolicy::by_name("descent").unwrap();
+        assert_eq!(descent.storage_at(0).bytes(), 8);
+        assert_eq!(descent.storage_at(1).bytes(), 4);
     }
 
     #[test]

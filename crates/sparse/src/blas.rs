@@ -120,28 +120,20 @@ pub fn copy<S: Copy>(x: &[S], y: &mut [S]) {
 ///
 /// This is the solution-update kernel of GMRES-IR (line 47 of
 /// Algorithm 3): the correction comes from the low-precision inner
-/// solve, the accumulation happens in double. The reference code did
-/// this on the host; doing it as one fused kernel is the §3.2.5
-/// optimization.
+/// solve, the accumulation happens in double. One code path: this is
+/// the generic [`axpy_lo_into_f64`] instantiated at `f32` (same bits —
+/// `f32::to_f64` is the `as f64` widening).
 pub fn axpy_f32_into_f64(alpha: f64, x: &[f32], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len());
-    y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
-        for (yi, xi) in yc.iter_mut().zip(xc) {
-            *yi = alpha.mul_add(*xi as f64, *yi);
-        }
-    });
+    axpy_lo_into_f64(alpha, x, y);
 }
 
 /// Mixed-precision scaled conversion: `lo = (hi * alpha) as f32`,
 /// the residual hand-off kernel of GMRES-IR (f64 outer residual scaled
-/// and narrowed into the f32 Krylov space).
+/// and narrowed into the f32 Krylov space). One code path: the generic
+/// [`scale_f64_into_lo`] at `f32` (same bits — `f32::from_f64` is the
+/// `as f32` rounding).
 pub fn scale_f64_into_f32(alpha: f64, hi: &[f64], lo: &mut [f32]) {
-    assert_eq!(hi.len(), lo.len());
-    lo.par_chunks_mut(ELEM_CHUNK).zip(hi.par_chunks(ELEM_CHUNK)).for_each(|(lc, hc)| {
-        for (l, h) in lc.iter_mut().zip(hc) {
-            *l = (h * alpha) as f32;
-        }
-    });
+    scale_f64_into_lo(alpha, hi, lo);
 }
 
 /// Generic narrowing hand-off `lo = (hi * alpha) as S` — lets GMRES-IR
@@ -164,6 +156,36 @@ pub fn axpy_lo_into_f64<S: Scalar>(alpha: f64, x: &[S], y: &mut [f64]) {
     y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
         for (yi, xi) in yc.iter_mut().zip(xc) {
             *yi = alpha.mul_add(xi.to_f64(), *yi);
+        }
+    });
+}
+
+/// Widening-on-load dot product: operands stored in `Lo`, every
+/// multiply-add accumulated in `Acc` (e.g. fp16-stored basis vectors
+/// with f32 accumulation — the hardware-FMA semantics of tensor-style
+/// units, applied to storage the memory wall cares about).
+pub fn dot_acc<Lo: Scalar, Acc: Scalar>(x: &[Lo], y: &[Lo]) -> Acc {
+    assert_eq!(x.len(), y.len());
+    let mut acc = Acc::ZERO;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc = Acc::from_scalar(*a).mul_add(Acc::from_scalar(*b), acc);
+    }
+    acc
+}
+
+/// Widening-on-load squared 2-norm (see [`dot_acc`]).
+pub fn norm2_sq_acc<Lo: Scalar, Acc: Scalar>(x: &[Lo]) -> Acc {
+    dot_acc(x, x)
+}
+
+/// Widening AXPY with both operands in low precision and accumulation
+/// in `Acc`: `y[i] = alpha * widen(x[i]) + y[i]` where `y` is an `Acc`
+/// vector and `x` is stored narrow.
+pub fn axpy_acc<Lo: Scalar, Acc: Scalar>(alpha: Acc, x: &[Lo], y: &mut [Acc]) {
+    assert_eq!(x.len(), y.len());
+    y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
+        for (yi, xi) in yc.iter_mut().zip(xc) {
+            *yi = alpha.mul_add(Acc::from_scalar(*xi), *yi);
         }
     });
 }
@@ -363,6 +385,35 @@ mod tests {
         axpy_lo_into_f64(1e-9, &x, &mut y);
         for v in &y {
             assert!((v - (1.0 + 1e-9)).abs() < 1e-16);
+        }
+    }
+
+    #[test]
+    fn widening_dot_accumulates_past_the_storage_precision() {
+        use crate::half::Half;
+        // 4096 fp16 ones dotted with themselves: fp16 accumulation
+        // would saturate at 2048; f32 accumulation is exact.
+        let x: Vec<Half> = vec![Half::ONE; 4096];
+        let d: f32 = dot_acc(&x, &x);
+        assert_eq!(d, 4096.0);
+        let n: f32 = norm2_sq_acc(&x);
+        assert_eq!(n, 4096.0);
+        // Same-precision instantiation matches the plain dot bitwise.
+        let y: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let a: f64 = dot_acc(&y, &y);
+        assert_eq!(a.to_bits(), dot(&y, &y).to_bits());
+    }
+
+    #[test]
+    fn widening_axpy_keeps_accumulator_resolution() {
+        use crate::half::Half;
+        let x = vec![Half::ONE; 8];
+        let mut y = vec![1.0f32; 8];
+        // 1e-6 is far below fp16 resolution around 1.0 but must
+        // survive in the f32 accumulator.
+        axpy_acc(1e-6f32, &x, &mut y);
+        for v in &y {
+            assert_eq!(*v, 1.0 + 1e-6);
         }
     }
 

@@ -158,21 +158,25 @@ impl<S: Scalar> CsrMatrix<S> {
 
     /// `y = A x`, sequential. `x` must cover the full column space
     /// (owned + ghosts); `y` covers owned rows.
-    pub fn spmv(&self, x: &[S], y: &mut [S]) {
+    ///
+    /// Split-precision: values are loaded in the stored scalar `S` and
+    /// widened on the fly; all arithmetic runs in the vectors'
+    /// accumulate precision `Acc` (identity when `Acc == S`).
+    pub fn spmv<Acc: Scalar>(&self, x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols, "input vector shorter than column space");
         assert!(y.len() >= self.nrows);
         for (i, yi) in y[..self.nrows].iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
-            let mut acc = S::ZERO;
+            let mut acc = Acc::ZERO;
             for (c, v) in cols.iter().zip(vals.iter()) {
-                acc = v.mul_add(x[*c as usize], acc);
+                acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
             }
             *yi = acc;
         }
     }
 
     /// `y = A x`, parallel over rows (the CPU analog of the GPU kernel).
-    pub fn spmv_par(&self, x: &[S], y: &mut [S]) {
+    pub fn spmv_par<Acc: Scalar>(&self, x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let rp = &self.row_ptr;
@@ -181,9 +185,9 @@ impl<S: Scalar> CsrMatrix<S> {
         y[..self.nrows].par_iter_mut().enumerate().for_each(|(i, yi)| {
             let lo = rp[i] as usize;
             let hi = rp[i + 1] as usize;
-            let mut acc = S::ZERO;
+            let mut acc = Acc::ZERO;
             for k in lo..hi {
-                acc = vs[k].mul_add(x[ci[k] as usize], acc);
+                acc = Acc::from_scalar(vs[k]).mul_add(x[ci[k] as usize], acc);
             }
             *yi = acc;
         });
@@ -192,13 +196,13 @@ impl<S: Scalar> CsrMatrix<S> {
     /// `y[i] = (A x)[i]` for the given subset of rows only — used to
     /// update interior rows while halo communication is in flight and
     /// boundary rows afterwards (§3.2.3).
-    pub fn spmv_rows(&self, rows: &[u32], x: &[S], y: &mut [S]) {
+    pub fn spmv_rows<Acc: Scalar>(&self, rows: &[u32], x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         for &i in rows {
             let (cols, vals) = self.row(i as usize);
-            let mut acc = S::ZERO;
+            let mut acc = Acc::ZERO;
             for (c, v) in cols.iter().zip(vals.iter()) {
-                acc = v.mul_add(x[*c as usize], acc);
+                acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
             }
             y[i as usize] = acc;
         }
@@ -207,7 +211,7 @@ impl<S: Scalar> CsrMatrix<S> {
     /// Parallel [`CsrMatrix::spmv_rows`]: the interior/boundary halves
     /// of the overlap split are large row sets, so they go through the
     /// pool too. `rows` must not contain duplicates.
-    pub fn spmv_rows_par(&self, rows: &[u32], x: &[S], y: &mut [S]) {
+    pub fn spmv_rows_par<Acc: Scalar>(&self, rows: &[u32], x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let shared = crate::shared::SharedMut::new(y);
@@ -216,9 +220,9 @@ impl<S: Scalar> CsrMatrix<S> {
             let i = i as usize;
             assert!(i < self.nrows, "row {} out of range {}", i, self.nrows);
             let (cols, vals) = self.row(i);
-            let mut acc = S::ZERO;
+            let mut acc = Acc::ZERO;
             for (c, v) in cols.iter().zip(vals.iter()) {
-                acc = v.mul_add(x[*c as usize], acc);
+                acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
             }
             // SAFETY: `rows` lists pairwise-distinct row indices and the
             // kernel reads only `x`; each task writes its own `y[i]`.
@@ -290,7 +294,19 @@ impl<S: Scalar> CsrMatrix<S> {
     /// values + column indices + row pointers. Vector traffic is
     /// accounted separately by the machine model.
     pub fn spmv_matrix_bytes(&self) -> usize {
-        self.nnz() * (S::BYTES + 4) + (self.nrows + 1) * 4
+        self.value_bytes() + self.index_bytes()
+    }
+
+    /// Bytes of matrix *values* read by one pass over the nonzeros —
+    /// the storage-precision-dependent half of the traffic.
+    pub fn value_bytes(&self) -> usize {
+        self.nnz() * S::BYTES
+    }
+
+    /// Bytes of index metadata read by one pass (column ids + row
+    /// pointers), independent of the value precision.
+    pub fn index_bytes(&self) -> usize {
+        self.nnz() * 4 + (self.nrows + 1) * 4
     }
 }
 

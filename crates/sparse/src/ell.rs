@@ -20,6 +20,33 @@ use rayon::prelude::*;
 /// while amortizing the per-slab loop overhead.
 pub const ROW_BLOCK: usize = 256;
 
+/// Lookahead distance (in rows) of the software prefetch issued for
+/// the gathered `x` entries in the row-blocked traversal (ROADMAP "ELL
+/// SpMV tuning, part 2"). The column indices of a slab segment are
+/// read sequentially, so the gather targets are known this many
+/// iterations early; 16 rows ≈ two cache lines of indices of latency
+/// cover without flooding the prefetch queue.
+const PREFETCH_AHEAD: usize = 16;
+
+/// Hint the CPU to pull `slice[idx]` toward L1. No-op (after the
+/// bounds check) on architectures without a stable prefetch intrinsic;
+/// never changes results — it only warms the cache for the upcoming
+/// gather.
+#[inline(always)]
+fn prefetch_read<T>(slice: &[T], idx: usize) {
+    if idx >= slice.len() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `idx` is in bounds, so the address is valid to prefetch.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<{ _MM_HINT_T0 }>(slice.as_ptr().add(idx) as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slice, idx);
+}
+
 /// An ELLPACK matrix with scalar type `S`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EllMatrix<S> {
@@ -102,19 +129,28 @@ impl<S: Scalar> EllMatrix<S> {
     }
 
     /// `y = A x`, sequential.
-    pub fn spmv(&self, x: &[S], y: &mut [S]) {
+    ///
+    /// All SpMV variants on this type are **split-precision**: the
+    /// matrix values are loaded in the stored scalar `S` and widened on
+    /// the fly, while every multiply-add runs in the caller's
+    /// accumulate precision `Acc` (the vectors' type). With `Acc == S`
+    /// this is the classic same-precision kernel, bit for bit; with
+    /// e.g. `S = f32, Acc = f64` the dominant matrix-value traffic
+    /// halves while accumulation keeps double-precision rounding — the
+    /// §5 future-work decoupling of storage from compute.
+    pub fn spmv<Acc: Scalar>(&self, x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let n = self.nrows;
         for yi in y[..n].iter_mut() {
-            *yi = S::ZERO;
+            *yi = Acc::ZERO;
         }
         // Column-major traversal: stream each "slab" of the ELL arrays.
         for k in 0..self.width {
             let cs = &self.col_idx[k * n..(k + 1) * n];
             let vs = &self.values[k * n..(k + 1) * n];
             for i in 0..n {
-                y[i] = vs[i].mul_add(x[cs[i] as usize], y[i]);
+                y[i] = Acc::from_scalar(vs[i]).mul_add(x[cs[i] as usize], y[i]);
             }
         }
     }
@@ -123,7 +159,7 @@ impl<S: Scalar> EllMatrix<S> {
     /// the row-blocked traversal (see [`EllMatrix::spmv_rowblock`]) by
     /// a locality heuristic; both accumulate each row in ascending
     /// slab order, so the choice never changes a single result bit.
-    pub fn spmv_par(&self, x: &[S], y: &mut [S]) {
+    pub fn spmv_par<Acc: Scalar>(&self, x: &[Acc], y: &mut [Acc]) {
         if self.prefer_rowblock() {
             self.spmv_par_rowblock(x, y);
         } else {
@@ -144,7 +180,7 @@ impl<S: Scalar> EllMatrix<S> {
     /// `y = A x`, parallel over rows; each task walks its row across
     /// slabs (stride `nrows` between consecutive entries — the
     /// transposition of the GPU access pattern).
-    pub fn spmv_par_rowwise(&self, x: &[S], y: &mut [S]) {
+    pub fn spmv_par_rowwise<Acc: Scalar>(&self, x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let n = self.nrows;
@@ -152,10 +188,10 @@ impl<S: Scalar> EllMatrix<S> {
         let ci = &self.col_idx;
         let vs = &self.values;
         y[..n].par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let mut acc = S::ZERO;
+            let mut acc = Acc::ZERO;
             for k in 0..w {
                 let slot = k * n + i;
-                acc = vs[slot].mul_add(x[ci[slot] as usize], acc);
+                acc = Acc::from_scalar(vs[slot]).mul_add(x[ci[slot] as usize], acc);
             }
             *yi = acc;
         });
@@ -163,7 +199,7 @@ impl<S: Scalar> EllMatrix<S> {
 
     /// `y = A x`, parallel over [`ROW_BLOCK`]-row blocks, each block
     /// walking the slabs with the cache-friendly blocked traversal.
-    pub fn spmv_par_rowblock(&self, x: &[S], y: &mut [S]) {
+    pub fn spmv_par_rowblock<Acc: Scalar>(&self, x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let n = self.nrows;
@@ -178,7 +214,7 @@ impl<S: Scalar> EllMatrix<S> {
     /// short contiguous run instead of a full-column slab. This is the
     /// CPU-friendly counterpart of the column-major walk the GPU wants
     /// (ROADMAP "ELL SpMV tuning").
-    pub fn spmv_rowblock(&self, x: &[S], y: &mut [S]) {
+    pub fn spmv_rowblock<Acc: Scalar>(&self, x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let n = self.nrows;
@@ -189,33 +225,41 @@ impl<S: Scalar> EllMatrix<S> {
 
     /// Compute rows `[row0, row0 + yb.len())` into `yb`, slab by slab.
     /// Accumulation order per row is ascending `k`, identical to every
-    /// other SpMV variant in this type.
+    /// other SpMV variant in this type. While a slab segment streams,
+    /// the gather targets [`PREFETCH_AHEAD`] rows ahead are prefetched
+    /// — the indices are read sequentially, so the upcoming `x`
+    /// addresses are known long before they are needed.
     #[inline]
-    fn spmv_block(&self, row0: usize, x: &[S], yb: &mut [S]) {
+    fn spmv_block<Acc: Scalar>(&self, row0: usize, x: &[Acc], yb: &mut [Acc]) {
         let n = self.nrows;
+        let len = yb.len();
         for yi in yb.iter_mut() {
-            *yi = S::ZERO;
+            *yi = Acc::ZERO;
         }
         for k in 0..self.width {
             let base = k * n + row0;
-            let cs = &self.col_idx[base..base + yb.len()];
-            let vs = &self.values[base..base + yb.len()];
-            for ((yi, c), v) in yb.iter_mut().zip(cs).zip(vs) {
-                *yi = v.mul_add(x[*c as usize], *yi);
+            let cs = &self.col_idx[base..base + len];
+            let vs = &self.values[base..base + len];
+            for i in 0..len {
+                if i + PREFETCH_AHEAD < len {
+                    prefetch_read(x, cs[i + PREFETCH_AHEAD] as usize);
+                }
+                yb[i] = Acc::from_scalar(vs[i]).mul_add(x[cs[i] as usize], yb[i]);
             }
         }
     }
 
     /// `y[i] = (A x)[i]` for a subset of rows (overlap split, §3.2.3).
-    pub fn spmv_rows(&self, rows: &[u32], x: &[S], y: &mut [S]) {
+    pub fn spmv_rows<Acc: Scalar>(&self, rows: &[u32], x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         let n = self.nrows;
         for &i in rows {
             let i = i as usize;
-            let mut acc = S::ZERO;
+            let mut acc = Acc::ZERO;
             for k in 0..self.width {
                 let slot = k * n + i;
-                acc = self.values[slot].mul_add(x[self.col_idx[slot] as usize], acc);
+                acc = Acc::from_scalar(self.values[slot])
+                    .mul_add(x[self.col_idx[slot] as usize], acc);
             }
             y[i] = acc;
         }
@@ -223,7 +267,7 @@ impl<S: Scalar> EllMatrix<S> {
 
     /// Parallel [`EllMatrix::spmv_rows`]. `rows` must not contain
     /// duplicates.
-    pub fn spmv_rows_par(&self, rows: &[u32], x: &[S], y: &mut [S]) {
+    pub fn spmv_rows_par<Acc: Scalar>(&self, rows: &[u32], x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let n = self.nrows;
@@ -232,10 +276,11 @@ impl<S: Scalar> EllMatrix<S> {
         rows.par_iter().for_each(move |&i| {
             let i = i as usize;
             assert!(i < n, "row {} out of range {}", i, n);
-            let mut acc = S::ZERO;
+            let mut acc = Acc::ZERO;
             for k in 0..self.width {
                 let slot = k * n + i;
-                acc = self.values[slot].mul_add(x[self.col_idx[slot] as usize], acc);
+                acc = Acc::from_scalar(self.values[slot])
+                    .mul_add(x[self.col_idx[slot] as usize], acc);
             }
             // SAFETY: `rows` lists pairwise-distinct row indices and the
             // kernel reads only `x`; each task writes its own `y[i]`.
@@ -260,7 +305,21 @@ impl<S: Scalar> EllMatrix<S> {
     /// padded values + padded column indices, no row pointer (the
     /// trade-off §3.2.2 describes).
     pub fn spmv_matrix_bytes(&self) -> usize {
-        self.stored_entries() * (S::BYTES + 4)
+        self.value_bytes() + self.index_bytes()
+    }
+
+    /// Bytes of matrix *values* read by one pass over the stored
+    /// entries — the storage-precision-dependent half of the traffic
+    /// (what a precision policy shrinks).
+    pub fn value_bytes(&self) -> usize {
+        self.stored_entries() * S::BYTES
+    }
+
+    /// Bytes of column-index data read by one pass (4-byte ids;
+    /// independent of the value precision — the paper's explanation
+    /// for sub-2x SpMV speedups).
+    pub fn index_bytes(&self) -> usize {
+        self.stored_entries() * 4
     }
 
     /// Padding overhead ratio `stored / nnz` (1.0 means no padding).
@@ -399,6 +458,49 @@ mod tests {
         for i in 0..4 {
             assert!((y[i] as f64 - y64[i]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn split_precision_spmv_tracks_f64_within_f32_rounding() {
+        // fp32-stored values, f64 accumulation: the error is bounded by
+        // the value rounding alone (the accumulator adds ~eps_f64).
+        let a = wide_band(700);
+        let ell64 = EllMatrix::from_csr(&a);
+        let ell32: EllMatrix<f32> = ell64.convert();
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+        let mut y64 = vec![0.0f64; n];
+        let mut y_split = vec![0.0f64; n];
+        ell64.spmv(&x, &mut y64);
+        ell32.spmv(&x, &mut y_split); // f32 values, f64 vectors
+        for (i, (a, b)) in y64.iter().zip(y_split.iter()).enumerate() {
+            let row_scale: f64 = (0..ell64.width())
+                .map(|k| {
+                    let (c, v) = ell64.entry(i, k);
+                    (v.to_f64() * x[c as usize]).abs()
+                })
+                .sum();
+            let bound = 2.0 * f32::EPSILON as f64 * row_scale + 1e-300;
+            assert!((a - b).abs() <= bound, "row {i}: {a} vs {b}, bound {bound}");
+        }
+        // All traversals agree bit-for-bit at the split precision too.
+        let mut y_blk = vec![0.0f64; n];
+        let mut y_par = vec![0.0f64; n];
+        ell32.spmv_rowblock(&x, &mut y_blk);
+        ell32.spmv_par(&x, &mut y_par);
+        assert_eq!(y_split, y_blk);
+        assert_eq!(y_split, y_par);
+    }
+
+    #[test]
+    fn value_and_index_bytes_split() {
+        let ell = EllMatrix::from_csr(&example_csr());
+        assert_eq!(ell.value_bytes(), 16 * 8);
+        assert_eq!(ell.index_bytes(), 16 * 4);
+        let e32: EllMatrix<f32> = ell.convert();
+        assert_eq!(e32.value_bytes(), 16 * 4);
+        let e16: EllMatrix<crate::Half> = ell.convert();
+        assert_eq!(e16.value_bytes(), 16 * 2);
     }
 
     #[test]

@@ -31,18 +31,28 @@ use rayon::prelude::*;
 
 /// Matrix access needed by a Gauss–Seidel sweep, implemented by both
 /// storage formats so every variant runs on CSR and ELL alike.
-pub trait SweepMatrix<S: Scalar>: Sync {
+///
+/// The trait is parameterized by the **accumulate** precision `Acc` of
+/// the sweep vectors, and implemented for matrices of *every* stored
+/// precision: values are widened from storage on load and all
+/// arithmetic (including the diagonal divide) runs in `Acc`. A
+/// same-precision sweep (`Acc ==` stored) is bit-identical to the
+/// pre-split kernels; a split sweep (e.g. f32-stored, f64-accumulated)
+/// halves the dominant matrix-value traffic — the storage/compute
+/// decoupling of the precision-policy engine.
+pub trait SweepMatrix<Acc: Scalar>: Sync {
     /// Owned row count.
     fn nrows(&self) -> usize;
     /// Column-space size (owned + ghost).
     fn ncols(&self) -> usize;
-    /// Diagonal value of row `i`.
-    fn diag(&self, i: usize) -> S;
-    /// `Σ_j a_ij x[j]` over all stored entries of row `i`.
-    fn row_dot(&self, i: usize, x: &[S]) -> S;
+    /// Diagonal value of row `i`, widened to the accumulate precision.
+    fn diag(&self, i: usize) -> Acc;
+    /// `Σ_j a_ij x[j]` over all stored entries of row `i`, accumulated
+    /// in `Acc`.
+    fn row_dot(&self, i: usize, x: &[Acc]) -> Acc;
 }
 
-impl<S: Scalar> SweepMatrix<S> for CsrMatrix<S> {
+impl<Stored: Scalar, Acc: Scalar> SweepMatrix<Acc> for CsrMatrix<Stored> {
     fn nrows(&self) -> usize {
         CsrMatrix::nrows(self)
     }
@@ -50,21 +60,21 @@ impl<S: Scalar> SweepMatrix<S> for CsrMatrix<S> {
         CsrMatrix::ncols(self)
     }
     #[inline]
-    fn diag(&self, i: usize) -> S {
-        CsrMatrix::diag(self, i)
+    fn diag(&self, i: usize) -> Acc {
+        Acc::from_scalar(CsrMatrix::diag(self, i))
     }
     #[inline]
-    fn row_dot(&self, i: usize, x: &[S]) -> S {
+    fn row_dot(&self, i: usize, x: &[Acc]) -> Acc {
         let (cols, vals) = self.row(i);
-        let mut acc = S::ZERO;
+        let mut acc = Acc::ZERO;
         for (c, v) in cols.iter().zip(vals.iter()) {
-            acc = v.mul_add(x[*c as usize], acc);
+            acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
         }
         acc
     }
 }
 
-impl<S: Scalar> SweepMatrix<S> for EllMatrix<S> {
+impl<Stored: Scalar, Acc: Scalar> SweepMatrix<Acc> for EllMatrix<Stored> {
     fn nrows(&self) -> usize {
         EllMatrix::nrows(self)
     }
@@ -72,15 +82,15 @@ impl<S: Scalar> SweepMatrix<S> for EllMatrix<S> {
         EllMatrix::ncols(self)
     }
     #[inline]
-    fn diag(&self, i: usize) -> S {
-        self.diagonal()[i]
+    fn diag(&self, i: usize) -> Acc {
+        Acc::from_scalar(self.diagonal()[i])
     }
     #[inline]
-    fn row_dot(&self, i: usize, x: &[S]) -> S {
-        let mut acc = S::ZERO;
+    fn row_dot(&self, i: usize, x: &[Acc]) -> Acc {
+        let mut acc = Acc::ZERO;
         for k in 0..self.width() {
             let (c, v) = self.entry(i, k);
-            acc = v.mul_add(x[c as usize], acc);
+            acc = Acc::from_scalar(v).mul_add(x[c as usize], acc);
         }
         acc
     }
@@ -213,11 +223,11 @@ pub fn split_lower_upper<S: Scalar>(a: &CsrMatrix<S>) -> (CsrMatrix<S>, CsrMatri
 /// Mathematically identical to the sequential forward substitution; the
 /// limited level widths of stencil matrices are what §3.1 identifies as
 /// the reference implementation's utilization problem.
-pub fn sptrsv_lower_level_scheduled<S: Scalar>(
-    l: &CsrMatrix<S>,
+pub fn sptrsv_lower_level_scheduled<Stored: Scalar, Acc: Scalar>(
+    l: &CsrMatrix<Stored>,
     schedule: &LevelSchedule,
-    rhs: &[S],
-    x: &mut [S],
+    rhs: &[Acc],
+    x: &mut [Acc],
 ) {
     assert!(x.len() >= l.nrows() && rhs.len() >= l.nrows());
     for level in &schedule.levels {
@@ -231,13 +241,13 @@ pub fn sptrsv_lower_level_scheduled<S: Scalar>(
             // concurrent read/write aliasing occurs within a level.
             unsafe {
                 let xslice = xs.slice();
-                let mut acc = S::ZERO;
-                let mut diag = S::ONE;
+                let mut acc = Acc::ZERO;
+                let mut diag = Acc::ONE;
                 for (c, v) in cols.iter().zip(vals.iter()) {
                     if (*c as usize) < i {
-                        acc = v.mul_add(xslice[*c as usize], acc);
+                        acc = Acc::from_scalar(*v).mul_add(xslice[*c as usize], acc);
                     } else {
-                        diag = *v;
+                        diag = Acc::from_scalar(*v);
                     }
                 }
                 *xs.get_mut(i) = (rhs[i] - acc) / diag;
@@ -250,15 +260,15 @@ pub fn sptrsv_lower_level_scheduled<S: Scalar>(
 /// (§3.1): `t = r − U x`, then solve `(D + L) x = t` with the
 /// level-scheduled triangular kernel. Produces exactly the sequential
 /// forward sweep's result, at the cost of a second pass over the matrix.
-pub fn gs_forward_reference<S: Scalar>(
-    l: &CsrMatrix<S>,
-    u: &CsrMatrix<S>,
+pub fn gs_forward_reference<Stored: Scalar, Acc: Scalar>(
+    l: &CsrMatrix<Stored>,
+    u: &CsrMatrix<Stored>,
     schedule: &LevelSchedule,
-    r: &[S],
-    x: &mut [S],
+    r: &[Acc],
+    x: &mut [Acc],
 ) {
     let n = l.nrows();
-    let mut t = vec![S::ZERO; n];
+    let mut t = vec![Acc::ZERO; n];
     u.spmv(x, &mut t);
     for i in 0..n {
         t[i] = r[i] - t[i];

@@ -14,7 +14,7 @@
 //! `f32`, computes, and rounds back to nearest-even — the semantics of
 //! hardware FP16 units that compute in higher-precision accumulators.
 
-use crate::scalar::Scalar;
+use crate::scalar::{PrecKind, Scalar};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -128,6 +128,25 @@ impl Half {
     }
 }
 
+/// Widen an fp16 slice into `f32` exactly (the load half of a
+/// "fp16-stored, f32-accumulated" kernel: values live in 2-byte
+/// storage and are expanded on the fly).
+pub fn widen_f16_slice(src: &[Half], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = s.to_f32();
+    }
+}
+
+/// Round an `f32` slice into fp16 storage (the store half; one
+/// round-to-nearest-even per element).
+pub fn narrow_f32_slice(src: &[f32], dst: &mut [Half]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = Half::from_f32(*s);
+    }
+}
+
 impl fmt::Debug for Half {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:?}f16", self.to_f32())
@@ -184,6 +203,7 @@ impl Scalar for Half {
     const BYTES: usize = 2;
     const NAME: &'static str = "fp16";
     const EPSILON: Self = Half(0x1400); // 2^-10
+    const KIND: PrecKind = PrecKind::F16;
 
     #[inline]
     fn from_f64(v: f64) -> Self {
@@ -323,6 +343,25 @@ mod tests {
         a.spmv(&x, &mut y);
         assert_eq!(y[0].to_f32(), 25.0);
         assert_eq!(y[1].to_f32(), 25.0);
+    }
+
+    #[test]
+    fn slice_widen_narrow_roundtrip() {
+        let h: Vec<Half> = (0..64).map(|i| Half::from_f32(i as f32 * 0.25 - 4.0)).collect();
+        let mut wide = vec![0.0f32; 64];
+        widen_f16_slice(&h, &mut wide);
+        for (w, x) in wide.iter().zip(h.iter()) {
+            assert_eq!(*w, x.to_f32(), "widening is exact");
+        }
+        let mut back = vec![Half::ZERO; 64];
+        narrow_f32_slice(&wide, &mut back);
+        assert_eq!(
+            back.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            h.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // Narrowing rounds to nearest-even.
+        narrow_f32_slice(&[1.0 + f32::powi(2.0, -11)], &mut back[..1]);
+        assert_eq!(back[0].to_bits(), 0x3c00);
     }
 
     #[test]

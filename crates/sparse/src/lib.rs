@@ -42,4 +42,4 @@ pub use ell::EllMatrix;
 pub use half::Half;
 pub use levels::LevelSchedule;
 pub use ordering::Permutation;
-pub use scalar::Scalar;
+pub use scalar::{PrecKind, Scalar};

@@ -10,6 +10,59 @@ use std::fmt::{Debug, Display};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
+/// A runtime name for one of the three floating-point precisions the
+/// solver stack can store, compute, or ship over the wire. This is the
+/// value-level mirror of the [`Scalar`] type parameter: the precision
+/// policy engine selects kinds at runtime, and an enum-dispatch layer
+/// maps each kind back to the monomorphized kernels.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum PrecKind {
+    /// IEEE binary16 (emulated [`crate::Half`]), 2 bytes.
+    F16,
+    /// IEEE binary32, 4 bytes.
+    F32,
+    /// IEEE binary64, 8 bytes.
+    F64,
+}
+
+impl PrecKind {
+    /// Storage width in bytes (the memory-wall currency).
+    pub fn bytes(self) -> usize {
+        match self {
+            PrecKind::F16 => 2,
+            PrecKind::F32 => 4,
+            PrecKind::F64 => 8,
+        }
+    }
+
+    /// Report name, matching `Scalar::NAME`.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrecKind::F16 => "fp16",
+            PrecKind::F32 => "fp32",
+            PrecKind::F64 => "fp64",
+        }
+    }
+
+    /// Parse a report name ("fp64"/"fp32"/"fp16", or "f64"/…).
+    pub fn parse(s: &str) -> Option<PrecKind> {
+        match s {
+            "fp64" | "f64" => Some(PrecKind::F64),
+            "fp32" | "f32" => Some(PrecKind::F32),
+            "fp16" | "f16" => Some(PrecKind::F16),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PrecKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A real floating-point working precision (`f32` or `f64`).
 pub trait Scalar:
     Copy
@@ -42,6 +95,8 @@ pub trait Scalar:
     const NAME: &'static str;
     /// Unit roundoff (machine epsilon / 2).
     const EPSILON: Self;
+    /// The runtime kind of this precision (for policy dispatch).
+    const KIND: PrecKind;
 
     /// Lossless (for `f32`→`f64`) or rounding (for `f64`→`f32`)
     /// conversion from double.
@@ -56,6 +111,14 @@ pub trait Scalar:
     fn mul_add(self, a: Self, b: Self) -> Self;
     /// Max of two values (NaN-propagating is unnecessary here).
     fn max(self, other: Self) -> Self;
+
+    /// Convert from another precision, through double (exact for every
+    /// widening pair and identity when `T == Self`; the split-precision
+    /// kernels rely on both properties).
+    #[inline(always)]
+    fn from_scalar<T: Scalar>(v: T) -> Self {
+        Self::from_f64(v.to_f64())
+    }
 }
 
 impl Scalar for f64 {
@@ -64,6 +127,7 @@ impl Scalar for f64 {
     const BYTES: usize = 8;
     const NAME: &'static str = "fp64";
     const EPSILON: Self = f64::EPSILON;
+    const KIND: PrecKind = PrecKind::F64;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -97,6 +161,7 @@ impl Scalar for f32 {
     const BYTES: usize = 4;
     const NAME: &'static str = "fp32";
     const EPSILON: Self = f32::EPSILON;
+    const KIND: PrecKind = PrecKind::F32;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {

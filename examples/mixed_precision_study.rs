@@ -41,8 +41,8 @@ fn main() {
     let n = l.n_local();
     println!("measured f64 -> f32 kernel speedups, {}^3 ({} rows):\n", n_edge, n);
 
-    let csr32: CsrMatrix<f32> = l.csr64.convert();
-    let ell32: EllMatrix<f32> = l.ell64.convert();
+    let csr32: CsrMatrix<f32> = l.csr64().convert();
+    let ell32: EllMatrix<f32> = l.ell64().convert();
     let x64: Vec<f64> = (0..l.vec_len()).map(|i| (i as f64 * 1e-3).sin()).collect();
     let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
     let r64: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
@@ -52,19 +52,19 @@ fn main() {
 
     // SpMV (ELL, the optimized format).
     let mut y64 = vec![0.0f64; n];
-    let t64 = time_it(5, || l.ell64.spmv(black_box(&x64), &mut y64));
+    let t64 = time_it(5, || l.ell64().spmv(black_box(&x64), &mut y64));
     let mut y32 = vec![0.0f32; n];
     let t32 = time_it(5, || ell32.spmv(black_box(&x32), &mut y32));
     results.push(("SpMV (ELL)", t64, t32));
 
     // SpMV (CSR, the reference format).
-    let t64 = time_it(5, || l.csr64.spmv(black_box(&x64), &mut y64));
+    let t64 = time_it(5, || l.csr64().spmv(black_box(&x64), &mut y64));
     let t32 = time_it(5, || csr32.spmv(black_box(&x32), &mut y32));
     results.push(("SpMV (CSR)", t64, t32));
 
     // Multicolor Gauss–Seidel sweep.
     let mut z64 = vec![0.0f64; l.vec_len()];
-    let t64 = time_it(5, || gs_multicolor(&l.ell64, &l.coloring, black_box(&r64), &mut z64));
+    let t64 = time_it(5, || gs_multicolor(l.ell64(), &l.coloring, black_box(&r64), &mut z64));
     let mut z32 = vec![0.0f32; l.vec_len()];
     let t32 = time_it(5, || gs_multicolor(&ell32, &l.coloring, black_box(&r32), &mut z32));
     results.push(("GS sweep (multicolor)", t64, t32));

@@ -25,7 +25,7 @@ fn main() {
         seed: 7,
     };
     let problem = assemble(&spec, 0);
-    let a = &problem.levels[0].csr64;
+    let a = &problem.levels[0].csr64();
     let n = a.nrows();
 
     println!("operator: {} rows, {} nonzeros (27-point stencil, 16^3)\n", n, a.nnz());

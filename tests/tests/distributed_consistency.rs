@@ -36,14 +36,14 @@ fn distributed_spmv_bitwise_matches_serial() {
         let sl = &serial.levels[0];
         let sx = serial_fill(&sl.grid, sl.vec_len());
         let mut sy = vec![0.0f64; sl.n_local()];
-        sl.csr64.spmv(&sx, &mut sy);
+        sl.csr64().spmv(&sx, &mut sy);
 
         for variant in [ImplVariant::Optimized, ImplVariant::Reference] {
             let results = run_spmd(p, move |c| {
                 let prob = dist_problem(n, procs, c.rank(), 1);
                 let l = &prob.levels[0];
                 let tl = Timeline::disabled();
-                let ctx = OpCtx { comm: &c, variant, timeline: &tl };
+                let ctx = OpCtx::new(&c, variant, &tl);
                 let mut stats = MotifStats::new();
                 let mut x = global_fill(&l.grid, l.vec_len());
                 let mut y = vec![0.0f64; l.n_local()];
@@ -80,7 +80,7 @@ fn reference_gs_sweep_matches_serial_lexicographic() {
         let tl = Timeline::disabled();
         let r: Vec<f64> = (0..l.n_local()).map(|i| (i as f64 * 0.37).cos()).collect();
 
-        let ctx = OpCtx { comm: &c, variant: ImplVariant::Reference, timeline: &tl };
+        let ctx = OpCtx::new(&c, ImplVariant::Reference, &tl);
         let mut stats = MotifStats::new();
         let mut z = global_fill(&l.grid, l.vec_len());
         dist_gs_sweep(&ctx, l, &mut stats, 0, SweepDir::Forward, &r, &mut z);
@@ -88,7 +88,7 @@ fn reference_gs_sweep_matches_serial_lexicographic() {
         // Manual: exchange, then sequential in-place relaxation.
         let mut z2 = global_fill(&l.grid, l.vec_len());
         l.halo.exchange(&c, 9, &mut z2, &tl);
-        hpgmxp_sparse::gauss_seidel::gs_forward(&l.csr64, &r, &mut z2);
+        hpgmxp_sparse::gauss_seidel::gs_forward(l.csr64(), &r, &mut z2);
 
         for (a, b) in z.iter().zip(z2.iter()) {
             assert!((a - b).abs() < 1e-13);
@@ -132,7 +132,7 @@ fn optimized_gs_is_deterministic_across_runs() {
                 let prob = dist_problem(8, procs, c.rank(), 2);
                 let l = &prob.levels[0];
                 let tl = Timeline::disabled();
-                let ctx = OpCtx { comm: &c, variant: ImplVariant::Optimized, timeline: &tl };
+                let ctx = OpCtx::new(&c, ImplVariant::Optimized, &tl);
                 let mut stats = MotifStats::new();
                 let r: Vec<f64> = (0..l.n_local()).map(|i| (i % 29) as f64 * 0.1).collect();
                 let mut z = vec![0.25f64; l.vec_len()];

@@ -99,7 +99,7 @@ fn two_point_domain() {
     // Degenerate global domain: 2 points along each axis — every row is
     // a corner row with 8 nonzeros.
     let prob = assemble(&spec((2, 2, 2), ProcGrid::new(1, 1, 1), 1), 0);
-    let a = &prob.levels[0].csr64;
+    let a = &prob.levels[0].csr64();
     for i in 0..a.nrows() {
         let (cols, _) = a.row(i);
         assert_eq!(cols.len(), 8);

@@ -24,11 +24,13 @@ struct CountingAllocator;
 
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LAST_SIZE: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            LAST_SIZE.store(layout.size() as u64, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
@@ -36,6 +38,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            LAST_SIZE.store((1 << 62) | new_size as u64, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
     }
@@ -72,9 +75,17 @@ fn steady_state_exchange_allocates_nothing() {
 
         // Warm-up: grow the staging buffers, transport pool, and
         // mailbox deques to steady-state capacity at both precisions.
+        // The per-round barrier bounds the number of simultaneously
+        // in-flight pool buffers to one round's worth, so the pool's
+        // high-water mark reached here deterministically covers the
+        // measured phase below (which keeps the same per-round bound);
+        // without it a fast rank can set a new in-flight record — and
+        // force one pool growth — mid-measurement, scheduler-dependent.
+        // `Barrier::wait` itself never touches the allocator.
         for i in 0..WARMUP as u64 {
             l.halo.exchange(&c, 2 * i, &mut x64, &tl);
             l.halo.exchange(&c, 2 * i + 1, &mut x32, &tl);
+            c.barrier();
         }
 
         // Everyone parks between the barriers doing nothing but
@@ -82,6 +93,14 @@ fn steady_state_exchange_allocates_nothing() {
         // steady-state exchange path.
         c.barrier();
         if c.rank() == 0 {
+            // The world-shared transport pool may still hold buffers
+            // that only ever carried the smaller (f32) messages; grow
+            // them to the widest message once, while nothing is in
+            // flight, so no stale buffer can trigger a realloc at a
+            // scheduler-dependent moment mid-measurement.
+            let widest =
+                l.halo.plan().neighbors.iter().map(|n| n.staging_bytes(8)).max().unwrap_or(0);
+            c.prewarm_pool(widest);
             ALLOCATIONS.store(0, Ordering::SeqCst);
             ARMED.store(true, Ordering::SeqCst);
         }
@@ -91,6 +110,7 @@ fn steady_state_exchange_allocates_nothing() {
             let tag = (WARMUP as u64 + i) * 2;
             l.halo.exchange(&c, tag, &mut x64, &tl);
             l.halo.exchange(&c, tag + 1, &mut x32, &tl);
+            c.barrier();
         }
 
         c.barrier();
@@ -106,8 +126,11 @@ fn steady_state_exchange_allocates_nothing() {
 
     let allocations = counted[0].expect("rank 0 reports the counter");
     assert_eq!(
-        allocations, 0,
+        allocations,
+        0,
         "steady-state halo exchange must not touch the allocator: \
-         {allocations} allocations across {MEASURED} exchange rounds on 4 ranks"
+         {allocations} allocations across {MEASURED} exchange rounds on 4 ranks \
+         (last size tag: {:#x})",
+        LAST_SIZE.load(Ordering::SeqCst)
     );
 }

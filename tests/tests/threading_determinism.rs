@@ -88,24 +88,24 @@ fn spmv_variants_are_bit_identical_across_thread_counts() {
 
     assert_thread_invariant("csr spmv_par", || {
         let mut y = vec![0.0f64; l.n_local()];
-        l.csr64.spmv_par(&x, &mut y);
+        l.csr64().spmv_par(&x, &mut y);
         y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
     });
     assert_thread_invariant("ell spmv_par (heuristic)", || {
         let mut y = vec![0.0f64; l.n_local()];
-        l.ell64.spmv_par(&x, &mut y);
+        l.ell64().spmv_par(&x, &mut y);
         y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
     });
     assert_thread_invariant("ell spmv_par_rowblock", || {
         let mut y = vec![0.0f64; l.n_local()];
-        l.ell64.spmv_par_rowblock(&x, &mut y);
+        l.ell64().spmv_par_rowblock(&x, &mut y);
         y.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
     });
     // All traversals agree with the sequential column-major walk.
     let mut y_seq = vec![0.0f64; l.n_local()];
-    l.ell64.spmv(&x, &mut y_seq);
+    l.ell64().spmv(&x, &mut y_seq);
     let mut y_par = vec![0.0f64; l.n_local()];
-    rayon::ThreadPool::new(8).install(|| l.ell64.spmv_par(&x, &mut y_par));
+    rayon::ThreadPool::new(8).install(|| l.ell64().spmv_par(&x, &mut y_par));
     assert_eq!(y_seq, y_par);
 }
 
@@ -113,7 +113,7 @@ fn spmv_variants_are_bit_identical_across_thread_counts() {
 fn multicolor_gs_sweep_is_bit_identical_across_thread_counts() {
     let prob = test_problem(16, 1);
     let l = &prob.levels[0];
-    let ell: &EllMatrix<f64> = &l.ell64;
+    let ell: &EllMatrix<f64> = l.ell64();
     let r: Vec<f64> = (0..l.n_local()).map(|i| (i % 23) as f64 - 11.0).collect();
 
     assert_thread_invariant("gs_multicolor", || {

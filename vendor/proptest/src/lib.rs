@@ -3,10 +3,14 @@
 //! `proptest!` macro, and `prop_assert*`.
 //!
 //! Differences from the real crate: cases are generated from a
-//! deterministic per-test seed (no persisted failure corpus), and
-//! failing inputs are reported but **not shrunk**. Each failure
-//! message includes the case number so a run is reproducible by
-//! construction.
+//! deterministic per-test seed (no persisted failure corpus). Failing
+//! inputs are **shrunk** by a greedy loop over [`Strategy::shrink`]
+//! candidates — integer and float ranges bisect toward their lower
+//! bound, vectors drop elements and shrink survivors, tuples shrink
+//! one component at a time — and the minimal still-failing input is
+//! reported. `prop_map`/`prop_flat_map` outputs are not invertible and
+//! do not shrink further. Each failure message includes the case
+//! number so a run is reproducible by construction.
 
 use std::ops::Range;
 
@@ -53,6 +57,14 @@ pub trait Strategy {
 
     /// Sample one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing value, "simplest" first.
+    /// The harness greedily walks these while the property keeps
+    /// failing, so the reported counterexample is locally minimal.
+    /// Default: no candidates (unshrinkable strategy).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values.
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
@@ -117,6 +129,24 @@ macro_rules! impl_int_range {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Bisect toward the range's lower bound: lo, then the
+                // midpoint, then the predecessor.
+                let v = *value as i128;
+                let lo = self.start as i128;
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(self.start);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid as $t);
+                    }
+                    if v - 1 != mid && v - 1 != lo {
+                        out.push((v - 1) as $t);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -132,18 +162,67 @@ macro_rules! impl_float_range {
                 let u = rng.unit_f64() as $t;
                 self.start + u * (self.end - self.start)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Candidates are strictly "simpler" than the value
+                // (smaller magnitude when the range straddles zero,
+                // closer to the lower bound otherwise), so the greedy
+                // walk is monotone and can never cycle.
+                let mut out = Vec::new();
+                if self.start < 0.0 && 0.0 < self.end {
+                    if *value != 0.0 {
+                        out.push(0.0);
+                        let half = *value / 2.0;
+                        if half != 0.0 && half != *value {
+                            out.push(half);
+                        }
+                    }
+                } else if *value != self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2.0;
+                    if mid != self.start && mid != *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
 impl_float_range!(f32, f64);
 
+/// Forwarding impl so strategy tuples can hold references (the
+/// `proptest!` harness borrows the per-arg strategies).
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident : $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -196,12 +275,36 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks first: halve, then drop the last
+            // element — both respecting the minimum length.
+            if value.len() > self.size.lo {
+                let half = (value.len() / 2).max(self.size.lo);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then element-wise: each position's first candidate.
+            for (i, v) in value.iter().enumerate() {
+                if let Some(cand) = self.element.shrink(v).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -234,6 +337,52 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drive one property: `cases` deterministic generated inputs from
+/// `strat`, checked by `check`; on failure, greedily shrink to a
+/// locally minimal counterexample and panic with it. This is the
+/// engine behind the [`proptest!`] macro (a named function so closure
+/// parameter types are pinned by the signature).
+pub fn run_cases<S: Strategy>(
+    name: &str,
+    cases: u32,
+    strat: &S,
+    check: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: std::fmt::Debug,
+{
+    for case in 0..cases {
+        // Stable per-test seed: test name hash + case index.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng::new(seed ^ (case as u64) << 17);
+        let vals = strat.generate(&mut rng);
+        if let Err(e) = check(&vals) {
+            // Greedy shrink: keep the first candidate that still
+            // fails; stop when no candidate does (locally minimal).
+            let mut best = vals;
+            let mut best_err = e;
+            let mut steps = 0usize;
+            'shrinking: while steps < 10_000 {
+                for cand in strat.shrink(&best) {
+                    steps += 1;
+                    if let Err(e2) = check(&cand) {
+                        best = cand;
+                        best_err = e2;
+                        continue 'shrinking;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "property `{}` failed at case {}/{}: {}\nminimal counterexample (after {} shrink steps): {:?}",
+                name, case, cases, best_err.0, steps, best
+            );
+        }
     }
 }
 
@@ -300,29 +449,16 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 $(let $arg = $strat;)+
-                for case in 0..config.cases {
-                    // Stable per-test seed: test name hash + case index.
-                    let mut seed = 0xcbf2_9ce4_8422_2325u64;
-                    for b in stringify!($name).bytes() {
-                        seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-                    }
-                    let mut rng = $crate::TestRng::new(seed ^ (case as u64) << 17);
-                    $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
-                    let outcome = (|| -> Result<(), $crate::TestCaseError> {
-                        $body
-                        #[allow(unreachable_code)]
-                        Ok(())
-                    })();
-                    if let Err(e) = outcome {
-                        panic!(
-                            "property `{}` failed at case {}/{}: {}",
-                            stringify!($name),
-                            case,
-                            config.cases,
-                            e.0
-                        );
-                    }
-                }
+                // All per-arg strategies as one tuple strategy, so a
+                // failing input shrinks one component at a time.
+                let __strats = ($(&$arg,)+);
+                $crate::run_cases(stringify!($name), config.cases, &__strats, |__vals| {
+                    let ($($arg,)+) = __vals;
+                    $(let $arg = ::std::clone::Clone::clone($arg);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
             }
         )*
     };
@@ -367,5 +503,48 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert_eq!(v.len(), v.len());
         }
+    }
+
+    #[test]
+    fn integer_shrink_bisects_toward_lower_bound() {
+        let strat = 0u64..1000;
+        let cands = strat.shrink(&800);
+        assert_eq!(cands, vec![0, 400, 799]);
+        assert!(strat.shrink(&0).is_empty(), "lower bound is minimal");
+        // Walking candidates greedily reaches the boundary of any
+        // monotone predicate: here "fails iff >= 37" must shrink to 37.
+        let mut v = 900u64;
+        while let Some(c) = strat.shrink(&v).into_iter().find(|c| *c >= 37) {
+            v = c;
+        }
+        assert_eq!(v, 37);
+    }
+
+    #[test]
+    fn vec_shrink_drops_and_simplifies() {
+        let strat = collection::vec(0u32..10, 0..16);
+        let cands = strat.shrink(&vec![5, 7, 9]);
+        // Halving, dropping the tail, then element-wise candidates.
+        assert!(cands.contains(&vec![5]));
+        assert!(cands.contains(&vec![5, 7]));
+        assert!(cands.contains(&vec![0, 7, 9]));
+        assert!(strat.shrink(&Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_counterexample() {
+        // A property failing for x >= 25 must shrink exactly to 25.
+        let result = std::panic::catch_unwind(|| {
+            let strat = (0u64..1000,);
+            crate::run_cases("shrink_demo", 64, &strat, |&(x,)| {
+                if x >= 25 {
+                    Err(crate::TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("(25,)"), "expected minimal counterexample 25, got: {msg}");
     }
 }
