@@ -20,103 +20,67 @@
 //! (env: `HPGMXP_LOCAL_N`, `HPGMXP_ITERS` scale the measured sweep).
 
 use hpgmxp_bench::{env_usize, single_rank_problem};
-use hpgmxp_comm::{run_spmd, Comm, SelfComm, Timeline};
-use hpgmxp_core::benchmark::{run_policy_phase, validate_policy};
-use hpgmxp_core::config::{BenchmarkParams, ImplVariant};
-use hpgmxp_core::motifs::{Motif, MotifStats};
-use hpgmxp_core::ops::{dist_gs_sweep, dist_spmv, OpCtx, SweepDir};
+use hpgmxp_comm::SelfComm;
+use hpgmxp_core::config::ImplVariant;
+use hpgmxp_core::motifs::MotifStats;
 use hpgmxp_core::ortho::{cgs2, mgs, orthogonality_defect};
 use hpgmxp_core::policy::PrecisionPolicy;
-use hpgmxp_core::problem::{assemble_with_policy, Level, ProblemSpec};
+use hpgmxp_harness::{
+    run_campaign, CampaignSpec, CellStatus, PolicyRef, SeriesMode, SeriesSpec, SPEC_SCHEMA,
+};
 use hpgmxp_machine::kernels;
 use hpgmxp_machine::workload::Workload;
 use hpgmxp_machine::{MachineModel, NetworkModel};
 use hpgmxp_sparse::blas::Basis;
-use hpgmxp_sparse::{Half, PrecKind, Scalar};
-
-/// Per-policy measured fine-grid kernel traffic: one SpMV application
-/// plus one GS sweep on the fine level of rank 0 (ranks are symmetric
-/// at P=2).
-#[derive(Debug, Clone, Copy)]
-struct MeasuredTraffic {
-    /// Matrix-value bytes of one SpMV (storage precision).
-    spmv_value: f64,
-    /// Total data bytes of one SpMV.
-    spmv_total: f64,
-    /// Wire bytes of one halo exchange.
-    wire: f64,
-    /// Matrix-value bytes of one GS sweep.
-    gs_value: f64,
-}
-
-fn measure_in<S: Scalar, C: Comm>(
-    c: &C,
-    level: &Level,
-    policy: &PrecisionPolicy,
-) -> MeasuredTraffic {
-    let tl = Timeline::disabled();
-    let ctx = OpCtx::with_prec(c, ImplVariant::Optimized, &tl, policy.ctx());
-    let n = level.vec_len();
-    let mut x: Vec<S> = (0..n).map(|i| S::from_f64(((i % 13) as f64) * 0.05)).collect();
-    let mut y = vec![S::ZERO; level.n_local()];
-    let mut spmv_stats = MotifStats::new();
-    dist_spmv(&ctx, level, &mut spmv_stats, 10, &mut x, &mut y);
-    let mut gs_stats = MotifStats::new();
-    let r: Vec<S> = (0..level.n_local()).map(|i| S::from_f64((i % 7) as f64)).collect();
-    dist_gs_sweep(&ctx, level, &mut gs_stats, 11, SweepDir::Forward, &r, &mut x);
-    MeasuredTraffic {
-        spmv_value: spmv_stats.value_bytes(Motif::SpMV),
-        spmv_total: spmv_stats.bytes(Motif::SpMV),
-        wire: spmv_stats.bytes(Motif::Comm),
-        gs_value: gs_stats.value_bytes(Motif::GaussSeidel),
-    }
-}
-
-fn measure_policy(
-    params: &BenchmarkParams,
-    ranks: usize,
-    policy: &PrecisionPolicy,
-) -> MeasuredTraffic {
-    let spec = ProblemSpec::from_params(params, ranks);
-    let policy = policy.clone();
-    let results = run_spmd(ranks, move |c| {
-        let prob = assemble_with_policy(&spec, c.rank(), &policy);
-        let l = &prob.levels[0];
-        match policy.compute {
-            PrecKind::F64 => measure_in::<f64, _>(&c, l, &policy),
-            PrecKind::F32 => measure_in::<f32, _>(&c, l, &policy),
-            PrecKind::F16 => measure_in::<Half, _>(&c, l, &policy),
-        }
-    });
-    results[0]
-}
-
-fn close(a: f64, b: f64, what: &str) {
-    assert!(
-        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
-        "{what}: measured {a} vs modeled {b} do not reconcile"
-    );
-}
+use hpgmxp_sparse::PrecKind;
 
 /// The precision-policy sweep: ≥6 runtime-selected policies, one
-/// invocation, measured + reconciled.
+/// invocation, measured + reconciled — a thin frontend over the
+/// campaign engine's Hybrid mode, which owns the measurement and the
+/// exact byte-model reconciliation this binary used to hand-roll.
 fn policy_sweep() {
     let n = env_usize("HPGMXP_LOCAL_N", 16) as u32;
     let ranks = 2usize; // P=2: both ranks share the middle-rank surface, so
                         // measured wire bytes reconcile exactly with the model
-    let params = BenchmarkParams {
-        local_dims: (n, n, n),
-        max_iters_per_solve: env_usize("HPGMXP_ITERS", 60),
-        validation_max_iters: 4000,
-        ..Default::default()
-    };
-    let wl = Workload::build((n, n, n), params.mg_levels, params.restart, ranks);
     let policies = PrecisionPolicy::shipped();
     assert!(policies.len() >= 6, "the sweep must cover at least 6 policies");
+    let hybrid = |label: &str, refs: Vec<PolicyRef>| SeriesSpec {
+        label: label.to_string(),
+        mode: SeriesMode::Hybrid,
+        variant: ImplVariant::Optimized,
+        policies: refs,
+        ranks: vec![ranks],
+        nodes: vec![], // measurement + reconciliation only; the
+        // policy_sweep campaign spec adds the at-scale projection
+        modeled_local: None,
+        penalty: None,
+    };
+    let spec = CampaignSpec {
+        schema: SPEC_SCHEMA,
+        name: "ablation_policy_sweep".into(),
+        description: "measured precision-policy sweep, byte-reconciled".into(),
+        local: (n, n, n),
+        mg_levels: 4,
+        restart: 30,
+        iters_per_solve: env_usize("HPGMXP_ITERS", 60),
+        benchmark_solves: 1,
+        validation_max_iters: 4000,
+        machine: "mi250x_gcd".into(),
+        network: "frontier_slingshot".into(),
+        series: vec![
+            hybrid("sweep", policies.iter().map(|p| PolicyRef::by_name(&p.name)).collect()),
+            // The standalone-fp16 stress configuration rides along: it
+            // may legitimately break down (the §5 caveat the f16s-f32c
+            // policy exists to avoid), in which case its cell is
+            // Unrated and prints honestly instead of asserting.
+            hybrid("stress", vec![PolicyRef::by_name("f16")]),
+        ],
+    };
+    let report = run_campaign(&spec).expect("policy sweep campaign");
 
     println!(
         "== Precision-policy sweep (measured; P={} thread-ranks, {}^3 local, {} MG levels) ==",
-        ranks, n, params.mg_levels
+        ranks, n, spec.mg_levels
     );
     println!(
         "   storage/compute/wire per policy; GF/s raw; measured bytes per inner iteration per rank;"
@@ -127,82 +91,42 @@ fn policy_sweep() {
         "policy", "storage/cmp/wire", "GF/s", "bytes/iter", "nd/nir", "penalty", "spmv value B"
     );
 
-    let mut spmv_value_of: Vec<(String, f64)> = Vec::new();
-    for policy in &policies {
-        // Measured kernel traffic, reconciled exactly against the
-        // policy-aware machine model (matrix term + wire term).
-        let m = measure_policy(&params, ranks, policy);
-        close(
-            m.spmv_value,
-            wl.policy_value_bytes(policy, 0),
-            &format!("{} spmv value", policy.name),
-        );
-        close(m.gs_value, wl.policy_value_bytes(policy, 0), &format!("{} gs value", policy.name));
-        close(
-            m.spmv_total,
-            wl.policy_matrix_bytes(policy, 0) + 2.0 * wl.fine().n * policy.compute.bytes() as f64,
-            &format!("{} spmv total", policy.name),
-        );
-        close(m.wire, wl.policy_wire_bytes(policy, 0), &format!("{} wire", policy.name));
-
-        // Iteration penalty (both solvers to 1e-9) and a timed phase.
-        let v = validate_policy(&params, ImplVariant::Optimized, ranks, policy);
-        let phase = run_policy_phase(&params, ImplVariant::Optimized, ranks, policy);
-
-        let short = |k: PrecKind| &k.name()[2..]; // "64"/"32"/"16"
-        let sto: Vec<&str> = (0..params.mg_levels).map(|d| short(policy.storage_at(d))).collect();
-        println!(
-            "{:<10} {:>20} {:>8.3} {:>13.0} {:>6}/{:<6} {:>7.3} {:>14.0}",
-            policy.name,
-            format!("{}/c{}/w{}", sto.join("."), short(policy.compute), short(policy.wire)),
-            phase.gflops_raw,
-            phase.bytes_per_iteration(),
-            v.nd,
-            v.nir,
-            v.penalty,
-            m.spmv_value,
-        );
-        spmv_value_of.push((policy.name.clone(), m.spmv_value));
-    }
-
-    // The standalone-fp16 stress configuration rides along as an
-    // extra row: it may legitimately break down (the §5 caveat the
-    // f16s-f32c policy exists to avoid), so it reports honestly
-    // instead of asserting convergence.
-    {
-        let stress = PrecisionPolicy::stress_f16();
-        let m = measure_policy(&params, ranks, &stress);
-        close(m.spmv_value, wl.policy_value_bytes(&stress, 0), "f16 stress spmv value");
-        let spec = ProblemSpec::from_params(&params, ranks);
-        let sp2 = stress.clone();
-        let outcomes = run_spmd(ranks, move |c| {
-            let prob = assemble_with_policy(&spec, c.rank(), &sp2);
-            let tl = Timeline::disabled();
-            let opts = hpgmxp_core::gmres::GmresOptions {
-                max_iters: 4000,
-                tol: 1e-9,
-                ..Default::default()
-            };
-            let (_, st) = hpgmxp_core::gmres_ir::gmres_ir_solve_policy(&c, &prob, &sp2, &opts, &tl);
-            (st.converged, st.iters, st.final_relres)
-        });
-        let (conv, nir, relres) = outcomes[0];
-        if conv {
-            println!(
-                "{:<10} {:>20} {:>8} {:>13} {:>6}/{:<6} {:>7} {:>14.0}  (stress)",
-                stress.name, "16.16.16.16/c16/w16", "-", "-", "-", nir, "-", m.spmv_value
-            );
-        } else {
-            println!(
-                "{:<10} {:>20}  breakdown at relres {:.3e} — the §5 standalone-fp16 failure mode \
-                 the f16s-f32c policy avoids",
-                stress.name, "16.16.16.16/c16/w16", relres
-            );
+    let short = |k: PrecKind| &k.name()[2..]; // "64"/"32"/"16"
+    let axes = |p: &PrecisionPolicy| {
+        let sto: Vec<&str> = (0..spec.mg_levels).map(|d| short(p.storage_at(d))).collect();
+        format!("{}/c{}/w{}", sto.join("."), short(p.compute), short(p.wire))
+    };
+    for cell in &report.cells {
+        let policy = PrecisionPolicy::by_name(&cell.policy).expect("shipped policy");
+        let stress = if cell.series == "stress" { "  (stress)" } else { "" };
+        match cell.status {
+            CellStatus::Rated => println!(
+                "{:<10} {:>20} {:>8.3} {:>13.0} {:>6}/{:<6} {:>7.3} {:>14.0}{}",
+                cell.policy,
+                axes(&policy),
+                cell.gflops_per_rank_raw.unwrap(),
+                cell.bytes_per_iter_rank.unwrap(),
+                cell.nd.unwrap(),
+                cell.nir.unwrap(),
+                cell.penalty.unwrap(),
+                cell.spmv_value_bytes.unwrap(),
+                stress,
+            ),
+            CellStatus::Unrated => println!(
+                "{:<10} {:>20}  n/c — {} — the §5 standalone-fp16 failure mode the f16s-f32c \
+                 policy avoids",
+                cell.policy,
+                axes(&policy),
+                cell.note,
+            ),
         }
     }
 
     let value = |name: &str| {
-        spmv_value_of.iter().find(|(n, _)| n == name).map(|(_, v)| *v).expect("policy measured")
+        report
+            .find_cell("sweep", name, None, Some(ranks))
+            .and_then(|c| c.spmv_value_bytes)
+            .expect("policy measured")
     };
     // The acceptance claim, measured not modeled: fp32 storage under
     // f64 accumulation moves exactly half the matrix-value bytes of

@@ -35,6 +35,9 @@ struct Entry {
     threads: u64,
     median_secs: f64,
     gib_per_s: Option<f64>,
+    /// Logical core count of the recording host (absent on baselines
+    /// recorded before host metadata existed).
+    host_cores: Option<u64>,
 }
 
 fn parse_entry(v: &Value) -> Option<Entry> {
@@ -43,6 +46,7 @@ fn parse_entry(v: &Value) -> Option<Entry> {
         threads: v.get("threads")?.as_f64()? as u64,
         median_secs: v.get("median_secs")?.as_f64()?,
         gib_per_s: v.get("gib_per_s").and_then(Value::as_f64),
+        host_cores: v.get("host_cores").and_then(Value::as_f64).map(|c| c as u64),
     })
 }
 
@@ -94,9 +98,11 @@ fn write_baseline(path: &str, mut entries: Vec<Entry>) -> Result<(), String> {
     let mut s = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let gib = e.gib_per_s.map_or("null".to_string(), |g| format!("{g:.4}"));
+        let cores = e.host_cores.map_or("null".to_string(), |c| c.to_string());
         let _ = write!(
             s,
-            "    {{\"bench\": \"{}\", \"threads\": {}, \"median_secs\": {:.6e}, \"gib_per_s\": {}}}",
+            "    {{\"bench\": \"{}\", \"threads\": {}, \"host_cores\": {cores}, \
+             \"median_secs\": {:.6e}, \"gib_per_s\": {}}}",
             escape(&e.bench),
             e.threads,
             e.median_secs,
@@ -156,6 +162,42 @@ fn cmd_compare(
         return Err(format!(
             "no (bench, threads) overlap between {baseline_path} and {current_path}"
         ));
+    }
+
+    // The ROADMAP's 1-core-box caveat, made loud: thread-scaling
+    // ratios are only comparable between hosts with the same core
+    // count. Warn instead of failing — the machine-normalized mode
+    // exists precisely to absorb uniform host differences — but never
+    // compare silently.
+    let base_cores: Vec<u64> = baseline
+        .iter()
+        .filter_map(|e| e.host_cores)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let cur_cores: Vec<u64> = current
+        .iter()
+        .filter_map(|e| e.host_cores)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    match (base_cores.as_slice(), cur_cores.as_slice()) {
+        ([], _) => eprintln!(
+            "warning: baseline {baseline_path} carries no host_cores metadata \
+             (recorded before host tracking); re-record it with \
+             scripts/record_bench_baseline.sh"
+        ),
+        (_, []) => eprintln!(
+            "warning: current run {current_path} carries no host_cores metadata \
+             (recorded with a pre-host-tracking criterion shim?) — cannot check \
+             that it ran on the baseline's host class"
+        ),
+        (b, c) if b != c => eprintln!(
+            "warning: baseline recorded on {b:?}-core host(s) but current run measured on \
+             {c:?}-core host(s) — multi-thread entries are not comparable \
+             (ROADMAP: re-record the baseline on the new box)"
+        ),
+        _ => {}
     }
 
     let mut ratios: Vec<f64> = rows.iter().map(|r| r.2).collect();

@@ -3,31 +3,59 @@
 //! for the optimized implementation ("present") and the reference
 //! implementation ("xsdk").
 //!
-//! The exascale points come from the calibrated machine model (see
-//! DESIGN.md's substitution table); the measured workstation point is
-//! appended for grounding.
+//! A thin frontend over the campaign harness: builds the same
+//! [`CampaignSpec`] shipped as `campaigns/paper_frontier.json` (two
+//! Modeled series at the paper's 320³ operating point), runs the
+//! engine, and renders the figure's table from the report cells.
 //!
 //! Run: `cargo run --release -p hpgmxp-bench --bin fig4_weak_scaling`
 
 use hpgmxp_bench::series_table;
 use hpgmxp_core::config::ImplVariant;
-use hpgmxp_machine::simulate::{simulate, SimConfig};
-use hpgmxp_machine::{MachineModel, NetworkModel};
+use hpgmxp_harness::{run_campaign, CampaignSpec, PolicyRef, SeriesMode, SeriesSpec, SPEC_SCHEMA};
 
 fn main() {
-    let machine = MachineModel::mi250x_gcd();
-    let net = NetworkModel::frontier_slingshot();
-    let nodes = [1usize, 2, 8, 64, 128, 512, 1024, 4096, 8192, 9408];
+    let nodes = vec![1usize, 2, 8, 64, 128, 512, 1024, 4096, 8192, 9408];
+    let modeled = |label: &str, variant: ImplVariant| SeriesSpec {
+        label: label.to_string(),
+        mode: SeriesMode::Modeled,
+        variant,
+        policies: vec![PolicyRef::by_name("mxp")],
+        ranks: vec![],
+        nodes: nodes.clone(),
+        modeled_local: Some((320, 320, 320)),
+        penalty: None, // classic mxp defaults to the paper's measured 1-node penalty
+    };
+    let spec = CampaignSpec {
+        schema: SPEC_SCHEMA,
+        name: "fig4_weak_scaling".into(),
+        description: "figure 4: modeled weak scaling, present vs xsdk".into(),
+        local: (16, 16, 16),
+        mg_levels: 4,
+        restart: 30,
+        iters_per_solve: 60,
+        benchmark_solves: 1,
+        validation_max_iters: 2000,
+        machine: "mi250x_gcd".into(),
+        network: "frontier_slingshot".into(),
+        series: vec![
+            modeled("present", ImplVariant::Optimized),
+            modeled("xsdk", ImplVariant::Reference),
+        ],
+    };
+    let report = run_campaign(&spec).expect("fig4 campaign");
 
-    let present = SimConfig::paper_mxp();
-    let xsdk = SimConfig { variant: ImplVariant::Reference, ..present };
-
+    let cell = |series: &str, nd: usize| {
+        report.find_cell(series, "mxp", Some(nd), None).expect("planned cell")
+    };
     let mut rows = Vec::new();
     for &nd in &nodes {
-        let ranks = nd * machine.devices_per_node;
-        let p = simulate(&present, &machine, &net, ranks);
-        let x = simulate(&xsdk, &machine, &net, ranks);
-        rows.push((nd as f64, vec![p.gflops_per_rank, x.gflops_per_rank, p.total_pflops]));
+        let p = cell("present", nd);
+        let x = cell("xsdk", nd);
+        rows.push((
+            nd as f64,
+            vec![p.gflops_per_rank.unwrap(), x.gflops_per_rank.unwrap(), p.total_pflops.unwrap()],
+        ));
     }
     println!(
         "{}",
@@ -39,19 +67,18 @@ fn main() {
         )
     );
 
-    let one = simulate(&present, &machine, &net, 8);
-    let full = simulate(&present, &machine, &net, 9408 * 8);
+    let one = cell("present", 1).gflops_per_rank.unwrap();
+    let full = cell("present", 9408);
     println!(
         "weak-scaling efficiency 1 -> 9408 nodes: {:.1}%  (paper: 78%)",
-        full.gflops_per_rank / one.gflops_per_rank * 100.0
+        full.gflops_per_rank.unwrap() / one * 100.0
     );
     println!(
         "full-system penalized mixed performance: {:.2} PF  (paper: 17.23 PF)",
-        full.total_pflops
+        full.total_pflops.unwrap()
     );
     println!(
         "present/xsdk at 512 nodes: {:.1}x",
-        simulate(&present, &machine, &net, 512 * 8).gflops_per_rank
-            / simulate(&xsdk, &machine, &net, 512 * 8).gflops_per_rank
+        cell("present", 512).gflops_per_rank.unwrap() / cell("xsdk", 512).gflops_per_rank.unwrap()
     );
 }

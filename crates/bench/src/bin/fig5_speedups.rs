@@ -2,31 +2,101 @@
 //! GMRES-IR over double-precision GMRES, overall and per motif
 //! (GS/multigrid, SpMV, orthogonalization), across scales on Frontier.
 //!
-//! Two sections: the modeled exascale curves, and a *measured* run of
-//! both solvers on this machine (real kernels, thread-ranks) showing
-//! the same shape at workstation scale.
+//! A thin frontend over the campaign harness: one campaign with two
+//! Modeled series (classic `mxp` and `double` at the paper's 320³
+//! operating point) and two Measured series (the same pair run for
+//! real on this machine's thread-ranks); per-motif speedups come from
+//! dividing the report cells' motif GF/s.
 //!
 //! Run: `cargo run --release -p hpgmxp-bench --bin fig5_speedups`
+//! (env: `HPGMXP_LOCAL_N`, `HPGMXP_RANKS`, `HPGMXP_ITERS`,
+//! `HPGMXP_SOLVES` scale the measured section).
 
 use hpgmxp_bench::{series_table, workstation_params, workstation_ranks};
-use hpgmxp_core::benchmark::{run_benchmark, ValidationMode};
 use hpgmxp_core::config::ImplVariant;
-use hpgmxp_machine::simulate::{motif_speedups, SimConfig};
-use hpgmxp_machine::{MachineModel, NetworkModel};
+use hpgmxp_harness::{
+    run_campaign, CampaignReport, CellReport, PolicyRef, SeriesMode, SeriesSpec, SPEC_SCHEMA,
+};
+
+/// Penalized per-motif + total speedups between an mxp cell and its
+/// double counterpart (figure 5's bars).
+fn speedups(mxp: &CellReport, dbl: &CellReport) -> Vec<(String, f64)> {
+    let penalty = mxp.penalty.unwrap_or(1.0);
+    let mut out = Vec::new();
+    for motif in ["GS", "SpMV", "Ortho", "Restr"] {
+        if let (Some(gm), Some(gd)) = (mxp.motif_gflops_of(motif), dbl.motif_gflops_of(motif)) {
+            out.push((motif.to_string(), gm * penalty / gd));
+        }
+    }
+    let total =
+        mxp.gflops_per_rank_raw.unwrap_or(0.0) * penalty / dbl.gflops_per_rank_raw.unwrap_or(1.0);
+    out.push(("Total".to_string(), total));
+    out
+}
+
+fn get(sp: &[(String, f64)], label: &str) -> f64 {
+    sp.iter().find(|(n, _)| n == label).map(|(_, v)| *v).unwrap_or(0.0)
+}
 
 fn main() {
-    let machine = MachineModel::mi250x_gcd();
-    let net = NetworkModel::frontier_slingshot();
-    let cfg = SimConfig::paper_mxp();
+    let params = workstation_params();
+    let ranks = workstation_ranks();
+    let nodes = vec![1usize, 8, 64, 512, 1024, 4096, 9408];
+    let modeled = |label: &str, policy: &str| SeriesSpec {
+        label: label.to_string(),
+        mode: SeriesMode::Modeled,
+        variant: ImplVariant::Optimized,
+        policies: vec![PolicyRef::by_name(policy)],
+        ranks: vec![],
+        nodes: nodes.clone(),
+        modeled_local: Some((320, 320, 320)),
+        penalty: None,
+    };
+    let measured = |label: &str, policy: &str| SeriesSpec {
+        label: label.to_string(),
+        mode: SeriesMode::Measured,
+        variant: ImplVariant::Optimized,
+        policies: vec![PolicyRef::by_name(policy)],
+        ranks: vec![ranks],
+        nodes: vec![],
+        modeled_local: None,
+        penalty: None,
+    };
+    let spec = hpgmxp_harness::CampaignSpec {
+        schema: SPEC_SCHEMA,
+        name: "fig5_speedups".into(),
+        description: "figure 5: mxp/double speedups, modeled at scale + measured here".into(),
+        local: params.local_dims,
+        mg_levels: params.mg_levels,
+        restart: params.restart,
+        iters_per_solve: params.max_iters_per_solve,
+        benchmark_solves: params.benchmark_solves,
+        validation_max_iters: params.validation_max_iters,
+        machine: "mi250x_gcd".into(),
+        network: "frontier_slingshot".into(),
+        series: vec![
+            modeled("modeled mxp", "mxp"),
+            modeled("modeled double", "double"),
+            measured("measured mxp", "mxp"),
+            measured("measured double", "double"),
+        ],
+    };
+    let report: CampaignReport = run_campaign(&spec).expect("fig5 campaign");
 
-    let nodes = [1usize, 8, 64, 512, 1024, 4096, 9408];
     let mut rows = Vec::new();
     for &nd in &nodes {
-        let sp = motif_speedups(&cfg, &machine, &net, nd * machine.devices_per_node);
-        let get = |l: &str| sp.iter().find(|(n, _)| n == l).map(|(_, v)| *v).unwrap_or(0.0);
+        let mxp = report.find_cell("modeled mxp", "mxp", Some(nd), None).unwrap();
+        let dbl = report.find_cell("modeled double", "double", Some(nd), None).unwrap();
+        let sp = speedups(mxp, dbl);
         rows.push((
             nd as f64,
-            vec![get("Total"), get("GS"), get("SpMV"), get("Ortho"), get("Restr")],
+            vec![
+                get(&sp, "Total"),
+                get(&sp, "GS"),
+                get(&sp, "SpMV"),
+                get(&sp, "Ortho"),
+                get(&sp, "Restr"),
+            ],
         ));
     }
     println!(
@@ -40,17 +110,23 @@ fn main() {
     );
     println!("(paper: ~1.6x overall, orthogonalization best at ~2x, GS/SpMV lower)\n");
 
-    // Measured counterpart at workstation scale.
-    let params = workstation_params();
-    let ranks = workstation_ranks();
+    // Measured counterpart at workstation scale, from the same report.
     println!(
         "Measured on this machine: {} thread-ranks, {}^3 local, {} iters/solve",
         ranks, params.local_dims.0, params.max_iters_per_solve
     );
-    let report = run_benchmark(&params, ImplVariant::Optimized, ranks, ValidationMode::Standard);
-    println!("  total speedup (penalized): {:.3}x", report.speedup);
-    for (motif, s) in report.motif_speedups() {
+    let mxp = report.find_cell("measured mxp", "mxp", None, Some(ranks)).unwrap();
+    let dbl = report.find_cell("measured double", "double", None, Some(ranks)).unwrap();
+    let sp = speedups(mxp, dbl);
+    println!("  total speedup (penalized): {:.3}x", get(&sp, "Total"));
+    for (motif, s) in sp.iter().filter(|(n, _)| n != "Total") {
         println!("  {:<8} {:.3}x", motif, s);
     }
+    println!(
+        "  validation: nd = {}, nir = {}, penalty = {:.4}",
+        mxp.nd.unwrap(),
+        mxp.nir.unwrap(),
+        mxp.penalty.unwrap()
+    );
     println!("\n{}", report.to_text());
 }

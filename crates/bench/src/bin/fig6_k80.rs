@@ -21,6 +21,7 @@ fn main() {
         mixed: true,
         inner_bytes: 4,
         penalty: 0.968,
+        policy: None,
     };
 
     let gpus = [1usize, 2, 4, 8, 16];

@@ -1,0 +1,67 @@
+//! The campaign driver: run a declarative experiment spec end to end.
+//!
+//! ```text
+//! cargo run --release -p hpgmxp-harness --bin campaign -- campaigns/policy_sweep.json
+//! cargo run --release -p hpgmxp-harness --bin campaign -- campaigns/smoke.json --out smoke.json
+//! ```
+//!
+//! Prints the aligned-text tables to stdout and writes the versioned
+//! JSON report (default: `<campaign-name>.campaign.json` in the
+//! current directory; `--out PATH` overrides). Exit status is non-zero
+//! on spec errors, execution failures, or a Hybrid byte-reconciliation
+//! mismatch — CI treats the reconciliation as an assertion.
+
+use hpgmxp_harness::{run_campaign, CampaignSpec};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: campaign <spec.json> [--out report.json] [--no-json]".to_string()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut write_json = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = Some(it.next().ok_or_else(usage)?.clone());
+            }
+            "--no-json" => write_json = false,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}\n{}", usage()))
+            }
+            path => {
+                if spec_path.replace(path.to_string()).is_some() {
+                    return Err(usage());
+                }
+            }
+        }
+    }
+    let spec_path = spec_path.ok_or_else(usage)?;
+    let text =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = CampaignSpec::from_json(&text)?;
+
+    let report = run_campaign(&spec)?;
+    print!("{}", report.to_text());
+
+    if write_json {
+        let out = out_path.unwrap_or_else(|| format!("{}.campaign.json", spec.name));
+        std::fs::write(&out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("\nJSON report (schema v{}): {out}", report.schema);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

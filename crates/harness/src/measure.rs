@@ -1,0 +1,138 @@
+//! Measured kernel traffic and its exact reconciliation against the
+//! policy-aware machine model — the Hybrid mode's contract.
+//!
+//! One SpMV application plus one GS sweep run on the fine level of a
+//! P=2 decomposition (both ranks share the middle-rank surface, so the
+//! measured wire bytes match the model's middle-rank closed form
+//! exactly), accumulating bytes from the actual data structures the
+//! kernels traverse. [`reconcile`] then compares each share against
+//! [`Workload::policy_matrix_bytes`] / [`Workload::policy_value_bytes`]
+//! / [`Workload::policy_wire_bytes`] and fails loudly on any drift —
+//! the same assertion `ablation_study` established, now owned by the
+//! campaign engine.
+
+use hpgmxp_comm::{run_spmd, Comm, Timeline};
+use hpgmxp_core::config::{BenchmarkParams, ImplVariant};
+use hpgmxp_core::motifs::{Motif, MotifStats};
+use hpgmxp_core::ops::{dist_gs_sweep, dist_spmv, OpCtx, SweepDir};
+use hpgmxp_core::policy::PrecisionPolicy;
+use hpgmxp_core::problem::{assemble_with_policy, Level, ProblemSpec};
+use hpgmxp_machine::workload::Workload;
+use hpgmxp_sparse::{Half, PrecKind, Scalar};
+
+/// Thread-rank count byte reconciliation runs at: the decomposition
+/// where every rank's surface equals the model's middle-rank surface.
+pub const RECONCILE_RANKS: usize = 2;
+
+/// Per-policy measured fine-grid kernel traffic: one SpMV application
+/// plus one GS sweep on the fine level of rank 0.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredTraffic {
+    /// Matrix-value bytes of one SpMV (storage precision).
+    pub spmv_value: f64,
+    /// Total data bytes of one SpMV.
+    pub spmv_total: f64,
+    /// Wire bytes of one halo exchange.
+    pub wire: f64,
+    /// Matrix-value bytes of one GS sweep.
+    pub gs_value: f64,
+}
+
+fn measure_in<S: Scalar, C: Comm>(
+    c: &C,
+    level: &Level,
+    policy: &PrecisionPolicy,
+) -> MeasuredTraffic {
+    let tl = Timeline::disabled();
+    let ctx = OpCtx::with_prec(c, ImplVariant::Optimized, &tl, policy.ctx());
+    let n = level.vec_len();
+    let mut x: Vec<S> = (0..n).map(|i| S::from_f64(((i % 13) as f64) * 0.05)).collect();
+    let mut y = vec![S::ZERO; level.n_local()];
+    let mut spmv_stats = MotifStats::new();
+    dist_spmv(&ctx, level, &mut spmv_stats, 10, &mut x, &mut y);
+    let mut gs_stats = MotifStats::new();
+    let r: Vec<S> = (0..level.n_local()).map(|i| S::from_f64((i % 7) as f64)).collect();
+    dist_gs_sweep(&ctx, level, &mut gs_stats, 11, SweepDir::Forward, &r, &mut x);
+    MeasuredTraffic {
+        spmv_value: spmv_stats.value_bytes(Motif::SpMV),
+        spmv_total: spmv_stats.bytes(Motif::SpMV),
+        wire: spmv_stats.bytes(Motif::Comm),
+        gs_value: gs_stats.value_bytes(Motif::GaussSeidel),
+    }
+}
+
+/// Measure one policy's fine-grid kernel traffic on a `RECONCILE_RANKS`
+/// thread-rank world.
+pub fn measure_policy(params: &BenchmarkParams, policy: &PrecisionPolicy) -> MeasuredTraffic {
+    let spec = ProblemSpec::from_params(params, RECONCILE_RANKS);
+    let policy = policy.clone();
+    let results = run_spmd(RECONCILE_RANKS, move |c| {
+        let prob = assemble_with_policy(&spec, c.rank(), &policy);
+        let l = &prob.levels[0];
+        match policy.compute {
+            PrecKind::F64 => measure_in::<f64, _>(&c, l, &policy),
+            PrecKind::F32 => measure_in::<f32, _>(&c, l, &policy),
+            PrecKind::F16 => measure_in::<Half, _>(&c, l, &policy),
+        }
+    });
+    results[0]
+}
+
+fn close(a: f64, b: f64, what: &str) -> Result<(), String> {
+    if (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0) {
+        Ok(())
+    } else {
+        Err(format!("{what}: measured {a} vs modeled {b} do not reconcile"))
+    }
+}
+
+/// Measure a policy's fine-grid traffic and assert exact agreement
+/// with the machine model's policy byte accounting. Returns the
+/// measured traffic on success; a description of the first drift on
+/// failure.
+pub fn reconcile(
+    params: &BenchmarkParams,
+    policy: &PrecisionPolicy,
+) -> Result<MeasuredTraffic, String> {
+    let m = measure_policy(params, policy);
+    let wl = Workload::build(params.local_dims, params.mg_levels, params.restart, RECONCILE_RANKS);
+    let name = &policy.name;
+    close(m.spmv_value, wl.policy_value_bytes(policy, 0), &format!("{name} spmv value"))?;
+    close(m.gs_value, wl.policy_value_bytes(policy, 0), &format!("{name} gs value"))?;
+    close(
+        m.spmv_total,
+        wl.policy_matrix_bytes(policy, 0) + 2.0 * wl.fine().n * policy.compute.bytes() as f64,
+        &format!("{name} spmv total"),
+    )?;
+    close(m.wire, wl.policy_wire_bytes(policy, 0), &format!("{name} wire"))?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BenchmarkParams {
+        BenchmarkParams { local_dims: (8, 8, 8), mg_levels: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn every_shipped_policy_reconciles() {
+        for p in PrecisionPolicy::shipped() {
+            let m = reconcile(&params(), &p).unwrap_or_else(|e| panic!("{e}"));
+            assert!(m.spmv_value > 0.0 && m.wire > 0.0);
+        }
+    }
+
+    #[test]
+    fn stress_f16_traffic_reconciles_too() {
+        // Breakdown is a solver property; the byte accounting of the
+        // fp16 kernels is still exact.
+        let m = reconcile(&params(), &PrecisionPolicy::stress_f16()).unwrap();
+        let f64b = reconcile(&params(), &PrecisionPolicy::by_name("f64").unwrap()).unwrap();
+        assert!(
+            (f64b.spmv_value / m.spmv_value - 4.0).abs() < 1e-9,
+            "fp16 storage quarters the value bytes"
+        );
+    }
+}

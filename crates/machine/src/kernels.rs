@@ -116,12 +116,25 @@ pub fn gs_reference_csr(s: &LevelShape, sb: usize, gather: f64) -> KernelCost {
 /// Fused SpMV-restriction (§3.2.4): residual rows only at the coarse
 /// points, reading the fine rhs there and writing the coarse rhs.
 pub fn fused_restrict(s: &LevelShape, sb: usize, gather: f64) -> KernelCost {
+    fused_restrict_split(s, sb, sb, gather)
+}
+
+/// Fused restriction with storage and accumulate widths decoupled: the
+/// sampled matrix rows travel at the storage precision, the gathered
+/// fine vector and the coarse rhs at the accumulate precision (see
+/// [`spmv_ell_split`]).
+pub fn fused_restrict_split(
+    s: &LevelShape,
+    storage_b: usize,
+    acc_b: usize,
+    gather: f64,
+) -> KernelCost {
     // The touched matrix rows are a 1/8 stride sample: their values and
     // column ids are read exactly; gathers fetch the fine vector around
     // each coarse point.
     KernelCost {
-        bytes: s.nnz_coarse_rows * (sb as f64 + 4.0)
-            + s.n_coarse * sb as f64 * (2.0 + gather * 8.0),
+        bytes: s.nnz_coarse_rows * (storage_b as f64 + 4.0)
+            + s.n_coarse * acc_b as f64 * (2.0 + gather * 8.0),
         flops: flops::fused_restriction(s.nnz_coarse_rows as usize, s.n_coarse as usize),
     }
 }
@@ -175,12 +188,25 @@ pub fn waxpby(n: f64, sb: usize) -> KernelCost {
 
 /// The fused f64→f32 scale-and-narrow residual hand-off of GMRES-IR.
 pub fn scale_narrow(n: f64) -> KernelCost {
-    KernelCost { bytes: n * (8.0 + 4.0), flops: flops::scal(n as usize) }
+    scale_narrow_split(n, 4)
+}
+
+/// The scale-and-narrow hand-off at an arbitrary inner width: read the
+/// f64 residual, write the `lo_b`-byte narrowed copy (the policy
+/// engine's compute axis decides `lo_b`).
+pub fn scale_narrow_split(n: f64, lo_b: usize) -> KernelCost {
+    KernelCost { bytes: n * (8.0 + lo_b as f64), flops: flops::scal(n as usize) }
 }
 
 /// The mixed f32→f64 solution update (read f32 correction, RMW f64 x).
 pub fn axpy_mixed(n: f64) -> KernelCost {
-    KernelCost { bytes: n * (4.0 + 8.0 + 8.0), flops: flops::axpy(n as usize) }
+    axpy_mixed_split(n, 4)
+}
+
+/// The widening solution update at an arbitrary inner width: read the
+/// `lo_b`-byte correction, read-modify-write the f64 iterate.
+pub fn axpy_mixed_split(n: f64, lo_b: usize) -> KernelCost {
+    KernelCost { bytes: n * (lo_b as f64 + 8.0 + 8.0), flops: flops::axpy(n as usize) }
 }
 
 #[cfg(test)]

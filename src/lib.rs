@@ -3,5 +3,6 @@
 pub use hpgmxp_comm as comm;
 pub use hpgmxp_core as core;
 pub use hpgmxp_geometry as geometry;
+pub use hpgmxp_harness as harness;
 pub use hpgmxp_machine as machine;
 pub use hpgmxp_sparse as sparse;

@@ -38,6 +38,7 @@ fn modeled_flops_per_iteration_match_measured_counts() {
         mixed: false,
         inner_bytes: 4,
         penalty: 1.0,
+        policy: None,
     };
     let m = MachineModel::cpu_socket();
     let n = NetworkModel::shared_memory();
@@ -142,6 +143,7 @@ fn model_time_is_monotone_in_problem_size_and_scale() {
         mixed: true,
         inner_bytes: 4,
         penalty: 1.0,
+        policy: None,
     };
     // More points per rank => more time per iteration.
     let t64 = simulate(&mk(64), &m, &n, 64).time_per_iter;

@@ -289,9 +289,10 @@ fn append_json_record(
     let gib = gib_per_s.map_or("null".to_string(), |g| format!("{g:.6}"));
     let line = format!(
         "{{\"bench\":\"{esc}\",\"median_secs\":{median_secs:e},\"samples\":{samples},\
-         \"threads\":{},\"bytes_per_iter\":{bytes},\"elems_per_iter\":{elems},\
+         \"threads\":{},\"host_cores\":{},\"bytes_per_iter\":{bytes},\"elems_per_iter\":{elems},\
          \"gib_per_s\":{gib}}}\n",
-        resolved_threads()
+        resolved_threads(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
     let written = std::fs::OpenOptions::new()
         .create(true)
@@ -364,6 +365,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"bench\":\"spmv/csr/fp64\""));
         assert!(lines[0].contains("\"bytes_per_iter\":1024"));
+        assert!(lines[0].contains("\"host_cores\":"), "records carry host metadata");
         assert!(lines[1].contains("\\\"label\\\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -119,6 +119,16 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Helper used by derived code for `Option`-typed fields: a missing
+/// key deserializes as `null` (→ `None`), matching real serde, so
+/// hand-authored JSON may simply omit optional fields.
+pub fn field_opt<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(x) => T::from_value(x),
+        None => T::from_value(&Value::Null),
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

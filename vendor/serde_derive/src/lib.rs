@@ -4,7 +4,10 @@
 //!
 //! Supported input shapes — exactly what the workspace derives:
 //!
-//! * structs with named fields (any visibility, no generics),
+//! * structs with named fields (any visibility, no generics);
+//!   `Option<…>`-typed fields tolerate a missing key on deserialize
+//!   (`None`), matching real serde, so hand-authored JSON may omit
+//!   optional fields;
 //! * enums whose variants all carry no data.
 //!
 //! Anything else produces a compile error naming the limitation, so a
@@ -15,8 +18,10 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The parsed shape of a derive input.
 enum Shape {
-    /// Struct name + named field identifiers.
-    Struct(String, Vec<String>),
+    /// Struct name + named fields `(identifier, type_is_option)`.
+    /// `Option`-typed fields tolerate a missing key on deserialize
+    /// (treated as JSON `null` → `None`), matching real serde.
+    Struct(String, Vec<(String, bool)>),
     /// Enum name + unit variant identifiers.
     Enum(String, Vec<String>),
 }
@@ -51,8 +56,9 @@ fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Parse the names of named struct fields from a brace group.
-fn parse_named_fields(body: &TokenTree) -> Vec<String> {
+/// Parse named struct fields (and whether each type is `Option<…>`)
+/// from a brace group.
+fn parse_named_fields(body: &TokenTree) -> Vec<(String, bool)> {
     let TokenTree::Group(g) = body else {
         panic!("serde shim derive: expected a braced body");
     };
@@ -68,12 +74,17 @@ fn parse_named_fields(body: &TokenTree) -> Vec<String> {
         let Some(TokenTree::Ident(name)) = tokens.get(i) else {
             panic!("serde shim derive: expected field name, got {:?}", tokens.get(i));
         };
-        fields.push(name.to_string());
+        let field_name = name.to_string();
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
         }
+        // The workspace writes `Option<…>` bare (no path prefix), so
+        // the head token of the type decides optionality.
+        let is_option =
+            matches!(tokens.get(i), Some(TokenTree::Ident(t)) if t.to_string() == "Option");
+        fields.push((field_name, is_option));
         // Consume the type: everything up to a comma at angle-depth 0.
         // Generic argument lists are bare `<`/`>` puncts, so commas
         // inside them must not terminate the field.
@@ -154,7 +165,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct(name, fields) => {
             let pairs: String = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .map(|(f, _)| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -183,8 +196,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse(input) {
         Shape::Struct(name, fields) => {
-            let inits: String =
-                fields.iter().map(|f| format!("{f}: ::serde::field(v, \"{f}\")?,")).collect();
+            let inits: String = fields
+                .iter()
+                .map(|(f, is_option)| {
+                    let getter = if *is_option { "field_opt" } else { "field" };
+                    format!("{f}: ::serde::{getter}(v, \"{f}\")?,")
+                })
+                .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
