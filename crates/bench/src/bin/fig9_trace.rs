@@ -10,10 +10,13 @@
 //! the model's `hidden_fraction`.
 //!
 //! Run: `cargo run --release -p hpgmxp-bench --bin fig9_trace`
-//! Env: `HPGMXP_RANKS` (default 8), `HPGMXP_LOCAL` (default 16).
+//! Env: `HPGMXP_RANKS` (default 8), `HPGMXP_LOCAL` (default 16),
+//! `HPGMXP_COMM` (thread | socket — over sockets, start the job as
+//! `hpgmxp-launch -n N -- ... fig9_trace`; rank 0 prints the modeled
+//! sections and the middle-rank process prints the measured ones).
 
 use hpgmxp_bench::env_usize;
-use hpgmxp_comm::{run_spmd, Comm, OverlapRecord, Timeline};
+use hpgmxp_comm::{run_spmd, Comm, OverlapRecord, Timeline, Transport};
 use hpgmxp_core::config::ImplVariant;
 use hpgmxp_core::motifs::MotifStats;
 use hpgmxp_core::ops::{dist_gs_sweep, OpCtx, SweepDir};
@@ -44,7 +47,14 @@ fn print_records(records: &[OverlapRecord]) {
 
 /// One measured sweep on a `local³` box per rank: returns the middle
 /// rank's per-exchange overlap records and overlap efficiency.
-fn measured_sweep(ranks: usize, local: u32, sweeps: usize) -> (Vec<OverlapRecord>, Option<f64>) {
+/// `None` when this process doesn't hold the middle rank's data (a
+/// non-middle rank of a socket job; under threads it is always
+/// `Some`).
+fn measured_sweep(
+    ranks: usize,
+    local: u32,
+    sweeps: usize,
+) -> Option<(Vec<OverlapRecord>, Option<f64>)> {
     let procs = ProcGrid::factor(ranks as u32);
     let mid = procs.rank_of(procs.px / 2, procs.py / 2, procs.pz / 2) as usize;
     let mut out = run_spmd(ranks, move |c| {
@@ -69,43 +79,59 @@ fn measured_sweep(ranks: usize, local: u32, sweeps: usize) -> (Vec<OverlapRecord
         }
         (c.rank(), tl.overlap_records(), tl.overlap_efficiency())
     });
-    let (_, records, eff) = out.swap_remove(out.iter().position(|(r, _, _)| *r == mid).unwrap());
-    (records, eff)
+    let pos = out.iter().position(|(r, _, _)| *r == mid)?;
+    let (_, records, eff) = out.swap_remove(pos);
+    Some((records, eff))
 }
 
 fn main() {
+    let transport = Transport::from_env();
+    // Over sockets this binary runs once per rank under hpgmxp-launch;
+    // rank 0 owns the modeled sections so they print exactly once.
+    let socket_rank = std::env::var("HPGMXP_RANK").ok().and_then(|v| v.parse::<usize>().ok());
+    let print_modeled = transport == Transport::Thread || socket_rank == Some(0);
+
     let machine = MachineModel::mi250x_gcd();
     let net = NetworkModel::frontier_slingshot();
     // 8 nodes = 64 GCDs, the paper's trace configuration.
     let wl = Workload::build((320, 320, 320), 4, 30, 64);
 
-    println!("Figure 9 (modeled, 8-node Frontier run, f32 sweep):\n");
     let fine = gs_sweep_trace("(a) fine-grid smoothing", &wl.levels[0], 4, &machine, &net);
-    println!("{}", render_ascii(&fine, 100));
     let coarse = gs_sweep_trace("(b) coarsest-grid smoothing", &wl.levels[3], 4, &machine, &net);
-    println!("{}", render_ascii(&coarse, 100));
-    println!(
-        "fine grid: {:.0}% of communication hidden; coarsest: {:.0}% (paper: fully vs partially hidden)\n",
-        fine.hidden_fraction * 100.0,
-        coarse.hidden_fraction * 100.0
-    );
+    if print_modeled {
+        println!("Figure 9 (modeled, 8-node Frontier run, f32 sweep):\n");
+        println!("{}", render_ascii(&fine, 100));
+        println!("{}", render_ascii(&coarse, 100));
+        println!(
+            "fine grid: {:.0}% of communication hidden; coarsest: {:.0}% (paper: fully vs partially hidden)\n",
+            fine.hidden_fraction * 100.0,
+            coarse.hidden_fraction * 100.0
+        );
+    }
 
-    // Measured counterpart: real ThreadWorld runs of the optimized GS
-    // sweep on this machine, fine-ish local box vs tiny coarse box,
-    // with per-exchange overlap records from the persistent-buffer halo
-    // engine.
-    let ranks = env_usize("HPGMXP_RANKS", 8);
+    // Measured counterpart: real runs of the optimized GS sweep on this
+    // machine over the selected transport, fine-ish local box vs tiny
+    // coarse box, with per-exchange overlap records from the
+    // persistent-buffer halo engine.
+    let ranks = hpgmxp_comm::socket_world_size().unwrap_or_else(|| env_usize("HPGMXP_RANKS", 8));
     let local = env_usize("HPGMXP_LOCAL", 16) as u32;
     let sweeps = 4;
-    println!(
-        "Measured (ThreadWorld, {ranks} thread-ranks, middle rank, {sweeps} optimized GS sweeps):"
-    );
 
+    let fine_out = measured_sweep(ranks, local, sweeps);
+    let coarse_out = measured_sweep(ranks, 4, sweeps);
+    // Only the process holding the middle rank's trace reports it
+    // (under threads: this one; under sockets: the mid-rank child).
+    let (Some((rec_fine, eff_fine)), Some((rec_coarse, eff_coarse))) = (fine_out, coarse_out)
+    else {
+        return;
+    };
+    println!(
+        "Measured ({} transport, {ranks} ranks, middle rank, {sweeps} optimized GS sweeps):",
+        transport.name()
+    );
     println!("  (a) fine grid, {local}\u{b3} local box:");
-    let (rec_fine, eff_fine) = measured_sweep(ranks, local, sweeps);
     print_records(&rec_fine);
     println!("  (b) coarse grid, 4\u{b3} local box:");
-    let (rec_coarse, eff_coarse) = measured_sweep(ranks, 4, sweeps);
     print_records(&rec_coarse);
 
     println!("\nmodeled vs measured overlap (fraction of communication hidden under compute):");

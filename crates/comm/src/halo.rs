@@ -334,7 +334,7 @@ fn pack_gather_into<S: Scalar>(x: &[S], indices: &[u32], wire_bytes: usize, buf:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::thread_world::run_spmd;
+    use crate::thread_world::run_threads as run_spmd;
     use hpgmxp_geometry::{HaloPlan, LocalGrid, ProcGrid};
 
     /// Build the canonical distributed test vector: every owned entry

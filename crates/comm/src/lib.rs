@@ -16,6 +16,14 @@
 //!   OS threads and condvar-signalled mailboxes with pooled message
 //!   buffers (allocation-free at steady state), with MPI-like per-pair
 //!   FIFO ordering;
+//! * [`socket_world`] — [`SocketWorld`]: a world of `P` rank
+//!   *processes* meshed over localhost TCP speaking the [`frame`]d
+//!   wire protocol, with per-peer recycled receive pools and
+//!   flush-barrier collectives (started by the `hpgmxp-launch`
+//!   binary);
+//! * [`world`] — transport selection: [`run_spmd`] reads
+//!   `HPGMXP_COMM=thread|socket` once and hands the closure a
+//!   [`WorldComm`] over whichever backend it picked;
 //! * [`halo`] — the halo exchange engine built on a geometric
 //!   [`hpgmxp_geometry::HaloPlan`]: persistent per-neighbor staging
 //!   buffers sized once from the plan, and the type-state
@@ -31,11 +39,17 @@
 //! the MPI original; only the transport (channels vs. NIC) differs.
 
 pub mod comm;
+pub mod frame;
 pub mod halo;
+mod mailbox;
+pub mod socket_world;
 pub mod thread_world;
 pub mod timeline;
+pub mod world;
 
 pub use comm::{Comm, RecvPost, ReduceOp, SelfComm};
 pub use halo::{ActiveExchange, HaloExchange};
-pub use thread_world::{run_spmd, ThreadComm, ThreadWorld};
+pub use socket_world::{SocketComm, SocketWorld};
+pub use thread_world::{run_threads, ThreadComm, ThreadWorld};
 pub use timeline::{OverlapRecord, Stream, Timeline, TimelineEvent};
+pub use world::{run_spmd, socket_world_size, Transport, WorldComm};

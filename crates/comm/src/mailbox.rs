@@ -1,0 +1,180 @@
+//! The rank-local mailbox shared by every multi-rank transport.
+//!
+//! Both [`crate::thread_world::ThreadWorld`] (messages arrive from
+//! sibling threads) and [`crate::socket_world::SocketWorld`] (messages
+//! arrive from per-peer reader threads) deliver into the same
+//! structure: an arrival-ordered deque guarded by a mutex + condvar.
+//! Scanning front-to-back preserves FIFO per (sender, tag) pair
+//! because each producer appends its messages in program order, and
+//! out-of-tag arrivals simply stay parked until a matching receive —
+//! MPI's unexpected-message queue.
+//!
+//! The mailbox also owns the *fault* channel of a transport: a reader
+//! thread that loses its peer (socket EOF mid-run) calls [`Mailbox::fail`],
+//! which wakes every blocked receive so the rank dies with a clear
+//! "connection to rank R lost" panic instead of hanging forever — the
+//! stalled-rank failure mode the launcher's timeout then cleans up.
+//! Faults are tracked *per peer*: ranks of one job finish at slightly
+//! different moments, so an EOF from an already-finished peer must not
+//! poison a receive from a still-live one. Only an operation that
+//! needs the faulted peer (a receive from it, a post on it, a barrier
+//! — which needs everyone) panics.
+
+use crate::comm::RecvPost;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// One delivered message, owning its (pool-recycled) byte buffer.
+pub(crate) struct Message {
+    pub from: usize,
+    pub tag: u64,
+    pub data: Vec<u8>,
+}
+
+struct Queue {
+    messages: VecDeque<Message>,
+    /// Per-peer transport faults (connection closed or lost); each
+    /// peer's entry is set at most once.
+    faults: BTreeMap<usize, String>,
+}
+
+/// Arrival-ordered inbox of one rank.
+pub(crate) struct Mailbox {
+    queue: Mutex<Queue>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(Queue { messages: VecDeque::new(), faults: BTreeMap::new() }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Deliver one message (producer side) and wake any waiter.
+    pub fn push(&self, msg: Message) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.messages.push_back(msg);
+        drop(q);
+        self.arrived.notify_all();
+    }
+
+    /// Record a transport fault on the connection to `from` and wake
+    /// every blocked receive (waiters re-check whether the peer they
+    /// need is the one that went away).
+    pub fn fail(&self, from: usize, why: String) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.faults.entry(from).or_insert(why);
+        drop(q);
+        self.arrived.notify_all();
+    }
+
+    /// Grow the parked-message deque to hold at least `slots` messages
+    /// without reallocating. Called by the transports' `prewarm_pool`
+    /// so a parking burst during a measured window cannot trigger a
+    /// deque growth at a scheduler-dependent moment — the same
+    /// determinism-by-construction the buffer pools get.
+    pub fn reserve(&self, slots: usize) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let additional = slots.saturating_sub(q.messages.len());
+        if q.messages.capacity() < slots {
+            q.messages.reserve(additional);
+        }
+    }
+
+    /// Messages currently parked (diagnostics).
+    #[allow(dead_code)]
+    pub fn parked(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).messages.len()
+    }
+
+    /// Remove and return every parked message matching `pred` (the
+    /// caller recycles the buffers). Used to isolate consecutive SPMD
+    /// runs on a reused transport; the predicate lets the transport
+    /// keep protocol-internal messages (a fast peer's next collective
+    /// may already be parked here) while draining stale user data.
+    pub fn take_where(&self, pred: impl Fn(&Message) -> bool) -> Vec<Message> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < q.messages.len() {
+            if pred(&q.messages[i]) {
+                out.push(q.messages.remove(i).expect("index is in range"));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Blocking receive of the next message matching `(from, tag)`.
+    pub fn recv_matching(&self, from: usize, tag: u64) -> Message {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(pos) = q.messages.iter().position(|m| m.from == from && m.tag == tag) {
+                return q.messages.remove(pos).expect("position is in range");
+            }
+            if let Some(why) = q.faults.get(&from) {
+                panic!("receive from rank {from} (tag {tag}) cannot complete: {why}");
+            }
+            q = self.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive of the next message matching `(from, tag)`.
+    pub fn try_recv_matching(&self, from: usize, tag: u64) -> Option<Message> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let pos = q.messages.iter().position(|m| m.from == from && m.tag == tag)?;
+        Some(q.messages.remove(pos).expect("position is in range"))
+    }
+
+    /// Block until a message matching any live slot in `posts` arrives,
+    /// preferring the *earliest arrival* — the `MPI_Waitany` pattern.
+    /// Returns the slot index and the message; the caller takes the
+    /// post, copies the payload, and recycles the buffer.
+    pub fn wait_any_matching(&self, posts: &[Option<RecvPost<'_>>]) -> (usize, Message) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let hit = q.messages.iter().position(|m| {
+                posts.iter().any(|p| p.as_ref().is_some_and(|p| p.from == m.from && p.tag == m.tag))
+            });
+            if let Some(pos) = hit {
+                let msg = q.messages.remove(pos).expect("position is in range");
+                let slot = posts
+                    .iter()
+                    .position(|p| {
+                        p.as_ref().is_some_and(|p| p.from == msg.from && p.tag == msg.tag)
+                    })
+                    .expect("a post matched above");
+                return (slot, msg);
+            }
+            // A live post on a faulted peer can never complete (its
+            // messages, had any been in flight, were delivered before
+            // the fault was recorded).
+            for p in posts.iter().flatten() {
+                if let Some(why) = q.faults.get(&p.from) {
+                    panic!("wait_any on rank {} (tag {}) cannot complete: {why}", p.from, p.tag);
+                }
+            }
+            q = self.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until `enough()` (re-evaluated after every delivery)
+    /// returns true — the socket flush-barrier waits on per-peer
+    /// delivery counters this way.
+    pub fn wait_until(&self, mut enough: impl FnMut() -> bool) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if enough() {
+                return;
+            }
+            // A barrier needs every peer, so any fault is fatal here.
+            if let Some((from, why)) = q.faults.iter().next() {
+                panic!("barrier cannot complete: rank {from}: {why}");
+            }
+            q = self.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}

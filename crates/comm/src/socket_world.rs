@@ -1,0 +1,837 @@
+//! Multi-process ranks over localhost TCP — the second `Comm` backend.
+//!
+//! Where [`crate::thread_world::ThreadWorld`] packs all ranks into one
+//! address space, a [`SocketWorld`] rank is a whole OS process; the
+//! mesh crosses real socket buffers, scheduler preemption, and process
+//! death — the transport-level effects a thread world cannot surface.
+//!
+//! ## Mesh setup
+//!
+//! Every rank binds an ephemeral *data* listener, then meets the
+//! others at a rendezvous port (`HPGMXP_PORT`): rank 0 listens there,
+//! ranks 1..P connect (with retry, so start order is free) and
+//! register `(rank, data_port)`; rank 0 answers each with the full
+//! port table. The mesh itself is one TCP connection per rank pair —
+//! the lower rank accepts, the higher connects and leads with its rank
+//! id, so accepts can land in any order. All streams get
+//! `TCP_NODELAY` (halo messages are latency-bound, not
+//! throughput-bound).
+//!
+//! ## Data path
+//!
+//! Each connection has a reader thread that decodes [`crate::frame`]
+//! frames into the rank's shared [`crate::mailbox::Mailbox`] — the
+//! same tag-parking inbox the thread world uses, so FIFO-per-pair and
+//! unexpected-message semantics are inherited rather than
+//! re-implemented. Receive buffers come from a *per-peer recycled
+//! pool* (refilled on delivery), sends stage header + payload into a
+//! per-connection reusable buffer and issue one `write_all`; at steady
+//! state neither direction allocates, preserving the zero-allocation
+//! property the halo suite asserts. A reader that loses its peer
+//! calls [`crate::mailbox::Mailbox::fail`] so blocked receives die
+//! with "connection to rank R lost" instead of hanging.
+//!
+//! ## Collectives and the flush barrier
+//!
+//! Collectives travel over reserved tags (bit 63 set) with a sequence
+//! number every rank advances in SPMD lockstep. `allreduce` gathers to
+//! rank 0, reduces **in rank order** — bit-identical to the thread
+//! world, which is what lets GMRES-IR histories replay across
+//! transports — and broadcasts the result. `barrier` is a *flush*
+//! barrier: each rank reports how many point-to-point messages it has
+//! sent to every peer, rank 0 redistributes the per-receiver totals,
+//! and each rank waits until its delivery counters reach them. That
+//! gives the thread-world guarantee that a message sent before a
+//! barrier is *receivable* after it (it sits in the mailbox, not in a
+//! socket buffer) — the property the conformance suite's parking test
+//! demands, and what isolates consecutive SPMD runs on a reused mesh.
+
+use crate::comm::{reduce_into, Comm, RecvPost, ReduceOp};
+use crate::frame::{read_frame, stage_frame, HEADER_LEN};
+use crate::mailbox::{Mailbox, Message};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Tag bit reserved for collective traffic (allreduce/barrier rounds).
+/// User tags must leave it clear; the halo engine and every test tag
+/// sit far below it.
+pub const COLLECTIVE_TAG_BIT: u64 = 1 << 63;
+
+/// Buffers stocked per peer pool by [`SocketComm::prewarm_pool`] —
+/// sized to cover the deepest in-flight window a run-ahead peer can
+/// create between two of this rank's receives.
+const POOL_STOCK: usize = 8;
+
+/// How long mesh setup may wait for peers (rendezvous connect, table
+/// exchange, pairwise dial) before declaring the job stillborn.
+fn connect_timeout() -> Duration {
+    let secs = std::env::var("HPGMXP_CONNECT_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(60);
+    Duration::from_secs(secs)
+}
+
+/// The write half of one peer connection: the stream plus the staging
+/// buffer frames are assembled in (one `write_all` per frame, no
+/// allocation at steady state).
+struct SendHalf {
+    stream: TcpStream,
+    staging: Vec<u8>,
+}
+
+/// Reusable scratch for collectives — sized on first use, then stable.
+struct Scratch {
+    /// Outgoing collective payload (packed f64s or u64 counts).
+    payload: Vec<u8>,
+    /// Rank 0's reduction accumulator.
+    acc: Vec<f64>,
+    /// Decoded peer contribution during reduction.
+    peer: Vec<f64>,
+    /// Flush-barrier count matrix (rank 0: P×P flat; others: length P).
+    counts: Vec<u64>,
+}
+
+struct SocketShared {
+    rank: usize,
+    size: usize,
+    mailbox: Mailbox,
+    /// Write halves, indexed by peer rank (`None` at our own index).
+    senders: Vec<Option<Mutex<SendHalf>>>,
+    /// Per-peer recycled receive pools (our own index serves
+    /// self-sends). Reader threads draw from them, `recv_into`
+    /// returns buffers after copying out.
+    pools: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Point-to-point frames sent to / delivered from each peer
+    /// (collective tags excluded) — the flush barrier's ledger.
+    data_sent: Vec<AtomicU64>,
+    data_delivered: Vec<AtomicU64>,
+    /// Collective round number; advances identically on every rank
+    /// because collectives are called in SPMD program order.
+    collective_seq: AtomicU64,
+    scratch: Mutex<Scratch>,
+}
+
+/// Best-fit take from a peer pool, mirroring the thread world's
+/// policy: the smallest sufficient buffer serves the request so a
+/// small frame never claims the pool's one large buffer.
+fn pool_take(pool: &Mutex<Vec<Vec<u8>>>, len: usize) -> Vec<u8> {
+    let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+    let best = pool
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.capacity() >= len)
+        .min_by_key(|(_, b)| b.capacity())
+        .map(|(i, _)| i);
+    match best {
+        Some(pos) => pool.swap_remove(pos),
+        None => pool.pop().unwrap_or_default(),
+    }
+}
+
+fn pool_put(pool: &Mutex<Vec<Vec<u8>>>, buf: Vec<u8>) {
+    pool.lock().unwrap_or_else(|e| e.into_inner()).push(buf);
+}
+
+/// One rank's endpoint in a socket world. Cheap to clone (shared
+/// mesh); the process-global instance lives for the process.
+#[derive(Clone)]
+pub struct SocketComm {
+    shared: Arc<SocketShared>,
+}
+
+/// Factory for socket-mesh endpoints.
+pub struct SocketWorld;
+
+/// Decode u64 little-endian counts from a byte payload into `out`.
+fn decode_counts(bytes: &[u8], out: &mut Vec<u64>) {
+    assert_eq!(bytes.len() % 8, 0);
+    out.clear();
+    out.extend(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())));
+}
+
+/// Decode f64 little-endian values from a byte payload into `out`.
+fn decode_f64s(bytes: &[u8], out: &mut Vec<f64>) {
+    assert_eq!(bytes.len() % 8, 0);
+    out.clear();
+    out.extend(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
+}
+
+fn connect_with_retry(port: u16, what: &str) -> TcpStream {
+    let deadline = Instant::now() + connect_timeout();
+    loop {
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => return s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    panic!("could not reach {what} on port {port} within the connect timeout: {e}");
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Accept one connection before `deadline`, polling non-blockingly so
+/// a missing peer fails loudly instead of hanging the listener forever.
+fn accept_with_deadline(listener: &TcpListener, deadline: Instant, what: &str) -> TcpStream {
+    listener.set_nonblocking(true).expect("listener nonblocking");
+    loop {
+        match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false).expect("stream blocking");
+                return s;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    panic!("timed out waiting for {what}");
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("accept failed while waiting for {what}: {e}"),
+        }
+    }
+}
+
+impl SocketWorld {
+    /// Join (or, as rank 0, host) the mesh of `size` ranks meeting at
+    /// rendezvous `port`. Blocks until the full mesh is connected.
+    pub fn connect(rank: usize, size: usize, port: u16) -> SocketComm {
+        assert!(size > 0 && rank < size, "rank {rank} outside world of {size}");
+        assert!(size <= u32::MAX as usize);
+        let deadline = Instant::now() + connect_timeout();
+
+        let mut streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        if size > 1 {
+            // Bind the data listener before rendezvous so every port in
+            // the table is accepting by the time anyone dials it.
+            let data_listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind data listener");
+            let data_port = data_listener.local_addr().expect("data listener addr").port();
+
+            let table: Vec<u16> = if rank == 0 {
+                let rendezvous = TcpListener::bind(("127.0.0.1", port))
+                    .unwrap_or_else(|e| panic!("bind rendezvous port {port}: {e}"));
+                let mut regs: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+                let mut ports = vec![0u16; size];
+                ports[0] = data_port;
+                for _ in 1..size {
+                    let mut s = accept_with_deadline(&rendezvous, deadline, "rank registrations");
+                    let mut reg = [0u8; 8];
+                    s.read_exact(&mut reg).expect("read registration");
+                    let r = u32::from_le_bytes([reg[0], reg[1], reg[2], reg[3]]) as usize;
+                    let p = u32::from_le_bytes([reg[4], reg[5], reg[6], reg[7]]);
+                    assert!(r > 0 && r < size, "bogus registration from rank {r}");
+                    assert!(regs[r].is_none(), "rank {r} registered twice");
+                    ports[r] = p as u16;
+                    regs[r] = Some(s);
+                }
+                let mut msg = Vec::with_capacity(size * 4);
+                for p in &ports {
+                    msg.extend_from_slice(&(*p as u32).to_le_bytes());
+                }
+                for s in regs.iter_mut().flatten() {
+                    s.write_all(&msg).expect("send port table");
+                }
+                ports
+            } else {
+                let mut s = connect_with_retry(port, "the rank-0 rendezvous");
+                let mut reg = [0u8; 8];
+                reg[0..4].copy_from_slice(&(rank as u32).to_le_bytes());
+                reg[4..8].copy_from_slice(&(data_port as u32).to_le_bytes());
+                s.write_all(&reg).expect("send registration");
+                let mut table = vec![0u8; size * 4];
+                s.read_exact(&mut table).expect("read port table");
+                table
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()) as u16)
+                    .collect()
+            };
+
+            // Pairwise mesh: dial every lower rank (leading with our
+            // id), accept every higher one. Dials complete without the
+            // peer accepting (listener backlog), so the two loops
+            // cannot deadlock.
+            for peer in 0..rank {
+                let mut s = connect_with_retry(table[peer], "a peer data listener");
+                s.write_all(&(rank as u32).to_le_bytes()).expect("send rank id");
+                streams[peer] = Some(s);
+            }
+            for _ in rank + 1..size {
+                let mut s = accept_with_deadline(&data_listener, deadline, "peer connections");
+                let mut id = [0u8; 4];
+                s.read_exact(&mut id).expect("read peer rank id");
+                let peer = u32::from_le_bytes(id) as usize;
+                assert!(peer > rank && peer < size, "unexpected peer {peer} dialed rank {rank}");
+                assert!(streams[peer].is_none(), "peer {peer} connected twice");
+                streams[peer] = Some(s);
+            }
+        }
+
+        let shared = Arc::new(SocketShared {
+            rank,
+            size,
+            mailbox: Mailbox::new(),
+            senders: streams
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|s| {
+                        s.set_nodelay(true).expect("TCP_NODELAY");
+                        Mutex::new(SendHalf {
+                            stream: s.try_clone().expect("clone send half"),
+                            staging: Vec::new(),
+                        })
+                    })
+                })
+                .collect(),
+            pools: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            data_sent: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            data_delivered: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            collective_seq: AtomicU64::new(0),
+            scratch: Mutex::new(Scratch {
+                payload: Vec::new(),
+                acc: Vec::new(),
+                peer: Vec::new(),
+                counts: Vec::new(),
+            }),
+        });
+
+        for (peer, stream) in streams.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("hpgmxp-reader-{peer}"))
+                .spawn(move || reader_loop(shared, peer, stream))
+                .expect("spawn reader thread");
+        }
+
+        SocketComm { shared }
+    }
+}
+
+/// Per-connection reader: decode frames into the shared mailbox until
+/// the peer goes away. Buffers come from the peer's recycled pool, so
+/// a steady-state delivery allocates nothing.
+fn reader_loop(shared: Arc<SocketShared>, peer: usize, mut stream: TcpStream) {
+    loop {
+        match read_frame(&mut stream, |len| pool_take(&shared.pools[peer], len)) {
+            Ok(Some((header, data))) => {
+                debug_assert_eq!(header.from as usize, peer, "frame from wrong rank");
+                // Count before pushing: the mailbox push is what wakes
+                // a flush-barrier waiter, which then re-reads counters.
+                if header.tag & COLLECTIVE_TAG_BIT == 0 {
+                    shared.data_delivered[peer].fetch_add(1, Ordering::SeqCst);
+                }
+                shared.mailbox.push(Message { from: peer, tag: header.tag, data });
+            }
+            Ok(None) => {
+                shared.mailbox.fail(peer, format!("connection to rank {peer} closed"));
+                return;
+            }
+            Err(e) => {
+                shared.mailbox.fail(peer, format!("connection to rank {peer} lost: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+impl SocketComm {
+    /// Frame and send on the peer connection, or self-deliver. Used by
+    /// both the public `send_from` (data tags, counted) and the
+    /// collectives (reserved tags, uncounted).
+    fn send_raw(&self, to: usize, tag: u64, bytes: &[u8]) {
+        let s = &self.shared;
+        assert!(to < s.size, "send to rank {to} in a world of {}", s.size);
+        if to == s.rank {
+            // Loopback never touches the wire (or the flush ledger —
+            // it is delivered before this call returns).
+            let mut data = pool_take(&s.pools[to], bytes.len());
+            data.clear();
+            data.extend_from_slice(bytes);
+            s.mailbox.push(Message { from: to, tag, data });
+            return;
+        }
+        let mut half = s.senders[to]
+            .as_ref()
+            .expect("peer connection")
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        stage_frame(&mut half.staging, s.rank, tag, bytes);
+        if tag & COLLECTIVE_TAG_BIT == 0 {
+            s.data_sent[to].fetch_add(1, Ordering::SeqCst);
+        }
+        let SendHalf { stream, staging } = &mut *half;
+        stream.write_all(staging).unwrap_or_else(|e| panic!("send to rank {to} failed: {e}"));
+    }
+
+    /// Copy a matched message out and recycle its buffer into the
+    /// sender's pool.
+    fn deliver(&self, msg: Message, out: &mut [u8]) {
+        assert_eq!(
+            msg.data.len(),
+            out.len(),
+            "message length mismatch: rank {} got {} bytes from {} tag {}, posted {}",
+            self.shared.rank,
+            msg.data.len(),
+            msg.from,
+            msg.tag,
+            out.len()
+        );
+        out.copy_from_slice(&msg.data);
+        pool_put(&self.shared.pools[msg.from], msg.data);
+    }
+
+    /// Next reserved collective tag; identical on every rank because
+    /// collectives execute in SPMD program order.
+    fn collective_tag(&self) -> u64 {
+        COLLECTIVE_TAG_BIT | self.shared.collective_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Grow the transport's recycled buffers so the steady state is
+    /// allocation-free by construction rather than by high-water mark:
+    /// every per-peer pool is stocked with buffers of at least
+    /// `min_capacity`, and each connection's staging buffer can hold a
+    /// full frame of that size. Call while no messages are in flight.
+    pub fn prewarm_pool(&self, min_capacity: usize) {
+        // The mailbox deque must not grow mid-measurement either: a
+        // parking burst (every peer one full pool ahead, plus
+        // collective traffic) is bounded by the pool stock.
+        self.shared.mailbox.reserve(2 * POOL_STOCK * self.shared.size);
+        for pool in &self.shared.pools {
+            let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+            for buf in pool.iter_mut() {
+                if buf.capacity() < min_capacity {
+                    buf.reserve(min_capacity - buf.len());
+                }
+            }
+            // A peer can run a couple of exchange rounds ahead of its
+            // receiver, with several frames in flight per round; stock
+            // enough that the worst observed in-flight window never
+            // forces the reader to allocate.
+            while pool.len() < POOL_STOCK {
+                pool.push(Vec::with_capacity(min_capacity));
+            }
+        }
+        for half in self.shared.senders.iter().flatten() {
+            let mut half = half.lock().unwrap_or_else(|e| e.into_inner());
+            let want = min_capacity + HEADER_LEN;
+            if half.staging.capacity() < want {
+                let len = half.staging.len();
+                half.staging.reserve(want - len);
+            }
+        }
+    }
+
+    /// Flush every in-flight message into mailboxes (a barrier), then
+    /// discard anything still parked, recycling the buffers. Run
+    /// between SPMD closures on the reused process-global mesh so one
+    /// run's unconsumed messages cannot leak into the next.
+    pub fn quiesce(&self) {
+        self.barrier();
+        // Drain only user data: a fast peer may already have parked its
+        // *next* collective here, and swallowing it would deadlock that
+        // collective on this rank.
+        for msg in self.shared.mailbox.take_where(|m| m.tag & COLLECTIVE_TAG_BIT == 0) {
+            pool_put(&self.shared.pools[msg.from], msg.data);
+        }
+        // Hold everyone until every rank has drained: a peer released
+        // from the first barrier would otherwise start the *next* run's
+        // sends, and a slow rank's drain could swallow them.
+        self.barrier();
+    }
+
+    #[cfg(test)]
+    /// Tear down this rank's side of every connection so peers observe
+    /// EOF — the in-process stand-in for a dying rank.
+    fn close_all_connections(&self) {
+        for half in self.shared.senders.iter().flatten() {
+            let half = half.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = half.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Comm for SocketComm {
+    fn rank(&self) -> usize {
+        self.shared.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn send_from(&self, to: usize, tag: u64, bytes: &[u8]) {
+        assert!(tag & COLLECTIVE_TAG_BIT == 0, "tag {tag:#x} uses the reserved collective bit");
+        self.send_raw(to, tag, bytes);
+    }
+
+    fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]) {
+        let msg = self.shared.mailbox.recv_matching(from, tag);
+        self.deliver(msg, out);
+    }
+
+    fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool {
+        match self.shared.mailbox.try_recv_matching(from, tag) {
+            Some(msg) => {
+                self.deliver(msg, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn wait_any<'p>(&self, posts: &mut [Option<RecvPost<'p>>]) -> Option<(usize, RecvPost<'p>)> {
+        if posts.iter().all(Option::is_none) {
+            return None;
+        }
+        let (slot, msg) = self.shared.mailbox.wait_any_matching(posts);
+        let post = posts[slot].take().expect("slot matched in mailbox");
+        self.deliver(msg, post.buf);
+        Some((slot, post))
+    }
+
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        let s = &self.shared;
+        if s.size == 1 {
+            return;
+        }
+        let tag = self.collective_tag();
+        let mut scratch = s.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let Scratch { payload, acc, peer, .. } = &mut *scratch;
+        if s.rank == 0 {
+            // Reduce in rank order 0..P — the exact order the thread
+            // world's leader uses, so results are bit-identical across
+            // transports.
+            acc.clear();
+            acc.extend_from_slice(vals);
+            for r in 1..s.size {
+                let msg = s.mailbox.recv_matching(r, tag);
+                assert_eq!(msg.data.len(), vals.len() * 8, "allreduce length skew at rank {r}");
+                decode_f64s(&msg.data, peer);
+                reduce_into(op, acc, peer);
+                pool_put(&s.pools[r], msg.data);
+            }
+            vals.copy_from_slice(acc);
+            payload.clear();
+            for v in vals.iter() {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            for r in 1..s.size {
+                self.send_raw(r, tag, payload);
+            }
+        } else {
+            payload.clear();
+            for v in vals.iter() {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            self.send_raw(0, tag, payload);
+            let msg = s.mailbox.recv_matching(0, tag);
+            assert_eq!(msg.data.len(), vals.len() * 8, "allreduce result length skew");
+            for (v, c) in vals.iter_mut().zip(msg.data.chunks_exact(8)) {
+                *v = f64::from_le_bytes(c.try_into().unwrap());
+            }
+            pool_put(&s.pools[0], msg.data);
+        }
+    }
+
+    fn barrier(&self) {
+        let s = &self.shared;
+        if s.size == 1 {
+            return;
+        }
+        let tag = self.collective_tag();
+        let mut scratch = s.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let Scratch { payload, counts, .. } = &mut *scratch;
+        if s.rank == 0 {
+            // Gather every rank's cumulative sent-counts, row i holding
+            // what rank i has sent to each receiver.
+            counts.clear();
+            counts.resize(s.size * s.size, 0);
+            for (c, sent) in counts.iter_mut().zip(&s.data_sent) {
+                *c = sent.load(Ordering::SeqCst);
+            }
+            for i in 1..s.size {
+                let msg = s.mailbox.recv_matching(i, tag);
+                assert_eq!(msg.data.len(), s.size * 8, "barrier snapshot length skew");
+                for (j, c) in msg.data.chunks_exact(8).enumerate() {
+                    counts[i * s.size + j] = u64::from_le_bytes(c.try_into().unwrap());
+                }
+                pool_put(&s.pools[i], msg.data);
+            }
+            // Release each rank with its expected-delivery column.
+            for r in 1..s.size {
+                payload.clear();
+                for i in 0..s.size {
+                    payload.extend_from_slice(&counts[i * s.size + r].to_le_bytes());
+                }
+                self.send_raw(r, tag, payload);
+            }
+            let size = s.size;
+            s.mailbox.wait_until(|| {
+                (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i * size])
+            });
+        } else {
+            payload.clear();
+            for j in 0..s.size {
+                payload.extend_from_slice(&s.data_sent[j].load(Ordering::SeqCst).to_le_bytes());
+            }
+            self.send_raw(0, tag, payload);
+            let msg = s.mailbox.recv_matching(0, tag);
+            assert_eq!(msg.data.len(), s.size * 8, "barrier release length skew");
+            decode_counts(&msg.data, counts);
+            pool_put(&s.pools[0], msg.data);
+            let size = s.size;
+            s.mailbox.wait_until(|| {
+                (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i])
+            });
+        }
+    }
+}
+
+/// The process-global mesh, built once from `HPGMXP_RANK` /
+/// `HPGMXP_RANKS` / `HPGMXP_PORT` (the environment `hpgmxp-launch`
+/// provides) and reused by every SPMD run in this process. Lives for
+/// the process; the OS closes the sockets at exit.
+pub fn global_from_env() -> &'static SocketComm {
+    static MESH: OnceLock<SocketComm> = OnceLock::new();
+    MESH.get_or_init(|| {
+        let need = |name: &str| -> usize {
+            std::env::var(name)
+                .unwrap_or_else(|_| {
+                    panic!("{name} not set — socket ranks must be started by hpgmxp-launch")
+                })
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} is not a number"))
+        };
+        let rank = need("HPGMXP_RANK");
+        let size = need("HPGMXP_RANKS");
+        let port = need("HPGMXP_PORT") as u16;
+        SocketWorld::connect(rank, size, port)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{pack, unpack};
+    use crate::thread_world::run_threads;
+
+    /// Pick a port that was just free (bind :0, read it back, release).
+    /// The tiny reuse window is acceptable in a single test process.
+    fn free_port() -> u16 {
+        TcpListener::bind(("127.0.0.1", 0)).unwrap().local_addr().unwrap().port()
+    }
+
+    /// In-process socket world: each rank is a thread with its own
+    /// endpoint, but every byte still crosses real TCP connections.
+    fn run_socket_threads<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(SocketComm) -> T + Sync,
+    {
+        let port = free_port();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let fr = &f;
+                    s.spawn(move || fr(SocketWorld::connect(rank, size, port)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("a rank panicked")).collect()
+        })
+    }
+
+    #[test]
+    fn ping_pong_over_tcp() {
+        let results = run_socket_threads(2, |c| {
+            if c.rank() == 0 {
+                c.send_from(1, 7, &pack(&[1.5f64, -2.5]));
+                let mut got = vec![0u8; 8];
+                c.recv_into(1, 8, &mut got);
+                let mut out = [0.0f64; 1];
+                unpack(&got, &mut out);
+                out[0]
+            } else {
+                let mut got = vec![0u8; 16];
+                c.recv_into(0, 7, &mut got);
+                let mut vals = [0.0f64; 2];
+                unpack(&got, &mut vals);
+                c.send_from(0, 8, &pack(&[vals[0] + vals[1]]));
+                0.0
+            }
+        });
+        assert_eq!(results[0], -1.0);
+    }
+
+    #[test]
+    fn allreduce_matches_thread_world_bitwise() {
+        // Same inputs through both transports must reduce to the same
+        // bits — the property that lets GMRES-IR histories replay
+        // across backends.
+        let inputs: Vec<Vec<f64>> =
+            (0..4).map(|r| (0..5).map(|i| ((r * 31 + i) as f64).sin() * 1e3).collect()).collect();
+        let thread: Vec<Vec<f64>> = run_threads(4, |c| {
+            let mut v = inputs[c.rank()].clone();
+            c.allreduce(&mut v, ReduceOp::Sum);
+            v
+        });
+        let socket: Vec<Vec<f64>> = run_socket_threads(4, |c| {
+            let mut v = inputs[c.rank()].clone();
+            c.allreduce(&mut v, ReduceOp::Sum);
+            v
+        });
+        for (t, s) in thread.iter().zip(socket.iter()) {
+            let tb: Vec<u64> = t.iter().map(|x| x.to_bits()).collect();
+            let sb: Vec<u64> = s.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(tb, sb);
+        }
+    }
+
+    #[test]
+    fn flush_barrier_makes_prebarrier_sends_pollable() {
+        // The conformance suite's parking property: a message sent
+        // before a barrier must be receivable by try_recv after it,
+        // even though it crossed a real socket.
+        let results = run_socket_threads(2, |c| {
+            if c.rank() == 0 {
+                c.send_from(1, 77, &[42]);
+                c.barrier();
+                true
+            } else {
+                c.barrier();
+                let mut buf = [0u8; 1];
+                let got = c.try_recv_into(0, 77, &mut buf);
+                got && buf[0] == 42
+            }
+        });
+        assert!(results.iter().all(|ok| *ok));
+    }
+
+    #[test]
+    fn repeated_collectives_stay_in_lockstep() {
+        let results = run_socket_threads(3, |c| {
+            let mut acc = 0.0;
+            for i in 0..25 {
+                acc = c.allreduce_scalar(acc + i as f64 + c.rank() as f64, ReduceOp::Sum);
+                if i % 5 == 0 {
+                    c.barrier();
+                }
+            }
+            acc
+        });
+        for w in results.windows(2) {
+            assert_eq!(w[0].to_bits(), w[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn wait_any_completes_in_arrival_order_over_tcp() {
+        let results = run_socket_threads(3, |c| {
+            if c.rank() == 2 {
+                let mut b0 = [0u8; 1];
+                let mut b1 = [0u8; 1];
+                // Rank 1's send is flushed (via the barrier) before
+                // rank 0 even sends, so slot 1 completes first.
+                c.barrier();
+                let mut posts =
+                    [Some(RecvPost::new(0, 9, &mut b0)), Some(RecvPost::new(1, 9, &mut b1))];
+                let (first, _) = c.wait_any(&mut posts).expect("two posts live");
+                let (second, _) = c.wait_any(&mut posts).expect("one post live");
+                assert!(c.wait_any(&mut posts).is_none());
+                vec![first, second]
+            } else if c.rank() == 1 {
+                c.send_from(2, 9, &[11]);
+                c.barrier();
+                vec![]
+            } else {
+                c.barrier();
+                c.send_from(2, 9, &[10]);
+                vec![]
+            }
+        });
+        assert_eq!(results[2], vec![1, 0]);
+    }
+
+    #[test]
+    fn quiesce_recycles_unconsumed_messages() {
+        let results = run_socket_threads(2, |c| {
+            if c.rank() == 0 {
+                c.send_from(1, 5, &[1, 2, 3]);
+            }
+            c.quiesce();
+            // The unconsumed message is gone; its buffer is pooled.
+            let mut buf = [0u8; 3];
+            assert!(!c.try_recv_into(0, 5, &mut buf), "quiesce drained the mailbox");
+            c.barrier();
+            true
+        });
+        assert!(results.iter().all(|ok| *ok));
+    }
+
+    #[test]
+    fn dead_peer_fails_receives_loudly() {
+        let port = free_port();
+        let rank0 = std::thread::spawn(move || {
+            let c = SocketWorld::connect(0, 2, port);
+            c.barrier();
+            // Peer closes after the barrier; this receive must panic
+            // with a diagnostic, not hang.
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut buf = [0u8; 1];
+                c.recv_into(1, 3, &mut buf);
+            }))
+            .expect_err("receive from a dead peer must fail");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("connection to rank 1"), "diagnostic names the peer: {msg}");
+        });
+        let rank1 = std::thread::spawn(move || {
+            let c = SocketWorld::connect(1, 2, port);
+            c.barrier();
+            c.close_all_connections();
+        });
+        rank1.join().unwrap();
+        rank0.join().unwrap();
+    }
+
+    #[test]
+    fn steady_state_reuses_pooled_buffers() {
+        // After prewarm, repeated same-size traffic keeps pools at a
+        // stable population — buffers cycle instead of accumulating.
+        let results = run_socket_threads(2, |c| {
+            c.prewarm_pool(256);
+            c.barrier();
+            let peer = 1 - c.rank();
+            let mut buf = [0u8; 256];
+            for round in 0..50u64 {
+                if c.rank() == 0 {
+                    c.send_from(peer, round, &[7u8; 256]);
+                    c.recv_into(peer, round, &mut buf);
+                } else {
+                    c.recv_into(peer, round, &mut buf);
+                    c.send_from(peer, round, &buf);
+                }
+            }
+            c.barrier();
+            c.shared.pools.iter().map(|p| p.lock().unwrap().len()).sum::<usize>()
+        });
+        for pooled in results {
+            assert!(pooled <= 2 * POOL_STOCK + 2, "pool grew without bound: {pooled} buffers");
+        }
+    }
+
+    #[test]
+    fn single_rank_socket_world_is_trivial() {
+        let c = SocketWorld::connect(0, 1, 0);
+        assert_eq!((c.rank(), c.size()), (0, 1));
+        assert_eq!(c.allreduce_scalar(5.0, ReduceOp::Sum), 5.0);
+        c.barrier();
+        // Loopback send/recv works without any connection.
+        c.send_from(0, 1, &[9]);
+        let mut buf = [0u8; 1];
+        c.recv_into(0, 1, &mut buf);
+        assert_eq!(buf[0], 9);
+    }
+}

@@ -1,43 +1,33 @@
 //! A multi-rank world backed by OS threads and shared-memory mailboxes.
 //!
 //! [`ThreadWorld::connect`] creates `P` connected [`ThreadComm`] endpoints;
-//! [`run_spmd`] spawns one thread per rank and runs the same closure on
-//! each — the SPMD execution model of the MPI benchmark. Message
+//! [`run_threads`] spawns one thread per rank and runs the same closure
+//! on each — the SPMD execution model of the MPI benchmark. Message
 //! delivery is FIFO per (sender → receiver) pair, like MPI; out-of-tag
-//! arrivals stay parked in the mailbox until a matching receive, which
-//! is MPI's unexpected-message queue.
+//! arrivals stay parked in the shared [`crate::mailbox::Mailbox`] until
+//! a matching receive, which is MPI's unexpected-message queue.
 //!
 //! The v2 transport is allocation-free at steady state: `send_from`
 //! copies the caller's bytes into a buffer drawn from a world-wide
 //! pool, the receiver copies them out into its posted buffer and
-//! returns the pool buffer. Each rank's inbox is a `VecDeque` guarded
-//! by a mutex + condvar, so [`Comm::wait_any`] is a real blocking wait
-//! on *any* neighbor (`MPI_Waitany`), not a poll loop.
+//! returns the pool buffer. Each rank's mailbox is guarded by a
+//! mutex + condvar, so [`Comm::wait_any`] is a real blocking wait on
+//! *any* neighbor (`MPI_Waitany`), not a poll loop.
+//!
+//! Transport-agnostic callers should reach this world through
+//! [`crate::world::run_spmd`], which picks thread- or socket-ranks from
+//! the `HPGMXP_COMM` environment variable.
 
 use crate::comm::{reduce_into, Comm, RecvPost, ReduceOp};
+use crate::mailbox::{Mailbox, Message};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
-use std::sync::{Arc, Barrier, Condvar, Mutex as StdMutex};
-
-struct Message {
-    from: usize,
-    tag: u64,
-    data: Vec<u8>,
-}
-
-/// One rank's incoming mailbox: arrival-ordered, scanned for matches.
-/// Scanning the deque front-to-back preserves FIFO per (sender, tag)
-/// pair because each sender appends its messages in program order.
-struct Inbox {
-    queue: StdMutex<VecDeque<Message>>,
-    arrived: Condvar,
-}
+use std::sync::{Arc, Barrier, Mutex as StdMutex};
 
 struct WorldShared {
     barrier: Barrier,
     reduce_slots: Vec<Mutex<Vec<f64>>>,
     reduce_result: Mutex<Vec<f64>>,
-    inboxes: Vec<Inbox>,
+    inboxes: Vec<Mailbox>,
     /// World-wide free list of message buffers. Buffers only ever grow,
     /// so after warm-up every message is served without a heap
     /// allocation (the zero-allocation steady state the halo engine's
@@ -88,9 +78,7 @@ impl ThreadWorld {
             barrier: Barrier::new(size),
             reduce_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
             reduce_result: Mutex::new(Vec::new()),
-            inboxes: (0..size)
-                .map(|_| Inbox { queue: StdMutex::new(VecDeque::new()), arrived: Condvar::new() })
-                .collect(),
+            inboxes: (0..size).map(|_| Mailbox::new()).collect(),
             pool: StdMutex::new(Vec::new()),
         });
         (0..size).map(|rank| ThreadComm { rank, size, shared: Arc::clone(&shared) }).collect()
@@ -98,13 +86,8 @@ impl ThreadWorld {
 }
 
 impl ThreadComm {
-    fn position_matching(queue: &VecDeque<Message>, from: usize, tag: u64) -> Option<usize> {
-        queue.iter().position(|m| m.from == from && m.tag == tag)
-    }
-
-    /// Remove the message at `pos`, copy it into `out`, and recycle the
-    /// buffer. The queue lock must already be released by the caller
-    /// passing an owned message — split so the pool lock is never taken
+    /// Copy a matched message into `out` and recycle its buffer. The
+    /// mailbox lock is already released — the pool lock is never taken
     /// under the queue lock.
     fn deliver(&self, msg: Message, out: &mut [u8]) {
         assert_eq!(
@@ -130,12 +113,23 @@ impl ThreadComm {
     /// makes the zero-allocation steady state deterministic instead of
     /// high-water-mark-dependent.
     pub fn prewarm_pool(&self, min_capacity: usize) {
+        // The mailbox deques must not grow mid-measurement either
+        // (same determinism-by-construction as the pool): size each
+        // rank's inbox for a full world's worth of parked messages.
+        for inbox in &self.shared.inboxes {
+            inbox.reserve(16 * self.size);
+        }
         let mut pool = self.shared.pool.lock().unwrap_or_else(|e| e.into_inner());
         for buf in pool.iter_mut() {
             if buf.capacity() < min_capacity {
                 buf.reserve(min_capacity - buf.len());
             }
         }
+    }
+
+    #[cfg(test)]
+    fn pool_len(&self) -> usize {
+        self.shared.pool.lock().unwrap().len()
     }
 }
 
@@ -152,34 +146,17 @@ impl Comm for ThreadComm {
         let mut data = self.shared.pool_take(bytes.len());
         data.clear();
         data.extend_from_slice(bytes);
-        let inbox = &self.shared.inboxes[to];
-        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.push_back(Message { from: self.rank, tag, data });
-        drop(q);
-        inbox.arrived.notify_all();
+        self.shared.inboxes[to].push(Message { from: self.rank, tag, data });
     }
 
     fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]) {
-        let inbox = &self.shared.inboxes[self.rank];
-        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(pos) = Self::position_matching(&q, from, tag) {
-                let msg = q.remove(pos).expect("position is in range");
-                drop(q);
-                self.deliver(msg, out);
-                return;
-            }
-            q = inbox.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
-        }
+        let msg = self.shared.inboxes[self.rank].recv_matching(from, tag);
+        self.deliver(msg, out);
     }
 
     fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool {
-        let inbox = &self.shared.inboxes[self.rank];
-        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
-        match Self::position_matching(&q, from, tag) {
-            Some(pos) => {
-                let msg = q.remove(pos).expect("position is in range");
-                drop(q);
+        match self.shared.inboxes[self.rank].try_recv_matching(from, tag) {
+            Some(msg) => {
                 self.deliver(msg, out);
                 true
             }
@@ -191,29 +168,10 @@ impl Comm for ThreadComm {
         if posts.iter().all(Option::is_none) {
             return None;
         }
-        let inbox = &self.shared.inboxes[self.rank];
-        let mut q = inbox.queue.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            // Earliest arrival that matches any still-posted receive:
-            // drain whichever neighbor landed first.
-            let hit = q.iter().position(|m| {
-                posts.iter().any(|p| p.as_ref().is_some_and(|p| p.from == m.from && p.tag == m.tag))
-            });
-            if let Some(pos) = hit {
-                let msg = q.remove(pos).expect("position is in range");
-                drop(q);
-                let slot = posts
-                    .iter()
-                    .position(|p| {
-                        p.as_ref().is_some_and(|p| p.from == msg.from && p.tag == msg.tag)
-                    })
-                    .expect("a post matched above");
-                let post = posts[slot].take().expect("slot matched above");
-                self.deliver(msg, post.buf);
-                return Some((slot, post));
-            }
-            q = inbox.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
-        }
+        let (slot, msg) = self.shared.inboxes[self.rank].wait_any_matching(posts);
+        let post = posts[slot].take().expect("slot matched in mailbox");
+        self.deliver(msg, post.buf);
+        Some((slot, post))
     }
 
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
@@ -235,9 +193,11 @@ impl Comm for ThreadComm {
     }
 }
 
-/// Run the same closure on `size` ranks, one OS thread each, and return
-/// the per-rank results in rank order. Panics in any rank propagate.
-pub fn run_spmd<T, F>(size: usize, f: F) -> Vec<T>
+/// Run the same closure on `size` thread-ranks, one OS thread each, and
+/// return the per-rank results in rank order. Panics in any rank
+/// propagate. This is the thread-transport primitive; use
+/// [`crate::world::run_spmd`] to honor `HPGMXP_COMM`.
+pub fn run_threads<T, F>(size: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(ThreadComm) -> T + Sync,
@@ -262,7 +222,7 @@ mod tests {
 
     #[test]
     fn ping_pong() {
-        let results = run_spmd(2, |c| {
+        let results = run_threads(2, |c| {
             if c.rank() == 0 {
                 c.send_from(1, 7, &[1, 2, 3]);
                 let mut got = vec![0u8; 1];
@@ -281,7 +241,7 @@ mod tests {
 
     #[test]
     fn allreduce_sum_and_max() {
-        let results = run_spmd(4, |c| {
+        let results = run_threads(4, |c| {
             let sum = c.allreduce_scalar(c.rank() as f64 + 1.0, ReduceOp::Sum);
             let max = c.allreduce_scalar(c.rank() as f64, ReduceOp::Max);
             let min = c.allreduce_scalar(c.rank() as f64, ReduceOp::Min);
@@ -296,7 +256,7 @@ mod tests {
 
     #[test]
     fn allreduce_vector() {
-        let results = run_spmd(3, |c| {
+        let results = run_threads(3, |c| {
             let mut v = vec![c.rank() as f64, 1.0];
             c.allreduce(&mut v, ReduceOp::Sum);
             v
@@ -308,7 +268,7 @@ mod tests {
 
     #[test]
     fn repeated_allreduces_stay_in_lockstep() {
-        let results = run_spmd(4, |c| {
+        let results = run_threads(4, |c| {
             let mut acc = 0.0;
             for i in 0..50 {
                 acc = c.allreduce_scalar(acc + i as f64, ReduceOp::Sum);
@@ -323,7 +283,7 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_are_matched() {
-        let results = run_spmd(2, |c| {
+        let results = run_threads(2, |c| {
             if c.rank() == 0 {
                 c.send_from(1, 1, &[1]);
                 c.send_from(1, 2, &[2]);
@@ -342,7 +302,7 @@ mod tests {
 
     #[test]
     fn same_tag_is_fifo_per_pair() {
-        let results = run_spmd(2, |c| {
+        let results = run_threads(2, |c| {
             if c.rank() == 0 {
                 for i in 0..10u8 {
                     c.send_from(1, 0, &[i]);
@@ -363,7 +323,7 @@ mod tests {
 
     #[test]
     fn try_recv_polls() {
-        let results = run_spmd(2, |c| {
+        let results = run_threads(2, |c| {
             if c.rank() == 0 {
                 c.barrier();
                 // After the barrier the message is guaranteed sent.
@@ -387,7 +347,7 @@ mod tests {
     fn wait_any_completes_in_arrival_order() {
         // Rank 2 waits on both neighbors at once and records completion
         // order; whichever message arrived first must complete first.
-        let results = run_spmd(3, |c| {
+        let results = run_threads(3, |c| {
             if c.rank() == 2 {
                 let mut b0 = [0u8; 1];
                 let mut b1 = [0u8; 1];
@@ -417,7 +377,7 @@ mod tests {
 
     #[test]
     fn typed_slices_roundtrip() {
-        let results = run_spmd(2, |c| {
+        let results = run_threads(2, |c| {
             if c.rank() == 0 {
                 c.send_from(1, 0, &pack(&[1.5f32, -2.5]));
                 0.0
@@ -434,7 +394,7 @@ mod tests {
 
     #[test]
     fn single_rank_world_works() {
-        let results = run_spmd(1, |c| c.allreduce_scalar(5.0, ReduceOp::Sum));
+        let results = run_threads(1, |c| c.allreduce_scalar(5.0, ReduceOp::Sum));
         assert_eq!(results, vec![5.0]);
     }
 
@@ -443,7 +403,7 @@ mod tests {
         // After a message is received its buffer returns to the pool;
         // repeated same-size traffic must not grow the pool without
         // bound.
-        let results = run_spmd(2, |c| {
+        let results = run_threads(2, |c| {
             // Ping-pong keeps at most one message in flight per
             // direction, so steady-state traffic cannot out-run the
             // receiver and force fresh buffers.
@@ -458,7 +418,7 @@ mod tests {
                 }
             }
             c.barrier();
-            c.shared.pool.lock().unwrap().len()
+            c.pool_len()
         });
         // Bounded in-flight traffic: the pool holds a handful of
         // buffers, not one per round.
@@ -470,7 +430,7 @@ mod tests {
         // A ring shift: rank r sends to (r+1) % p and receives from
         // (r-1+p) % p, repeated.
         let p = 8;
-        let results = run_spmd(p, move |c| {
+        let results = run_threads(p, move |c| {
             let r = c.rank();
             let next = (r + 1) % p;
             let prev = (r + p - 1) % p;

@@ -1,0 +1,218 @@
+//! Transport selection — the one place `HPGMXP_COMM` is read.
+//!
+//! Every figure binary, campaign cell, and integration suite runs its
+//! SPMD closure through [`run_spmd`], which picks the backend from the
+//! environment:
+//!
+//! * `HPGMXP_COMM=thread` (or unset) — [`crate::thread_world`]: all
+//!   ranks are threads of this process, results for every rank come
+//!   back in rank order. The default, and the only mode that needs no
+//!   external launcher.
+//! * `HPGMXP_COMM=socket` — [`crate::socket_world`]: this process *is*
+//!   one rank of a job started by `hpgmxp-launch`, which provides
+//!   `HPGMXP_RANK`/`HPGMXP_RANKS`/`HPGMXP_PORT`. The closure runs once
+//!   on the process-global mesh and [`run_spmd`] returns a
+//!   **single-element** vector holding this rank's result — code that
+//!   wants per-rank results must gather them itself (or allreduce, as
+//!   the solver history already does).
+//!
+//! The closure receives a [`WorldComm`], an enum over both concrete
+//! backends, so solver code stays generic over [`Comm`] and never
+//! names a transport.
+
+use crate::comm::{Comm, RecvPost, ReduceOp};
+use crate::socket_world::{self, SocketComm};
+use crate::thread_world::{run_threads, ThreadComm};
+
+/// Which transport `HPGMXP_COMM` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Thread-ranks in one process (the default).
+    Thread,
+    /// Process-ranks over localhost TCP, launched by `hpgmxp-launch`.
+    Socket,
+}
+
+impl Transport {
+    /// Read `HPGMXP_COMM` (default: thread). Unknown values are a
+    /// loud error, not a silent fallback.
+    pub fn from_env() -> Transport {
+        match std::env::var("HPGMXP_COMM") {
+            Ok(v) if v == "socket" => Transport::Socket,
+            Ok(v) if v == "thread" || v.is_empty() => Transport::Thread,
+            Ok(v) => panic!("unknown HPGMXP_COMM={v:?} (expected \"thread\" or \"socket\")"),
+            Err(_) => Transport::Thread,
+        }
+    }
+
+    /// Stable lowercase name (report fields, log lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Thread => "thread",
+            Transport::Socket => "socket",
+        }
+    }
+}
+
+/// The rank count a socket-launched process must use, if this process
+/// is a socket rank (`HPGMXP_COMM=socket`). Binaries that sweep over
+/// world sizes clamp their sweep to this under the socket transport —
+/// the mesh is fixed at launch.
+pub fn socket_world_size() -> Option<usize> {
+    if Transport::from_env() != Transport::Socket {
+        return None;
+    }
+    std::env::var("HPGMXP_RANKS").ok().and_then(|v| v.parse().ok())
+}
+
+/// A rank endpoint of whichever transport [`run_spmd`] selected.
+pub enum WorldComm {
+    /// Thread-rank of an in-process world.
+    Thread(ThreadComm),
+    /// Process-rank of a socket mesh.
+    Socket(SocketComm),
+}
+
+impl WorldComm {
+    /// Which transport this endpoint belongs to.
+    pub fn transport(&self) -> Transport {
+        match self {
+            WorldComm::Thread(_) => Transport::Thread,
+            WorldComm::Socket(_) => Transport::Socket,
+        }
+    }
+
+    /// Grow the transport's recycled buffers to at least
+    /// `min_capacity` so the steady state is deterministically
+    /// allocation-free (see the backend docs). Call while no messages
+    /// are in flight.
+    pub fn prewarm_pool(&self, min_capacity: usize) {
+        match self {
+            WorldComm::Thread(c) => c.prewarm_pool(min_capacity),
+            WorldComm::Socket(c) => c.prewarm_pool(min_capacity),
+        }
+    }
+}
+
+impl Comm for WorldComm {
+    fn rank(&self) -> usize {
+        match self {
+            WorldComm::Thread(c) => c.rank(),
+            WorldComm::Socket(c) => c.rank(),
+        }
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            WorldComm::Thread(c) => c.size(),
+            WorldComm::Socket(c) => c.size(),
+        }
+    }
+
+    fn send_from(&self, to: usize, tag: u64, bytes: &[u8]) {
+        match self {
+            WorldComm::Thread(c) => c.send_from(to, tag, bytes),
+            WorldComm::Socket(c) => c.send_from(to, tag, bytes),
+        }
+    }
+
+    fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]) {
+        match self {
+            WorldComm::Thread(c) => c.recv_into(from, tag, out),
+            WorldComm::Socket(c) => c.recv_into(from, tag, out),
+        }
+    }
+
+    fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool {
+        match self {
+            WorldComm::Thread(c) => c.try_recv_into(from, tag, out),
+            WorldComm::Socket(c) => c.try_recv_into(from, tag, out),
+        }
+    }
+
+    fn wait_any<'p>(&self, posts: &mut [Option<RecvPost<'p>>]) -> Option<(usize, RecvPost<'p>)> {
+        match self {
+            WorldComm::Thread(c) => c.wait_any(posts),
+            WorldComm::Socket(c) => c.wait_any(posts),
+        }
+    }
+
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        match self {
+            WorldComm::Thread(c) => c.allreduce(vals, op),
+            WorldComm::Socket(c) => c.allreduce(vals, op),
+        }
+    }
+
+    fn barrier(&self) {
+        match self {
+            WorldComm::Thread(c) => c.barrier(),
+            WorldComm::Socket(c) => c.barrier(),
+        }
+    }
+}
+
+/// Run `f` as an SPMD job of `size` ranks over the transport selected
+/// by `HPGMXP_COMM` (see the module docs for the two modes and their
+/// return-value shapes). Under the socket transport `size` must match
+/// the launched mesh — a mismatch is a configuration error and panics
+/// with the fix.
+pub fn run_spmd<T, F>(size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(WorldComm) -> T + Sync,
+{
+    match Transport::from_env() {
+        Transport::Thread => run_threads(size, |c| f(WorldComm::Thread(c))),
+        Transport::Socket => {
+            let comm = socket_world::global_from_env().clone();
+            assert_eq!(
+                comm.size(),
+                size,
+                "socket mesh has {} ranks but this run wants {size} — start it as \
+                 `hpgmxp-launch -n {size} -- ...`",
+                comm.size()
+            );
+            let result = f(WorldComm::Socket(comm.clone()));
+            // Flush and drain so one run's messages can't leak into
+            // the next on the reused process-global mesh.
+            comm.quiesce();
+            vec![result]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-driven dispatch is exercised by the socket integration jobs;
+    // in-process tests only pin the default and the names (mutating
+    // HPGMXP_COMM here would race other tests in this binary).
+
+    #[test]
+    fn thread_is_the_default_transport() {
+        if std::env::var_os("HPGMXP_COMM").is_none() {
+            assert_eq!(Transport::from_env(), Transport::Thread);
+            assert_eq!(socket_world_size(), None);
+        }
+    }
+
+    #[test]
+    fn transport_names_are_stable() {
+        assert_eq!(Transport::Thread.name(), "thread");
+        assert_eq!(Transport::Socket.name(), "socket");
+    }
+
+    #[test]
+    fn run_spmd_defaults_to_thread_ranks() {
+        if std::env::var_os("HPGMXP_COMM").is_some() {
+            return; // running under the socket CI matrix
+        }
+        let results = run_spmd(3, |c| {
+            assert_eq!(c.transport(), Transport::Thread);
+            c.allreduce_scalar(1.0, ReduceOp::Sum)
+        });
+        assert_eq!(results, vec![3.0, 3.0, 3.0]);
+    }
+}

@@ -4,7 +4,9 @@
 //!
 //! Cell production per [`SeriesMode`]:
 //!
-//! * **Measured** — real SPMD runs over `ThreadWorld` thread-ranks:
+//! * **Measured** — real SPMD runs over the `HPGMXP_COMM`-selected
+//!   transport (thread-ranks by default, socket-rank processes under
+//!   `hpgmxp-launch`; each cell records which in its `transport`):
 //!   classic solvers via `core::benchmark::{validate, run_phase}`,
 //!   policies via `validate_policy_checked` + `run_policy_phase`. A
 //!   policy whose solver breaks down yields an `Unrated` cell — the
@@ -204,6 +206,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignReport, String> {
                         nodes * machine.devices_per_node,
                     );
                     cell.nodes = Some(nodes);
+                    cell.transport = "model".into();
                     cell.status = CellStatus::Unrated;
                     cell.note = "no projection: measured solver broke down on this host".into();
                     cell.reconciled = st.reconciled;
@@ -245,6 +248,7 @@ fn measured_cell(
     ranks: usize,
 ) -> Result<CellReport, String> {
     let mut cell = CellReport::new(&series.label, series.mode, solver.label(), ranks);
+    cell.transport = hpgmxp_comm::Transport::from_env().name().to_string();
     match solver {
         SeriesSolver::ClassicDouble => {
             let phase = run_phase(params, series.variant, ranks, false);
@@ -317,6 +321,7 @@ fn modeled_cell(
     let r = simulate(&cfg, machine, net, ranks);
     let mut cell = CellReport::new(&series.label, series.mode, solver.label(), ranks);
     cell.nodes = Some(nodes);
+    cell.transport = "model".into();
     cell.gflops_per_rank = Some(r.gflops_per_rank);
     cell.gflops_per_rank_raw = Some(r.gflops_per_rank_raw);
     cell.total_pflops = Some(r.total_pflops);

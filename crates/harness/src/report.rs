@@ -18,8 +18,9 @@ use std::fmt::Write as _;
 
 /// Version of the campaign-report JSON layout. Bump on any field
 /// change; the golden-file test in the integration suite pins the
-/// layout of version 1.
-pub const REPORT_SCHEMA: u32 = 1;
+/// current layout. v2 added the per-cell `transport` field when the
+/// socket backend made the measuring transport a real variable.
+pub const REPORT_SCHEMA: u32 = 2;
 
 /// Whether a cell earned a performance rating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -78,8 +79,11 @@ pub struct CellReport {
     /// Node count of a modeled cell; `None` for measured cells.
     pub nodes: Option<usize>,
     /// World size: modeled `nodes × devices_per_node`, or the measured
-    /// thread-rank count.
+    /// rank count.
     pub ranks: usize,
+    /// Transport the cell's measurement ran over: `"thread"` or
+    /// `"socket"` for measured cells, `"model"` for pure projections.
+    pub transport: String,
     /// Rating status (see [`CellStatus`]).
     pub status: CellStatus,
     /// Penalized GFLOP/s per rank — the benchmark's official metric.
@@ -125,6 +129,7 @@ impl CellReport {
             policy: policy.to_string(),
             nodes: None,
             ranks,
+            transport: String::new(),
             status: CellStatus::Rated,
             gflops_per_rank: None,
             gflops_per_rank_raw: None,

@@ -1,5 +1,5 @@
 //! Integration tests of the campaign harness: spec/report serde
-//! round-trips, the golden file pinning report schema v1, the Hybrid
+//! round-trips, the golden file pinning report schema v2, the Hybrid
 //! engine end to end on a tiny world, the unrated (`n/c`) honesty
 //! path, and the per-policy weak-scaling monotonicity property.
 
@@ -89,6 +89,7 @@ fn hybrid_campaign_end_to_end_reconciles_and_grounds_projections() {
     for policy in ["f64", "f32s-f64c"] {
         let measured = report.find_cell("s", policy, None, Some(2)).unwrap();
         assert_eq!(measured.status, CellStatus::Rated);
+        assert_eq!(measured.transport, "thread", "measured cells record their transport");
         assert_eq!(measured.reconciled, Some(true), "Hybrid cells carry the byte verdict");
         assert!(measured.spmv_value_bytes.unwrap() > 0.0);
         assert!(measured.bytes_per_iter_rank.unwrap() > 0.0);
@@ -129,14 +130,16 @@ fn breakdown_cells_are_unrated_and_render_nc() {
     assert!(row.contains("n/c"), "unrated row must print n/c: {row}");
 }
 
-/// The golden file pinning report schema v1: a fully-populated report
-/// with fixed values must serialize to the exact committed JSON. Any
-/// field addition/rename/reorder fails here until `REPORT_SCHEMA` is
+/// The golden file pinning report schema v2 (v1 + the per-cell
+/// `transport` field): a fully-populated report with fixed values must
+/// serialize to the exact committed JSON. Any field
+/// addition/rename/reorder fails here until `REPORT_SCHEMA` is
 /// bumped and the golden regenerated (set `UPDATE_GOLDEN=1` to
 /// rewrite, then commit the diff deliberately).
 #[test]
-fn report_schema_v1_matches_golden_file() {
+fn report_schema_v2_matches_golden_file() {
     let mut rated = CellReport::new("weak-scaling", SeriesMode::Hybrid, "f32s-f64c", 2);
+    rated.transport = "thread".into();
     rated.gflops_per_rank = Some(0.5);
     rated.gflops_per_rank_raw = Some(0.5);
     rated.bytes_per_iter_rank = Some(3488729.0);
@@ -148,6 +151,7 @@ fn report_schema_v1_matches_golden_file() {
     rated.reconciled = Some(true);
     rated.spmv_value_bytes = Some(442368.0);
     let mut modeled = CellReport::new("weak-scaling", SeriesMode::Hybrid, "f32s-f64c", 75264);
+    modeled.transport = "model".into();
     modeled.nodes = Some(9408);
     modeled.gflops_per_rank = Some(241.0);
     modeled.gflops_per_rank_raw = Some(241.0);
@@ -155,6 +159,7 @@ fn report_schema_v1_matches_golden_file() {
     modeled.penalty = Some(1.0);
     modeled.note = "penalty from measured validation on this host".into();
     let mut unrated = CellReport::new("stress", SeriesMode::Measured, "f16", 2);
+    unrated.transport = "socket".into();
     unrated.status = CellStatus::Unrated;
     unrated.nd = Some(22);
     unrated.nir = Some(88);
@@ -172,7 +177,7 @@ fn report_schema_v1_matches_golden_file() {
         cells: vec![rated, modeled, unrated],
     };
     let json = report.to_json();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/campaign_report_v1.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/campaign_report_v2.json");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(path, &json).unwrap();
     }

@@ -1,13 +1,20 @@
 //! Steady-state halo exchanges perform **zero heap allocations**.
 //!
 //! The comm-v2 redesign gives `HaloExchange` persistent per-neighbor
-//! staging buffers and the `ThreadWorld` transport a recycled buffer
-//! pool, so after a warm-up phase (which grows every buffer to its
-//! steady-state capacity) an exchange at any precision touches the
-//! allocator exactly zero times. This test pins that property with a
-//! counting global allocator: all ranks warm up, synchronize, and then
-//! run N more exchanges while the (process-global) allocation counter
-//! must not move.
+//! staging buffers and both transports recycled buffer pools
+//! (`ThreadWorld`: a world-shared pool; `SocketWorld`: per-peer pools
+//! plus per-connection staging), so after a warm-up phase (which grows
+//! every buffer to its steady-state capacity) an exchange at any
+//! precision touches the allocator exactly zero times. This test pins
+//! that property with a counting global allocator: all ranks warm up,
+//! synchronize, and then run N more exchanges while the allocation
+//! counter must not move.
+//!
+//! The counter is process-global, so *every* rank arms, reads, and
+//! asserts it: under `HPGMXP_COMM=thread` the ranks share one counter
+//! (arming is idempotent, the barriers fence the measured window);
+//! under `HPGMXP_COMM=socket` each rank process has its own counter
+//! and independently asserts its own transport stack stayed quiet.
 //!
 //! This file must stay a single-test binary: the global allocator and
 //! its counter are process-wide, and a concurrently running unrelated
@@ -55,9 +62,15 @@ static ALLOC: CountingAllocator = CountingAllocator;
 fn steady_state_exchange_allocates_nothing() {
     const WARMUP: usize = 100;
     const MEASURED: usize = 50;
-    let procs = ProcGrid::new(2, 2, 1);
+    let ranks = hpgmxp_comm::socket_world_size().unwrap_or(4);
+    let procs = match ranks {
+        2 => ProcGrid::new(2, 1, 1),
+        4 => ProcGrid::new(2, 2, 1),
+        8 => ProcGrid::new(2, 2, 2),
+        p => panic!("no process grid for {p} ranks"),
+    };
 
-    let counted = run_spmd(4, move |c| {
+    let counted = run_spmd(ranks, move |c| {
         let prob = assemble(
             &ProblemSpec {
                 local: (6, 6, 6),
@@ -73,7 +86,7 @@ fn steady_state_exchange_allocates_nothing() {
         let mut x64 = vec![0.5f64; l.vec_len()];
         let mut x32 = vec![0.5f32; l.vec_len()];
 
-        // Warm-up: grow the staging buffers, transport pool, and
+        // Warm-up: grow the staging buffers, transport pools, and
         // mailbox deques to steady-state capacity at both precisions.
         // The per-round barrier bounds the number of simultaneously
         // in-flight pool buffers to one round's worth, so the pool's
@@ -81,29 +94,26 @@ fn steady_state_exchange_allocates_nothing() {
         // measured phase below (which keeps the same per-round bound);
         // without it a fast rank can set a new in-flight record — and
         // force one pool growth — mid-measurement, scheduler-dependent.
-        // `Barrier::wait` itself never touches the allocator.
+        // Neither transport's barrier touches the allocator once warm.
         for i in 0..WARMUP as u64 {
             l.halo.exchange(&c, 2 * i, &mut x64, &tl);
             l.halo.exchange(&c, 2 * i + 1, &mut x32, &tl);
             c.barrier();
         }
 
-        // Everyone parks between the barriers doing nothing but
-        // exchanges, so the process-global counter isolates the
-        // steady-state exchange path.
+        // Transport pools may still hold buffers that only ever
+        // carried the smaller (f32) messages; grow them to the widest
+        // message once, while nothing is in flight, so no stale buffer
+        // can trigger a realloc at a scheduler-dependent moment
+        // mid-measurement. Every rank prewarms: under threads the
+        // world pool is shared (idempotent), under sockets each
+        // process owns its pools and must do its own.
         c.barrier();
-        if c.rank() == 0 {
-            // The world-shared transport pool may still hold buffers
-            // that only ever carried the smaller (f32) messages; grow
-            // them to the widest message once, while nothing is in
-            // flight, so no stale buffer can trigger a realloc at a
-            // scheduler-dependent moment mid-measurement.
-            let widest =
-                l.halo.plan().neighbors.iter().map(|n| n.staging_bytes(8)).max().unwrap_or(0);
-            c.prewarm_pool(widest);
-            ALLOCATIONS.store(0, Ordering::SeqCst);
-            ARMED.store(true, Ordering::SeqCst);
-        }
+        let widest = l.halo.plan().neighbors.iter().map(|n| n.staging_bytes(8)).max().unwrap_or(0);
+        c.prewarm_pool(widest);
+        c.barrier();
+        ALLOCATIONS.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
         c.barrier();
 
         for i in 0..MEASURED as u64 {
@@ -114,23 +124,19 @@ fn steady_state_exchange_allocates_nothing() {
         }
 
         c.barrier();
-        let count = if c.rank() == 0 {
-            ARMED.store(false, Ordering::SeqCst);
-            Some(ALLOCATIONS.load(Ordering::SeqCst))
-        } else {
-            None
-        };
-        c.barrier();
-        count
+        ARMED.store(false, Ordering::SeqCst);
+        (ALLOCATIONS.load(Ordering::SeqCst), LAST_SIZE.load(Ordering::SeqCst))
     });
 
-    let allocations = counted[0].expect("rank 0 reports the counter");
-    assert_eq!(
-        allocations,
-        0,
-        "steady-state halo exchange must not touch the allocator: \
-         {allocations} allocations across {MEASURED} exchange rounds on 4 ranks \
-         (last size tag: {:#x})",
-        LAST_SIZE.load(Ordering::SeqCst)
-    );
+    // Thread mode returns all ranks (one shared counter), socket mode
+    // this process's rank alone (its own counter) — every entry must
+    // be zero either way.
+    for (allocations, last_size) in counted {
+        assert_eq!(
+            allocations, 0,
+            "steady-state halo exchange must not touch the allocator: \
+             {allocations} allocations across {MEASURED} exchange rounds on {ranks} ranks \
+             (last size tag: {last_size:#x})"
+        );
+    }
 }
