@@ -3,7 +3,7 @@
 //! Spawns N copies of a command as socket ranks of one job:
 //!
 //! ```text
-//! hpgmxp-launch -n 4 [--timeout-secs 300] [--port P] -- cargo run --bin fig9_trace
+//! hpgmxp-launch -n 4 [--timeout-secs 300] [--port P] [--retries N] [--restore] -- cargo run --bin fig9_trace
 //! ```
 //!
 //! Each child gets `HPGMXP_RANK` (0..N), `HPGMXP_RANKS`, `HPGMXP_PORT`
@@ -21,31 +21,26 @@
 //! * a job exceeding `--timeout-secs` (default 300) is killed the same
 //!   way and the launcher exits 124, so a deadlocked mesh fails fast
 //!   instead of hanging a CI runner;
-//! * all ranks exiting zero is success.
+//! * with `--retries N`, a failed job is relaunched up to N times with
+//!   `HPGMXP_RESTORE=1` set so checkpoint-aware workloads resume from
+//!   their last committed state instead of restarting cold;
+//! * all ranks exiting zero is success;
+//! * bad arguments print usage and exit 2 — distinct from rank-failure
+//!   codes and the timeout code, so scripts can tell operator error
+//!   from job failure.
 //!
-//! The hidden `_worker` subcommand is a tiny built-in SPMD workload
-//! (collective + ring-exchange rounds) used by the launcher's own
-//! integration tests to exercise the happy path, the rank-death path
-//! (`--crash-rank`), and the timeout path (`--hang-rank`) without
-//! compiling a second binary.
+//! The actual parsing and supervision lives in [`hpgmxp_comm::launch`]
+//! so integration tests can drive jobs in-process. The hidden `_worker`
+//! subcommand is a tiny built-in SPMD workload (collective +
+//! ring-exchange rounds) used by the launcher's own integration tests
+//! to exercise the happy path, the rank-death path (`--crash-rank`),
+//! and the timeout path (`--hang-rank`) without compiling a second
+//! binary; it arms `HPGMXP_FAULT_PLAN` wire faults automatically,
+//! making it the chaos-matrix payload too.
 
-use hpgmxp_comm::{run_spmd, Comm, ReduceOp};
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Read};
-use std::net::TcpListener;
-use std::process::{Child, Command, Stdio};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
-
-/// Lines of per-rank output kept for the failure report.
-const TAIL_LINES: usize = 40;
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: hpgmxp-launch -n <ranks> [--timeout-secs T] [--port P] -- <command> [args...]"
-    );
-    std::process::exit(2);
-}
+use hpgmxp_comm::launch::{self, USAGE};
+use hpgmxp_comm::{run_spmd, Comm, FaultPlan, FaultyComm, ReduceOp};
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,160 +49,21 @@ fn main() {
         return;
     }
 
-    let mut ranks: Option<usize> = None;
-    let mut timeout = Duration::from_secs(300);
-    let mut port: Option<u16> = None;
-    let mut cmd: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "-n" | "--ranks" => {
-                ranks = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
-            }
-            "--timeout-secs" => {
-                let t: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                timeout = Duration::from_secs(t);
-            }
-            "--port" => {
-                port = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
-            }
-            "--" => {
-                cmd = it.collect();
-                break;
-            }
-            _ => usage(),
-        }
-    }
-    let ranks = ranks.unwrap_or_else(|| usage());
-    if ranks == 0 || cmd.is_empty() {
-        usage();
-    }
-    let port = port.unwrap_or_else(free_port);
-
-    let mut children: Vec<Child> = Vec::with_capacity(ranks);
-    let mut tails: Vec<Arc<Mutex<VecDeque<String>>>> = Vec::with_capacity(ranks);
-    for rank in 0..ranks {
-        let mut c = Command::new(&cmd[0]);
-        c.args(&cmd[1..])
-            .env("HPGMXP_COMM", "socket")
-            .env("HPGMXP_RANK", rank.to_string())
-            .env("HPGMXP_RANKS", ranks.to_string())
-            .env("HPGMXP_PORT", port.to_string())
-            .stdin(Stdio::null())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped());
-        let mut child = match c.spawn() {
-            Ok(child) => child,
-            Err(e) => {
-                eprintln!("[launch] failed to spawn rank {rank} ({}): {e}", cmd[0]);
-                kill_all(&mut children);
-                std::process::exit(1);
-            }
-        };
-        let tail = Arc::new(Mutex::new(VecDeque::with_capacity(TAIL_LINES)));
-        pump(rank, child.stdout.take().expect("piped stdout"), false, Arc::clone(&tail));
-        pump(rank, child.stderr.take().expect("piped stderr"), true, Arc::clone(&tail));
-        println!("[launch] rank {rank} pid={} port={port}", child.id());
-        children.push(child);
-        tails.push(tail);
-    }
-
-    let started = Instant::now();
-    let mut statuses: Vec<Option<std::process::ExitStatus>> = vec![None; ranks];
-    loop {
-        for (rank, child) in children.iter_mut().enumerate() {
-            if statuses[rank].is_none() {
-                if let Some(st) = child.try_wait().unwrap_or(None) {
-                    statuses[rank] = Some(st);
-                }
-            }
-        }
-        let dead: Vec<usize> = statuses
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_some_and(|s| !s.success()))
-            .map(|(r, _)| r)
-            .collect();
-        if !dead.is_empty() {
-            for r in &dead {
-                eprintln!("[launch] rank {r} died ({})", statuses[*r].expect("observed above"));
-            }
-            kill_all(&mut children);
-            print_tails(&tails);
-            let code = statuses[dead[0]].and_then(|s| s.code()).unwrap_or(1);
-            std::process::exit(if code == 0 { 1 } else { code });
-        }
-        if statuses.iter().all(Option::is_some) {
-            println!("[launch] all {ranks} ranks exited cleanly");
-            std::process::exit(0);
-        }
-        if started.elapsed() > timeout {
-            eprintln!(
-                "[launch] job exceeded --timeout-secs {} — killing all ranks",
-                timeout.as_secs()
-            );
-            kill_all(&mut children);
-            print_tails(&tails);
-            std::process::exit(124);
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    }
-}
-
-/// Probe a free rendezvous port by binding ephemeral and releasing it.
-fn free_port() -> u16 {
-    TcpListener::bind(("127.0.0.1", 0))
-        .expect("probe free port")
-        .local_addr()
-        .expect("probe local addr")
-        .port()
-}
-
-/// Kill and reap every still-running child (reaping prevents zombies —
-/// the no-orphans guarantee the fault-path test verifies by PID).
-fn kill_all(children: &mut [Child]) {
-    for child in children.iter_mut() {
-        let _ = child.kill();
-    }
-    for child in children.iter_mut() {
-        let _ = child.wait();
-    }
-}
-
-fn print_tails(tails: &[Arc<Mutex<VecDeque<String>>>]) {
-    // Let the pump threads drain what the dead children last wrote.
-    std::thread::sleep(Duration::from_millis(100));
-    eprintln!("[launch] last output of each rank:");
-    for (rank, tail) in tails.iter().enumerate() {
-        for line in tail.lock().unwrap_or_else(|e| e.into_inner()).iter() {
-            eprintln!("[rank {rank}] {line}");
+    match launch::parse_args(&args) {
+        Ok(config) => std::process::exit(launch::run_job(&config)),
+        Err(msg) => {
+            eprintln!("hpgmxp-launch: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
         }
     }
 }
 
-/// Forward one child stream line-by-line with a rank prefix, keeping a
-/// bounded tail for the failure report.
-fn pump(
-    rank: usize,
-    stream: impl Read + Send + 'static,
-    to_stderr: bool,
-    tail: Arc<Mutex<VecDeque<String>>>,
-) {
-    std::thread::spawn(move || {
-        for line in BufReader::new(stream).lines() {
-            let Ok(line) = line else { break };
-            if to_stderr {
-                eprintln!("[rank {rank}] {line}");
-            } else {
-                println!("[rank {rank}] {line}");
-            }
-            let mut t = tail.lock().unwrap_or_else(|e| e.into_inner());
-            if t.len() == TAIL_LINES {
-                t.pop_front();
-            }
-            t.push_back(line);
-        }
-    });
+fn worker_usage() -> ! {
+    eprintln!(
+        "usage: hpgmxp-launch _worker [--rounds N] [--crash-rank R] [--crash-round N] [--hang-rank R]"
+    );
+    std::process::exit(2);
 }
 
 /// The built-in SPMD test workload (see module docs).
@@ -218,21 +74,27 @@ fn worker(args: &[String]) {
     let mut hang_rank: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut val = || it.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| usage());
+        let mut val =
+            || it.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| worker_usage());
         match arg.as_str() {
             "--rounds" => rounds = val(),
             "--crash-rank" => crash_rank = Some(val()),
             "--crash-round" => crash_round = val(),
             "--hang-rank" => hang_rank = Some(val()),
-            _ => usage(),
+            _ => worker_usage(),
         }
     }
     let size: usize = std::env::var("HPGMXP_RANKS")
         .ok()
         .and_then(|v| v.parse().ok())
         .expect("worker must run under hpgmxp-launch");
-    run_spmd(size, |c| {
+    let plan = FaultPlan::from_env();
+    run_spmd(size, move |c| {
         let rank = c.rank();
+        // Comm-level faults (scripted crash/hang, reorder) layer on top
+        // of the wire-level interposer the socket world arms itself.
+        let c = FaultyComm::new(c, plan.clone().unwrap_or_else(|| FaultPlan::clean(0)))
+            .with_process_exit();
         for round in 0..rounds {
             if hang_rank == Some(rank) && round == 1 {
                 println!("rank {rank} hanging deliberately");
@@ -244,13 +106,25 @@ fn worker(args: &[String]) {
             }
             // A solve-shaped round: a global reduction plus a ring
             // halo exchange, with real wall time in between.
-            let sum = c.allreduce_scalar((rank + round) as f64, ReduceOp::Sum);
+            let sum = match c.allreduce_scalar_checked((rank + round) as f64, ReduceOp::Sum) {
+                Ok(sum) => sum,
+                Err(e) => {
+                    eprintln!("rank {rank}: {e}");
+                    std::process::exit(9);
+                }
+            };
             if c.size() > 1 {
                 let next = (rank + 1) % c.size();
                 let prev = (rank + c.size() - 1) % c.size();
-                c.send_from(next, round as u64, &(rank as u64).to_le_bytes());
+                let payload = (rank as u64).to_le_bytes();
                 let mut buf = [0u8; 8];
-                c.recv_into(prev, round as u64, &mut buf);
+                let exchanged = c
+                    .send_from_checked(next, round as u64, &payload)
+                    .and_then(|_| c.recv_into_checked(prev, round as u64, &mut buf));
+                if let Err(e) = exchanged {
+                    eprintln!("rank {rank}: {e}");
+                    std::process::exit(9);
+                }
                 assert_eq!(u64::from_le_bytes(buf), prev as u64);
             }
             println!("round {round} ok (sum {sum})");

@@ -13,6 +13,7 @@
 //! of receiving in a fixed order — the `MPI_Waitany` pattern the halo
 //! engine uses to unpack ghosts as they arrive.
 
+use crate::error::CommResult;
 use hpgmxp_sparse::half::{f16_bits_to_f32, f32_to_f16_bits};
 use hpgmxp_sparse::Scalar;
 
@@ -127,6 +128,56 @@ pub trait Comm: Send + Sync {
         let mut buf = [val];
         self.allreduce(&mut buf, op);
         buf[0]
+    }
+
+    // ---- fallible variants ------------------------------------------
+    //
+    // The `*_checked` family returns a typed [`CommError`] where the
+    // legacy methods panic, so solvers can propagate a peer failure up
+    // to a diagnostic exit instead of unwinding. Backends with real
+    // fault detection (thread/socket worlds) override these; the
+    // defaults wrap the infallible calls, which is exact for backends
+    // that cannot fail (`SelfComm`, the machine model's comm).
+
+    /// Fallible [`Comm::send_from`]: a send on a dead connection
+    /// returns the fault instead of panicking.
+    fn send_from_checked(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        self.send_from(to, tag, bytes);
+        Ok(())
+    }
+
+    /// Fallible [`Comm::recv_into`]: a failed peer or an elapsed
+    /// receive deadline returns a typed fault naming the peer and tag.
+    fn recv_into_checked(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        self.recv_into(from, tag, out);
+        Ok(())
+    }
+
+    /// Fallible [`Comm::wait_any`].
+    fn wait_any_checked<'p>(
+        &self,
+        posts: &mut [Option<RecvPost<'p>>],
+    ) -> CommResult<Option<(usize, RecvPost<'p>)>> {
+        Ok(self.wait_any(posts))
+    }
+
+    /// Fallible [`Comm::allreduce`].
+    fn allreduce_checked(&self, vals: &mut [f64], op: ReduceOp) -> CommResult<()> {
+        self.allreduce(vals, op);
+        Ok(())
+    }
+
+    /// Fallible [`Comm::allreduce_scalar`].
+    fn allreduce_scalar_checked(&self, val: f64, op: ReduceOp) -> CommResult<f64> {
+        let mut buf = [val];
+        self.allreduce_checked(&mut buf, op)?;
+        Ok(buf[0])
+    }
+
+    /// Fallible [`Comm::barrier`].
+    fn barrier_checked(&self) -> CommResult<()> {
+        self.barrier();
+        Ok(())
     }
 
     /// Typed send of a scalar slice (setup-path convenience; packs

@@ -8,9 +8,15 @@
 //!      0     4  magic   0x4D_46_50_48 ("HPFM")
 //!      4     4  from    sending rank
 //!      8     4  len     payload length in bytes
-//!     12     4  reserved (zero; rejected otherwise)
+//!     12     4  crc     CRC32 (IEEE) of the payload bytes
 //!     16     8  tag     message tag
 //! ```
+//!
+//! The CRC turns a corrupted frame from silent bad numerics into a
+//! rank-attributed protocol error: [`read_frame`] recomputes the
+//! payload checksum and refuses a mismatch with `InvalidData`, which
+//! the socket transport converts into a "corrupt frame from rank R"
+//! fault on that connection.
 //!
 //! The reader side is written against plain [`std::io::Read`] streams
 //! and survives arbitrary short reads (a TCP segment boundary can land
@@ -38,6 +44,34 @@ pub const HEADER_LEN: usize = 24;
 /// could take down a rank on a bad length field.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
 
+/// CRC32 (IEEE, reflected polynomial 0xEDB88320) lookup table, built
+/// at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum carried in every frame
+/// header and in the checkpoint file trailer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Decoded frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
@@ -47,6 +81,8 @@ pub struct FrameHeader {
     pub tag: u64,
     /// Payload length in bytes.
     pub len: u32,
+    /// CRC32 of the payload bytes.
+    pub crc: u32,
 }
 
 impl FrameHeader {
@@ -56,20 +92,18 @@ impl FrameHeader {
         h[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
         h[4..8].copy_from_slice(&self.from.to_le_bytes());
         h[8..12].copy_from_slice(&self.len.to_le_bytes());
-        // bytes 12..16 stay zero (reserved)
+        h[12..16].copy_from_slice(&self.crc.to_le_bytes());
         h[16..24].copy_from_slice(&self.tag.to_le_bytes());
         h
     }
 
-    /// Decode and validate the 24-byte wire form.
+    /// Decode and validate the 24-byte wire form. The payload CRC is
+    /// carried through; [`read_frame`] verifies it once the payload
+    /// bytes are in hand.
     pub fn decode(h: &[u8; HEADER_LEN]) -> Result<FrameHeader, String> {
         let magic = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
         if magic != FRAME_MAGIC {
             return Err(format!("bad frame magic {magic:#010x} (expected {FRAME_MAGIC:#010x})"));
-        }
-        let reserved = u32::from_le_bytes([h[12], h[13], h[14], h[15]]);
-        if reserved != 0 {
-            return Err(format!("nonzero reserved field {reserved:#x} in frame header"));
         }
         let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
         if len > MAX_FRAME_LEN {
@@ -79,6 +113,7 @@ impl FrameHeader {
             from: u32::from_le_bytes([h[4], h[5], h[6], h[7]]),
             tag: u64::from_le_bytes([h[16], h[17], h[18], h[19], h[20], h[21], h[22], h[23]]),
             len,
+            crc: u32::from_le_bytes([h[12], h[13], h[14], h[15]]),
         })
     }
 }
@@ -96,7 +131,9 @@ pub fn stage_frame(out: &mut Vec<u8>, from: usize, tag: u64, payload: &[u8]) {
         "refusing to send a {} byte frame (limit {MAX_FRAME_LEN})",
         payload.len()
     );
-    let header = FrameHeader { from: from as u32, tag, len: payload.len() as u32 }.encode();
+    let header =
+        FrameHeader { from: from as u32, tag, len: payload.len() as u32, crc: crc32(payload) }
+            .encode();
     out.clear();
     out.extend_from_slice(&header);
     out.extend_from_slice(payload);
@@ -153,6 +190,16 @@ pub fn read_frame<R: Read + ?Sized>(
             format!("stream ended before the {}-byte payload of tag {}", header.len, header.tag),
         ));
     }
+    let got = crc32(&payload);
+    if got != header.crc {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "corrupt frame from rank {} (tag {}): payload CRC {got:#010x} != header CRC {:#010x}",
+                header.from, header.tag, header.crc
+            ),
+        ));
+    }
     Ok(Some((header, payload)))
 }
 
@@ -183,28 +230,52 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = FrameHeader { from: 3, tag: 0xDEAD_BEEF_0042, len: 4096 };
+        let h = FrameHeader { from: 3, tag: 0xDEAD_BEEF_0042, len: 4096, crc: 0x1234_5678 };
         assert_eq!(FrameHeader::decode(&h.encode()).unwrap(), h);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut e = FrameHeader { from: 0, tag: 0, len: 0 }.encode();
+        let mut e = FrameHeader { from: 0, tag: 0, len: 0, crc: 0 }.encode();
         e[0] ^= 0xFF;
         let err = FrameHeader::decode(&e).unwrap_err();
         assert!(err.contains("bad frame magic"), "{err}");
     }
 
     #[test]
-    fn nonzero_reserved_rejected() {
-        let mut e = FrameHeader { from: 0, tag: 0, len: 0 }.encode();
-        e[13] = 1;
-        assert!(FrameHeader::decode(&e).unwrap_err().contains("reserved"));
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn corrupt_payload_rejected_with_rank_attribution() {
+        // Flip one payload byte after staging: the reader must refuse
+        // the frame and name the sending rank.
+        let mut bytes = frame_bytes(2, 9, b"good data");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let mut r = Cursor::new(bytes);
+        let err = read_frame(&mut r, Vec::with_capacity).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt frame from rank 2"), "{msg}");
+        assert!(msg.contains("CRC"), "{msg}");
+    }
+
+    #[test]
+    fn corrupt_crc_field_rejected() {
+        let mut bytes = frame_bytes(0, 1, b"payload");
+        bytes[13] ^= 0xFF; // inside the header CRC field
+        let mut r = Cursor::new(bytes);
+        let err = read_frame(&mut r, Vec::with_capacity).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
     }
 
     #[test]
     fn oversized_len_rejected_by_reader() {
-        let mut e = FrameHeader { from: 0, tag: 0, len: 0 }.encode();
+        let mut e = FrameHeader { from: 0, tag: 0, len: 0, crc: 0 }.encode();
         e[8..12].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
         let err = FrameHeader::decode(&e).unwrap_err();
         assert!(err.contains("oversized frame"), "{err}");
@@ -228,7 +299,7 @@ mod tests {
         let bytes = frame_bytes(2, 77, b"hello halo");
         let mut r = Cursor::new(bytes);
         let (h, p) = read_frame(&mut r, Vec::with_capacity).unwrap().unwrap();
-        assert_eq!(h, FrameHeader { from: 2, tag: 77, len: 10 });
+        assert_eq!(h, FrameHeader { from: 2, tag: 77, len: 10, crc: crc32(b"hello halo") });
         assert_eq!(p, b"hello halo");
         assert!(read_frame(&mut r, Vec::with_capacity).unwrap().is_none(), "clean EOF");
     }
@@ -351,7 +422,9 @@ mod tests {
                         (0..len).map(|i| (i * 31 + from * 7 + tag as usize) as u8).collect();
                     stage_frame(&mut staged, from, tag, &payload);
                     wire.extend_from_slice(&staged);
-                    (FrameHeader { from: from as u32, tag, len: len as u32 }, payload)
+                    let h =
+                        FrameHeader { from: from as u32, tag, len: len as u32, crc: crc32(&payload) };
+                    (h, payload)
                 })
                 .collect();
             let mut r = SplitReader { inner: Cursor::new(wire), splits, next: 0 };

@@ -32,6 +32,7 @@
 //! enjoys.
 
 use crate::comm::{unpack_wire, Comm, RecvPost};
+use crate::error::CommResult;
 use crate::timeline::{OverlapRecord, Stream, Timeline};
 use hpgmxp_geometry::HaloPlan;
 use hpgmxp_sparse::Scalar;
@@ -146,6 +147,18 @@ impl HaloExchange {
         self.begin_wire(comm, tag, x, S::BYTES, tl)
     }
 
+    /// [`HaloExchange::begin`] that reports transport faults instead of
+    /// panicking — the fault-tolerant solver path.
+    pub fn begin_checked<'a, S: Scalar, C: Comm>(
+        &'a self,
+        comm: &C,
+        tag: u64,
+        x: &[S],
+        tl: &Timeline,
+    ) -> CommResult<ActiveExchange<'a, S>> {
+        self.begin_wire_checked(comm, tag, x, S::BYTES, tl)
+    }
+
     /// [`HaloExchange::begin`] with the ghost **wire format** chosen at
     /// runtime, independently of the compute scalar `S` (the precision
     /// policy's wire axis): boundary values are rounded to
@@ -160,6 +173,20 @@ impl HaloExchange {
         wire_bytes: usize,
         tl: &Timeline,
     ) -> ActiveExchange<'a, S> {
+        self.begin_wire_checked(comm, tag, x, wire_bytes, tl).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`HaloExchange::begin_wire`] that reports transport faults
+    /// instead of panicking. On error the staging-buffer lock is
+    /// released, so a caller that recovers can begin a fresh exchange.
+    pub fn begin_wire_checked<'a, S: Scalar, C: Comm>(
+        &'a self,
+        comm: &C,
+        tag: u64,
+        x: &[S],
+        wire_bytes: usize,
+        tl: &Timeline,
+    ) -> CommResult<ActiveExchange<'a, S>> {
         assert!(x.len() >= self.n_local + self.num_ghosts());
         let mut bufs = self
             .bufs
@@ -180,10 +207,10 @@ impl HaloExchange {
                 pack_secs += tl.now() - t0;
             }
             let _send_span = tl.span("halo send", Stream::Comm);
-            comm.send_from(nbr.rank as usize, tag, buf);
+            comm.send_from_checked(nbr.rank as usize, tag, buf)?;
             bytes_sent += buf.len();
         }
-        ActiveExchange {
+        Ok(ActiveExchange {
             hx: self,
             bufs,
             tag,
@@ -192,13 +219,25 @@ impl HaloExchange {
             bytes_sent,
             begin_end: if traced { tl.now() } else { 0.0 },
             _precision: PhantomData,
-        }
+        })
     }
 
     /// Blocking exchange: `begin` immediately followed by `finish`
     /// (the reference implementation's non-overlapped pattern, §3.1).
     pub fn exchange<S: Scalar, C: Comm>(&self, comm: &C, tag: u64, x: &mut [S], tl: &Timeline) {
         self.begin(comm, tag, x, tl).finish(comm, x, tl);
+    }
+
+    /// [`HaloExchange::exchange`] that reports transport faults instead
+    /// of panicking.
+    pub fn exchange_checked<S: Scalar, C: Comm>(
+        &self,
+        comm: &C,
+        tag: u64,
+        x: &mut [S],
+        tl: &Timeline,
+    ) -> CommResult<()> {
+        self.begin_checked(comm, tag, x, tl)?.finish_checked(comm, x, tl)
     }
 
     /// Blocking exchange at an explicit wire width (see
@@ -212,6 +251,19 @@ impl HaloExchange {
         tl: &Timeline,
     ) {
         self.begin_wire(comm, tag, x, wire_bytes, tl).finish(comm, x, tl);
+    }
+
+    /// [`HaloExchange::exchange_wire`] that reports transport faults
+    /// instead of panicking.
+    pub fn exchange_wire_checked<S: Scalar, C: Comm>(
+        &self,
+        comm: &C,
+        tag: u64,
+        x: &mut [S],
+        wire_bytes: usize,
+        tl: &Timeline,
+    ) -> CommResult<()> {
+        self.begin_wire_checked(comm, tag, x, wire_bytes, tl)?.finish_checked(comm, x, tl)
     }
 
     /// Values sent per exchange (per rank), for communication-volume
@@ -264,7 +316,20 @@ impl<S: Scalar> ActiveExchange<'_, S> {
     /// land — and scatter each into the ghost region of `x` while later
     /// messages are still in flight. Consumes the handle; records an
     /// [`OverlapRecord`] on the timeline.
-    pub fn finish<C: Comm>(mut self, comm: &C, x: &mut [S], tl: &Timeline) {
+    pub fn finish<C: Comm>(self, comm: &C, x: &mut [S], tl: &Timeline) {
+        self.finish_checked(comm, x, tl).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`ActiveExchange::finish`] that reports transport faults (a dead
+    /// or hung neighbor, a corrupt frame) instead of panicking. The
+    /// handle is consumed either way, so the staging buffers are free
+    /// for a post-recovery exchange.
+    pub fn finish_checked<C: Comm>(
+        mut self,
+        comm: &C,
+        x: &mut [S],
+        tl: &Timeline,
+    ) -> CommResult<()> {
         let hx = self.hx;
         assert!(x.len() >= hx.n_local + hx.num_ghosts());
         let traced = tl.is_enabled();
@@ -285,7 +350,7 @@ impl<S: Scalar> ActiveExchange<'_, S> {
             let t0 = if traced { tl.now() } else { 0.0 };
             let completed = {
                 let _wait_span = tl.span("halo wait", Stream::Comm);
-                comm.wait_any(&mut posts[..nbrs.len()])
+                comm.wait_any_checked(&mut posts[..nbrs.len()])?
             };
             let Some((slot, post)) = completed else { break };
             let t1 = if traced {
@@ -318,6 +383,7 @@ impl<S: Scalar> ActiveExchange<'_, S> {
         }
         // Dropping `self` releases the staging buffers for the next
         // exchange on this level.
+        Ok(())
     }
 }
 

@@ -39,8 +39,11 @@
 //! the MPI original; only the transport (channels vs. NIC) differs.
 
 pub mod comm;
+pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod halo;
+pub mod launch;
 mod mailbox;
 pub mod socket_world;
 pub mod thread_world;
@@ -48,8 +51,10 @@ pub mod timeline;
 pub mod world;
 
 pub use comm::{Comm, RecvPost, ReduceOp, SelfComm};
+pub use error::{CommError, CommErrorKind, CommResult};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyComm};
 pub use halo::{ActiveExchange, HaloExchange};
 pub use socket_world::{SocketComm, SocketWorld};
-pub use thread_world::{run_threads, ThreadComm, ThreadWorld};
+pub use thread_world::{run_threads, run_threads_fallible, ThreadComm, ThreadWorld};
 pub use timeline::{OverlapRecord, Stream, Timeline, TimelineEvent};
 pub use world::{run_spmd, socket_world_size, Transport, WorldComm};

@@ -11,20 +11,31 @@
 //!
 //! The mailbox also owns the *fault* channel of a transport: a reader
 //! thread that loses its peer (socket EOF mid-run) calls [`Mailbox::fail`],
-//! which wakes every blocked receive so the rank dies with a clear
-//! "connection to rank R lost" panic instead of hanging forever — the
-//! stalled-rank failure mode the launcher's timeout then cleans up.
+//! which wakes every blocked receive so the rank fails with a clear
+//! "connection to rank R lost" diagnostic instead of hanging forever.
 //! Faults are tracked *per peer*: ranks of one job finish at slightly
 //! different moments, so an EOF from an already-finished peer must not
 //! poison a receive from a still-live one. Only an operation that
 //! needs the faulted peer (a receive from it, a post on it, a barrier
-//! — which needs everyone) panics.
+//! — which needs everyone) fails. Parked messages are always checked
+//! *before* faults, so data a peer delivered before dying stays
+//! receivable.
+//!
+//! A mailbox may carry a **receive deadline**: every blocking receive
+//! then returns a typed [`CommError`] of kind `Timeout` once it has
+//! waited that long — the detector for a peer that is alive (still
+//! heartbeating) but wedged. The `*_checked` methods return
+//! [`CommResult`]; the legacy methods wrap them and panic with the
+//! same messages they always produced.
 
 use crate::comm::RecvPost;
+use crate::error::{CommError, CommErrorKind, CommResult};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// One delivered message, owning its (pool-recycled) byte buffer.
+#[derive(Debug)]
 pub(crate) struct Message {
     pub from: usize,
     pub tag: u64,
@@ -33,22 +44,33 @@ pub(crate) struct Message {
 
 struct Queue {
     messages: VecDeque<Message>,
-    /// Per-peer transport faults (connection closed or lost); each
-    /// peer's entry is set at most once.
-    faults: BTreeMap<usize, String>,
+    /// Per-peer transport faults (connection closed, lost, or corrupt);
+    /// each peer's entry is set at most once.
+    faults: BTreeMap<usize, (CommErrorKind, String)>,
 }
 
 /// Arrival-ordered inbox of one rank.
 pub(crate) struct Mailbox {
     queue: Mutex<Queue>,
     arrived: Condvar,
+    /// Bound on how long a blocking receive may wait (`None` = forever).
+    deadline: Option<Duration>,
 }
 
 impl Mailbox {
+    /// A mailbox with no receive deadline (tests, simple worlds).
+    #[allow(dead_code)]
     pub fn new() -> Self {
+        Self::with_deadline(None)
+    }
+
+    /// A mailbox whose blocking receives give up (with a `Timeout`
+    /// fault) after `deadline`.
+    pub fn with_deadline(deadline: Option<Duration>) -> Self {
         Mailbox {
             queue: Mutex::new(Queue { messages: VecDeque::new(), faults: BTreeMap::new() }),
             arrived: Condvar::new(),
+            deadline,
         }
     }
 
@@ -63,11 +85,17 @@ impl Mailbox {
     /// Record a transport fault on the connection to `from` and wake
     /// every blocked receive (waiters re-check whether the peer they
     /// need is the one that went away).
-    pub fn fail(&self, from: usize, why: String) {
+    pub fn fail(&self, from: usize, kind: CommErrorKind, why: String) {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-        q.faults.entry(from).or_insert(why);
+        q.faults.entry(from).or_insert((kind, why));
         drop(q);
         self.arrived.notify_all();
+    }
+
+    /// The fault recorded for `from`, if any (diagnostics).
+    #[allow(dead_code)]
+    pub fn fault_of(&self, from: usize) -> Option<(CommErrorKind, String)> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).faults.get(&from).cloned()
     }
 
     /// Grow the parked-message deque to hold at least `slots` messages
@@ -108,18 +136,78 @@ impl Mailbox {
         out
     }
 
-    /// Blocking receive of the next message matching `(from, tag)`.
-    pub fn recv_matching(&self, from: usize, tag: u64) -> Message {
+    /// Wait on the condvar, honoring the receive deadline. Returns the
+    /// re-acquired guard, or a `Timeout` fault once `started` is older
+    /// than the deadline.
+    fn wait<'a>(
+        &'a self,
+        q: MutexGuard<'a, Queue>,
+        started: Instant,
+        what: impl FnOnce() -> CommError,
+    ) -> CommResult<MutexGuard<'a, Queue>> {
+        match self.deadline {
+            None => Ok(self.arrived.wait(q).unwrap_or_else(|e| e.into_inner())),
+            Some(deadline) => {
+                let elapsed = started.elapsed();
+                if elapsed >= deadline {
+                    return Err(what().with_elapsed(elapsed));
+                }
+                let (q, _) = self
+                    .arrived
+                    .wait_timeout(q, deadline - elapsed)
+                    .unwrap_or_else(|e| e.into_inner());
+                Ok(q)
+            }
+        }
+    }
+
+    fn timeout_error(&self, from: usize, tag: u64) -> CommError {
+        let d = self.deadline.unwrap_or_default();
+        CommError::new(
+            CommErrorKind::Timeout,
+            Some(from),
+            format!(
+                "no message from rank {from} (tag {tag}) within the {:.3}s receive deadline \
+                 (peer hung?)",
+                d.as_secs_f64()
+            ),
+        )
+        .with_tag(tag)
+    }
+
+    fn fault_error(from: usize, tag: Option<u64>, kind: CommErrorKind, why: &str) -> CommError {
+        let mut e = CommError::new(kind, Some(from), why.to_string());
+        if let Some(tag) = tag {
+            e = e.with_tag(tag);
+        }
+        e
+    }
+
+    /// Blocking receive of the next message matching `(from, tag)`,
+    /// returning a typed fault if the peer failed or the receive
+    /// deadline elapsed.
+    pub fn recv_matching_checked(&self, from: usize, tag: u64) -> CommResult<Message> {
+        let started = Instant::now();
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(pos) = q.messages.iter().position(|m| m.from == from && m.tag == tag) {
-                return q.messages.remove(pos).expect("position is in range");
+                return Ok(q.messages.remove(pos).expect("position is in range"));
             }
-            if let Some(why) = q.faults.get(&from) {
-                panic!("receive from rank {from} (tag {tag}) cannot complete: {why}");
+            if let Some((kind, why)) = q.faults.get(&from) {
+                return Err(
+                    Self::fault_error(from, Some(tag), *kind, why).with_elapsed(started.elapsed())
+                );
             }
-            q = self.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+            q = self.wait(q, started, || self.timeout_error(from, tag))?;
         }
+    }
+
+    /// Blocking receive of the next message matching `(from, tag)`.
+    /// Panics on a fault or deadline — the legacy loud-failure path.
+    pub fn recv_matching(&self, from: usize, tag: u64) -> Message {
+        self.recv_matching_checked(from, tag).unwrap_or_else(|e| {
+            panic!("receive from rank {from} (tag {tag}) cannot complete: {}", e.detail)
+        })
     }
 
     /// Non-blocking receive of the next message matching `(from, tag)`.
@@ -132,8 +220,14 @@ impl Mailbox {
     /// Block until a message matching any live slot in `posts` arrives,
     /// preferring the *earliest arrival* — the `MPI_Waitany` pattern.
     /// Returns the slot index and the message; the caller takes the
-    /// post, copies the payload, and recycles the buffer.
-    pub fn wait_any_matching(&self, posts: &[Option<RecvPost<'_>>]) -> (usize, Message) {
+    /// post, copies the payload, and recycles the buffer. A fault on
+    /// any still-posted peer, or the receive deadline, is a typed
+    /// error.
+    pub fn wait_any_matching_checked(
+        &self,
+        posts: &[Option<RecvPost<'_>>],
+    ) -> CommResult<(usize, Message)> {
+        let started = Instant::now();
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             let hit = q.messages.iter().position(|m| {
@@ -147,34 +241,190 @@ impl Mailbox {
                         p.as_ref().is_some_and(|p| p.from == msg.from && p.tag == msg.tag)
                     })
                     .expect("a post matched above");
-                return (slot, msg);
+                return Ok((slot, msg));
             }
             // A live post on a faulted peer can never complete (its
             // messages, had any been in flight, were delivered before
             // the fault was recorded).
             for p in posts.iter().flatten() {
-                if let Some(why) = q.faults.get(&p.from) {
-                    panic!("wait_any on rank {} (tag {}) cannot complete: {why}", p.from, p.tag);
+                if let Some((kind, why)) = q.faults.get(&p.from) {
+                    return Err(Self::fault_error(p.from, Some(p.tag), *kind, why)
+                        .with_elapsed(started.elapsed()));
                 }
             }
-            q = self.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+            q = self.wait(q, started, || {
+                let p = posts.iter().flatten().next().expect("a live post (checked by caller)");
+                self.timeout_error(p.from, p.tag)
+            })?;
         }
+    }
+
+    /// [`Mailbox::wait_any_matching_checked`], panicking on failure —
+    /// the legacy loud-failure path.
+    pub fn wait_any_matching(&self, posts: &[Option<RecvPost<'_>>]) -> (usize, Message) {
+        self.wait_any_matching_checked(posts).unwrap_or_else(|e| {
+            panic!(
+                "wait_any on rank {} (tag {}) cannot complete: {}",
+                e.peer.unwrap_or(usize::MAX),
+                e.tag.unwrap_or(u64::MAX),
+                e.detail
+            )
+        })
     }
 
     /// Block until `enough()` (re-evaluated after every delivery)
     /// returns true — the socket flush-barrier waits on per-peer
-    /// delivery counters this way.
-    pub fn wait_until(&self, mut enough: impl FnMut() -> bool) {
+    /// delivery counters this way. Any peer fault (a barrier needs
+    /// everyone), or the receive deadline, is a typed error.
+    pub fn wait_until_checked(&self, mut enough: impl FnMut() -> bool) -> CommResult<()> {
+        let started = Instant::now();
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if enough() {
-                return;
+                return Ok(());
             }
-            // A barrier needs every peer, so any fault is fatal here.
-            if let Some((from, why)) = q.faults.iter().next() {
-                panic!("barrier cannot complete: rank {from}: {why}");
+            if let Some((from, (kind, why))) = q.faults.iter().next() {
+                return Err(CommError::new(
+                    *kind,
+                    Some(*from),
+                    format!("barrier cannot complete: rank {from}: {why}"),
+                )
+                .with_elapsed(started.elapsed()));
             }
-            q = self.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
+            q = self.wait(q, started, || {
+                let d = self.deadline.unwrap_or_default();
+                CommError::new(
+                    CommErrorKind::Timeout,
+                    None,
+                    format!(
+                        "barrier did not complete within the {:.3}s receive deadline",
+                        d.as_secs_f64()
+                    ),
+                )
+            })?;
         }
+    }
+
+    /// [`Mailbox::wait_until_checked`], panicking on failure.
+    #[allow(dead_code)]
+    pub fn wait_until(&self, enough: impl FnMut() -> bool) {
+        self.wait_until_checked(enough).unwrap_or_else(|e| panic!("{}", e.detail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: usize, tag: u64, byte: u8) -> Message {
+        Message { from, tag, data: vec![byte] }
+    }
+
+    #[test]
+    fn fault_from_one_peer_does_not_poison_live_receives() {
+        // The per-peer fault property PR 6 fixed by hand: an EOF from a
+        // finished peer keeps receives from live peers working.
+        let mb = Mailbox::new();
+        mb.fail(1, CommErrorKind::PeerClosed, "connection to rank 1 closed".into());
+        mb.push(msg(2, 7, 42));
+        let got = mb.recv_matching_checked(2, 7).expect("rank 2 is alive");
+        assert_eq!((got.from, got.tag, got.data[0]), (2, 7, 42));
+        // But a receive that *needs* the dead peer fails, typed.
+        let err = mb.recv_matching_checked(1, 7).unwrap_err();
+        assert_eq!(err.kind, CommErrorKind::PeerClosed);
+        assert_eq!(err.peer, Some(1));
+        assert_eq!(err.tag, Some(7));
+        assert!(err.detail.contains("connection to rank 1"), "{}", err.detail);
+    }
+
+    #[test]
+    fn messages_delivered_before_a_fault_stay_receivable() {
+        // Parked data is checked before faults: what a peer sent before
+        // dying must still be consumable.
+        let mb = Mailbox::new();
+        mb.push(msg(1, 3, 9));
+        mb.fail(1, CommErrorKind::PeerClosed, "connection to rank 1 closed".into());
+        let got = mb.recv_matching_checked(1, 3).expect("pre-fault message is receivable");
+        assert_eq!(got.data[0], 9);
+        // The next receive hits the fault.
+        assert!(mb.recv_matching_checked(1, 3).is_err());
+    }
+
+    #[test]
+    fn take_where_does_not_disturb_parked_tags() {
+        // The quiesce drain must leave non-matching (protocol) messages
+        // parked and receivable, in order.
+        let mb = Mailbox::new();
+        mb.push(msg(0, 10, 1));
+        mb.push(msg(0, 99, 2)); // "protocol" message the drain must keep
+        mb.push(msg(1, 10, 3));
+        mb.push(msg(0, 99, 4));
+        let drained = mb.take_where(|m| m.tag == 10);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(mb.parked(), 2);
+        // Parked survivors still arrive FIFO per (sender, tag).
+        assert_eq!(mb.try_recv_matching(0, 99).unwrap().data[0], 2);
+        assert_eq!(mb.try_recv_matching(0, 99).unwrap().data[0], 4);
+        assert!(mb.try_recv_matching(0, 99).is_none());
+    }
+
+    #[test]
+    fn receive_deadline_returns_typed_timeout() {
+        let mb = Mailbox::with_deadline(Some(Duration::from_millis(30)));
+        let started = Instant::now();
+        let err = mb.recv_matching_checked(0, 5).unwrap_err();
+        assert_eq!(err.kind, CommErrorKind::Timeout);
+        assert_eq!((err.peer, err.tag), (Some(0), Some(5)));
+        assert!(err.elapsed >= Duration::from_millis(30), "elapsed {:?}", err.elapsed);
+        assert!(started.elapsed() < Duration::from_secs(5), "bounded wait");
+    }
+
+    #[test]
+    fn wait_any_times_out_with_peer_attribution() {
+        let mb = Mailbox::with_deadline(Some(Duration::from_millis(30)));
+        let mut b = [0u8; 1];
+        let posts = [Some(RecvPost::new(3, 11, &mut b))];
+        let err = mb.wait_any_matching_checked(&posts).unwrap_err();
+        assert_eq!(err.kind, CommErrorKind::Timeout);
+        assert_eq!((err.peer, err.tag), (Some(3), Some(11)));
+    }
+
+    #[test]
+    fn barrier_wait_reports_any_fault() {
+        let mb = Mailbox::new();
+        mb.fail(2, CommErrorKind::PeerLost, "connection to rank 2 lost: io".into());
+        let err = mb.wait_until_checked(|| false).unwrap_err();
+        assert_eq!(err.kind, CommErrorKind::PeerLost);
+        assert!(err.detail.contains("barrier cannot complete: rank 2"), "{}", err.detail);
+    }
+
+    #[test]
+    fn fault_of_tracks_peers_independently() {
+        let mb = Mailbox::new();
+        mb.fail(1, CommErrorKind::PeerClosed, "eof".into());
+        mb.fail(3, CommErrorKind::Corrupt, "bad crc".into());
+        assert_eq!(mb.fault_of(1).unwrap().0, CommErrorKind::PeerClosed);
+        assert_eq!(mb.fault_of(3).unwrap().0, CommErrorKind::Corrupt);
+        assert!(mb.fault_of(2).is_none(), "healthy peers carry no fault");
+    }
+
+    #[test]
+    fn first_fault_per_peer_wins() {
+        // The root cause must not be overwritten by cascade errors that
+        // follow it (e.g. Corrupt followed by the reader closing).
+        let mb = Mailbox::new();
+        mb.fail(1, CommErrorKind::Corrupt, "frame CRC mismatch".into());
+        mb.fail(1, CommErrorKind::PeerClosed, "connection closed".into());
+        let (kind, why) = mb.fault_of(1).unwrap();
+        assert_eq!(kind, CommErrorKind::Corrupt);
+        assert!(why.contains("CRC"), "{why}");
+    }
+
+    #[test]
+    #[should_panic(expected = "receive from rank 1 (tag 7) cannot complete")]
+    fn legacy_recv_still_panics_loudly() {
+        let mb = Mailbox::new();
+        mb.fail(1, CommErrorKind::PeerClosed, "connection to rank 1 closed".into());
+        mb.recv_matching(1, 7);
     }
 }

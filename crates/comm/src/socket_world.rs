@@ -45,20 +45,64 @@
 //! barrier is *receivable* after it (it sits in the mailbox, not in a
 //! socket buffer) — the property the conformance suite's parking test
 //! demands, and what isolates consecutive SPMD runs on a reused mesh.
+//!
+//! ## Fault detection and injection
+//!
+//! Failures are *detected within bounded time and attributed to a
+//! rank* instead of hanging the job ([`SocketConfig`] tunes the knobs,
+//! all env-overridable):
+//!
+//! * a dead peer's TCP EOF → `PeerClosed` fault on its mailbox entry;
+//! * an I/O or framing error (CRC mismatch in [`crate::frame`]) →
+//!   `PeerLost` / `Corrupt`, naming the rank the frame claimed;
+//! * every connected rank emits **heartbeat frames** on a reserved tag;
+//!   a watchdog marks a peer `PeerLost` when nothing (data or
+//!   heartbeat) has arrived from it within the peer timeout — the
+//!   detector for a wedged connection;
+//! * an optional **receive deadline** bounds every blocking receive
+//!   and barrier wait with a typed `Timeout` — the detector for a peer
+//!   that is alive (still heartbeating) but hung.
+//!
+//! A [`crate::fault::FaultPlan`] (from `HPGMXP_FAULT_PLAN`) arms a
+//! frame-level interposer on the send path: seeded drop / delay /
+//! duplicate / corrupt on outgoing *data* frames (corruption flips a
+//! byte after the CRC is computed, so the receiver must catch it) and
+//! scripted crash/hang events keyed on the outgoing-data-frame index.
+//! Reordering is a `Comm`-level fault (see [`crate::fault::FaultyComm`]);
+//! frame order within one TCP stream is the protocol's own invariant.
 
 use crate::comm::{reduce_into, Comm, RecvPost, ReduceOp};
+use crate::error::{CommError, CommErrorKind, CommResult};
+use crate::fault::{FaultKind, FaultPlan, SplitMix64};
 use crate::frame::{read_frame, stage_frame, HEADER_LEN};
 use crate::mailbox::{Mailbox, Message};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// Tag bit reserved for collective traffic (allreduce/barrier rounds).
 /// User tags must leave it clear; the halo engine and every test tag
 /// sit far below it.
 pub const COLLECTIVE_TAG_BIT: u64 = 1 << 63;
+
+/// Reserved tag carrying heartbeat frames (empty payload). Lives in
+/// the collective tag space so it is never counted against the flush
+/// barrier's data ledger, with bit 62 distinguishing it from real
+/// collective rounds.
+pub const HEARTBEAT_TAG: u64 = COLLECTIVE_TAG_BIT | (1 << 62);
+
+/// How many consecutive ports the rendezvous may occupy when the
+/// configured one is busy: rank 0 binds the first free port in
+/// `[port, port + PORT_SCAN_SPAN)`, other ranks scan the same window
+/// and identify the rendezvous by its hello magic.
+pub const PORT_SCAN_SPAN: u16 = 16;
+
+/// First bytes rank 0 writes on every accepted rendezvous connection,
+/// so a scanning rank can tell the rendezvous from an unrelated
+/// service squatting a port in the scan window.
+const RENDEZVOUS_HELLO: [u8; 4] = *b"HPRV";
 
 /// Buffers stocked per peer pool by [`SocketComm::prewarm_pool`] —
 /// sized to cover the deepest in-flight window a run-ahead peer can
@@ -73,6 +117,49 @@ fn connect_timeout() -> Duration {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(60);
     Duration::from_secs(secs)
+}
+
+/// Read a millisecond knob from the environment: unset → `default`,
+/// `0` → disabled (`None`).
+fn env_millis(name: &str, default: Option<u64>) -> Option<Duration> {
+    let millis = match std::env::var(name) {
+        Ok(v) => v.parse::<u64>().unwrap_or_else(|_| panic!("{name} is not a number: {v:?}")),
+        Err(_) => default?,
+    };
+    (millis > 0).then(|| Duration::from_millis(millis))
+}
+
+/// Fault-detection and fault-injection knobs of one socket endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct SocketConfig {
+    /// Bound on every blocking receive and barrier wait
+    /// (`HPGMXP_RECV_DEADLINE_MILLIS`; unset/0 = wait forever). The
+    /// hang detector: a wedged-but-alive peer still heartbeats, so only
+    /// a deadline can catch it.
+    pub recv_deadline: Option<Duration>,
+    /// Heartbeat emission period (`HPGMXP_HEARTBEAT_MILLIS`; default
+    /// 500 ms, 0 = off).
+    pub heartbeat: Option<Duration>,
+    /// Declare a peer lost when *nothing* (data or heartbeat) arrived
+    /// from it for this long (`HPGMXP_PEER_TIMEOUT_MILLIS`; default
+    /// 10 s, 0 = off).
+    pub peer_timeout: Option<Duration>,
+    /// Wire-fault injection plan (`HPGMXP_FAULT_PLAN`: inline JSON or
+    /// a path to it).
+    pub faults: Option<FaultPlan>,
+}
+
+impl SocketConfig {
+    /// The configuration the environment prescribes — what
+    /// [`SocketWorld::connect`] and launched ranks use.
+    pub fn from_env() -> Self {
+        SocketConfig {
+            recv_deadline: env_millis("HPGMXP_RECV_DEADLINE_MILLIS", None),
+            heartbeat: env_millis("HPGMXP_HEARTBEAT_MILLIS", Some(500)),
+            peer_timeout: env_millis("HPGMXP_PEER_TIMEOUT_MILLIS", Some(10_000)),
+            faults: FaultPlan::from_env(),
+        }
+    }
 }
 
 /// The write half of one peer connection: the stream plus the staging
@@ -113,6 +200,24 @@ struct SocketShared {
     /// because collectives are called in SPMD program order.
     collective_seq: AtomicU64,
     scratch: Mutex<Scratch>,
+    /// Fault-detection knobs and (optional) injection plan.
+    config: SocketConfig,
+    /// Mesh construction time — the origin of the `last_heard` clock.
+    epoch: Instant,
+    /// Milliseconds since `epoch` at which each peer was last heard
+    /// from (any frame, heartbeat included). The watchdog's evidence.
+    last_heard: Vec<AtomicU64>,
+    /// Outgoing-data-frame counter — the exchange index the fault
+    /// plan's scripted events key on.
+    fault_ops: AtomicU64,
+    /// Seeded per-rank stream driving probabilistic wire faults.
+    fault_rng: Mutex<SplitMix64>,
+}
+
+impl SocketShared {
+    fn millis_since_epoch(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
 }
 
 /// Best-fit take from a peer pool, mirroring the thread world's
@@ -160,8 +265,13 @@ fn decode_f64s(bytes: &[u8], out: &mut Vec<f64>) {
     out.extend(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
 }
 
+/// Dial with jittered exponential backoff until the connect timeout:
+/// start order between ranks is free, and a thundering herd of
+/// retriers must not synchronize against a slow rank 0.
 fn connect_with_retry(port: u16, what: &str) -> TcpStream {
     let deadline = Instant::now() + connect_timeout();
+    let mut rng = SplitMix64::new((std::process::id() as u64) << 16 | port as u64 | 1);
+    let mut pause = Duration::from_millis(5);
     loop {
         match TcpStream::connect(("127.0.0.1", port)) {
             Ok(s) => return s,
@@ -169,9 +279,67 @@ fn connect_with_retry(port: u16, what: &str) -> TcpStream {
                 if Instant::now() >= deadline {
                     panic!("could not reach {what} on port {port} within the connect timeout: {e}");
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                std::thread::sleep(pause.mul_f64(0.5 + 0.5 * rng.next_f64()));
+                pause = (pause * 2).min(Duration::from_millis(500));
             }
         }
+    }
+}
+
+/// Bind the rendezvous listener on the first free port of the scan
+/// window — a squatted `HPGMXP_PORT` moves the rendezvous instead of
+/// killing the job (scanning ranks will find it by its hello magic).
+fn bind_rendezvous(base: u16) -> TcpListener {
+    for offset in 0..PORT_SCAN_SPAN {
+        let port = base.wrapping_add(offset);
+        if let Ok(listener) = TcpListener::bind(("127.0.0.1", port)) {
+            if offset > 0 {
+                eprintln!("[socket] rendezvous port {base} busy, using {port}");
+            }
+            return listener;
+        }
+    }
+    panic!(
+        "no free rendezvous port in {base}..{} — every port in the scan window is busy",
+        base.wrapping_add(PORT_SCAN_SPAN)
+    )
+}
+
+/// Find the rank-0 rendezvous in the scan window starting at `base`,
+/// retrying with jittered backoff until the connect timeout. A
+/// connection only qualifies if the service presents the rendezvous
+/// hello magic within a short read window — an unrelated server
+/// squatting a scanned port is skipped, not crashed into.
+fn find_rendezvous(base: u16) -> TcpStream {
+    let deadline = Instant::now() + connect_timeout();
+    let mut rng = SplitMix64::new((std::process::id() as u64) << 16 | base as u64 | 1);
+    let mut pause = Duration::from_millis(10);
+    loop {
+        for offset in 0..PORT_SCAN_SPAN {
+            let port = base.wrapping_add(offset);
+            let Ok(mut s) = TcpStream::connect(("127.0.0.1", port)) else { continue };
+            s.set_read_timeout(Some(Duration::from_millis(250))).expect("set hello read timeout");
+            let mut hello = [0u8; 6];
+            if s.read_exact(&mut hello).is_ok()
+                && hello[0..4] == RENDEZVOUS_HELLO
+                && hello[4..6] == base.to_le_bytes()
+            {
+                s.set_read_timeout(None).expect("clear hello read timeout");
+                return s;
+            }
+            // Wrong service (or a rendezvous not yet writing); keep
+            // scanning — rank 0 accepts until every rank registered,
+            // so a missed sweep retries cleanly.
+        }
+        if Instant::now() >= deadline {
+            panic!(
+                "could not find the rank-0 rendezvous in ports {base}..{} within the connect \
+                 timeout",
+                base.wrapping_add(PORT_SCAN_SPAN)
+            );
+        }
+        std::thread::sleep(pause.mul_f64(0.5 + 0.5 * rng.next_f64()));
+        pause = (pause * 2).min(Duration::from_millis(200));
     }
 }
 
@@ -198,8 +366,22 @@ fn accept_with_deadline(listener: &TcpListener, deadline: Instant, what: &str) -
 
 impl SocketWorld {
     /// Join (or, as rank 0, host) the mesh of `size` ranks meeting at
-    /// rendezvous `port`. Blocks until the full mesh is connected.
+    /// rendezvous `port`, with fault knobs from the environment.
+    /// Blocks until the full mesh is connected.
     pub fn connect(rank: usize, size: usize, port: u16) -> SocketComm {
+        Self::connect_with_config(rank, size, port, SocketConfig::from_env())
+    }
+
+    /// [`SocketWorld::connect`] with explicit fault-detection knobs
+    /// and injection plan — the chaos tests' entry point (environment
+    /// variables are process-global; per-rank knobs cannot come from
+    /// them in in-process tests).
+    pub fn connect_with_config(
+        rank: usize,
+        size: usize,
+        port: u16,
+        config: SocketConfig,
+    ) -> SocketComm {
         assert!(size > 0 && rank < size, "rank {rank} outside world of {size}");
         assert!(size <= u32::MAX as usize);
         let deadline = Instant::now() + connect_timeout();
@@ -211,22 +393,38 @@ impl SocketWorld {
             let data_listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind data listener");
             let data_port = data_listener.local_addr().expect("data listener addr").port();
 
+            // The hello a rendezvous presents: magic + the base port it
+            // serves, so a rank scanning the port window never joins a
+            // *different* world whose window happens to overlap.
+            let mut hello = [0u8; 6];
+            hello[0..4].copy_from_slice(&RENDEZVOUS_HELLO);
+            hello[4..6].copy_from_slice(&port.to_le_bytes());
+
             let table: Vec<u16> = if rank == 0 {
-                let rendezvous = TcpListener::bind(("127.0.0.1", port))
-                    .unwrap_or_else(|e| panic!("bind rendezvous port {port}: {e}"));
+                let rendezvous = bind_rendezvous(port);
                 let mut regs: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
                 let mut ports = vec![0u16; size];
                 ports[0] = data_port;
-                for _ in 1..size {
+                let mut registered = 0;
+                while registered < size - 1 {
                     let mut s = accept_with_deadline(&rendezvous, deadline, "rank registrations");
+                    // An abandoned scan probe (a rank that gave up on
+                    // the hello window, or an unrelated client) just
+                    // drops; skip it and keep accepting.
+                    if s.write_all(&hello).is_err() {
+                        continue;
+                    }
                     let mut reg = [0u8; 8];
-                    s.read_exact(&mut reg).expect("read registration");
+                    if s.read_exact(&mut reg).is_err() {
+                        continue;
+                    }
                     let r = u32::from_le_bytes([reg[0], reg[1], reg[2], reg[3]]) as usize;
                     let p = u32::from_le_bytes([reg[4], reg[5], reg[6], reg[7]]);
                     assert!(r > 0 && r < size, "bogus registration from rank {r}");
                     assert!(regs[r].is_none(), "rank {r} registered twice");
                     ports[r] = p as u16;
                     regs[r] = Some(s);
+                    registered += 1;
                 }
                 let mut msg = Vec::with_capacity(size * 4);
                 for p in &ports {
@@ -237,7 +435,7 @@ impl SocketWorld {
                 }
                 ports
             } else {
-                let mut s = connect_with_retry(port, "the rank-0 rendezvous");
+                let mut s = find_rendezvous(port);
                 let mut reg = [0u8; 8];
                 reg[0..4].copy_from_slice(&(rank as u32).to_le_bytes());
                 reg[4..8].copy_from_slice(&(data_port as u32).to_le_bytes());
@@ -270,10 +468,11 @@ impl SocketWorld {
             }
         }
 
+        let fault_seed = config.faults.as_ref().map(|p| p.seed).unwrap_or(0);
         let shared = Arc::new(SocketShared {
             rank,
             size,
-            mailbox: Mailbox::new(),
+            mailbox: Mailbox::with_deadline(config.recv_deadline),
             senders: streams
                 .iter()
                 .map(|s| {
@@ -296,6 +495,11 @@ impl SocketWorld {
                 peer: Vec::new(),
                 counts: Vec::new(),
             }),
+            config,
+            epoch: Instant::now(),
+            last_heard: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            fault_ops: AtomicU64::new(0),
+            fault_rng: Mutex::new(SplitMix64::for_rank(fault_seed, rank as u64)),
         });
 
         for (peer, stream) in streams.into_iter().enumerate() {
@@ -307,7 +511,65 @@ impl SocketWorld {
                 .expect("spawn reader thread");
         }
 
+        if size > 1 && (shared.config.heartbeat.is_some() || shared.config.peer_timeout.is_some()) {
+            let weak = Arc::downgrade(&shared);
+            std::thread::Builder::new()
+                .name(format!("hpgmxp-heartbeat-{rank}"))
+                .spawn(move || heartbeat_loop(weak))
+                .expect("spawn heartbeat thread");
+        }
+
         SocketComm { shared }
+    }
+}
+
+/// Emit heartbeat frames to every peer and watch for peers that have
+/// gone silent. One thread per mesh; it holds only a weak reference so
+/// a torn-down world (tests) lets go of its sockets.
+///
+/// Send failures are deliberately ignored — the reader thread on the
+/// same connection observes the EOF/error and records the fault with
+/// better attribution. The send path reuses the per-connection staging
+/// buffer, so steady-state heartbeating allocates nothing (the
+/// zero-allocation gate stays green with heartbeats on).
+fn heartbeat_loop(weak: Weak<SocketShared>) {
+    loop {
+        let Some(shared) = weak.upgrade() else { return };
+        if let Some(timeout) = shared.config.peer_timeout {
+            let now = shared.millis_since_epoch();
+            for (peer, heard) in shared.last_heard.iter().enumerate() {
+                if peer == shared.rank || shared.senders[peer].is_none() {
+                    continue;
+                }
+                let silent = now.saturating_sub(heard.load(Ordering::SeqCst));
+                if silent > timeout.as_millis() as u64 {
+                    shared.mailbox.fail(
+                        peer,
+                        CommErrorKind::PeerLost,
+                        format!(
+                            "no heartbeat from rank {peer} for {:.3}s (peer timeout {:.3}s)",
+                            silent as f64 / 1e3,
+                            timeout.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+        }
+        if shared.config.heartbeat.is_some() {
+            for half in shared.senders.iter().flatten() {
+                let mut half = half.lock().unwrap_or_else(|e| e.into_inner());
+                stage_frame(&mut half.staging, shared.rank, HEARTBEAT_TAG, &[]);
+                let SendHalf { stream, staging } = &mut *half;
+                let _ = stream.write_all(staging);
+            }
+        }
+        let pause = shared
+            .config
+            .heartbeat
+            .or(shared.config.peer_timeout)
+            .unwrap_or(Duration::from_millis(500));
+        drop(shared); // don't pin the mesh while sleeping
+        std::thread::sleep(pause);
     }
 }
 
@@ -319,6 +581,13 @@ fn reader_loop(shared: Arc<SocketShared>, peer: usize, mut stream: TcpStream) {
         match read_frame(&mut stream, |len| pool_take(&shared.pools[peer], len)) {
             Ok(Some((header, data))) => {
                 debug_assert_eq!(header.from as usize, peer, "frame from wrong rank");
+                // Anything decodable counts as proof of life.
+                shared.last_heard[peer].store(shared.millis_since_epoch(), Ordering::SeqCst);
+                if header.tag == HEARTBEAT_TAG {
+                    // Protocol-internal; recycle without delivery.
+                    pool_put(&shared.pools[peer], data);
+                    continue;
+                }
                 // Count before pushing: the mailbox push is what wakes
                 // a flush-barrier waiter, which then re-reads counters.
                 if header.tag & COLLECTIVE_TAG_BIT == 0 {
@@ -327,11 +596,26 @@ fn reader_loop(shared: Arc<SocketShared>, peer: usize, mut stream: TcpStream) {
                 shared.mailbox.push(Message { from: peer, tag: header.tag, data });
             }
             Ok(None) => {
-                shared.mailbox.fail(peer, format!("connection to rank {peer} closed"));
+                shared.mailbox.fail(
+                    peer,
+                    CommErrorKind::PeerClosed,
+                    format!("connection to rank {peer} closed"),
+                );
                 return;
             }
             Err(e) => {
-                shared.mailbox.fail(peer, format!("connection to rank {peer} lost: {e}"));
+                // A framing/CRC violation means the payload cannot be
+                // trusted; an I/O error means the peer (or its path) is
+                // gone. Both are attributed and final for this stream.
+                let (kind, why) = if e.kind() == ErrorKind::InvalidData {
+                    (
+                        CommErrorKind::Corrupt,
+                        format!("protocol error on connection to rank {peer}: {e}"),
+                    )
+                } else {
+                    (CommErrorKind::PeerLost, format!("connection to rank {peer} lost: {e}"))
+                };
+                shared.mailbox.fail(peer, kind, why);
                 return;
             }
         }
@@ -343,6 +627,13 @@ impl SocketComm {
     /// both the public `send_from` (data tags, counted) and the
     /// collectives (reserved tags, uncounted).
     fn send_raw(&self, to: usize, tag: u64, bytes: &[u8]) {
+        self.send_raw_checked(to, tag, bytes).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`SocketComm::send_raw`], surfacing a write failure as a typed
+    /// `PeerLost` fault — and the seam where an armed
+    /// [`FaultPlan`] injects wire faults into outgoing data frames.
+    fn send_raw_checked(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
         let s = &self.shared;
         assert!(to < s.size, "send to rank {to} in a world of {}", s.size);
         if to == s.rank {
@@ -352,19 +643,97 @@ impl SocketComm {
             data.clear();
             data.extend_from_slice(bytes);
             s.mailbox.push(Message { from: to, tag, data });
-            return;
+            return Ok(());
         }
+
+        let mut corrupt_flip = None;
+        let mut duplicate = false;
+        if tag & COLLECTIVE_TAG_BIT == 0 {
+            if let Some(plan) = &s.config.faults {
+                // Scripted events key on this rank's outgoing-data-frame
+                // index — deterministic given the program's send order.
+                let n = s.fault_ops.fetch_add(1, Ordering::SeqCst);
+                if let Some(event) = plan.event_at(s.rank, n) {
+                    match event.kind {
+                        FaultKind::CrashRank => {
+                            eprintln!(
+                                "rank {} crashing deliberately at exchange {n} (fault plan seed \
+                                 {})",
+                                s.rank, plan.seed
+                            );
+                            std::process::exit(7);
+                        }
+                        FaultKind::HangRank => {
+                            eprintln!(
+                                "rank {} hanging deliberately at exchange {n} for {:?} (fault \
+                                 plan seed {})",
+                                s.rank,
+                                plan.hang_duration(),
+                                plan.seed
+                            );
+                            std::thread::sleep(plan.hang_duration());
+                        }
+                    }
+                }
+                if plan.has_wire_faults() {
+                    let (dropped, delayed, dup, corrupt, flip) = {
+                        let mut rng = s.fault_rng.lock().unwrap_or_else(|e| e.into_inner());
+                        (
+                            rng.hit(plan.drop),
+                            rng.hit(plan.delay),
+                            rng.hit(plan.duplicate),
+                            rng.hit(plan.corrupt),
+                            rng.next_u64(),
+                        )
+                    };
+                    if dropped {
+                        // Vanishes *without* touching the sent ledger:
+                        // the flush barrier stays consistent, and the
+                        // receiver's deadline is what detects the loss.
+                        return Ok(());
+                    }
+                    if delayed {
+                        std::thread::sleep(plan.delay_duration());
+                    }
+                    duplicate = dup;
+                    if corrupt && !bytes.is_empty() {
+                        corrupt_flip = Some(flip);
+                    }
+                }
+            }
+        }
+
         let mut half = s.senders[to]
             .as_ref()
             .expect("peer connection")
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         stage_frame(&mut half.staging, s.rank, tag, bytes);
+        if let Some(flip) = corrupt_flip {
+            // Flip one payload byte *after* the CRC was computed — the
+            // receiver's checksum, not this rank, must catch it.
+            let i = HEADER_LEN + (flip as usize) % bytes.len();
+            half.staging[i] ^= 1 << ((flip >> 32) & 7);
+        }
         if tag & COLLECTIVE_TAG_BIT == 0 {
-            s.data_sent[to].fetch_add(1, Ordering::SeqCst);
+            s.data_sent[to].fetch_add(1 + duplicate as u64, Ordering::SeqCst);
         }
         let SendHalf { stream, staging } = &mut *half;
-        stream.write_all(staging).unwrap_or_else(|e| panic!("send to rank {to} failed: {e}"));
+        let write = |stream: &mut TcpStream, staging: &[u8]| {
+            stream.write_all(staging).map_err(|e| {
+                CommError::new(
+                    CommErrorKind::PeerLost,
+                    Some(to),
+                    format!("send to rank {to} failed: {e}"),
+                )
+                .with_tag(tag)
+            })
+        };
+        write(stream, staging)?;
+        if duplicate {
+            write(stream, staging)?;
+        }
+        Ok(())
     }
 
     /// Copy a matched message out and recycle its buffer into the
@@ -468,9 +837,20 @@ impl Comm for SocketComm {
         self.send_raw(to, tag, bytes);
     }
 
+    fn send_from_checked(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        assert!(tag & COLLECTIVE_TAG_BIT == 0, "tag {tag:#x} uses the reserved collective bit");
+        self.send_raw_checked(to, tag, bytes)
+    }
+
     fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]) {
         let msg = self.shared.mailbox.recv_matching(from, tag);
         self.deliver(msg, out);
+    }
+
+    fn recv_into_checked(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        let msg = self.shared.mailbox.recv_matching_checked(from, tag)?;
+        self.deliver(msg, out);
+        Ok(())
     }
 
     fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool {
@@ -493,10 +873,27 @@ impl Comm for SocketComm {
         Some((slot, post))
     }
 
+    fn wait_any_checked<'p>(
+        &self,
+        posts: &mut [Option<RecvPost<'p>>],
+    ) -> CommResult<Option<(usize, RecvPost<'p>)>> {
+        if posts.iter().all(Option::is_none) {
+            return Ok(None);
+        }
+        let (slot, msg) = self.shared.mailbox.wait_any_matching_checked(posts)?;
+        let post = posts[slot].take().expect("slot matched in mailbox");
+        self.deliver(msg, post.buf);
+        Ok(Some((slot, post)))
+    }
+
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        self.allreduce_checked(vals, op).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn allreduce_checked(&self, vals: &mut [f64], op: ReduceOp) -> CommResult<()> {
         let s = &self.shared;
         if s.size == 1 {
-            return;
+            return Ok(());
         }
         let tag = self.collective_tag();
         let mut scratch = s.scratch.lock().unwrap_or_else(|e| e.into_inner());
@@ -508,7 +905,7 @@ impl Comm for SocketComm {
             acc.clear();
             acc.extend_from_slice(vals);
             for r in 1..s.size {
-                let msg = s.mailbox.recv_matching(r, tag);
+                let msg = s.mailbox.recv_matching_checked(r, tag)?;
                 assert_eq!(msg.data.len(), vals.len() * 8, "allreduce length skew at rank {r}");
                 decode_f64s(&msg.data, peer);
                 reduce_into(op, acc, peer);
@@ -520,27 +917,32 @@ impl Comm for SocketComm {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
             for r in 1..s.size {
-                self.send_raw(r, tag, payload);
+                self.send_raw_checked(r, tag, payload)?;
             }
         } else {
             payload.clear();
             for v in vals.iter() {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
-            self.send_raw(0, tag, payload);
-            let msg = s.mailbox.recv_matching(0, tag);
+            self.send_raw_checked(0, tag, payload)?;
+            let msg = s.mailbox.recv_matching_checked(0, tag)?;
             assert_eq!(msg.data.len(), vals.len() * 8, "allreduce result length skew");
             for (v, c) in vals.iter_mut().zip(msg.data.chunks_exact(8)) {
                 *v = f64::from_le_bytes(c.try_into().unwrap());
             }
             pool_put(&s.pools[0], msg.data);
         }
+        Ok(())
     }
 
     fn barrier(&self) {
+        self.barrier_checked().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn barrier_checked(&self) -> CommResult<()> {
         let s = &self.shared;
         if s.size == 1 {
-            return;
+            return Ok(());
         }
         let tag = self.collective_tag();
         let mut scratch = s.scratch.lock().unwrap_or_else(|e| e.into_inner());
@@ -554,7 +956,7 @@ impl Comm for SocketComm {
                 *c = sent.load(Ordering::SeqCst);
             }
             for i in 1..s.size {
-                let msg = s.mailbox.recv_matching(i, tag);
+                let msg = s.mailbox.recv_matching_checked(i, tag)?;
                 assert_eq!(msg.data.len(), s.size * 8, "barrier snapshot length skew");
                 for (j, c) in msg.data.chunks_exact(8).enumerate() {
                     counts[i * s.size + j] = u64::from_le_bytes(c.try_into().unwrap());
@@ -567,27 +969,28 @@ impl Comm for SocketComm {
                 for i in 0..s.size {
                     payload.extend_from_slice(&counts[i * s.size + r].to_le_bytes());
                 }
-                self.send_raw(r, tag, payload);
+                self.send_raw_checked(r, tag, payload)?;
             }
             let size = s.size;
-            s.mailbox.wait_until(|| {
+            s.mailbox.wait_until_checked(|| {
                 (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i * size])
-            });
+            })?;
         } else {
             payload.clear();
             for j in 0..s.size {
                 payload.extend_from_slice(&s.data_sent[j].load(Ordering::SeqCst).to_le_bytes());
             }
-            self.send_raw(0, tag, payload);
-            let msg = s.mailbox.recv_matching(0, tag);
+            self.send_raw_checked(0, tag, payload)?;
+            let msg = s.mailbox.recv_matching_checked(0, tag)?;
             assert_eq!(msg.data.len(), s.size * 8, "barrier release length skew");
             decode_counts(&msg.data, counts);
             pool_put(&s.pools[0], msg.data);
             let size = s.size;
-            s.mailbox.wait_until(|| {
+            s.mailbox.wait_until_checked(|| {
                 (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i])
-            });
+            })?;
         }
+        Ok(())
     }
 }
 
@@ -833,5 +1236,180 @@ mod tests {
         let mut buf = [0u8; 1];
         c.recv_into(0, 1, &mut buf);
         assert_eq!(buf[0], 9);
+    }
+
+    /// Two ranks, each with its own [`SocketConfig`], meshed at `port`.
+    fn run_pair<A, B>(port: u16, cfg0: SocketConfig, cfg1: SocketConfig, rank0: A, rank1: B)
+    where
+        A: FnOnce(SocketComm) + Send,
+        B: FnOnce(SocketComm) + Send,
+    {
+        std::thread::scope(|s| {
+            let h0 = s.spawn(move || rank0(SocketWorld::connect_with_config(0, 2, port, cfg0)));
+            let h1 = s.spawn(move || rank1(SocketWorld::connect_with_config(1, 2, port, cfg1)));
+            h0.join().expect("rank 0 panicked");
+            h1.join().expect("rank 1 panicked");
+        });
+    }
+
+    #[test]
+    fn rendezvous_skips_squatted_port() {
+        // An unrelated listener owns the configured port (it accepts
+        // nothing and says nothing); the rendezvous must move to the
+        // next port of the scan window and the scanning rank must find
+        // it there rather than crash into the squatter.
+        let base = free_port();
+        let _squatter = TcpListener::bind(("127.0.0.1", base)).expect("squat the base port");
+        run_pair(
+            base,
+            SocketConfig::default(),
+            SocketConfig::default(),
+            |c| assert_eq!(c.allreduce_scalar(1.0, ReduceOp::Sum), 2.0),
+            |c| assert_eq!(c.allreduce_scalar(1.0, ReduceOp::Sum), 2.0),
+        );
+    }
+
+    #[test]
+    fn silent_peer_trips_the_heartbeat_watchdog() {
+        // Rank 1 connects but never sends anything — not even
+        // heartbeats (its emitter is off). From rank 0's side the
+        // connection is open but silent: only the watchdog can tell,
+        // and it must, within the peer timeout.
+        let port = free_port();
+        let watchdog = SocketConfig {
+            heartbeat: Some(Duration::from_millis(25)),
+            peer_timeout: Some(Duration::from_millis(150)),
+            ..Default::default()
+        };
+        run_pair(
+            port,
+            watchdog,
+            SocketConfig::default(),
+            |c| {
+                let started = Instant::now();
+                let mut buf = [0u8; 1];
+                let err = c.recv_into_checked(1, 3, &mut buf).unwrap_err();
+                assert_eq!(err.kind, CommErrorKind::PeerLost);
+                assert_eq!(err.peer, Some(1));
+                assert!(err.detail.contains("no heartbeat from rank 1"), "{}", err.detail);
+                assert!(started.elapsed() < Duration::from_secs(10), "bounded detection");
+            },
+            |_c| {
+                // Stay wedged (alive, holding the socket open) past the
+                // peer timeout.
+                std::thread::sleep(Duration::from_millis(600));
+            },
+        );
+    }
+
+    #[test]
+    fn receive_deadline_detects_a_hung_but_heartbeating_peer() {
+        // Rank 1 heartbeats (alive!) but never sends data — the
+        // watchdog stays quiet, so only the receive deadline can flag
+        // the hang, as a typed Timeout naming the peer and tag.
+        let port = free_port();
+        let beat = Some(Duration::from_millis(25));
+        let waiter = SocketConfig {
+            recv_deadline: Some(Duration::from_millis(100)),
+            heartbeat: beat,
+            peer_timeout: Some(Duration::from_secs(30)),
+            faults: None,
+        };
+        let hung = SocketConfig { heartbeat: beat, ..Default::default() };
+        run_pair(
+            port,
+            waiter,
+            hung,
+            |c| {
+                let mut buf = [0u8; 1];
+                let err = c.recv_into_checked(1, 3, &mut buf).unwrap_err();
+                assert_eq!(err.kind, CommErrorKind::Timeout);
+                assert_eq!((err.peer, err.tag), (Some(1), Some(3)));
+                assert!(err.elapsed >= Duration::from_millis(100));
+                assert!(err.detail.contains("peer hung?"), "{}", err.detail);
+            },
+            |_c| std::thread::sleep(Duration::from_millis(400)),
+        );
+    }
+
+    #[test]
+    fn corrupted_frame_is_detected_and_attributed() {
+        // Rank 0's interposer flips a payload byte after the CRC is
+        // computed; rank 1's reader must reject the frame and attribute
+        // the corruption to rank 0.
+        let port = free_port();
+        let corruptor = SocketConfig {
+            faults: Some(FaultPlan { corrupt: Some(1.0), ..FaultPlan::clean(3) }),
+            ..Default::default()
+        };
+        run_pair(
+            port,
+            corruptor,
+            SocketConfig::default(),
+            |c| c.send_from(1, 9, &[1, 2, 3, 4]),
+            |c| {
+                let mut buf = [0u8; 4];
+                let err = c.recv_into_checked(0, 9, &mut buf).unwrap_err();
+                assert_eq!(err.kind, CommErrorKind::Corrupt);
+                assert_eq!(err.peer, Some(0));
+                assert!(err.detail.contains("corrupt frame from rank 0"), "{}", err.detail);
+            },
+        );
+    }
+
+    #[test]
+    fn dropped_frame_is_caught_by_deadline_and_barrier_stays_consistent() {
+        // A dropped data frame must not wedge the flush barrier (the
+        // drop is uncounted on the sent ledger); the receiver's typed
+        // Timeout is the detection.
+        let port = free_port();
+        let dropper = SocketConfig {
+            faults: Some(FaultPlan { drop: Some(1.0), ..FaultPlan::clean(11) }),
+            ..Default::default()
+        };
+        let receiver =
+            SocketConfig { recv_deadline: Some(Duration::from_millis(100)), ..Default::default() };
+        run_pair(
+            port,
+            dropper,
+            receiver,
+            |c| {
+                c.send_from(1, 5, &[42]); // vanishes on the wire
+                c.barrier(); // must still complete
+            },
+            |c| {
+                let mut buf = [0u8; 1];
+                let err = c.recv_into_checked(0, 5, &mut buf).unwrap_err();
+                assert_eq!(err.kind, CommErrorKind::Timeout);
+                c.barrier();
+            },
+        );
+    }
+
+    #[test]
+    fn duplicated_frames_are_counted_and_both_delivered() {
+        // A duplicated frame counts twice on the sent ledger, so the
+        // flush barrier still balances — and both copies park.
+        let port = free_port();
+        let duper = SocketConfig {
+            faults: Some(FaultPlan { duplicate: Some(1.0), ..FaultPlan::clean(7) }),
+            ..Default::default()
+        };
+        run_pair(
+            port,
+            duper,
+            SocketConfig::default(),
+            |c| {
+                c.send_from(1, 6, &[9]);
+                c.barrier();
+            },
+            |c| {
+                c.barrier(); // flushes both copies into the mailbox
+                let mut buf = [0u8; 1];
+                assert!(c.try_recv_into(0, 6, &mut buf));
+                assert_eq!(buf[0], 9);
+                assert!(c.try_recv_into(0, 6, &mut buf), "the duplicate is parked too");
+            },
+        );
     }
 }

@@ -14,17 +14,126 @@
 //! mutex + condvar, so [`Comm::wait_any`] is a real blocking wait on
 //! *any* neighbor (`MPI_Waitany`), not a poll loop.
 //!
+//! **Fault semantics.** Each endpoint announces its fate when it goes
+//! away: a cleanly finished rank records a `PeerClosed` fault on every
+//! peer's mailbox, a panicking rank records `PeerLost` — and both
+//! *break the barrier*, so collectives on surviving ranks fail with a
+//! typed [`CommError`] naming the dead rank instead of hanging.
+//! Because parked messages are matched before faults, everything a
+//! rank sent before finishing stays receivable. Worlds built with
+//! [`ThreadWorld::connect_with_deadline`] additionally bound every
+//! blocking receive and barrier, turning a hung-but-alive peer into a
+//! `Timeout` fault; [`run_threads_fallible`] is the chaos-test entry
+//! point that reports each rank's outcome instead of propagating the
+//! first panic.
+//!
 //! Transport-agnostic callers should reach this world through
 //! [`crate::world::run_spmd`], which picks thread- or socket-ranks from
 //! the `HPGMXP_COMM` environment variable.
 
 use crate::comm::{reduce_into, Comm, RecvPost, ReduceOp};
+use crate::error::{CommError, CommErrorKind, CommResult};
 use crate::mailbox::{Mailbox, Message};
 use parking_lot::Mutex;
-use std::sync::{Arc, Barrier, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+/// A generation-counted barrier that can *break*: when a participant
+/// can never arrive again (its rank panicked or returned), the barrier
+/// wakes every waiter with a typed fault naming the culprit instead of
+/// letting the job hang. Waits may also carry a deadline.
+struct FaultBarrier {
+    size: usize,
+    state: StdMutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    /// Set at most once — the first participant to die breaks the
+    /// barrier for good.
+    broken: Option<(usize, CommErrorKind, String)>,
+}
+
+impl FaultBarrier {
+    fn new(size: usize) -> Self {
+        FaultBarrier {
+            size,
+            state: StdMutex::new(BarrierState { arrived: 0, generation: 0, broken: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn broken_error(broken: &(usize, CommErrorKind, String), elapsed: Duration) -> CommError {
+        let (rank, kind, why) = broken;
+        CommError::new(*kind, Some(*rank), format!("barrier cannot complete: {why}"))
+            .with_elapsed(elapsed)
+    }
+
+    /// Arrive and wait for the rest of the world. Returns whether this
+    /// rank completed the generation (the "leader" that performs the
+    /// one-rank reduction step of an allreduce).
+    fn wait(&self, deadline: Option<Duration>) -> CommResult<bool> {
+        let started = Instant::now();
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(b) = &s.broken {
+            return Err(Self::broken_error(b, started.elapsed()));
+        }
+        let gen = s.generation;
+        s.arrived += 1;
+        if s.arrived == self.size {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(true);
+        }
+        loop {
+            // A completed generation outranks a later break: everyone
+            // arrived while this rank was parked, so its wait succeeded
+            // even if a rank has since died.
+            if s.generation != gen {
+                return Ok(false);
+            }
+            if let Some(b) = &s.broken {
+                return Err(Self::broken_error(b, started.elapsed()));
+            }
+            s = match deadline {
+                None => self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
+                Some(deadline) => {
+                    let elapsed = started.elapsed();
+                    if elapsed >= deadline {
+                        return Err(CommError::new(
+                            CommErrorKind::Timeout,
+                            None,
+                            format!(
+                                "barrier did not complete within the {:.3}s deadline",
+                                deadline.as_secs_f64()
+                            ),
+                        )
+                        .with_elapsed(elapsed));
+                    }
+                    self.cv.wait_timeout(s, deadline - elapsed).unwrap_or_else(|e| e.into_inner()).0
+                }
+            };
+        }
+    }
+
+    /// Mark the barrier permanently broken and wake every waiter.
+    fn break_with(&self, rank: usize, kind: CommErrorKind, why: &str) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.broken.is_none() {
+            s.broken = Some((rank, kind, why.to_string()));
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+}
 
 struct WorldShared {
-    barrier: Barrier,
+    barrier: FaultBarrier,
+    /// Bound on blocking receives and barrier waits (`None` = forever).
+    deadline: Option<Duration>,
     reduce_slots: Vec<Mutex<Vec<f64>>>,
     reduce_result: Mutex<Vec<f64>>,
     inboxes: Vec<Mailbox>,
@@ -73,12 +182,21 @@ pub struct ThreadWorld;
 impl ThreadWorld {
     /// Create a world of `size` connected ranks.
     pub fn connect(size: usize) -> Vec<ThreadComm> {
+        Self::connect_with_deadline(size, None)
+    }
+
+    /// Create a world whose blocking receives and barriers give up with
+    /// a typed `Timeout` fault after `deadline` — the hang detector for
+    /// chaos tests (a hung rank is alive, so no `PeerClosed`/`PeerLost`
+    /// fault will ever fire for it).
+    pub fn connect_with_deadline(size: usize, deadline: Option<Duration>) -> Vec<ThreadComm> {
         assert!(size > 0);
         let shared = Arc::new(WorldShared {
-            barrier: Barrier::new(size),
+            barrier: FaultBarrier::new(size),
+            deadline,
             reduce_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
             reduce_result: Mutex::new(Vec::new()),
-            inboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            inboxes: (0..size).map(|_| Mailbox::with_deadline(deadline)).collect(),
             pool: StdMutex::new(Vec::new()),
         });
         (0..size).map(|rank| ThreadComm { rank, size, shared: Arc::clone(&shared) }).collect()
@@ -154,6 +272,12 @@ impl Comm for ThreadComm {
         self.deliver(msg, out);
     }
 
+    fn recv_into_checked(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        let msg = self.shared.inboxes[self.rank].recv_matching_checked(from, tag)?;
+        self.deliver(msg, out);
+        Ok(())
+    }
+
     fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool {
         match self.shared.inboxes[self.rank].try_recv_matching(from, tag) {
             Some(msg) => {
@@ -174,22 +298,65 @@ impl Comm for ThreadComm {
         Some((slot, post))
     }
 
+    fn wait_any_checked<'p>(
+        &self,
+        posts: &mut [Option<RecvPost<'p>>],
+    ) -> CommResult<Option<(usize, RecvPost<'p>)>> {
+        if posts.iter().all(Option::is_none) {
+            return Ok(None);
+        }
+        let (slot, msg) = self.shared.inboxes[self.rank].wait_any_matching_checked(posts)?;
+        let post = posts[slot].take().expect("slot matched in mailbox");
+        self.deliver(msg, post.buf);
+        Ok(Some((slot, post)))
+    }
+
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        self.allreduce_checked(vals, op).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn allreduce_checked(&self, vals: &mut [f64], op: ReduceOp) -> CommResult<()> {
         *self.shared.reduce_slots[self.rank].lock() = vals.to_vec();
-        let wait = self.shared.barrier.wait();
-        if wait.is_leader() {
+        if self.shared.barrier.wait(self.shared.deadline)? {
             let mut acc = self.shared.reduce_slots[0].lock().clone();
             for r in 1..self.size {
                 reduce_into(op, &mut acc, &self.shared.reduce_slots[r].lock());
             }
             *self.shared.reduce_result.lock() = acc;
         }
-        self.shared.barrier.wait();
+        self.shared.barrier.wait(self.shared.deadline)?;
         vals.copy_from_slice(&self.shared.reduce_result.lock());
+        Ok(())
     }
 
     fn barrier(&self) {
-        self.shared.barrier.wait();
+        self.barrier_checked().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn barrier_checked(&self) -> CommResult<()> {
+        self.shared.barrier.wait(self.shared.deadline).map(|_| ())
+    }
+}
+
+impl Drop for ThreadComm {
+    /// Announce this rank's fate to the rest of the world: a panicking
+    /// rank is `PeerLost`, a cleanly finished one `PeerClosed`. Either
+    /// way no future message or barrier arrival can come from it, so
+    /// peers blocked on it get a typed fault instead of a hang. Parked
+    /// messages are matched before faults, so everything this rank
+    /// already sent stays receivable.
+    fn drop(&mut self) {
+        let (kind, why) = if std::thread::panicking() {
+            (CommErrorKind::PeerLost, format!("rank {} panicked", self.rank))
+        } else {
+            (CommErrorKind::PeerClosed, format!("rank {} finished", self.rank))
+        };
+        for (r, inbox) in self.shared.inboxes.iter().enumerate() {
+            if r != self.rank {
+                inbox.fail(self.rank, kind, why.clone());
+            }
+        }
+        self.shared.barrier.break_with(self.rank, kind, &why);
     }
 }
 
@@ -202,7 +369,24 @@ where
     T: Send,
     F: Fn(ThreadComm) -> T + Sync,
 {
-    let comms = ThreadWorld::connect(size);
+    run_threads_fallible(size, None, f).into_iter().map(|r| r.expect("a rank panicked")).collect()
+}
+
+/// [`run_threads`] for chaos tests: report each rank's outcome
+/// (`Err` = that rank panicked) instead of propagating the first
+/// panic, and optionally bound every blocking receive and barrier by
+/// `deadline` so a hung rank surfaces as a typed `Timeout` fault on
+/// its peers rather than wedging the whole world.
+pub fn run_threads_fallible<T, F>(
+    size: usize,
+    deadline: Option<Duration>,
+    f: F,
+) -> Vec<std::thread::Result<T>>
+where
+    T: Send,
+    F: Fn(ThreadComm) -> T + Sync,
+{
+    let comms = ThreadWorld::connect_with_deadline(size, deadline);
     std::thread::scope(|s| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -211,7 +395,7 @@ where
                 s.spawn(move || fr(c))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("a rank panicked")).collect()
+        handles.into_iter().map(|h| h.join()).collect()
     })
 }
 
@@ -446,6 +630,85 @@ mod tests {
         // After 20 rounds each token visited 20 ranks, +1 each hop.
         for (r, t) in results.iter().enumerate() {
             assert_eq!(*t, ((r + p - 20 % p) % p) as u64 + 20);
+        }
+    }
+
+    #[test]
+    fn finished_rank_fails_peer_receives_with_typed_error() {
+        // Rank 1 returns without ever sending; rank 0's checked receive
+        // must fail with a PeerClosed fault naming rank 1, within
+        // bounded time, instead of hanging.
+        let results = run_threads_fallible(2, None, |c| {
+            if c.rank() == 0 {
+                let mut buf = [0u8; 1];
+                let err = c.recv_into_checked(1, 7, &mut buf).unwrap_err();
+                assert_eq!(err.kind, crate::error::CommErrorKind::PeerClosed);
+                assert_eq!(err.peer, Some(1));
+                assert!(err.detail.contains("rank 1 finished"), "{}", err.detail);
+            }
+        });
+        assert!(results.into_iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn dead_rank_breaks_collectives_with_typed_error() {
+        // Rank 1 dies (panics) before the collective; the survivors'
+        // allreduce fails loudly, attributed to rank 1.
+        let results = run_threads_fallible(3, None, |c| {
+            if c.rank() == 1 {
+                panic!("rank 1 crashing deliberately");
+            }
+            let err = c.allreduce_scalar_checked(1.0, ReduceOp::Sum).unwrap_err();
+            assert_eq!(err.kind, crate::error::CommErrorKind::PeerLost);
+            assert_eq!(err.peer, Some(1));
+            assert!(err.detail.contains("rank 1 panicked"), "{}", err.detail);
+        });
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "rank 1 panicked by design");
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn hung_rank_surfaces_as_receive_timeout() {
+        // Rank 1 is alive but wedged (no fault will ever be recorded
+        // for it); the receive deadline is the only detector.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let woke = AtomicBool::new(false);
+        let results = run_threads_fallible(2, Some(Duration::from_millis(50)), |c| {
+            if c.rank() == 0 {
+                let mut buf = [0u8; 1];
+                let err = c.recv_into_checked(1, 7, &mut buf).unwrap_err();
+                assert_eq!(err.kind, crate::error::CommErrorKind::Timeout);
+                assert_eq!((err.peer, err.tag), (Some(1), Some(7)));
+                assert!(err.elapsed >= Duration::from_millis(50));
+            } else {
+                std::thread::sleep(Duration::from_millis(200)); // wedged
+                woke.store(true, Ordering::SeqCst);
+            }
+        });
+        assert!(results.into_iter().all(|r| r.is_ok()));
+        assert!(woke.load(Ordering::SeqCst), "the hung rank was never killed, only detected");
+    }
+
+    #[test]
+    fn messages_sent_before_finishing_stay_receivable() {
+        // Rank 1 sends then immediately exits; rank 0 must still get
+        // the data (parked messages are matched before faults).
+        let results = run_threads_fallible(2, None, |c| {
+            if c.rank() == 0 {
+                let mut buf = [0u8; 1];
+                // Rank 1 may have already exited; the parked message
+                // must still match.
+                std::thread::sleep(Duration::from_millis(20));
+                c.recv_into_checked(1, 3, &mut buf).expect("pre-exit send is receivable");
+                buf[0]
+            } else {
+                c.send_from(0, 3, &[17]);
+                17
+            }
+        });
+        for r in results {
+            assert_eq!(r.expect("no rank panicked"), 17);
         }
     }
 }

@@ -21,6 +21,7 @@
 //! names a transport.
 
 use crate::comm::{Comm, RecvPost, ReduceOp};
+use crate::error::CommResult;
 use crate::socket_world::{self, SocketComm};
 use crate::thread_world::{run_threads, ThreadComm};
 
@@ -116,10 +117,24 @@ impl Comm for WorldComm {
         }
     }
 
+    fn send_from_checked(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        match self {
+            WorldComm::Thread(c) => c.send_from_checked(to, tag, bytes),
+            WorldComm::Socket(c) => c.send_from_checked(to, tag, bytes),
+        }
+    }
+
     fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]) {
         match self {
             WorldComm::Thread(c) => c.recv_into(from, tag, out),
             WorldComm::Socket(c) => c.recv_into(from, tag, out),
+        }
+    }
+
+    fn recv_into_checked(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        match self {
+            WorldComm::Thread(c) => c.recv_into_checked(from, tag, out),
+            WorldComm::Socket(c) => c.recv_into_checked(from, tag, out),
         }
     }
 
@@ -137,6 +152,16 @@ impl Comm for WorldComm {
         }
     }
 
+    fn wait_any_checked<'p>(
+        &self,
+        posts: &mut [Option<RecvPost<'p>>],
+    ) -> CommResult<Option<(usize, RecvPost<'p>)>> {
+        match self {
+            WorldComm::Thread(c) => c.wait_any_checked(posts),
+            WorldComm::Socket(c) => c.wait_any_checked(posts),
+        }
+    }
+
     fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
         match self {
             WorldComm::Thread(c) => c.allreduce(vals, op),
@@ -144,10 +169,24 @@ impl Comm for WorldComm {
         }
     }
 
+    fn allreduce_checked(&self, vals: &mut [f64], op: ReduceOp) -> CommResult<()> {
+        match self {
+            WorldComm::Thread(c) => c.allreduce_checked(vals, op),
+            WorldComm::Socket(c) => c.allreduce_checked(vals, op),
+        }
+    }
+
     fn barrier(&self) {
         match self {
             WorldComm::Thread(c) => c.barrier(),
             WorldComm::Socket(c) => c.barrier(),
+        }
+    }
+
+    fn barrier_checked(&self) -> CommResult<()> {
+        match self {
+            WorldComm::Thread(c) => c.barrier_checked(),
+            WorldComm::Socket(c) => c.barrier_checked(),
         }
     }
 }

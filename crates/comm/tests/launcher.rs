@@ -90,6 +90,28 @@ fn crashed_rank_kills_the_job_with_a_diagnostic_and_no_orphans() {
 }
 
 #[test]
+fn bad_arguments_print_usage_and_exit_2() {
+    // Each malformed invocation gets a one-line diagnostic naming the
+    // problem, the usage text, and the distinct exit code 2 (so CI can
+    // tell "you called it wrong" from "the job failed").
+    let cases: &[&[&str]] = &[
+        &[],                             // no arguments at all
+        &["-n", "2"],                    // missing `-- command`
+        &["--", "true"],                 // missing -n
+        &["-n", "zero", "--", "true"],   // unparseable rank count
+        &["-n", "2", "--retries"],       // flag missing its value
+        &["--frobnicate", "--", "true"], // unknown option
+    ];
+    for args in cases {
+        let out = launch(args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}\nstderr:\n{stderr}");
+        assert!(stderr.contains("hpgmxp-launch:"), "args {args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "args {args:?} must print usage: {stderr}");
+    }
+}
+
+#[test]
 fn hung_rank_trips_the_timeout() {
     let out = launch(&[
         "-n",

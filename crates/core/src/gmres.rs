@@ -13,12 +13,12 @@
 
 use crate::config::ImplVariant;
 use crate::givens::GivensQr;
-use crate::mg::{apply_mg, MgWorkspace, SmootherKind};
+use crate::mg::{apply_mg_checked, MgWorkspace, SmootherKind};
 use crate::motifs::{Motif, MotifStats};
-use crate::ops::{axpy_op, dist_norm2, dist_spmv, waxpby_op, OpCtx};
-use crate::ortho::{cgs2, mgs};
+use crate::ops::{axpy_op, dist_norm2, dist_spmv, dist_spmv_checked, waxpby_op, OpCtx};
+use crate::ortho::{cgs2_checked, mgs_checked};
 use crate::problem::{Level, LocalProblem};
-use hpgmxp_comm::{Comm, Timeline};
+use hpgmxp_comm::{Comm, CommResult, Timeline};
 use hpgmxp_sparse::blas::Basis;
 use hpgmxp_sparse::Scalar;
 use serde::{Deserialize, Serialize};
@@ -144,7 +144,7 @@ pub(crate) fn gmres_cycle<S: Scalar, C: Comm>(
     rho: f64,
     rho0: f64,
     iter_budget: usize,
-) -> CycleOutcome<S> {
+) -> CommResult<CycleOutcome<S>> {
     let levels = &prob.levels[..];
     let n = levels[0].n_local();
     let m = opts.restart;
@@ -156,7 +156,7 @@ pub(crate) fn gmres_cycle<S: Scalar, C: Comm>(
     while k < m && k < iter_budget {
         // z ← M⁻¹ q_k (the preconditioner application, line 18).
         if opts.precondition {
-            apply_mg(
+            apply_mg_checked(
                 ctx,
                 levels,
                 stats,
@@ -166,7 +166,7 @@ pub(crate) fn gmres_cycle<S: Scalar, C: Comm>(
                 SmootherKind::Forward,
                 ws.basis.col(k),
                 &mut ws.zv,
-            );
+            )?;
         } else {
             ws.zv[..n].copy_from_slice(ws.basis.col(k));
         }
@@ -175,13 +175,13 @@ pub(crate) fn gmres_cycle<S: Scalar, C: Comm>(
         {
             // Split borrow: zv and the new basis column are disjoint.
             let (zv, basis) = (&mut ws.zv, &mut ws.basis);
-            dist_spmv(ctx, &levels[0], stats, 0, zv, basis.col_mut(k + 1));
+            dist_spmv_checked(ctx, &levels[0], stats, 0, zv, basis.col_mut(k + 1))?;
         }
 
         // Orthogonalize against columns 0..=k (lines 20–27).
         let ortho = match opts.ortho {
-            OrthoMethod::Cgs2 => cgs2(ctx.comm, stats, &mut ws.basis, k + 1),
-            OrthoMethod::Mgs => mgs(ctx.comm, stats, &mut ws.basis, k + 1),
+            OrthoMethod::Cgs2 => cgs2_checked(ctx.comm, stats, &mut ws.basis, k + 1)?,
+            OrthoMethod::Mgs => mgs_checked(ctx.comm, stats, &mut ws.basis, k + 1)?,
         };
 
         // Givens update (lines 31–43), redundantly on every rank.
@@ -204,7 +204,7 @@ pub(crate) fn gmres_cycle<S: Scalar, C: Comm>(
 
     let mut update = vec![S::ZERO; n];
     if opts.precondition {
-        apply_mg(
+        apply_mg_checked(
             ctx,
             levels,
             stats,
@@ -214,12 +214,12 @@ pub(crate) fn gmres_cycle<S: Scalar, C: Comm>(
             SmootherKind::Forward,
             &ws.combined,
             &mut update,
-        );
+        )?;
     } else {
         update.copy_from_slice(&ws.combined);
     }
 
-    CycleOutcome { update, iters: k }
+    Ok(CycleOutcome { update, iters: k })
 }
 
 /// Solve `A x = b` with double-precision restarted GMRES (Algorithm 2;
@@ -284,7 +284,8 @@ pub fn gmres_solve_f64<C: Comm>(
             rho,
             rho0,
             opts.max_iters - iters,
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         iters += outcome.iters;
         restarts += 1;
         axpy_op(&mut stats, 1.0, &outcome.update, &mut x[..n]);

@@ -9,12 +9,13 @@
 //! mixed solver reach the same 10⁻⁹ relative residual as the double
 //! solver — at roughly half the memory traffic per inner iteration.
 
+use crate::checkpoint::{self, CheckpointSpec};
 use crate::gmres::{gmres_cycle, CycleWorkspace, GmresOptions, SolveStats};
 use crate::motifs::{Motif, MotifStats};
-use crate::ops::{axpy_lo_mixed_op, dist_norm2, dist_spmv, waxpby_op, OpCtx};
+use crate::ops::{axpy_lo_mixed_op, dist_norm2_checked, dist_spmv_checked, waxpby_op, OpCtx};
 use crate::policy::{PrecCtx, PrecisionPolicy};
 use crate::problem::LocalProblem;
-use hpgmxp_comm::{Comm, Timeline};
+use hpgmxp_comm::{Comm, CommResult, Timeline};
 use hpgmxp_sparse::blas::scale_f64_into_lo;
 use hpgmxp_sparse::{Half, PrecKind, Scalar};
 use std::time::Instant;
@@ -89,6 +90,35 @@ pub fn gmres_ir_solve_prec<SLo: Scalar, C: Comm>(
     timeline: &Timeline,
     inner_prec: PrecCtx,
 ) -> (Vec<f64>, SolveStats) {
+    gmres_ir_solve_prec_checked::<SLo, C>(comm, prob, opts, timeline, inner_prec, None)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant mixed GMRES-IR (f32 inner): transport faults surface
+/// as typed [`CommResult`] errors instead of panics, and an optional
+/// [`CheckpointSpec`] enables write-ahead checkpointing of the outer
+/// iteration plus restore-on-start. A restored run replays the
+/// remaining residual history bit-identically.
+pub fn gmres_ir_solve_ckpt<C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    opts: &GmresOptions,
+    timeline: &Timeline,
+    ckpt: Option<&CheckpointSpec>,
+) -> CommResult<(Vec<f64>, SolveStats)> {
+    gmres_ir_solve_prec_checked::<f32, C>(comm, prob, opts, timeline, PrecCtx::native(), ckpt)
+}
+
+/// The full solver: [`gmres_ir_solve_prec`] with fault propagation and
+/// optional checkpoint/restart. Every public entry point funnels here.
+pub fn gmres_ir_solve_prec_checked<SLo: Scalar, C: Comm>(
+    comm: &C,
+    prob: &LocalProblem,
+    opts: &GmresOptions,
+    timeline: &Timeline,
+    inner_prec: PrecCtx,
+    ckpt: Option<&CheckpointSpec>,
+) -> CommResult<(Vec<f64>, SolveStats)> {
     // Outer residual: always f64 with natively-stored (f64) matrices.
     let ctx = OpCtx::new(comm, opts.variant, timeline);
     let ctx_inner = OpCtx::with_prec(comm, opts.variant, timeline, inner_prec);
@@ -104,18 +134,32 @@ pub fn gmres_ir_solve_prec<SLo: Scalar, C: Comm>(
     let mut r_unit_lo = vec![SLo::ZERO; n];
     let mut ws: CycleWorkspace<SLo> = CycleWorkspace::new(levels, opts.restart);
 
-    let rho0 = dist_norm2(comm, &mut stats, Motif::Dot, &prob.b);
+    let rho0 = dist_norm2_checked(comm, &mut stats, Motif::Dot, &prob.b)?;
     let mut history = Vec::new();
     let mut iters = 0usize;
     let mut restarts = 0usize;
     let mut relres;
     let mut converged = false;
 
+    // Restore a prior run's outer state if requested. `rho0` and the
+    // ghost entries are deterministic recomputations, so resuming from
+    // `x` + counters + history replays the rest of the run exactly.
+    if let Some(spec) = ckpt {
+        if spec.restore {
+            if let Some(saved) = checkpoint::restore(comm, spec, n)? {
+                x[..n].copy_from_slice(&saved.x);
+                iters = saved.iters;
+                restarts = saved.restarts;
+                history = saved.history;
+            }
+        }
+    }
+
     loop {
         // Line 7: double-precision residual r = b − A x.
-        dist_spmv::<f64, C>(&ctx, &levels[0], &mut stats, 0, &mut x, &mut ax);
+        dist_spmv_checked::<f64, C>(&ctx, &levels[0], &mut stats, 0, &mut x, &mut ax)?;
         waxpby_op(&mut stats, 1.0, &prob.b, -1.0, &ax, &mut r);
-        let rho = dist_norm2(comm, &mut stats, Motif::Dot, &r);
+        let rho = dist_norm2_checked(comm, &mut stats, Motif::Dot, &r)?;
         relres = if rho0 > 0.0 { rho / rho0 } else { 0.0 };
         if opts.track_history {
             history.push(relres);
@@ -151,19 +195,33 @@ pub fn gmres_ir_solve_prec<SLo: Scalar, C: Comm>(
             rho,
             rho0,
             opts.max_iters - iters,
-        );
+        )?;
         iters += outcome.iters;
         restarts += 1;
 
         // Line 47: mixed-precision solution update in double.
         axpy_lo_mixed_op(&mut stats, 1.0, &outcome.update, &mut x[..n]);
+
+        // Write-ahead checkpoint at the outer-iteration boundary: the
+        // next loop pass recomputes everything else from `x`.
+        if let Some(spec) = ckpt {
+            if restarts.is_multiple_of(spec.interval) {
+                let state = checkpoint::OuterState {
+                    iters,
+                    restarts,
+                    history: history.clone(),
+                    x: x[..n].to_vec(),
+                };
+                checkpoint::stage_and_commit(comm, spec, &state)?;
+            }
+        }
         if outcome.iters == 0 {
             break;
         }
     }
 
     let solution = x[..n].to_vec();
-    (
+    Ok((
         solution,
         SolveStats {
             iters,
@@ -174,7 +232,7 @@ pub fn gmres_ir_solve_prec<SLo: Scalar, C: Comm>(
             motifs: stats,
             overlap_efficiency: timeline.overlap_efficiency(),
         },
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -23,6 +23,8 @@
 //! * [`gmres`] — restarted right-preconditioned GMRES, Algorithm 2;
 //! * [`gmres_ir`] — mixed-precision GMRES-IR, Algorithm 3;
 //! * [`cg`] — the HPCG baseline (preconditioned CG, Algorithm 1);
+//! * [`checkpoint`] — write-ahead checkpoint/restore of the GMRES-IR
+//!   outer iteration (crash-consistent two-phase commit, CRC-framed);
 //! * [`policy`] — the precision-policy engine: runtime-selected
 //!   storage (per level) / compute / wire precisions, decoupled;
 //! * [`benchmark`] — validation (standard and fullscale, §3.3), the
@@ -30,6 +32,7 @@
 
 pub mod benchmark;
 pub mod cg;
+pub mod checkpoint;
 pub mod config;
 pub mod flops;
 pub mod givens;
@@ -44,8 +47,10 @@ pub mod policy;
 pub mod problem;
 
 pub use benchmark::{BenchmarkReport, ValidationMode, ValidationResult};
+pub use checkpoint::{CheckpointSpec, OuterState};
 pub use config::{BenchmarkParams, ImplVariant};
 pub use gmres::{GmresOptions, SolveStats};
+pub use gmres_ir::gmres_ir_solve_ckpt;
 pub use motifs::{Motif, MotifStats};
 pub use policy::{PrecCtx, PrecisionPolicy};
 pub use problem::{Level, LocalProblem, ProblemSpec};

@@ -9,9 +9,9 @@
 //! post-smooth; the coarsest level is only smoothed.
 
 use crate::motifs::MotifStats;
-use crate::ops::{dist_gs_sweep, dist_restrict, prolong_add, OpCtx, SweepDir};
+use crate::ops::{dist_gs_sweep_checked, dist_restrict_checked, prolong_add, OpCtx, SweepDir};
 use crate::problem::Level;
-use hpgmxp_comm::Comm;
+use hpgmxp_comm::{Comm, CommResult};
 use hpgmxp_sparse::Scalar;
 
 /// Which smoother the cycle uses.
@@ -52,16 +52,19 @@ fn smooth<S: Scalar, C: Comm>(
     sweeps: usize,
     r: &[S],
     z: &mut [S],
-) {
+) -> CommResult<()> {
     for _ in 0..sweeps {
         match kind {
-            SmootherKind::Forward => dist_gs_sweep(ctx, level, stats, tag, SweepDir::Forward, r, z),
+            SmootherKind::Forward => {
+                dist_gs_sweep_checked(ctx, level, stats, tag, SweepDir::Forward, r, z)?
+            }
             SmootherKind::Symmetric => {
-                dist_gs_sweep(ctx, level, stats, tag, SweepDir::Forward, r, z);
-                dist_gs_sweep(ctx, level, stats, tag, SweepDir::Backward, r, z);
+                dist_gs_sweep_checked(ctx, level, stats, tag, SweepDir::Forward, r, z)?;
+                dist_gs_sweep_checked(ctx, level, stats, tag, SweepDir::Backward, r, z)?;
             }
         }
     }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -75,21 +78,22 @@ fn vcycle<S: Scalar, C: Comm>(
     post: usize,
     kind: SmootherKind,
     tag: u64,
-) {
+) -> CommResult<()> {
     let level = &levels[0];
     let (z0, zrest) = zs.split_first_mut().expect("workspace depth");
     let (r0, rrest) = rs.split_first_mut().expect("workspace depth");
 
     // Zero initial guess on every level, ghosts included.
     z0.fill(S::ZERO);
-    smooth(ctx, level, stats, tag, kind, pre.max(1), r0, z0);
+    smooth(ctx, level, stats, tag, kind, pre.max(1), r0, z0)?;
 
     if levels.len() > 1 {
-        dist_restrict(ctx, level, stats, tag, r0, z0, &mut rrest[0]);
-        vcycle(ctx, &levels[1..], stats, zrest, rrest, pre, post, kind, tag + 1);
+        dist_restrict_checked(ctx, level, stats, tag, r0, z0, &mut rrest[0])?;
+        vcycle(ctx, &levels[1..], stats, zrest, rrest, pre, post, kind, tag + 1)?;
         prolong_add(level, stats, &zrest[0], z0);
-        smooth(ctx, level, stats, tag, kind, post.max(1), r0, z0);
+        smooth(ctx, level, stats, tag, kind, post.max(1), r0, z0)?;
     }
+    Ok(())
 }
 
 /// Apply one multigrid V-cycle as the preconditioner: `out = M⁻¹ rhs`.
@@ -109,10 +113,28 @@ pub fn apply_mg<S: Scalar, C: Comm>(
     rhs: &[S],
     out: &mut [S],
 ) {
+    apply_mg_checked(ctx, levels, stats, ws, pre, post, kind, rhs, out)
+        .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`apply_mg`] that surfaces transport faults as a typed error.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_mg_checked<S: Scalar, C: Comm>(
+    ctx: &OpCtx<C>,
+    levels: &[Level],
+    stats: &mut MotifStats,
+    ws: &mut MgWorkspace<S>,
+    pre: usize,
+    post: usize,
+    kind: SmootherKind,
+    rhs: &[S],
+    out: &mut [S],
+) -> CommResult<()> {
     let n = levels[0].n_local();
     ws.r[0][..n].copy_from_slice(&rhs[..n]);
-    vcycle(ctx, levels, stats, &mut ws.z, &mut ws.r, pre, post, kind, 100);
+    vcycle(ctx, levels, stats, &mut ws.z, &mut ws.r, pre, post, kind, 100)?;
     out[..n].copy_from_slice(&ws.z[0][..n]);
+    Ok(())
 }
 
 /// Apply the identity "preconditioner" (no multigrid) — used by tests
@@ -127,6 +149,7 @@ mod tests {
     use super::*;
     use crate::config::ImplVariant;
     use crate::motifs::Motif;
+    use crate::ops::dist_gs_sweep;
     use crate::problem::{assemble, ProblemSpec};
     use hpgmxp_comm::{run_spmd, SelfComm, Timeline};
     use hpgmxp_geometry::{ProcGrid, Stencil27};

@@ -19,7 +19,7 @@ use crate::flops;
 use crate::motifs::{Motif, MotifStats};
 use crate::policy::PrecCtx;
 use crate::problem::{Level, RefPath};
-use hpgmxp_comm::{Comm, Stream, Timeline};
+use hpgmxp_comm::{Comm, CommResult, Stream, Timeline};
 use hpgmxp_sparse::blas;
 use hpgmxp_sparse::csr::CsrMatrix;
 use hpgmxp_sparse::gauss_seidel::{gs_backward, gs_color_class, gs_forward_reference, SweepMatrix};
@@ -246,7 +246,8 @@ pub enum SweepDir {
 
 /// Distributed `y = A x`. `x` must be a full distributed vector
 /// (owned + ghosts); its ghost region is refreshed by the embedded halo
-/// exchange. `y` receives the owned rows.
+/// exchange. `y` receives the owned rows. Panics on a transport fault;
+/// see [`dist_spmv_checked`] for the fault-tolerant form.
 pub fn dist_spmv<S: Scalar, C: Comm>(
     ctx: &OpCtx<C>,
     level: &Level,
@@ -255,6 +256,19 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
     x: &mut [S],
     y: &mut [S],
 ) {
+    dist_spmv_checked(ctx, level, stats, tag, x, y).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`dist_spmv`] that surfaces transport faults (dead peer, corrupt
+/// frame, receive deadline) as a typed error instead of panicking.
+pub fn dist_spmv_checked<S: Scalar, C: Comm>(
+    ctx: &OpCtx<C>,
+    level: &Level,
+    stats: &mut MotifStats,
+    tag: u64,
+    x: &mut [S],
+    y: &mut [S],
+) -> CommResult<()> {
     let t0 = Instant::now();
     let kind = ctx.prec.storage_kind(level.depth, S::KIND);
     let wire = ctx.prec.wire_bytes(S::KIND);
@@ -270,12 +284,12 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
             // and ghost wire format come from the policy context; the
             // kernels widen stored values into `S` on load.
             let ell = level.ell_at(kind);
-            let halo = level.halo.begin_wire(ctx.comm, tag, x, wire, ctx.timeline);
+            let halo = level.halo.begin_wire_checked(ctx.comm, tag, x, wire, ctx.timeline)?;
             {
                 let _s = ctx.timeline.span("SpMV interior", Stream::Compute);
                 with_storage!(ell, EllRef, m => m.spmv_rows_par(&level.interior_rows, x, y));
             }
-            halo.finish(ctx.comm, x, ctx.timeline);
+            halo.finish_checked(ctx.comm, x, ctx.timeline)?;
             {
                 let _s = ctx.timeline.span("SpMV boundary", Stream::Compute);
                 with_storage!(ell, EllRef, m => m.spmv_rows_par(&level.boundary_rows, x, y));
@@ -287,7 +301,7 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
             );
         }
         ImplVariant::Reference => {
-            level.halo.exchange_wire(ctx.comm, tag, x, wire, ctx.timeline);
+            level.halo.exchange_wire_checked(ctx.comm, tag, x, wire, ctx.timeline)?;
             let _s = ctx.timeline.span("SpMV", Stream::Compute);
             let csr = level.csr_at(kind);
             with_storage!(csr, CsrRef, m => m.spmv_par(x, y));
@@ -300,6 +314,7 @@ pub fn dist_spmv<S: Scalar, C: Comm>(
     }
     stats.record_traffic(Motif::Comm, 0.0, level.halo.send_bytes_wire(wire) as f64);
     stats.record(Motif::SpMV, t0.elapsed().as_secs_f64(), flops::spmv(level.nnz()));
+    Ok(())
 }
 
 /// One distributed Gauss–Seidel sweep for `A z = r`, updating `z` in
@@ -315,6 +330,19 @@ pub fn dist_gs_sweep<S: Scalar, C: Comm>(
     r: &[S],
     z: &mut [S],
 ) {
+    dist_gs_sweep_checked(ctx, level, stats, tag, dir, r, z).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`dist_gs_sweep`] that surfaces transport faults as a typed error.
+pub fn dist_gs_sweep_checked<S: Scalar, C: Comm>(
+    ctx: &OpCtx<C>,
+    level: &Level,
+    stats: &mut MotifStats,
+    tag: u64,
+    dir: SweepDir,
+    r: &[S],
+    z: &mut [S],
+) -> CommResult<()> {
     let t0 = Instant::now();
     let kind = ctx.prec.storage_kind(level.depth, S::KIND);
     let wire = ctx.prec.wire_bytes(S::KIND);
@@ -331,12 +359,12 @@ pub fn dist_gs_sweep<S: Scalar, C: Comm>(
             };
             let ell = level.ell_at(kind);
             with_storage!(ell, EllRef, m => {
-                let halo = level.halo.begin_wire(ctx.comm, tag, z, wire, ctx.timeline);
+                let halo = level.halo.begin_wire_checked(ctx.comm, tag, z, wire, ctx.timeline)?;
                 {
                     let _s = ctx.timeline.span("GS interior (first color)", Stream::Compute);
                     gs_color_class(m, &level.color_interior[first], r, z);
                 }
-                halo.finish(ctx.comm, z, ctx.timeline);
+                halo.finish_checked(ctx.comm, z, ctx.timeline)?;
                 {
                     let _s = ctx.timeline.span("GS boundary (first color)", Stream::Compute);
                     gs_color_class(m, &level.color_boundary[first], r, z);
@@ -364,7 +392,7 @@ pub fn dist_gs_sweep<S: Scalar, C: Comm>(
             );
         }
         ImplVariant::Reference => {
-            level.halo.exchange_wire(ctx.comm, tag, z, wire, ctx.timeline);
+            level.halo.exchange_wire_checked(ctx.comm, tag, z, wire, ctx.timeline)?;
             let _s = ctx.timeline.span("GS (reference)", Stream::Compute);
             match dir {
                 SweepDir::Forward => {
@@ -392,6 +420,7 @@ pub fn dist_gs_sweep<S: Scalar, C: Comm>(
         t0.elapsed().as_secs_f64(),
         flops::gs_sweep(level.nnz(), level.n_local()),
     );
+    Ok(())
 }
 
 /// Distributed restriction: compute the smoothed residual
@@ -411,6 +440,19 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
     z: &mut [S],
     rc: &mut [S],
 ) {
+    dist_restrict_checked(ctx, fine, stats, tag, b_f, z, rc).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`dist_restrict`] that surfaces transport faults as a typed error.
+pub fn dist_restrict_checked<S: Scalar, C: Comm>(
+    ctx: &OpCtx<C>,
+    fine: &Level,
+    stats: &mut MotifStats,
+    tag: u64,
+    b_f: &[S],
+    z: &mut [S],
+    rc: &mut [S],
+) -> CommResult<()> {
     let map = fine.c2f.as_ref().expect("restriction requires a coarser level");
     let t0 = Instant::now();
     let kind = ctx.prec.storage_kind(fine.depth, S::KIND);
@@ -419,12 +461,12 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
         ImplVariant::Optimized => {
             let ell = fine.ell_at(kind);
             with_storage!(ell, EllRef, m => {
-                let halo = fine.halo.begin_wire(ctx.comm, tag, z, wire, ctx.timeline);
+                let halo = fine.halo.begin_wire_checked(ctx.comm, tag, z, wire, ctx.timeline)?;
                 {
                     let _s = ctx.timeline.span("fused SpMV-restrict interior", Stream::Compute);
                     fused_restrict_rows(m, &fine.restrict_interior, &map.c2f, b_f, z, rc);
                 }
-                halo.finish(ctx.comm, z, ctx.timeline);
+                halo.finish_checked(ctx.comm, z, ctx.timeline)?;
                 let _s = ctx.timeline.span("fused SpMV-restrict boundary", Stream::Compute);
                 fused_restrict_rows(m, &fine.restrict_boundary, &map.c2f, b_f, z, rc);
             });
@@ -443,7 +485,7 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
             );
         }
         ImplVariant::Reference => {
-            fine.halo.exchange_wire(ctx.comm, tag, z, wire, ctx.timeline);
+            fine.halo.exchange_wire_checked(ctx.comm, tag, z, wire, ctx.timeline)?;
             let _s = ctx.timeline.span("residual SpMV + restrict", Stream::Compute);
             let n = fine.n_local();
             let mut tmp = vec![S::ZERO; n];
@@ -468,6 +510,7 @@ pub fn dist_restrict<S: Scalar, C: Comm>(
         }
     }
     stats.record_traffic(Motif::Comm, 0.0, fine.halo.send_bytes_wire(wire) as f64);
+    Ok(())
 }
 
 /// Fused residual-evaluate-and-inject over one list of coarse points
@@ -527,11 +570,22 @@ pub fn dist_dot<S: Scalar, C: Comm>(
     x: &[S],
     y: &[S],
 ) -> f64 {
+    dist_dot_checked(comm, stats, motif, x, y).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`dist_dot`] that surfaces transport faults as a typed error.
+pub fn dist_dot_checked<S: Scalar, C: Comm>(
+    comm: &C,
+    stats: &mut MotifStats,
+    motif: Motif,
+    x: &[S],
+    y: &[S],
+) -> CommResult<f64> {
     let t0 = Instant::now();
     let local = blas::dot_par(x, y).to_f64();
-    let global = comm.allreduce_scalar(local, hpgmxp_comm::ReduceOp::Sum);
+    let global = comm.allreduce_scalar_checked(local, hpgmxp_comm::ReduceOp::Sum)?;
     stats.record(motif, t0.elapsed().as_secs_f64(), flops::dot(x.len()));
-    global
+    Ok(global)
 }
 
 /// Distributed 2-norm over owned entries. NaN inputs (e.g. an fp16
@@ -545,12 +599,18 @@ pub fn dist_norm2<S: Scalar, C: Comm>(
     motif: Motif,
     x: &[S],
 ) -> f64 {
-    let d = dist_dot(comm, stats, motif, x, x);
-    if d.is_nan() {
-        f64::NAN
-    } else {
-        d.max(0.0).sqrt()
-    }
+    dist_norm2_checked(comm, stats, motif, x).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`dist_norm2`] that surfaces transport faults as a typed error.
+pub fn dist_norm2_checked<S: Scalar, C: Comm>(
+    comm: &C,
+    stats: &mut MotifStats,
+    motif: Motif,
+    x: &[S],
+) -> CommResult<f64> {
+    let d = dist_dot_checked(comm, stats, motif, x, x)?;
+    Ok(if d.is_nan() { f64::NAN } else { d.max(0.0).sqrt() })
 }
 
 /// Recorded `w = alpha x + beta y` (owned entries).

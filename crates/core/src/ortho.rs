@@ -13,7 +13,7 @@
 
 use crate::flops;
 use crate::motifs::{Motif, MotifStats};
-use hpgmxp_comm::{Comm, ReduceOp};
+use hpgmxp_comm::{Comm, CommResult, ReduceOp};
 use hpgmxp_sparse::blas::{self, Basis};
 use hpgmxp_sparse::Scalar;
 use std::time::Instant;
@@ -38,6 +38,16 @@ pub fn cgs2<S: Scalar, C: Comm>(
     q: &mut Basis<S>,
     k: usize,
 ) -> OrthoResult {
+    cgs2_checked(comm, stats, q, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`cgs2`] that surfaces transport faults as a typed error.
+pub fn cgs2_checked<S: Scalar, C: Comm>(
+    comm: &C,
+    stats: &mut MotifStats,
+    q: &mut Basis<S>,
+    k: usize,
+) -> CommResult<OrthoResult> {
     let t0 = Instant::now();
     let n = q.n();
     let mut h = vec![0.0f64; k];
@@ -46,7 +56,7 @@ pub fn cgs2<S: Scalar, C: Comm>(
     for _pass in 0..2 {
         let local = q.project_local(k);
         let mut hf: Vec<f64> = local.iter().map(|v| v.to_f64()).collect();
-        comm.allreduce(&mut hf, ReduceOp::Sum);
+        comm.allreduce_checked(&mut hf, ReduceOp::Sum)?;
         let hs: Vec<S> = hf.iter().map(|&v| S::from_f64(v)).collect();
         q.subtract(k, &hs);
         for (acc, v) in h.iter_mut().zip(hf.iter()) {
@@ -56,14 +66,14 @@ pub fn cgs2<S: Scalar, C: Comm>(
 
     // Normalize (deterministic blocked parallel reduction).
     let local_sq = blas::norm2_sq_par(q.col(k)).to_f64();
-    let beta = comm.allreduce_scalar(local_sq, ReduceOp::Sum).max(0.0).sqrt();
+    let beta = comm.allreduce_scalar_checked(local_sq, ReduceOp::Sum)?.max(0.0).sqrt();
     let breakdown = beta <= f64::EPSILON;
     if !breakdown {
         blas::scal(S::from_f64(1.0 / beta), q.col_mut(k));
     }
 
     stats.record(Motif::Ortho, t0.elapsed().as_secs_f64(), flops::cgs2_step(n, k));
-    OrthoResult { h, beta, breakdown }
+    Ok(OrthoResult { h, beta, breakdown })
 }
 
 /// Modified Gram–Schmidt (single pass, one all-reduce per column) —
@@ -75,23 +85,33 @@ pub fn mgs<S: Scalar, C: Comm>(
     q: &mut Basis<S>,
     k: usize,
 ) -> OrthoResult {
+    mgs_checked(comm, stats, q, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`mgs`] that surfaces transport faults as a typed error.
+pub fn mgs_checked<S: Scalar, C: Comm>(
+    comm: &C,
+    stats: &mut MotifStats,
+    q: &mut Basis<S>,
+    k: usize,
+) -> CommResult<OrthoResult> {
     let t0 = Instant::now();
     let n = q.n();
     let mut h = vec![0.0f64; k];
     for (j, hjs) in h.iter_mut().enumerate() {
         let local = blas::dot_par(q.col(j), q.col(k)).to_f64();
-        let hj = comm.allreduce_scalar(local, ReduceOp::Sum);
+        let hj = comm.allreduce_scalar_checked(local, ReduceOp::Sum)?;
         *hjs = hj;
         q.axpy_cols(j, k, S::from_f64(hj));
     }
     let local_sq = blas::norm2_sq_par(q.col(k)).to_f64();
-    let beta = comm.allreduce_scalar(local_sq, ReduceOp::Sum).max(0.0).sqrt();
+    let beta = comm.allreduce_scalar_checked(local_sq, ReduceOp::Sum)?.max(0.0).sqrt();
     let breakdown = beta <= f64::EPSILON;
     if !breakdown {
         blas::scal(S::from_f64(1.0 / beta), q.col_mut(k));
     }
     stats.record(Motif::Ortho, t0.elapsed().as_secs_f64(), flops::cgs2_step(n, k) / 2.0);
-    OrthoResult { h, beta, breakdown }
+    Ok(OrthoResult { h, beta, breakdown })
 }
 
 /// Measure the worst pairwise loss of orthogonality `max |qᵢ·qⱼ|`

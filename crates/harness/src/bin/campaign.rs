@@ -140,7 +140,8 @@ fn run() -> Result<(), String> {
     let spec_path = spec_path.ok_or_else(usage)?;
     let text =
         std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let spec = CampaignSpec::from_json(&text)?;
+    let spec =
+        CampaignSpec::from_json(&text).map_err(|e| format!("cannot parse {spec_path}: {e}"))?;
 
     let report = run_campaign(&spec)?;
     if quiet_socket_rank() {

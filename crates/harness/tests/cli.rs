@@ -1,0 +1,47 @@
+//! CLI contract tests for the `campaign` binary: a bad spec path or an
+//! unparseable spec must produce a friendly one-line diagnostic naming
+//! the file and the underlying cause, plus a non-zero exit — never a
+//! panic or a bare parser error with no context.
+
+use std::process::{Command, Output};
+
+const CAMPAIGN: &str = env!("CARGO_BIN_EXE_campaign");
+
+fn campaign(args: &[&str]) -> Output {
+    Command::new(CAMPAIGN).args(args).output().expect("run campaign")
+}
+
+#[test]
+fn missing_spec_file_names_the_path_and_cause() {
+    let out = campaign(&["/no/such/dir/spec.json"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(stderr.contains("campaign:"), "{stderr}");
+    assert!(stderr.contains("cannot read /no/such/dir/spec.json"), "{stderr}");
+    // The OS-level cause rides along (e.g. "No such file or directory").
+    assert!(stderr.contains("o such file"), "{stderr}");
+}
+
+#[test]
+fn unparseable_spec_names_the_path_and_parse_error() {
+    let dir = std::env::temp_dir().join(format!("campaign-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.json");
+    std::fs::write(&path, "{ this is not json").unwrap();
+    let out = campaign(&[path.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(
+        stderr.contains(&format!("cannot parse {}", path.display())),
+        "must name the spec file: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = campaign(&[]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(stderr.to_lowercase().contains("usage"), "{stderr}");
+}

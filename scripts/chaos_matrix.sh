@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One cell of the chaos matrix: inject a scenario from chaos/ into a
+# multi-process checkpointing GMRES-IR job and assert the full cycle —
+# the fault bites, the job fails *typed* (never hangs), the launcher
+# relaunches with HPGMXP_RESTORE=1, the retry restores and finishes.
+#
+# usage: scripts/chaos_matrix.sh <ranks> <scenario>
+#   e.g. scripts/chaos_matrix.sh 4 crash
+#
+# Environment overrides: LAUNCH and WORKER point at the two binaries
+# (default: the release targets). Logs land in chaos-logs/ so CI can
+# upload them as artifacts.
+set -euo pipefail
+
+P=${1:?usage: chaos_matrix.sh <ranks> <scenario>}
+SCENARIO=${2:?usage: chaos_matrix.sh <ranks> <scenario>}
+cd "$(dirname "$0")/.."
+PLAN="chaos/${SCENARIO}.json"
+if [ ! -f "$PLAN" ]; then
+    echo "chaos_matrix: no such scenario: $PLAN (have: $(ls chaos))" >&2
+    exit 2
+fi
+
+LAUNCH=${LAUNCH:-target/release/hpgmxp-launch}
+WORKER=${WORKER:-target/release/ckpt_worker}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p chaos-logs
+LOG="chaos-logs/${SCENARIO}-P${P}.log"
+
+# The recv deadline is the detection mechanism for hangs and dropped
+# frames; 5 s is far above any clean-run stall at this problem size.
+# The launcher's own timeout is the hard stop for everything else.
+set +e
+HPGMXP_FAULT_PLAN="$PLAN" \
+HPGMXP_CKPT_DIR="$WORK/ckpt" \
+HPGMXP_RECV_DEADLINE_MILLIS=5000 \
+    "$LAUNCH" -n "$P" --timeout-secs 120 --retries 1 -- "$WORKER" \
+    >"$LOG" 2>&1
+code=$?
+set -e
+
+tail -n 40 "$LOG"
+if [ "$code" -ne 0 ]; then
+    echo "chaos_matrix: $SCENARIO at P=$P did not recover (exit $code)" >&2
+    exit 1
+fi
+# Exit 0 alone could mean the plan never fired. The launcher logs the
+# relaunch, so recovery — not luck — must explain the success.
+if ! grep -q "relaunching with restore" "$LOG"; then
+    echo "chaos_matrix: $SCENARIO at P=$P: first attempt succeeded — the plan never bit" >&2
+    exit 1
+fi
+echo "chaos_matrix: $SCENARIO at P=$P: detected, relaunched, recovered"
