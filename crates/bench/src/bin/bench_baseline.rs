@@ -38,6 +38,10 @@ struct Entry {
     /// Logical core count of the recording host (absent on baselines
     /// recorded before host metadata existed).
     host_cores: Option<u64>,
+    /// SIMD descriptor of the recording host,
+    /// `"<level>/<features>"` (absent on baselines recorded before
+    /// SIMD dispatch existed).
+    host_simd: Option<String>,
 }
 
 fn parse_entry(v: &Value) -> Option<Entry> {
@@ -47,6 +51,7 @@ fn parse_entry(v: &Value) -> Option<Entry> {
         median_secs: v.get("median_secs")?.as_f64()?,
         gib_per_s: v.get("gib_per_s").and_then(Value::as_f64),
         host_cores: v.get("host_cores").and_then(Value::as_f64).map(|c| c as u64),
+        host_simd: v.get("host_simd").and_then(Value::as_str).map(str::to_string),
     })
 }
 
@@ -99,10 +104,12 @@ fn write_baseline(path: &str, mut entries: Vec<Entry>) -> Result<(), String> {
     for (i, e) in entries.iter().enumerate() {
         let gib = e.gib_per_s.map_or("null".to_string(), |g| format!("{g:.4}"));
         let cores = e.host_cores.map_or("null".to_string(), |c| c.to_string());
+        let simd =
+            e.host_simd.as_deref().map_or("null".to_string(), |v| format!("\"{}\"", escape(v)));
         let _ = write!(
             s,
             "    {{\"bench\": \"{}\", \"threads\": {}, \"host_cores\": {cores}, \
-             \"median_secs\": {:.6e}, \"gib_per_s\": {}}}",
+             \"host_simd\": {simd}, \"median_secs\": {:.6e}, \"gib_per_s\": {}}}",
             escape(&e.bench),
             e.threads,
             e.median_secs,
@@ -196,6 +203,40 @@ fn cmd_compare(
             "warning: baseline recorded on {b:?}-core host(s) but current run measured on \
              {c:?}-core host(s) — multi-thread entries are not comparable \
              (ROADMAP: re-record the baseline on the new box)"
+        ),
+        _ => {}
+    }
+
+    // Same caveat for the SIMD dispatch: an avx2-recorded baseline is
+    // not a fair floor for a scalar-forced run (or vice versa), and a
+    // host with a different feature set is a different machine class.
+    let base_simd: Vec<String> = baseline
+        .iter()
+        .filter_map(|e| e.host_simd.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let cur_simd: Vec<String> = current
+        .iter()
+        .filter_map(|e| e.host_simd.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    match (base_simd.as_slice(), cur_simd.as_slice()) {
+        ([], _) => eprintln!(
+            "warning: baseline {baseline_path} carries no host_simd metadata \
+             (recorded before SIMD dispatch); re-record it with \
+             scripts/record_bench_baseline.sh"
+        ),
+        (_, []) => eprintln!(
+            "warning: current run {current_path} carries no host_simd metadata \
+             (recorded with a pre-SIMD criterion shim?) — cannot check \
+             that it used the baseline's kernel dispatch"
+        ),
+        (b, c) if b != c => eprintln!(
+            "warning: baseline recorded with SIMD {b:?} but current run measured with \
+             {c:?} — kernel timings are not comparable across dispatch levels \
+             (force a matching HPGMXP_SIMD or re-record the baseline)"
         ),
         _ => {}
     }

@@ -14,8 +14,8 @@
 //! engine uses to unpack ghosts as they arrive.
 
 use crate::error::CommResult;
-use hpgmxp_sparse::half::{f16_bits_to_f32, f32_to_f16_bits};
-use hpgmxp_sparse::Scalar;
+use hpgmxp_sparse::scalar::convert_slice;
+use hpgmxp_sparse::{Half, Scalar};
 
 /// Reduction operator of an all-reduce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,49 +201,124 @@ pub trait Comm: Send + Sync {
     }
 }
 
-/// The one wire encoder: append scalars onto `out` (cleared first) as
-/// little-endian bytes at `S`'s wire width (2/4/8 for f16/f32/f64).
-/// With sufficient capacity this never allocates — the halo engine's
-/// persistent staging buffers rely on that.
-pub(crate) fn encode_scalars<S: Scalar>(values: impl Iterator<Item = S>, out: &mut Vec<u8>) {
-    encode_scalars_wire(values, S::BYTES, out)
+/// Wire staging chunk: scalars are converted to the wire precision in
+/// batches of this many elements through the SIMD converters, then the
+/// chunk's bytes are appended in one go.
+const WIRE_CHUNK: usize = 256;
+
+/// Append a POD lane slice to `out` as little-endian bytes. On
+/// little-endian targets this is a single `memcpy`; elsewhere each
+/// lane is serialized explicitly.
+macro_rules! extend_le {
+    ($name:ident, $T:ty) => {
+        #[inline]
+        fn $name(vals: &[$T], out: &mut Vec<u8>) {
+            #[cfg(target_endian = "little")]
+            {
+                // SAFETY: reading the initialized POD lanes as bytes.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        vals.as_ptr() as *const u8,
+                        std::mem::size_of_val(vals),
+                    )
+                };
+                out.extend_from_slice(bytes);
+            }
+            #[cfg(not(target_endian = "little"))]
+            for v in vals {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    };
 }
 
-/// [`encode_scalars`] with the wire width chosen at runtime,
-/// independent of the compute scalar: values of any `S` are rounded to
-/// a 2/4/8-byte wire format. This is the pack half of the precision
+extend_le!(extend_le_u16, u16);
+extend_le!(extend_le_f32, f32);
+extend_le!(extend_le_f64, f64);
+
+/// Decode little-endian bytes into a POD lane slice (the inverse of
+/// the `extend_le` helpers).
+macro_rules! decode_le {
+    ($name:ident, $T:ty, $W:literal) => {
+        #[inline]
+        fn $name(bytes: &[u8], vals: &mut [$T]) {
+            debug_assert_eq!(bytes.len(), vals.len() * $W);
+            #[cfg(target_endian = "little")]
+            {
+                // SAFETY: writing `size_of_val(vals)` bytes of POD data
+                // over the initialized lanes.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        bytes.as_ptr(),
+                        vals.as_mut_ptr() as *mut u8,
+                        std::mem::size_of_val(vals),
+                    );
+                }
+            }
+            #[cfg(not(target_endian = "little"))]
+            for (v, c) in vals.iter_mut().zip(bytes.chunks_exact($W)) {
+                *v = <$T>::from_le_bytes(c.try_into().unwrap());
+            }
+        }
+    };
+}
+
+decode_le!(decode_le_u16, u16, 2);
+decode_le!(decode_le_f32, f32, 4);
+decode_le!(decode_le_f64, f64, 8);
+
+/// The one wire encoder: round scalars to the wire precision (2/4/8
+/// bytes for f16/f32/f64) in [`WIRE_CHUNK`] batches through the SIMD
+/// converters — one round-to-nearest-even per element, the same bits
+/// a scalar `to_f64`-then-narrow loop produces — and append the
+/// little-endian bytes. This is the pack half of the precision
 /// policy's *wire* axis (fp16 ghosts under an f32 — or even f64 —
-/// compute precision).
-pub(crate) fn encode_scalars_wire<S: Scalar>(
-    values: impl Iterator<Item = S>,
+/// compute precision). Does **not** clear `out`, so gather packing
+/// can stage through it.
+pub(crate) fn encode_slice_wire_append<S: Scalar>(
+    values: &[S],
     wire_bytes: usize,
     out: &mut Vec<u8>,
 ) {
-    out.clear();
+    out.reserve(values.len() * wire_bytes);
     match wire_bytes {
         2 => {
-            for v in values {
-                out.extend_from_slice(&f32_to_f16_bits(v.to_f64() as f32).to_le_bytes());
+            let mut w = [Half::ZERO; WIRE_CHUNK];
+            for c in values.chunks(WIRE_CHUNK) {
+                convert_slice(c, &mut w[..c.len()]);
+                extend_le_u16(hpgmxp_sparse::half::as_bits(&w[..c.len()]), out);
             }
         }
         4 => {
-            for v in values {
-                out.extend_from_slice(&(v.to_f64() as f32).to_le_bytes());
+            let mut w = [0.0f32; WIRE_CHUNK];
+            for c in values.chunks(WIRE_CHUNK) {
+                convert_slice(c, &mut w[..c.len()]);
+                extend_le_f32(&w[..c.len()], out);
             }
         }
         8 => {
-            for v in values {
-                out.extend_from_slice(&v.to_f64().to_le_bytes());
+            let mut w = [0.0f64; WIRE_CHUNK];
+            for c in values.chunks(WIRE_CHUNK) {
+                convert_slice(c, &mut w[..c.len()]);
+                extend_le_f64(&w[..c.len()], out);
             }
         }
         w => panic!("unsupported wire width {w} (expected 2, 4, or 8)"),
     }
 }
 
+/// [`encode_slice_wire_append`] with a cleared destination. With
+/// sufficient capacity this never allocates — the halo engine's
+/// persistent staging buffers rely on that.
+pub(crate) fn encode_slice_wire<S: Scalar>(values: &[S], wire_bytes: usize, out: &mut Vec<u8>) {
+    out.clear();
+    encode_slice_wire_append(values, wire_bytes, out);
+}
+
 /// Append a scalar slice as little-endian bytes onto `out` (which is
 /// cleared first).
 pub fn pack_into<S: Scalar>(data: &[S], out: &mut Vec<u8>) {
-    encode_scalars(data.iter().copied(), out);
+    encode_slice_wire(data, S::BYTES, out);
 }
 
 /// Pack a scalar slice into freshly allocated little-endian bytes.
@@ -263,22 +338,29 @@ pub fn unpack<S: Scalar>(bytes: &[u8], out: &mut [S]) {
 /// of the policy's wire axis.
 pub fn unpack_wire<S: Scalar>(bytes: &[u8], wire_bytes: usize, out: &mut [S]) {
     assert_eq!(bytes.len(), out.len() * wire_bytes, "message length mismatch");
+    // Decode the wire lanes in stack-buffered chunks, then widen (or
+    // round) into `S` through the batch converters — the same one
+    // `from_f64(wire as f64)` rounding per element as a scalar loop.
     match wire_bytes {
         2 => {
-            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
-                *o = S::from_f64(f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])) as f64);
+            let mut w = [Half::ZERO; WIRE_CHUNK];
+            for (o, b) in out.chunks_mut(WIRE_CHUNK).zip(bytes.chunks(WIRE_CHUNK * 2)) {
+                decode_le_u16(b, hpgmxp_sparse::half::as_bits_mut(&mut w[..o.len()]));
+                convert_slice(&w[..o.len()], o);
             }
         }
         4 => {
-            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
-                *o = S::from_f64(f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64);
+            let mut w = [0.0f32; WIRE_CHUNK];
+            for (o, b) in out.chunks_mut(WIRE_CHUNK).zip(bytes.chunks(WIRE_CHUNK * 4)) {
+                decode_le_f32(b, &mut w[..o.len()]);
+                convert_slice(&w[..o.len()], o);
             }
         }
         8 => {
-            for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
-                *o = S::from_f64(f64::from_le_bytes([
-                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
-                ]));
+            let mut w = [0.0f64; WIRE_CHUNK];
+            for (o, b) in out.chunks_mut(WIRE_CHUNK).zip(bytes.chunks(WIRE_CHUNK * 8)) {
+                decode_le_f64(b, &mut w[..o.len()]);
+                convert_slice(&w[..o.len()], o);
             }
         }
         w => panic!("unsupported wire width {w} (expected 2, 4, or 8)"),

@@ -388,13 +388,24 @@ impl<S: Scalar> ActiveExchange<'_, S> {
 }
 
 /// Gather `x[indices]` into `buf` through the one wire encoder
-/// ([`crate::comm::encode_scalars_wire`], also behind `pack`/
+/// ([`crate::comm::encode_slice_wire_append`], also behind `pack`/
 /// `send_slice`, so send packing can never desynchronize from
 /// setup-path packing), rounding each value to the exchange's wire
-/// width. `buf` is cleared first; with the staging capacity reserved
-/// at construction this never allocates.
+/// width. Indices are gathered into a stack-resident staging chunk so
+/// the wire conversion runs through the batch (SIMD) converters.
+/// `buf` is cleared first; with the staging capacity reserved at
+/// construction this never allocates.
 fn pack_gather_into<S: Scalar>(x: &[S], indices: &[u32], wire_bytes: usize, buf: &mut Vec<u8>) {
-    crate::comm::encode_scalars_wire(indices.iter().map(|&i| x[i as usize]), wire_bytes, buf);
+    const CHUNK: usize = 256;
+    buf.clear();
+    buf.reserve(indices.len() * wire_bytes);
+    let mut stage = [S::ZERO; CHUNK];
+    for idx in indices.chunks(CHUNK) {
+        for (s, &i) in stage.iter_mut().zip(idx.iter()) {
+            *s = x[i as usize];
+        }
+        crate::comm::encode_slice_wire_append(&stage[..idx.len()], wire_bytes, buf);
+    }
 }
 
 #[cfg(test)]

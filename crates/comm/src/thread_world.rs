@@ -243,6 +243,18 @@ impl ThreadComm {
                 buf.reserve(min_capacity - buf.len());
             }
         }
+        // Stock the pool for the worst-case in-flight depth: every
+        // rank can have a message posted to every other rank before
+        // any receiver drains one, and `pool_take` on an empty pool
+        // hands out a fresh zero-capacity `Vec` — one allocation at a
+        // scheduler-dependent moment. (The socket transport stocks
+        // its per-peer pools the same way.)
+        let want = 2 * self.size * self.size;
+        let have = pool.len();
+        pool.reserve(want.saturating_sub(have));
+        while pool.len() < want {
+            pool.push(Vec::with_capacity(min_capacity));
+        }
     }
 
     #[cfg(test)]

@@ -177,6 +177,15 @@ pub struct BenchmarkReport {
     pub penalized_gflops: f64,
     /// Penalized mxp GFLOP/s over double GFLOP/s (figure 5's "total").
     pub speedup: f64,
+    /// Kernel dispatch the run executed with: `"<level>/<features>"`
+    /// (e.g. `"avx2/avx2+fma+f16c"`).
+    pub simd: String,
+}
+
+/// The SIMD dispatch descriptor recorded in benchmark reports:
+/// resolved kernel level plus detected CPU features.
+pub fn simd_descriptor() -> String {
+    format!("{}/{}", hpgmxp_sparse::simd::level().name(), hpgmxp_sparse::simd::features().summary())
 }
 
 impl BenchmarkReport {
@@ -203,6 +212,9 @@ impl BenchmarkReport {
         let mut s = String::new();
         let _ = writeln!(s, "HPG-MxP benchmark report ({:?})", self.variant);
         let _ = writeln!(s, "  ranks: {}   local grid: {:?}", self.ranks, self.params.local_dims);
+        if !self.simd.is_empty() {
+            let _ = writeln!(s, "  kernels: simd {}", self.simd);
+        }
         let _ = writeln!(
             s,
             "  validation [{:?}]: nd = {}, nir = {}, ratio = {:.4}, penalty = {:.4}",
@@ -518,6 +530,7 @@ pub fn run_benchmark(
         double,
         penalized_gflops,
         speedup,
+        simd: simd_descriptor(),
     }
 }
 

@@ -19,8 +19,11 @@ use std::fmt::Write as _;
 /// Version of the campaign-report JSON layout. Bump on any field
 /// change; the golden-file test in the integration suite pins the
 /// current layout. v2 added the per-cell `transport` field when the
-/// socket backend made the measuring transport a real variable.
-pub const REPORT_SCHEMA: u32 = 2;
+/// socket backend made the measuring transport a real variable; v3
+/// added the host SIMD fields (`simd_features`/`simd_level`/
+/// `simd_override`) when the motif kernels grew a runtime-dispatched
+/// vector path.
+pub const REPORT_SCHEMA: u32 = 3;
 
 /// Whether a cell earned a performance rating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +49,15 @@ pub struct HostMeta {
     pub os: String,
     /// CPU architecture (`std::env::consts::ARCH`).
     pub arch: String,
+    /// CPU vector features detected at startup (`"avx2+fma+f16c"` or
+    /// `"none"`); numbers measured on mismatched feature sets are not
+    /// comparable.
+    pub simd_features: String,
+    /// Kernel dispatch level the run resolved to (`"avx2"` /
+    /// `"scalar"`).
+    pub simd_level: String,
+    /// `HPGMXP_SIMD` override in effect, if any.
+    pub simd_override: Option<String>,
 }
 
 impl HostMeta {
@@ -62,6 +74,9 @@ impl HostMeta {
             rayon_threads,
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
+            simd_features: hpgmxp_sparse::simd::features().summary(),
+            simd_level: hpgmxp_sparse::simd::level().name().to_string(),
+            simd_override: hpgmxp_sparse::simd::env_override().map(str::to_string),
         }
     }
 }
@@ -217,8 +232,17 @@ impl CampaignReport {
         let _ = writeln!(s, "   {}", self.description);
         let _ = writeln!(
             s,
-            "   host: {} cores, {} rayon threads, {}/{}",
-            self.host.logical_cores, self.host.rayon_threads, self.host.os, self.host.arch
+            "   host: {} cores, {} rayon threads, {}/{}, simd {} (features {}{})",
+            self.host.logical_cores,
+            self.host.rayon_threads,
+            self.host.os,
+            self.host.arch,
+            self.host.simd_level,
+            self.host.simd_features,
+            self.host
+                .simd_override
+                .as_deref()
+                .map_or(String::new(), |o| format!(", HPGMXP_SIMD={o}")),
         );
         let mut seen: Vec<&str> = Vec::new();
         for cell in &self.cells {
@@ -300,6 +324,9 @@ mod tests {
                 rayon_threads: 1,
                 os: "linux".into(),
                 arch: "x86_64".into(),
+                simd_features: "avx2+fma+f16c".into(),
+                simd_level: "avx2".into(),
+                simd_override: None,
             },
             cells: vec![rated, unrated],
         }
@@ -337,5 +364,7 @@ mod tests {
         assert!(h.logical_cores >= 1);
         assert!(h.rayon_threads >= 1);
         assert!(!h.os.is_empty());
+        assert!(!h.simd_features.is_empty());
+        assert!(h.simd_level == "avx2" || h.simd_level == "scalar");
     }
 }

@@ -10,7 +10,10 @@
 //! Only *local* (per-rank) arithmetic lives here; distributed reductions
 //! compose these with an all-reduce in the solver layer.
 
+use crate::half::Half;
 use crate::scalar::Scalar;
+use crate::simd;
+use core::any::TypeId;
 use rayon::prelude::*;
 
 /// Fixed reduction block for [`dot_par`]: partial sums are always
@@ -26,8 +29,23 @@ const ELEM_CHUNK: usize = 4096;
 
 /// Local dot product `x · y`, sequential (the yardstick the
 /// deterministic parallel reduction is built from).
+///
+/// `S = Half` routes to [`crate::half::dot_f16`]: one f32 accumulation
+/// chain over batch-widened operands with a single final narrowing,
+/// instead of rounding every partial sum back to fp16 — the semantics
+/// of a hardware fp16 dot unit. All other precisions keep the
+/// sequential fused chain below, whose order [`dot_par`]'s blocked
+/// pairwise reduction depends on.
 pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len());
+    if TypeId::of::<S>() == TypeId::of::<Half>() {
+        // SAFETY: S is exactly Half (repr(transparent) over u16).
+        let xh = unsafe { std::slice::from_raw_parts(x.as_ptr() as *const Half, x.len()) };
+        let yh = unsafe { std::slice::from_raw_parts(y.as_ptr() as *const Half, y.len()) };
+        // Exact round-trip back into S (an f16 value survives
+        // f64 → f16 unchanged).
+        return S::from_f64(crate::half::dot_f16(xh, yh).to_f64());
+    }
     let mut acc = S::ZERO;
     for (a, b) in x.iter().zip(y.iter()) {
         acc = a.mul_add(*b, acc);
@@ -85,6 +103,9 @@ pub fn waxpby<S: Scalar>(alpha: S, x: &[S], beta: S, y: &[S], w: &mut [S]) {
         .zip(x.par_chunks(ELEM_CHUNK))
         .zip(y.par_chunks(ELEM_CHUNK))
         .for_each(|((wc, xc), yc)| {
+            if simd::try_waxpby(alpha, xc, beta, yc, wc) {
+                return;
+            }
             for ((wi, xi), yi) in wc.iter_mut().zip(xc).zip(yc) {
                 *wi = (alpha * *xi).mul_add(S::ONE, beta * *yi);
             }
@@ -96,6 +117,9 @@ pub fn waxpby<S: Scalar>(alpha: S, x: &[S], beta: S, y: &[S], w: &mut [S]) {
 pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len());
     y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
+        if simd::try_axpy(alpha, xc, yc) {
+            return;
+        }
         for (yi, xi) in yc.iter_mut().zip(xc) {
             *yi = alpha.mul_add(*xi, *yi);
         }
@@ -105,6 +129,9 @@ pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
 /// `x *= alpha`, parallel over chunks.
 pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
     x.par_chunks_mut(ELEM_CHUNK).for_each(|xc| {
+        if simd::try_scal(alpha, xc) {
+            return;
+        }
         for xi in xc.iter_mut() {
             *xi *= alpha;
         }
@@ -142,6 +169,9 @@ pub fn scale_f64_into_f32(alpha: f64, hi: &[f64], lo: &mut [f32]) {
 pub fn scale_f64_into_lo<S: Scalar>(alpha: f64, hi: &[f64], lo: &mut [S]) {
     assert_eq!(hi.len(), lo.len());
     lo.par_chunks_mut(ELEM_CHUNK).zip(hi.par_chunks(ELEM_CHUNK)).for_each(|(lc, hc)| {
+        if simd::try_scale_narrow(alpha, hc, lc) {
+            return;
+        }
         for (l, h) in lc.iter_mut().zip(hc) {
             *l = S::from_f64(h * alpha);
         }
@@ -154,6 +184,9 @@ pub fn scale_f64_into_lo<S: Scalar>(alpha: f64, hi: &[f64], lo: &mut [S]) {
 pub fn axpy_lo_into_f64<S: Scalar>(alpha: f64, x: &[S], y: &mut [f64]) {
     assert_eq!(x.len(), y.len());
     y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
+        if simd::try_axpy_acc(alpha, xc, yc) {
+            return;
+        }
         for (yi, xi) in yc.iter_mut().zip(xc) {
             *yi = alpha.mul_add(xi.to_f64(), *yi);
         }
@@ -167,6 +200,25 @@ pub fn axpy_lo_into_f64<S: Scalar>(alpha: f64, x: &[S], y: &mut [f64]) {
 pub fn dot_acc<Lo: Scalar, Acc: Scalar>(x: &[Lo], y: &[Lo]) -> Acc {
     assert_eq!(x.len(), y.len());
     let mut acc = Acc::ZERO;
+    if TypeId::of::<Lo>() != TypeId::of::<Acc>() {
+        // Split storage: widen operand chunks in one batch (exact —
+        // `from_scalar` is the same widening per element), then run
+        // the identical fused chain. Bit-identical to the loop below.
+        const CHUNK: usize = 256;
+        let mut xw = [Acc::ZERO; CHUNK];
+        let mut yw = [Acc::ZERO; CHUNK];
+        let mut at = 0usize;
+        while at < x.len() {
+            let len = CHUNK.min(x.len() - at);
+            crate::scalar::convert_slice(&x[at..at + len], &mut xw[..len]);
+            crate::scalar::convert_slice(&y[at..at + len], &mut yw[..len]);
+            for i in 0..len {
+                acc = xw[i].mul_add(yw[i], acc);
+            }
+            at += len;
+        }
+        return acc;
+    }
     for (a, b) in x.iter().zip(y.iter()) {
         acc = Acc::from_scalar(*a).mul_add(Acc::from_scalar(*b), acc);
     }
@@ -184,6 +236,9 @@ pub fn norm2_sq_acc<Lo: Scalar, Acc: Scalar>(x: &[Lo]) -> Acc {
 pub fn axpy_acc<Lo: Scalar, Acc: Scalar>(alpha: Acc, x: &[Lo], y: &mut [Acc]) {
     assert_eq!(x.len(), y.len());
     y.par_chunks_mut(ELEM_CHUNK).zip(x.par_chunks(ELEM_CHUNK)).for_each(|(yc, xc)| {
+        if simd::try_axpy_acc(alpha, xc, yc) {
+            return;
+        }
         for (yi, xi) in yc.iter_mut().zip(xc) {
             *yi = alpha.mul_add(Acc::from_scalar(*xi), *yi);
         }
@@ -253,6 +308,9 @@ impl<S: Scalar> Basis<S> {
             let off = ci * ELEM_CHUNK;
             for (j, &hj) in h.iter().enumerate() {
                 let qj = &head[j * n + off..j * n + off + wc.len()];
+                if simd::try_axpy(-hj, qj, wc) {
+                    continue;
+                }
                 for (wi, qi) in wc.iter_mut().zip(qj.iter()) {
                     *wi = (-hj).mul_add(*qi, *wi);
                 }
@@ -268,6 +326,9 @@ impl<S: Scalar> Basis<S> {
         let s = &head[src * self.n..(src + 1) * self.n];
         let d = &mut tail[..self.n];
         d.par_chunks_mut(ELEM_CHUNK).zip(s.par_chunks(ELEM_CHUNK)).for_each(|(dc, sc)| {
+            if simd::try_axpy(-alpha, sc, dc) {
+                return;
+            }
             for (di, si) in dc.iter_mut().zip(sc.iter()) {
                 *di = (-alpha).mul_add(*si, *di);
             }

@@ -8,7 +8,37 @@
 //! the paper's roofline model accounts for.
 
 use crate::scalar::Scalar;
+use core::any::TypeId;
 use rayon::prelude::*;
+
+/// Row dot `Σ_k widen(vals[k]) * x[cols[k]]` in ascending entry order.
+///
+/// Split storage (`S != Acc`) widens the row's value run in
+/// chunk-sized batches through the SIMD converters (exact — the same
+/// per-element widening as `from_scalar`), then runs the identical
+/// fused chain, so results match the per-element loop bit-for-bit.
+#[inline]
+fn row_dot_acc<S: Scalar, Acc: Scalar>(cols: &[u32], vals: &[S], x: &[Acc]) -> Acc {
+    let mut acc = Acc::ZERO;
+    if TypeId::of::<S>() != TypeId::of::<Acc>() {
+        const CHUNK: usize = 64;
+        let mut w = [Acc::ZERO; CHUNK];
+        let mut at = 0usize;
+        while at < vals.len() {
+            let len = CHUNK.min(vals.len() - at);
+            crate::scalar::convert_slice(&vals[at..at + len], &mut w[..len]);
+            for (wk, c) in w[..len].iter().zip(&cols[at..at + len]) {
+                acc = wk.mul_add(x[*c as usize], acc);
+            }
+            at += len;
+        }
+        return acc;
+    }
+    for (c, v) in cols.iter().zip(vals.iter()) {
+        acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
+    }
+    acc
+}
 
 /// A CSR sparse matrix with scalar type `S`.
 #[derive(Debug, Clone, PartialEq)]
@@ -167,11 +197,7 @@ impl<S: Scalar> CsrMatrix<S> {
         assert!(y.len() >= self.nrows);
         for (i, yi) in y[..self.nrows].iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
-            let mut acc = Acc::ZERO;
-            for (c, v) in cols.iter().zip(vals.iter()) {
-                acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
-            }
-            *yi = acc;
+            *yi = row_dot_acc(cols, vals, x);
         }
     }
 
@@ -185,11 +211,7 @@ impl<S: Scalar> CsrMatrix<S> {
         y[..self.nrows].par_iter_mut().enumerate().for_each(|(i, yi)| {
             let lo = rp[i] as usize;
             let hi = rp[i + 1] as usize;
-            let mut acc = Acc::ZERO;
-            for k in lo..hi {
-                acc = Acc::from_scalar(vs[k]).mul_add(x[ci[k] as usize], acc);
-            }
-            *yi = acc;
+            *yi = row_dot_acc(&ci[lo..hi], &vs[lo..hi], x);
         });
     }
 
@@ -200,11 +222,7 @@ impl<S: Scalar> CsrMatrix<S> {
         assert!(x.len() >= self.ncols);
         for &i in rows {
             let (cols, vals) = self.row(i as usize);
-            let mut acc = Acc::ZERO;
-            for (c, v) in cols.iter().zip(vals.iter()) {
-                acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
-            }
-            y[i as usize] = acc;
+            y[i as usize] = row_dot_acc(cols, vals, x);
         }
     }
 
@@ -220,10 +238,7 @@ impl<S: Scalar> CsrMatrix<S> {
             let i = i as usize;
             assert!(i < self.nrows, "row {} out of range {}", i, self.nrows);
             let (cols, vals) = self.row(i);
-            let mut acc = Acc::ZERO;
-            for (c, v) in cols.iter().zip(vals.iter()) {
-                acc = Acc::from_scalar(*v).mul_add(x[*c as usize], acc);
-            }
+            let acc = row_dot_acc(cols, vals, x);
             // SAFETY: `rows` lists pairwise-distinct row indices and the
             // kernel reads only `x`; each task writes its own `y[i]`.
             unsafe { *sh.get_mut(i) = acc };
@@ -234,12 +249,14 @@ impl<S: Scalar> CsrMatrix<S> {
     /// and sparsity are unchanged; this is how the mixed-precision solver
     /// obtains its low-precision operator copy.
     pub fn convert<T: Scalar>(&self) -> CsrMatrix<T> {
+        let mut values = vec![T::ZERO; self.values.len()];
+        crate::scalar::convert_slice(&self.values, &mut values);
         CsrMatrix {
             nrows: self.nrows,
             ncols: self.ncols,
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),
-            values: self.values.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+            values,
             diag_pos: self.diag_pos.clone(),
         }
     }

@@ -13,6 +13,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::scalar::Scalar;
+use crate::simd;
 use rayon::prelude::*;
 
 /// Row-block length of the blocked CPU traversal: 256 rows keep one
@@ -146,11 +147,15 @@ impl<S: Scalar> EllMatrix<S> {
             *yi = Acc::ZERO;
         }
         // Column-major traversal: stream each "slab" of the ELL arrays.
+        let yb = &mut y[..n];
         for k in 0..self.width {
             let cs = &self.col_idx[k * n..(k + 1) * n];
             let vs = &self.values[k * n..(k + 1) * n];
+            if simd::try_ell_slab_fma(vs, cs, x, yb) {
+                continue;
+            }
             for i in 0..n {
-                y[i] = Acc::from_scalar(vs[i]).mul_add(x[cs[i] as usize], y[i]);
+                yb[i] = Acc::from_scalar(vs[i]).mul_add(x[cs[i] as usize], yb[i]);
             }
         }
     }
@@ -240,6 +245,9 @@ impl<S: Scalar> EllMatrix<S> {
             let base = k * n + row0;
             let cs = &self.col_idx[base..base + len];
             let vs = &self.values[base..base + len];
+            if simd::try_ell_slab_fma(vs, cs, x, yb) {
+                continue;
+            }
             for i in 0..len {
                 if i + PREFETCH_AHEAD < len {
                     prefetch_read(x, cs[i + PREFETCH_AHEAD] as usize);
@@ -252,6 +260,29 @@ impl<S: Scalar> EllMatrix<S> {
     /// `y[i] = (A x)[i]` for a subset of rows (overlap split, §3.2.3).
     pub fn spmv_rows<Acc: Scalar>(&self, rows: &[u32], x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
+        // SAFETY: the builder guarantees every stored column `< ncols
+        // <= x.len()`; row indices and lengths are validated inside
+        // (out-of-range rows fall through to the panicking loop below).
+        let done = unsafe {
+            simd::try_ell_rows_spmv(
+                &self.values,
+                &self.col_idx,
+                self.nrows,
+                self.width,
+                rows,
+                x,
+                y.as_mut_ptr(),
+                y.len(),
+            )
+        };
+        if done {
+            return;
+        }
+        self.spmv_rows_scalar(rows, x, y);
+    }
+
+    /// Reference per-row walk behind [`EllMatrix::spmv_rows`].
+    fn spmv_rows_scalar<Acc: Scalar>(&self, rows: &[u32], x: &[Acc], y: &mut [Acc]) {
         let n = self.nrows;
         for &i in rows {
             let i = i as usize;
@@ -266,39 +297,82 @@ impl<S: Scalar> EllMatrix<S> {
     }
 
     /// Parallel [`EllMatrix::spmv_rows`]. `rows` must not contain
-    /// duplicates.
+    /// duplicates. Rows are tiled in [`ROW_BLOCK`] groups so the
+    /// vector path gets whole tiles of lanes; per-row accumulation
+    /// order is unchanged, so results match the sequential walk
+    /// bit-for-bit.
     pub fn spmv_rows_par<Acc: Scalar>(&self, rows: &[u32], x: &[Acc], y: &mut [Acc]) {
         assert!(x.len() >= self.ncols);
         assert!(y.len() >= self.nrows);
         let n = self.nrows;
+        let y_len = y.len();
         let shared = crate::shared::SharedMut::new(y);
         let sh = &shared;
-        rows.par_iter().for_each(move |&i| {
-            let i = i as usize;
-            assert!(i < n, "row {} out of range {}", i, n);
-            let mut acc = Acc::ZERO;
-            for k in 0..self.width {
-                let slot = k * n + i;
-                acc = Acc::from_scalar(self.values[slot])
-                    .mul_add(x[self.col_idx[slot] as usize], acc);
+        rows.par_chunks(ROW_BLOCK).for_each(move |tile| {
+            // SAFETY: builder-bounded columns (see `spmv_rows`); tiles
+            // of pairwise-distinct rows write disjoint `y` entries and
+            // the kernel reads only `x`; row bounds validated inside.
+            let done = !tile.is_empty()
+                && y_len > 0
+                && unsafe {
+                    simd::try_ell_rows_spmv(
+                        &self.values,
+                        &self.col_idx,
+                        n,
+                        self.width,
+                        tile,
+                        x,
+                        sh.get_mut(0),
+                        y_len,
+                    )
+                };
+            if done {
+                return;
             }
-            // SAFETY: `rows` lists pairwise-distinct row indices and the
-            // kernel reads only `x`; each task writes its own `y[i]`.
-            unsafe { *sh.get_mut(i) = acc };
+            for &i in tile {
+                let i = i as usize;
+                assert!(i < n, "row {} out of range {}", i, n);
+                let mut acc = Acc::ZERO;
+                for k in 0..self.width {
+                    let slot = k * n + i;
+                    acc = Acc::from_scalar(self.values[slot])
+                        .mul_add(x[self.col_idx[slot] as usize], acc);
+                }
+                // SAFETY: `rows` lists pairwise-distinct row indices and
+                // the kernel reads only `x`; each task writes its own
+                // `y[i]`.
+                unsafe { *sh.get_mut(i) = acc };
+            }
         });
     }
 
-    /// Convert stored values to another precision.
+    /// Convert stored values to another precision (batched through the
+    /// SIMD converters; same per-element rounding as `from_f64`).
     pub fn convert<T: Scalar>(&self) -> EllMatrix<T> {
+        let mut values = vec![T::ZERO; self.values.len()];
+        crate::scalar::convert_slice(&self.values, &mut values);
+        let mut diag = vec![T::ZERO; self.diag.len()];
+        crate::scalar::convert_slice(&self.diag, &mut diag);
         EllMatrix {
             nrows: self.nrows,
             ncols: self.ncols,
             width: self.width,
             col_idx: self.col_idx.clone(),
-            values: self.values.iter().map(|v| T::from_f64(v.to_f64())).collect(),
-            diag: self.diag.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+            values,
+            diag,
             nnz: self.nnz,
         }
+    }
+
+    /// Column-major stored values (crate-internal: the Gauss-Seidel
+    /// vector kernels address slabs directly).
+    pub(crate) fn values_slab(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Column-major stored column indices (crate-internal).
+    pub(crate) fn col_idx_slab(&self) -> &[u32] {
+        &self.col_idx
     }
 
     /// Bytes of matrix data read by one SpMV sweep in this format:

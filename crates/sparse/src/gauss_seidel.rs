@@ -50,6 +50,29 @@ pub trait SweepMatrix<Acc: Scalar>: Sync {
     /// `Σ_j a_ij x[j]` over all stored entries of row `i`, accumulated
     /// in `Acc`.
     fn row_dot(&self, i: usize, x: &[Acc]) -> Acc;
+
+    /// Relax a tile of rows from one color class:
+    /// `x[i] += (r[i] - row_dot(i)) / diag(i)` for each listed row.
+    ///
+    /// The default runs the scalar reference sequence; storage formats
+    /// with a vector kernel override it (same per-row arithmetic, so
+    /// results stay bit-identical).
+    ///
+    /// # Safety
+    /// `rows` must be an independent set of the matrix graph, every
+    /// listed row in bounds for `r` and `xs`, and no other thread may
+    /// concurrently touch the listed rows of `xs`.
+    unsafe fn relax_rows(&self, rows: &[u32], r: &[Acc], xs: &crate::shared::SharedMut<Acc>) {
+        for &iw in rows {
+            let i = iw as usize;
+            // SAFETY: forwarded from the caller — independent set, row
+            // in bounds, this tile's rows written by this thread only.
+            unsafe {
+                let acc = self.row_dot(i, xs.slice());
+                *xs.get_mut(i) += (r[i] - acc) / self.diag(i);
+            }
+        }
+    }
 }
 
 impl<Stored: Scalar, Acc: Scalar> SweepMatrix<Acc> for CsrMatrix<Stored> {
@@ -93,6 +116,35 @@ impl<Stored: Scalar, Acc: Scalar> SweepMatrix<Acc> for EllMatrix<Stored> {
             acc = Acc::from_scalar(v).mul_add(x[c as usize], acc);
         }
         acc
+    }
+
+    unsafe fn relax_rows(&self, rows: &[u32], r: &[Acc], xs: &crate::shared::SharedMut<Acc>) {
+        // SAFETY: caller's contract (independent set, bounds, exclusive
+        // rows) plus the builder invariant that stored columns are
+        // `< ncols <= xs.len()` (asserted by the sweep entry points).
+        let done = unsafe {
+            crate::simd::try_ell_relax_rows(
+                self.values_slab(),
+                self.col_idx_slab(),
+                self.diagonal(),
+                EllMatrix::nrows(self),
+                self.width(),
+                rows,
+                r,
+                xs,
+            )
+        };
+        if done {
+            return;
+        }
+        for &iw in rows {
+            let i = iw as usize;
+            // SAFETY: forwarded from the caller (see trait default).
+            unsafe {
+                let acc = self.row_dot(i, xs.slice());
+                *xs.get_mut(i) += (r[i] - acc) / self.diag(i);
+            }
+        }
     }
 }
 
@@ -143,23 +195,30 @@ pub fn gs_rows_ordered<S: Scalar, M: SweepMatrix<S>>(a: &M, rows: &[u32], r: &[S
 /// may be coupled by a stored entry.
 pub fn gs_color_class<S: Scalar, M: SweepMatrix<S>>(a: &M, rows: &[u32], r: &[S], x: &mut [S]) {
     assert!(x.len() >= a.ncols() && r.len() >= a.nrows());
+    let n = a.nrows();
+    for &iw in rows {
+        assert!((iw as usize) < n, "row {} out of range {}", iw, n);
+    }
     let shared = crate::shared::SharedMut::new(x);
     let xs = &shared;
-    rows.par_iter().for_each(move |&iw| {
-        let i = iw as usize;
+    rows.par_chunks(GS_TILE).for_each(move |tile| {
         // SAFETY: within one color the rows form an independent set of
-        // the matrix graph. Each task writes only `x[i]` for its own
-        // row `i`, and reads `x[j]` only for stored columns `j` of row
-        // `i` — which by the coloring invariant are never rows of the
-        // *same* color (other than `i` itself). Hence all concurrent
-        // writes are disjoint and no element is concurrently read and
-        // written.
-        unsafe {
-            let acc = a.row_dot(i, xs.slice());
-            *xs.get_mut(i) += (r[i] - acc) / a.diag(i);
-        }
+        // the matrix graph. Each tile writes only `x[i]` for its own
+        // rows `i` (validated `< nrows` above), and reads `x[j]` only
+        // for stored columns `j` of its rows — which by the coloring
+        // invariant are never rows of the *same* color (other than the
+        // row itself). Hence all concurrent writes are disjoint and no
+        // element is concurrently read and written.
+        unsafe { a.relax_rows(tile, r, xs) };
     });
 }
+
+/// Tile length of the parallel color sweep: rows of one color are
+/// relaxed in contiguous `GS_TILE`-row work items, so a tile's row
+/// indices, residual entries, and gathered `x` segments stay cache
+/// resident across the slab walk (and the vector kernel gets whole
+/// tiles of lanes).
+pub const GS_TILE: usize = 512;
 
 /// Multicolor forward Gauss–Seidel: colors in sequence, rows within a
 /// color in parallel (§3.2.1's optimized smoother).

@@ -20,7 +20,13 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// An IEEE 754 binary16 value.
+///
+/// `repr(transparent)` over the bit pattern: a `&[Half]` reinterprets
+/// soundly as `&[u16]`, which is what lets the SIMD layer feed slices
+/// of this type straight to the F16C conversion units (see
+/// [`as_bits`] / [`as_bits_mut`]).
 #[derive(Copy, Clone, Default, PartialEq, PartialOrd)]
+#[repr(transparent)]
 pub struct Half(u16);
 
 /// Convert an `f32` to binary16 bits with round-to-nearest-even.
@@ -128,23 +134,82 @@ impl Half {
     }
 }
 
+/// View an fp16 slice as its raw bit patterns (sound by
+/// `repr(transparent)`).
+#[inline]
+pub fn as_bits(src: &[Half]) -> &[u16] {
+    // SAFETY: Half is repr(transparent) over u16.
+    unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u16, src.len()) }
+}
+
+/// Mutable bit-pattern view of an fp16 slice.
+#[inline]
+pub fn as_bits_mut(src: &mut [Half]) -> &mut [u16] {
+    // SAFETY: Half is repr(transparent) over u16, and any u16 pattern
+    // is a valid Half.
+    unsafe { std::slice::from_raw_parts_mut(src.as_mut_ptr() as *mut u16, src.len()) }
+}
+
 /// Widen an fp16 slice into `f32` exactly (the load half of a
 /// "fp16-stored, f32-accumulated" kernel: values live in 2-byte
-/// storage and are expanded on the fly).
+/// storage and are expanded on the fly). Batched through the SIMD
+/// layer; handles unaligned heads and ragged tails of any length.
 pub fn widen_f16_slice(src: &[Half], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len());
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d = s.to_f32();
-    }
+    crate::simd::widen_f16_f32(as_bits(src), dst);
 }
 
 /// Round an `f32` slice into fp16 storage (the store half; one
-/// round-to-nearest-even per element).
+/// round-to-nearest-even per element). Batched through the SIMD layer.
 pub fn narrow_f32_slice(src: &[f32], dst: &mut [Half]) {
     assert_eq!(src.len(), dst.len());
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d = Half::from_f32(*s);
+    crate::simd::narrow_f32_f16(src, as_bits_mut(dst));
+}
+
+/// Slice dot product in fp16 storage with a single f32 accumulation
+/// chain: both operands are batch-widened (exact), multiplied and
+/// accumulated with one fused `mul_add` per element in index order,
+/// and narrowed **once** at the end — instead of the generic kernel's
+/// per-element round-trip through fp16, which rounds every partial
+/// sum. `blas::dot` routes `S = Half` here.
+pub fn dot_f16(x: &[Half], y: &[Half]) -> Half {
+    const CHUNK: usize = 256;
+    let n = x.len().min(y.len());
+    let mut xw = [0.0f32; CHUNK];
+    let mut yw = [0.0f32; CHUNK];
+    let mut acc = 0.0f32;
+    let mut at = 0usize;
+    while at < n {
+        let len = CHUNK.min(n - at);
+        crate::simd::widen_f16_f32(as_bits(&x[at..at + len]), &mut xw[..len]);
+        crate::simd::widen_f16_f32(as_bits(&y[at..at + len]), &mut yw[..len]);
+        for i in 0..len {
+            acc = xw[i].mul_add(yw[i], acc);
+        }
+        at += len;
     }
+    Half::from_f32(acc)
+}
+
+/// Slice sum in fp16 storage: batch-widened, sequentially accumulated
+/// in f32 (index order, matching the `Sum` impl bit-for-bit), narrowed
+/// once.
+pub fn sum_f16_slice(x: &[Half]) -> Half {
+    const CHUNK: usize = 256;
+    let mut w = [0.0f32; CHUNK];
+    // std's float `Sum` folds from -0.0 (the additive identity);
+    // start there so the bits match the iterator path exactly.
+    let mut acc = -0.0f32;
+    let mut at = 0usize;
+    while at < x.len() {
+        let len = CHUNK.min(x.len() - at);
+        crate::simd::widen_f16_f32(as_bits(&x[at..at + len]), &mut w[..len]);
+        for v in &w[..len] {
+            acc += *v;
+        }
+        at += len;
+    }
+    Half::from_f32(acc)
 }
 
 impl fmt::Debug for Half {
@@ -362,6 +427,52 @@ mod tests {
         // Narrowing rounds to nearest-even.
         narrow_f32_slice(&[1.0 + f32::powi(2.0, -11)], &mut back[..1]);
         assert_eq!(back[0].to_bits(), 0x3c00);
+    }
+
+    #[test]
+    fn slice_helpers_handle_ragged_heads_and_tails() {
+        // Every length around the 8-lane vector width and some larger
+        // odd sizes, at offset slices, must match the per-element path.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 255, 256, 257] {
+            let h: Vec<Half> =
+                (0..len + 3).map(|i| Half::from_f32((i as f32 - 7.0) * 0.31)).collect();
+            for off in 0..3usize.min(h.len()) {
+                let src = &h[off..(off + len).min(h.len())];
+                let mut wide = vec![0.0f32; src.len()];
+                widen_f16_slice(src, &mut wide);
+                for (w, s) in wide.iter().zip(src.iter()) {
+                    assert_eq!(w.to_bits(), s.to_f32().to_bits());
+                }
+                let mut back = vec![Half::ZERO; src.len()];
+                narrow_f32_slice(&wide, &mut back);
+                for (b, s) in back.iter().zip(src.iter()) {
+                    assert_eq!(b.to_bits(), s.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_slice_matches_iterator_sum_bitwise() {
+        for len in [0usize, 1, 7, 8, 9, 255, 256, 257, 1000] {
+            let v: Vec<Half> =
+                (0..len).map(|i| Half::from_f32((i as f32 * 0.17 - 3.0).sin())).collect();
+            let iter_sum: Half = v.iter().copied().sum();
+            assert_eq!(sum_f16_slice(&v).to_bits(), iter_sum.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_f16_uses_one_accumulation_chain() {
+        for len in [0usize, 1, 8, 9, 256, 257, 600] {
+            let x: Vec<Half> = (0..len).map(|i| Half::from_f32((i as f32 * 0.23).cos())).collect();
+            let y: Vec<Half> = (0..len).map(|i| Half::from_f32((i as f32 * 0.11).sin())).collect();
+            let mut acc = 0.0f32;
+            for (a, b) in x.iter().zip(y.iter()) {
+                acc = a.to_f32().mul_add(b.to_f32(), acc);
+            }
+            assert_eq!(dot_f16(&x, &y).to_bits(), Half::from_f32(acc).to_bits(), "len {len}");
+        }
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   Gauss–Seidel sweeps in relaxation form,
 //! * [`blas`] — DOT/NRM2/WAXPBY/GEMV kernels, including the fused
 //!   mixed-precision variants the optimized benchmark performs on the
-//!   device (§3.2.5).
+//!   device (§3.2.5),
+//! * [`simd`] — runtime-dispatched (AVX2/FMA/F16C with a portable
+//!   scalar fallback) vector primitives the hot loops above are built
+//!   on: batch precision converters, widening gathers/loads, and
+//!   tile-wide FMA accumulation.
 
 pub mod blas;
 pub mod coloring;
@@ -35,6 +39,7 @@ pub mod levels;
 pub mod ordering;
 pub mod scalar;
 pub mod shared;
+pub mod simd;
 
 pub use coloring::{greedy_coloring, jpl_coloring, Coloring};
 pub use csr::{CsrBuilder, CsrMatrix};

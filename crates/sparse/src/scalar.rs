@@ -190,9 +190,16 @@ impl Scalar for f32 {
 }
 
 /// Convert a slice between precisions (used when handing the f64 outer
-/// residual of GMRES-IR to the f32 inner solver and back).
+/// residual of GMRES-IR to the f32 inner solver and back). Every
+/// shipped precision pair takes the batch converters in
+/// [`crate::simd`] (same bits — one round-to-nearest-even per
+/// narrowing element, exact widening); the loop below is the reference
+/// fallback for combinations without a batch kernel.
 pub fn convert_slice<Src: Scalar, Dst: Scalar>(src: &[Src], dst: &mut [Dst]) {
     assert_eq!(src.len(), dst.len());
+    if crate::simd::convert_slice_fast(src, dst) {
+        return;
+    }
     for (d, s) in dst.iter_mut().zip(src.iter()) {
         *d = Dst::from_f64(s.to_f64());
     }

@@ -206,6 +206,47 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The SIMD dispatch descriptor for baseline records:
+/// `"<level>/<features>"`, e.g. `"avx2/avx2+fma+f16c"` or
+/// `"scalar/none"`. Mirrors the sparse crate's `HPGMXP_SIMD`
+/// resolution policy (this shim cannot depend on it directly); numbers
+/// recorded under different descriptors are not comparable.
+fn resolved_simd() -> String {
+    #[cfg(target_arch = "x86_64")]
+    let features = {
+        let mut parts = Vec::new();
+        if std::arch::is_x86_feature_detected!("avx2") {
+            parts.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            parts.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("f16c") {
+            parts.push("f16c");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let features = "none".to_string();
+    let env = std::env::var("HPGMXP_SIMD").ok().filter(|v| !v.is_empty());
+    let level = match env.as_deref() {
+        Some("scalar") => "scalar",
+        Some("avx2") => "avx2",
+        _ => {
+            if features == "avx2+fma+f16c" {
+                "avx2"
+            } else {
+                "scalar"
+            }
+        }
+    };
+    format!("{level}/{features}")
+}
+
 /// The thread-count the pool will resolve to, mirroring the vendored
 /// rayon's policy (this crate cannot depend on it directly).
 fn resolved_threads() -> usize {
@@ -289,10 +330,11 @@ fn append_json_record(
     let gib = gib_per_s.map_or("null".to_string(), |g| format!("{g:.6}"));
     let line = format!(
         "{{\"bench\":\"{esc}\",\"median_secs\":{median_secs:e},\"samples\":{samples},\
-         \"threads\":{},\"host_cores\":{},\"bytes_per_iter\":{bytes},\"elems_per_iter\":{elems},\
-         \"gib_per_s\":{gib}}}\n",
+         \"threads\":{},\"host_cores\":{},\"host_simd\":\"{}\",\"bytes_per_iter\":{bytes},\
+         \"elems_per_iter\":{elems},\"gib_per_s\":{gib}}}\n",
         resolved_threads(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        resolved_simd()
     );
     let written = std::fs::OpenOptions::new()
         .create(true)
@@ -366,6 +408,7 @@ mod tests {
         assert!(lines[0].contains("\"bench\":\"spmv/csr/fp64\""));
         assert!(lines[0].contains("\"bytes_per_iter\":1024"));
         assert!(lines[0].contains("\"host_cores\":"), "records carry host metadata");
+        assert!(lines[0].contains("\"host_simd\":\""), "records carry the SIMD descriptor");
         assert!(lines[1].contains("\\\"label\\\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }
