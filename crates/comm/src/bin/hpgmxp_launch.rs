@@ -1,17 +1,19 @@
-//! `hpgmxp-launch` — the socket-world rank launcher.
+//! `hpgmxp-launch` — the multi-process rank launcher.
 //!
-//! Spawns N copies of a command as socket ranks of one job:
+//! Spawns N copies of a command as the rank processes of one job:
 //!
 //! ```text
-//! hpgmxp-launch -n 4 [--timeout-secs 300] [--port P] [--retries N] [--restore] -- cargo run --bin fig9_trace
+//! hpgmxp-launch -n 4 [--comm socket|shmem] [--timeout-secs 300] [--port P] [--retries N] [--restore] -- cargo run --bin fig9_trace
 //! ```
 //!
-//! Each child gets `HPGMXP_RANK` (0..N), `HPGMXP_RANKS`, `HPGMXP_PORT`
-//! (the rendezvous port — `--port`, or a freshly probed free one) and
-//! `HPGMXP_COMM=socket`, which is everything `run_spmd` needs to join
-//! the mesh. Child output is forwarded line-by-line with a `[rank i]`
-//! prefix and the last lines of every rank are kept for the failure
-//! report.
+//! Each child gets `HPGMXP_RANK` (0..N), `HPGMXP_RANKS`, and
+//! `HPGMXP_COMM` set to the `--comm` transport (default `socket`),
+//! plus the transport's rendezvous handle: `HPGMXP_PORT` (`--port`, or
+//! a freshly probed free one) for the TCP mesh, or a launch-unique
+//! `HPGMXP_SHM_ID` for the `/dev/shm` ring world — everything
+//! `run_spmd` needs to join the mesh. Child output is forwarded
+//! line-by-line with a `[rank i]` prefix and the last lines of every
+//! rank are kept for the failure report.
 //!
 //! Supervision, in the spirit of `mpirun`:
 //! * a rank exiting non-zero kills the whole job: every other rank is

@@ -180,6 +180,15 @@ pub trait Comm: Send + Sync {
         Ok(())
     }
 
+    /// Cumulative collective-engine traffic counters for this endpoint
+    /// (operation/round/receive/byte counts), if the backend routes its
+    /// collectives through [`crate::collectives`]. Diff two snapshots
+    /// to attribute traffic to a phase; `None` for backends without
+    /// real collectives (`SelfComm`).
+    fn coll_stats(&self) -> Option<crate::collectives::CollStats> {
+        None
+    }
+
     /// Typed send of a scalar slice (setup-path convenience; packs
     /// through a temporary buffer).
     fn send_slice<S: Scalar>(&self, to: usize, tag: u64, data: &[S])

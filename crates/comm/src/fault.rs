@@ -419,6 +419,10 @@ impl<C: Comm> Comm for FaultyComm<C> {
         self.flush_stash();
         self.inner.barrier_checked()
     }
+
+    fn coll_stats(&self) -> Option<crate::collectives::CollStats> {
+        self.inner.coll_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,11 @@
 //! Job supervision for socket-world ranks — the library behind the
 //! `hpgmxp-launch` binary.
 //!
-//! [`run_job`] spawns `ranks` copies of a command as the socket ranks
-//! of one job (env: `HPGMXP_COMM=socket`, `HPGMXP_RANK`,
-//! `HPGMXP_RANKS`, `HPGMXP_PORT`), forwards their output with
+//! [`run_job`] spawns `ranks` copies of a command as the rank
+//! processes of one job over the transport `--comm` selects (env:
+//! `HPGMXP_COMM=socket|shmem`, `HPGMXP_RANK`, `HPGMXP_RANKS`, plus
+//! `HPGMXP_PORT` for the socket rendezvous or a fresh `HPGMXP_SHM_ID`
+//! per attempt for the `/dev/shm` world), forwards their output with
 //! `[rank i]` prefixes, and supervises in the spirit of `mpirun`:
 //!
 //! * a rank exiting non-zero kills the whole job — `rank R died`
@@ -39,8 +41,11 @@ pub struct LaunchConfig {
     pub ranks: usize,
     /// Wall-clock budget before the job is declared hung and killed.
     pub timeout: Duration,
-    /// Rendezvous port (`None` = probe a free one).
+    /// Rendezvous port (`None` = probe a free one). Socket-only.
     pub port: Option<u16>,
+    /// Transport the ranks mesh over: `"socket"` (default) or
+    /// `"shmem"`.
+    pub comm: String,
     /// Relaunch a failed job up to this many times, with
     /// `HPGMXP_RESTORE=1` set so checkpointing workloads resume.
     pub retries: usize,
@@ -60,6 +65,7 @@ impl LaunchConfig {
             ranks,
             timeout: Duration::from_secs(300),
             port: None,
+            comm: "socket".to_string(),
             retries: 0,
             restore: false,
             env: Vec::new(),
@@ -70,8 +76,9 @@ impl LaunchConfig {
 
 /// The usage line (kept in one place so the binary and the parser
 /// error paths print the same text).
-pub const USAGE: &str = "usage: hpgmxp-launch -n <ranks> [--timeout-secs T] [--port P] \
-                         [--retries N] [--restore] -- <command> [args...]";
+pub const USAGE: &str = "usage: hpgmxp-launch -n <ranks> [--comm socket|shmem] \
+                         [--timeout-secs T] [--port P] [--retries N] [--restore] -- \
+                         <command> [args...]";
 
 /// Parse CLI arguments (everything after the program name) into a
 /// [`LaunchConfig`]. Errors are specific — they name the flag and the
@@ -89,6 +96,7 @@ pub fn parse_args(args: &[String]) -> Result<LaunchConfig, String> {
     let mut ranks: Option<usize> = None;
     let mut timeout = Duration::from_secs(300);
     let mut port: Option<u16> = None;
+    let mut comm = "socket".to_string();
     let mut retries = 0usize;
     let mut restore = false;
     let mut cmd: Vec<String> = Vec::new();
@@ -117,6 +125,13 @@ pub fn parse_args(args: &[String]) -> Result<LaunchConfig, String> {
                     v.parse::<u16>().map_err(|_| format!("--port expects a port, got {v:?}"))?,
                 );
             }
+            "--comm" => {
+                let v = value(&mut it, arg, "a transport (socket or shmem)")?;
+                if v != "socket" && v != "shmem" {
+                    return Err(format!("--comm expects \"socket\" or \"shmem\", got {v:?}"));
+                }
+                comm = v.to_string();
+            }
             "--retries" => {
                 let v = value(&mut it, arg, "a retry count")?;
                 retries = v
@@ -135,7 +150,7 @@ pub fn parse_args(args: &[String]) -> Result<LaunchConfig, String> {
     if cmd.is_empty() {
         return Err("missing command: everything after `--` is the rank command".into());
     }
-    Ok(LaunchConfig { ranks, timeout, port, retries, restore, env: Vec::new(), cmd })
+    Ok(LaunchConfig { ranks, timeout, port, comm, retries, restore, env: Vec::new(), cmd })
 }
 
 /// Probe a free rendezvous port by binding ephemeral and releasing it.
@@ -172,21 +187,35 @@ pub fn run_job(config: &LaunchConfig) -> i32 {
     unreachable!("the retry loop always returns");
 }
 
+/// A job-unique shared-memory world id: a crashed attempt must never
+/// collide with its own retry (rank 0 creates the world file with
+/// `create_new`), so every attempt draws a fresh suffix.
+fn fresh_shm_id() -> String {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static ATTEMPT: AtomicUsize = AtomicUsize::new(0);
+    format!("{}-{}", std::process::id(), ATTEMPT.fetch_add(1, Ordering::SeqCst))
+}
+
 fn run_once(config: &LaunchConfig, restore: bool) -> i32 {
     let ranks = config.ranks;
     let port = config.port.unwrap_or_else(free_port);
+    let shm_id = fresh_shm_id();
     let mut children: Vec<Child> = Vec::with_capacity(ranks);
     let mut tails: Vec<Arc<Mutex<VecDeque<String>>>> = Vec::with_capacity(ranks);
     for rank in 0..ranks {
         let mut c = Command::new(&config.cmd[0]);
         c.args(&config.cmd[1..])
-            .env("HPGMXP_COMM", "socket")
+            .env("HPGMXP_COMM", &config.comm)
             .env("HPGMXP_RANK", rank.to_string())
             .env("HPGMXP_RANKS", ranks.to_string())
-            .env("HPGMXP_PORT", port.to_string())
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped());
+        if config.comm == "shmem" {
+            c.env("HPGMXP_SHM_ID", &shm_id);
+        } else {
+            c.env("HPGMXP_PORT", port.to_string());
+        }
         if restore {
             c.env("HPGMXP_RESTORE", "1");
         }
@@ -204,7 +233,11 @@ fn run_once(config: &LaunchConfig, restore: bool) -> i32 {
         let tail = Arc::new(Mutex::new(VecDeque::with_capacity(TAIL_LINES)));
         pump(rank, child.stdout.take().expect("piped stdout"), false, Arc::clone(&tail));
         pump(rank, child.stderr.take().expect("piped stderr"), true, Arc::clone(&tail));
-        println!("[launch] rank {rank} pid={} port={port}", child.id());
+        if config.comm == "shmem" {
+            println!("[launch] rank {rank} pid={} shm={shm_id}", child.id());
+        } else {
+            println!("[launch] rank {rank} pid={} port={port}", child.id());
+        }
         children.push(child);
         tails.push(tail);
     }
@@ -334,9 +367,19 @@ mod tests {
         assert_eq!(cfg.ranks, 4);
         assert_eq!(cfg.timeout, Duration::from_secs(20));
         assert_eq!(cfg.port, Some(29400));
+        assert_eq!(cfg.comm, "socket");
         assert_eq!(cfg.retries, 2);
         assert!(cfg.restore);
         assert_eq!(cfg.cmd, vec!["my-app".to_string(), "--flag".to_string()]);
+    }
+
+    #[test]
+    fn parses_the_shmem_transport() {
+        let cfg = parse_args(&argv(&["-n", "2", "--comm", "shmem", "--", "app"])).unwrap();
+        assert_eq!(cfg.comm, "shmem");
+        let err =
+            parse_args(&argv(&["-n", "2", "--comm", "carrier-pigeon", "--", "app"])).unwrap_err();
+        assert!(err.contains("--comm") && err.contains("carrier-pigeon"), "{err}");
     }
 
     #[test]

@@ -19,10 +19,19 @@
 //! * [`socket_world`] — [`SocketWorld`]: a world of `P` rank
 //!   *processes* meshed over localhost TCP speaking the [`frame`]d
 //!   wire protocol, with per-peer recycled receive pools and
-//!   flush-barrier collectives (started by the `hpgmxp-launch`
+//!   ledger-flushing collectives (started by the `hpgmxp-launch`
 //!   binary);
+//! * [`shmem_world`] — [`ShmemWorld`]: a world of `P` same-host rank
+//!   *processes* exchanging the identical [`frame`]d protocol through
+//!   per-pair mmap'd ring buffers in `/dev/shm` — no kernel socket on
+//!   the data path;
+//! * [`collectives`] — the shared collective engine: star and
+//!   recursive-doubling allreduce/barrier/allgather written against
+//!   checked point-to-point ops, bit-identical across algorithms and
+//!   transports (`HPGMXP_COLL=star|rd`), with per-endpoint traffic
+//!   counters;
 //! * [`world`] — transport selection: [`run_spmd`] reads
-//!   `HPGMXP_COMM=thread|socket` once and hands the closure a
+//!   `HPGMXP_COMM=thread|socket|shmem` once and hands the closure a
 //!   [`WorldComm`] over whichever backend it picked;
 //! * [`halo`] — the halo exchange engine built on a geometric
 //!   [`hpgmxp_geometry::HaloPlan`]: persistent per-neighbor staging
@@ -38,6 +47,7 @@
 //! [`Comm`] perform the same message pattern, volume, and ordering as
 //! the MPI original; only the transport (channels vs. NIC) differs.
 
+pub mod collectives;
 pub mod comm;
 pub mod error;
 pub mod fault;
@@ -45,15 +55,18 @@ pub mod frame;
 pub mod halo;
 pub mod launch;
 mod mailbox;
+pub mod shmem_world;
 pub mod socket_world;
 pub mod thread_world;
 pub mod timeline;
 pub mod world;
 
+pub use collectives::{rd_rounds, set_algo_override, CollAlgo, CollStats};
 pub use comm::{Comm, RecvPost, ReduceOp, SelfComm};
 pub use error::{CommError, CommErrorKind, CommResult};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyComm};
 pub use halo::{ActiveExchange, HaloExchange};
+pub use shmem_world::{ShmemComm, ShmemWorld};
 pub use socket_world::{SocketComm, SocketWorld};
 pub use thread_world::{run_threads, run_threads_fallible, ThreadComm, ThreadWorld};
 pub use timeline::{OverlapRecord, Stream, Timeline, TimelineEvent};

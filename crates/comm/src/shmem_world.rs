@@ -1,0 +1,1366 @@
+//! Same-host process ranks over mmap'd `/dev/shm` ring buffers — the
+//! third `Comm` backend.
+//!
+//! A [`ShmemWorld`] rank is a whole OS process, like the socket world,
+//! but the data path never enters the kernel: every ordered rank pair
+//! `(i, j)` owns a single-producer/single-consumer byte ring in one
+//! shared `/dev/shm` file, and rank `i` sends to rank `j` by copying
+//! [`crate::frame`]-encoded bytes into ring `(i, j)` and publishing a
+//! new head counter. The frame protocol, CRC, per-peer recycled
+//! receive pools, shared [`crate::mailbox::Mailbox`], heartbeats,
+//! receive deadlines, and the fault-injection interposer are all the
+//! same code the socket transport runs — only the byte channel
+//! differs, which is precisely the layering the frame module promised.
+//!
+//! ## File layout
+//!
+//! ```text
+//! [ header page: magic, size P, ring_bytes, attached counter ]
+//! [ ring (0,0) ][ ring (0,1) ] ... [ ring (P-1,P-1) ]
+//! ```
+//!
+//! Each ring is a 256-byte header — producer-owned `head` (total bytes
+//! ever written), consumer-owned `tail` (total bytes ever read), and a
+//! producer-set `closed` flag, each on its own cache line — followed
+//! by `ring_bytes` (power of two, `HPGMXP_SHM_RING_BYTES`, default
+//! 256 KiB) of data. Counters are monotonic; the write position is
+//! `head & (ring_bytes - 1)`, so full (`head - tail == ring_bytes`)
+//! and empty (`head == tail`) are unambiguous. Frames larger than the
+//! ring stream through it in chunks — the consumer drains while the
+//! producer refills, so the ring size bounds memory, not message size.
+//!
+//! ## Rendezvous
+//!
+//! Rank 0 creates the file (`HPGMXP_SHM_ID` names it, unique per
+//! launch attempt), sizes it, initializes the header, and publishes
+//! the magic last; other ranks poll for the file and magic, map it,
+//! and bump the `attached` counter. Once every rank is attached rank 0
+//! *unlinks* the file — the mapping stays valid for the attached
+//! processes, and a crashed job leaks no `/dev/shm` entry.
+//!
+//! ## Blocking and failure
+//!
+//! Waits are spin-then-yield (no futex, no crates.io): a reader with
+//! an empty ring and a writer against a full one spin briefly, then
+//! yield, then sleep in 50 µs steps. A writer stalled longer than the
+//! peer timeout fails the send with a typed `PeerLost` naming the
+//! peer — the detector for a consumer that died with the ring full.
+//! A cleanly dropped endpoint sets `closed` on its outgoing rings, so
+//! peer readers see EOF at a frame boundary → `PeerClosed`, exactly
+//! like a closed socket. A crashed process never sets `closed`; its
+//! silence trips the heartbeat watchdog (`PeerLost`) instead, and a
+//! hung-but-alive rank is caught by the receive deadline (`Timeout`)
+//! — the same three detectors, same typed faults, as the socket
+//! world.
+
+use crate::collectives::{self, CollCounters, CollScratch, CollStats};
+use crate::comm::{Comm, RecvPost, ReduceOp};
+use crate::error::{CommError, CommErrorKind, CommResult};
+use crate::fault::{FaultKind, SplitMix64};
+use crate::frame::{read_frame, stage_frame, HEADER_LEN};
+use crate::mailbox::{Mailbox, Message};
+use crate::socket_world::{SocketConfig, COLLECTIVE_TAG_BIT, HEARTBEAT_TAG};
+use std::fs::{File, OpenOptions};
+use std::io::Read;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+// The only two syscalls std does not wrap. Values are the x86-64 /
+// aarch64 Linux ABI constants (this transport is Linux-only — /dev/shm
+// is the whole point).
+extern "C" {
+    fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> i32;
+}
+
+const PROT_READ: i32 = 0x1;
+const PROT_WRITE: i32 = 0x2;
+const MAP_SHARED: i32 = 0x01;
+
+/// First u64 of the file once fully initialized ("HPGMXSH1").
+const SHM_MAGIC: u64 = u64::from_le_bytes(*b"HPGMXSH1");
+
+/// Bytes reserved for the file header.
+const FILE_HEADER: usize = 4096;
+/// Header field offsets.
+const OFF_MAGIC: usize = 0;
+const OFF_SIZE: usize = 8;
+const OFF_RING_BYTES: usize = 16;
+const OFF_ATTACHED: usize = 64;
+
+/// Bytes of one ring's header (head / tail / closed, one cache line
+/// apart so producer and consumer never false-share).
+const RING_HEADER: usize = 256;
+const OFF_HEAD: usize = 0;
+const OFF_TAIL: usize = 64;
+const OFF_CLOSED: usize = 128;
+
+/// Default data bytes per ring (`HPGMXP_SHM_RING_BYTES` overrides;
+/// must be a power of two).
+const DEFAULT_RING_BYTES: usize = 256 * 1024;
+
+/// Buffers stocked per peer pool by [`ShmemComm::prewarm_pool`] —
+/// the same in-flight window bound the socket transport uses.
+const POOL_STOCK: usize = 8;
+
+fn ring_bytes_from_env() -> usize {
+    match std::env::var("HPGMXP_SHM_RING_BYTES") {
+        Ok(v) => {
+            let n: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("HPGMXP_SHM_RING_BYTES is not a number: {v:?}"));
+            assert!(
+                n.is_power_of_two() && n >= 4096,
+                "HPGMXP_SHM_RING_BYTES must be a power of two >= 4096, got {n}"
+            );
+            n
+        }
+        Err(_) => DEFAULT_RING_BYTES,
+    }
+}
+
+fn connect_timeout() -> Duration {
+    let secs = std::env::var("HPGMXP_CONNECT_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(60);
+    Duration::from_secs(secs)
+}
+
+/// Spin-then-yield-then-sleep waiter for ring-full / ring-empty waits:
+/// cheap when the peer answers in nanoseconds, polite to a 1-core box
+/// when it does not.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    fn wait(&mut self) {
+        self.step = self.step.saturating_add(1);
+        if self.step < 64 {
+            std::hint::spin_loop();
+        } else if self.step < 256 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+/// An mmap'd shared file. The pointer is valid for the struct's
+/// lifetime; `Drop` unmaps. Concurrent access is coordinated entirely
+/// through the atomics embedded in the mapping.
+struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is plain shared memory; all cross-thread /
+// cross-process coordination goes through `AtomicU64` fields inside
+// it, and raw byte ranges are only touched according to the SPSC ring
+// protocol (producer writes [tail+ring .. head) exclusively, consumer
+// reads [tail .. head) exclusively).
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    fn map(file: &File, len: usize) -> Mapping {
+        // SAFETY: mapping a file we own for its full sized length.
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), len, PROT_READ | PROT_WRITE, MAP_SHARED, file.as_raw_fd(), 0)
+        };
+        assert!(
+            !ptr.is_null() && ptr as isize != -1,
+            "mmap of the {len}-byte shmem world file failed"
+        );
+        Mapping { ptr, len }
+    }
+
+    /// The `AtomicU64` embedded at `offset` (must be 8-aligned and in
+    /// bounds).
+    fn atomic(&self, offset: usize) -> &AtomicU64 {
+        debug_assert!(offset.is_multiple_of(8) && offset + 8 <= self.len);
+        // SAFETY: in-bounds, aligned, and the underlying memory is
+        // only ever accessed atomically at this offset.
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU64) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: unmapping exactly what `map` mapped.
+        unsafe { munmap(self.ptr, self.len) };
+    }
+}
+
+/// Geometry of the world file.
+#[derive(Clone, Copy)]
+struct Layout {
+    size: usize,
+    ring_bytes: usize,
+}
+
+impl Layout {
+    fn stride(&self) -> usize {
+        RING_HEADER + self.ring_bytes
+    }
+
+    fn total_len(&self) -> usize {
+        FILE_HEADER + self.size * self.size * self.stride()
+    }
+
+    /// Byte offset of ring `(from, to)`'s header.
+    fn ring(&self, from: usize, to: usize) -> usize {
+        FILE_HEADER + (from * self.size + to) * self.stride()
+    }
+}
+
+/// The write side of one outgoing ring plus its frame staging buffer.
+/// One `write_all`-equivalent per frame, serialized by the mutex this
+/// lives in (data senders and the heartbeat thread share it).
+struct SendHalf {
+    ring: usize,
+    staging: Vec<u8>,
+}
+
+/// Copy `bytes` into the ring at `ring_off`, chunking through the ring
+/// if the frame is larger than it, bounded by `timeout` per stall.
+fn ring_write(
+    map: &Mapping,
+    layout: Layout,
+    ring_off: usize,
+    bytes: &[u8],
+    timeout: Option<Duration>,
+    peer: usize,
+    tag: u64,
+) -> CommResult<()> {
+    let head_a = map.atomic(ring_off + OFF_HEAD);
+    let tail_a = map.atomic(ring_off + OFF_TAIL);
+    let data = ring_off + RING_HEADER;
+    let rb = layout.ring_bytes;
+    // Sole producer for this ring (serialized by the SendHalf mutex),
+    // so a relaxed read of our own head is exact.
+    let mut head = head_a.load(Ordering::Relaxed);
+    let mut written = 0usize;
+    let started = Instant::now();
+    let mut backoff = Backoff::new();
+    while written < bytes.len() {
+        let tail = tail_a.load(Ordering::Acquire);
+        let free = rb - (head - tail) as usize;
+        if free == 0 {
+            if let Some(t) = timeout {
+                if started.elapsed() >= t {
+                    return Err(CommError::new(
+                        CommErrorKind::PeerLost,
+                        Some(peer),
+                        format!(
+                            "send to rank {peer} stalled: ring full for {:.3}s (peer timeout \
+                             {:.3}s) — consumer dead?",
+                            started.elapsed().as_secs_f64(),
+                            t.as_secs_f64()
+                        ),
+                    )
+                    .with_tag(tag)
+                    .with_elapsed(started.elapsed()));
+                }
+            }
+            backoff.wait();
+            continue;
+        }
+        backoff.reset();
+        let pos = (head as usize) & (rb - 1);
+        let n = free.min(bytes.len() - written).min(rb - pos);
+        // SAFETY: [pos, pos+n) is free space the consumer will not
+        // read until the head store below publishes it.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes[written..].as_ptr(), map.ptr.add(data + pos), n);
+        }
+        head += n as u64;
+        head_a.store(head, Ordering::Release);
+        written += n;
+    }
+    Ok(())
+}
+
+/// The read side of one incoming ring, exposed as [`std::io::Read`] so
+/// [`crate::frame::read_frame`] layers over it unchanged. Blocks
+/// (spin-then-yield) until bytes arrive; returns `Ok(0)` — clean EOF —
+/// once the producer has set `closed` and the ring is drained.
+struct RingConsumer {
+    map: Arc<Mapping>,
+    ring: usize,
+    ring_bytes: usize,
+    /// Local copy of the consumer counter (authoritative; the shared
+    /// tail atomic is the producer-visible publication of it).
+    tail: u64,
+}
+
+impl Read for RingConsumer {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let head_a = self.map.atomic(self.ring + OFF_HEAD);
+        let tail_a = self.map.atomic(self.ring + OFF_TAIL);
+        let closed_a = self.map.atomic(self.ring + OFF_CLOSED);
+        let data = self.ring + RING_HEADER;
+        let rb = self.ring_bytes;
+        let mut backoff = Backoff::new();
+        loop {
+            let head = head_a.load(Ordering::Acquire);
+            let avail = (head - self.tail) as usize;
+            if avail > 0 {
+                let pos = (self.tail as usize) & (rb - 1);
+                let n = avail.min(buf.len()).min(rb - pos);
+                // SAFETY: [pos, pos+n) is published data the producer
+                // will not overwrite until the tail store below frees
+                // it.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        self.map.ptr.add(data + pos),
+                        buf.as_mut_ptr(),
+                        n,
+                    );
+                }
+                self.tail += n as u64;
+                tail_a.store(self.tail, Ordering::Release);
+                return Ok(n);
+            }
+            // Producer closes *after* its last head publication, so
+            // re-reading head after observing `closed` cannot miss
+            // final bytes.
+            if closed_a.load(Ordering::Acquire) != 0 && head_a.load(Ordering::Acquire) == self.tail
+            {
+                return Ok(0);
+            }
+            backoff.wait();
+        }
+    }
+}
+
+/// Reusable collective state — same shape as the socket world's.
+struct CollState {
+    scratch: CollScratch,
+    row: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+struct ShmemShared {
+    rank: usize,
+    size: usize,
+    layout: Layout,
+    /// `None` only in the trivial single-rank world.
+    map: Option<Arc<Mapping>>,
+    mailbox: Mailbox,
+    /// Write halves indexed by peer rank (`None` at our own index).
+    senders: Vec<Option<Mutex<SendHalf>>>,
+    /// Per-peer recycled receive pools (own index serves self-sends).
+    pools: Vec<Mutex<Vec<Vec<u8>>>>,
+    /// Point-to-point frames sent to / delivered from each peer
+    /// (collective tags excluded) — the flush barrier's ledger.
+    data_sent: Vec<AtomicU64>,
+    data_delivered: Vec<AtomicU64>,
+    collective_seq: AtomicU64,
+    coll: Mutex<CollState>,
+    counters: CollCounters,
+    config: SocketConfig,
+    epoch: Instant,
+    last_heard: Vec<AtomicU64>,
+    fault_ops: AtomicU64,
+    fault_rng: Mutex<SplitMix64>,
+}
+
+impl ShmemShared {
+    fn millis_since_epoch(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// Sets `closed` on this endpoint's outgoing rings when the last user
+/// clone drops — peers' readers then see EOF at a frame boundary, the
+/// shmem equivalent of a closed socket. Reader threads deliberately do
+/// *not* hold this, so an in-process world tears down as soon as the
+/// test's endpoints go out of scope.
+struct Closer {
+    map: Option<Arc<Mapping>>,
+    closed_offsets: Vec<usize>,
+}
+
+impl Drop for Closer {
+    fn drop(&mut self) {
+        if let Some(map) = &self.map {
+            for &off in &self.closed_offsets {
+                map.atomic(off).store(1, Ordering::Release);
+            }
+        }
+    }
+}
+
+fn pool_take(pool: &Mutex<Vec<Vec<u8>>>, len: usize) -> Vec<u8> {
+    let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+    let best = pool
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.capacity() >= len)
+        .min_by_key(|(_, b)| b.capacity())
+        .map(|(i, _)| i);
+    match best {
+        Some(pos) => pool.swap_remove(pos),
+        None => pool.pop().unwrap_or_default(),
+    }
+}
+
+fn pool_put(pool: &Mutex<Vec<Vec<u8>>>, buf: Vec<u8>) {
+    pool.lock().unwrap_or_else(|e| e.into_inner()).push(buf);
+}
+
+/// One rank's endpoint in a shmem world. Cheap to clone (shared
+/// mapping); the process-global instance lives for the process.
+#[derive(Clone)]
+pub struct ShmemComm {
+    shared: Arc<ShmemShared>,
+    _closer: Arc<Closer>,
+}
+
+/// Factory for shared-memory mesh endpoints.
+pub struct ShmemWorld;
+
+impl ShmemWorld {
+    /// Join (or, as rank 0, create) the `/dev/shm` world named
+    /// `shm_id`, with fault knobs from the environment. Blocks until
+    /// every rank is attached.
+    pub fn connect(rank: usize, size: usize, shm_id: &str) -> ShmemComm {
+        Self::connect_with_config(rank, size, shm_id, SocketConfig::from_env())
+    }
+
+    /// [`ShmemWorld::connect`] with explicit fault-detection knobs and
+    /// injection plan — the chaos tests' entry point.
+    pub fn connect_with_config(
+        rank: usize,
+        size: usize,
+        shm_id: &str,
+        config: SocketConfig,
+    ) -> ShmemComm {
+        Self::connect_custom(rank, size, shm_id, config, ring_bytes_from_env())
+    }
+
+    /// Full-control constructor (tests size rings down to force
+    /// wrap-around and full-ring stalls).
+    pub fn connect_custom(
+        rank: usize,
+        size: usize,
+        shm_id: &str,
+        config: SocketConfig,
+        ring_bytes: usize,
+    ) -> ShmemComm {
+        assert!(size > 0 && rank < size, "rank {rank} outside world of {size}");
+        assert!(ring_bytes.is_power_of_two(), "ring_bytes must be a power of two");
+        let layout = Layout { size, ring_bytes };
+        let deadline = Instant::now() + connect_timeout();
+        let path = format!("/dev/shm/hpgmxp-{shm_id}");
+
+        let map: Option<Arc<Mapping>> = if size > 1 {
+            let map = if rank == 0 {
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create_new(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "rank 0 could not create the shmem world file {path}: {e} (stale \
+                             file from a crashed run? each launch attempt needs a fresh \
+                             HPGMXP_SHM_ID)"
+                        )
+                    });
+                file.set_len(layout.total_len() as u64).expect("size the shmem world file");
+                let map = Mapping::map(&file, layout.total_len());
+                map.atomic(OFF_SIZE).store(size as u64, Ordering::Relaxed);
+                map.atomic(OFF_RING_BYTES).store(ring_bytes as u64, Ordering::Relaxed);
+                // Publish last: a scanner that sees the magic sees a
+                // fully initialized header.
+                map.atomic(OFF_MAGIC).store(SHM_MAGIC, Ordering::Release);
+                map
+            } else {
+                let mut backoff = Backoff::new();
+                loop {
+                    if let Ok(file) = OpenOptions::new().read(true).write(true).open(&path) {
+                        if file.metadata().map(|m| m.len()).unwrap_or(0)
+                            == layout.total_len() as u64
+                        {
+                            let map = Mapping::map(&file, layout.total_len());
+                            if map.atomic(OFF_MAGIC).load(Ordering::Acquire) == SHM_MAGIC {
+                                assert_eq!(
+                                    map.atomic(OFF_SIZE).load(Ordering::Relaxed),
+                                    size as u64,
+                                    "shmem world {shm_id} was created for a different rank count"
+                                );
+                                assert_eq!(
+                                    map.atomic(OFF_RING_BYTES).load(Ordering::Relaxed),
+                                    ring_bytes as u64,
+                                    "shmem world {shm_id} was created with different ring size"
+                                );
+                                break map;
+                            }
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        panic!(
+                            "rank {rank} could not find an initialized shmem world at {path} \
+                             within the connect timeout"
+                        );
+                    }
+                    backoff.wait();
+                }
+            };
+            let attached = map.atomic(OFF_ATTACHED);
+            attached.fetch_add(1, Ordering::SeqCst);
+            if rank == 0 {
+                // Wait for the full world, then unlink: the mapping
+                // stays valid for every attached process, and a crashed
+                // job leaves nothing behind in /dev/shm.
+                let mut backoff = Backoff::new();
+                while attached.load(Ordering::SeqCst) < size as u64 {
+                    if Instant::now() >= deadline {
+                        let got = attached.load(Ordering::SeqCst);
+                        let _ = std::fs::remove_file(&path);
+                        panic!(
+                            "only {got} of {size} ranks attached to shmem world {shm_id} within \
+                             the connect timeout"
+                        );
+                    }
+                    backoff.wait();
+                }
+                let _ = std::fs::remove_file(&path);
+            }
+            Some(Arc::new(map))
+        } else {
+            None
+        };
+
+        let fault_seed = config.faults.as_ref().map(|p| p.seed).unwrap_or(0);
+        let shared = Arc::new(ShmemShared {
+            rank,
+            size,
+            layout,
+            map: map.clone(),
+            mailbox: Mailbox::with_deadline(config.recv_deadline),
+            senders: (0..size)
+                .map(|peer| {
+                    (peer != rank).then(|| {
+                        Mutex::new(SendHalf { ring: layout.ring(rank, peer), staging: Vec::new() })
+                    })
+                })
+                .collect(),
+            pools: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            data_sent: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            data_delivered: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            collective_seq: AtomicU64::new(0),
+            coll: Mutex::new(CollState {
+                scratch: CollScratch::default(),
+                row: Vec::new(),
+                counts: Vec::new(),
+            }),
+            counters: CollCounters::default(),
+            config,
+            epoch: Instant::now(),
+            last_heard: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            fault_ops: AtomicU64::new(0),
+            fault_rng: Mutex::new(SplitMix64::for_rank(fault_seed, rank as u64)),
+        });
+
+        if let Some(map) = &map {
+            for peer in 0..size {
+                if peer == rank {
+                    continue;
+                }
+                let consumer = RingConsumer {
+                    map: Arc::clone(map),
+                    ring: layout.ring(peer, rank),
+                    ring_bytes,
+                    tail: 0,
+                };
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hpgmxp-shm-reader-{peer}"))
+                    .spawn(move || reader_loop(shared, peer, consumer))
+                    .expect("spawn shmem reader thread");
+            }
+            if shared.config.heartbeat.is_some() || shared.config.peer_timeout.is_some() {
+                let weak = Arc::downgrade(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hpgmxp-shm-heartbeat-{rank}"))
+                    .spawn(move || heartbeat_loop(weak))
+                    .expect("spawn shmem heartbeat thread");
+            }
+        }
+
+        let closer = Closer {
+            map,
+            closed_offsets: (0..size)
+                .filter(|&peer| peer != rank)
+                .map(|peer| layout.ring(rank, peer) + OFF_CLOSED)
+                .collect(),
+        };
+        ShmemComm { shared, _closer: Arc::new(closer) }
+    }
+}
+
+/// Per-peer reader: decode frames from the incoming ring into the
+/// shared mailbox until the producer closes it — the same loop shape,
+/// pool discipline, and fault attribution as the socket reader.
+fn reader_loop(shared: Arc<ShmemShared>, peer: usize, mut consumer: RingConsumer) {
+    loop {
+        match read_frame(&mut consumer, |len| pool_take(&shared.pools[peer], len)) {
+            Ok(Some((header, data))) => {
+                debug_assert_eq!(header.from as usize, peer, "frame from wrong rank");
+                shared.last_heard[peer].store(shared.millis_since_epoch(), Ordering::SeqCst);
+                if header.tag == HEARTBEAT_TAG {
+                    pool_put(&shared.pools[peer], data);
+                    continue;
+                }
+                if header.tag & COLLECTIVE_TAG_BIT == 0 {
+                    shared.data_delivered[peer].fetch_add(1, Ordering::SeqCst);
+                }
+                shared.mailbox.push(Message { from: peer, tag: header.tag, data });
+            }
+            Ok(None) => {
+                shared.mailbox.fail(
+                    peer,
+                    CommErrorKind::PeerClosed,
+                    format!("connection to rank {peer} closed"),
+                );
+                return;
+            }
+            Err(e) => {
+                let (kind, why) = if e.kind() == std::io::ErrorKind::InvalidData {
+                    (
+                        CommErrorKind::Corrupt,
+                        format!("protocol error on connection to rank {peer}: {e}"),
+                    )
+                } else {
+                    (CommErrorKind::PeerLost, format!("connection to rank {peer} lost: {e}"))
+                };
+                shared.mailbox.fail(peer, kind, why);
+                return;
+            }
+        }
+    }
+}
+
+/// Heartbeat emitter + silence watchdog — the socket loop adapted to
+/// ring writes. Heartbeat sends are bounded by the heartbeat period
+/// (a full ring must not wedge the watchdog) and failures are ignored:
+/// silence is what the *peer's* watchdog detects.
+fn heartbeat_loop(weak: Weak<ShmemShared>) {
+    loop {
+        let Some(shared) = weak.upgrade() else { return };
+        if let Some(timeout) = shared.config.peer_timeout {
+            let now = shared.millis_since_epoch();
+            for (peer, heard) in shared.last_heard.iter().enumerate() {
+                if peer == shared.rank || shared.senders[peer].is_none() {
+                    continue;
+                }
+                let silent = now.saturating_sub(heard.load(Ordering::SeqCst));
+                if silent > timeout.as_millis() as u64 {
+                    shared.mailbox.fail(
+                        peer,
+                        CommErrorKind::PeerLost,
+                        format!(
+                            "no heartbeat from rank {peer} for {:.3}s (peer timeout {:.3}s)",
+                            silent as f64 / 1e3,
+                            timeout.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+        }
+        let pause = shared
+            .config
+            .heartbeat
+            .or(shared.config.peer_timeout)
+            .unwrap_or(Duration::from_millis(500));
+        if shared.config.heartbeat.is_some() {
+            if let Some(map) = &shared.map {
+                for half in shared.senders.iter().flatten() {
+                    let mut half = half.lock().unwrap_or_else(|e| e.into_inner());
+                    stage_frame(&mut half.staging, shared.rank, HEARTBEAT_TAG, &[]);
+                    let SendHalf { ring, staging } = &*half;
+                    let _ = ring_write(
+                        map,
+                        shared.layout,
+                        *ring,
+                        staging,
+                        Some(pause),
+                        usize::MAX,
+                        HEARTBEAT_TAG,
+                    );
+                }
+            }
+        }
+        drop(shared); // don't pin the mesh while sleeping
+        std::thread::sleep(pause);
+    }
+}
+
+impl ShmemComm {
+    fn send_raw(&self, to: usize, tag: u64, bytes: &[u8]) {
+        self.send_raw_checked(to, tag, bytes).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Frame and write into the peer's ring, or self-deliver — the
+    /// seam where an armed fault plan injects wire faults, byte for
+    /// byte the socket transport's interposer.
+    fn send_raw_checked(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        let s = &self.shared;
+        assert!(to < s.size, "send to rank {to} in a world of {}", s.size);
+        if to == s.rank {
+            let mut data = pool_take(&s.pools[to], bytes.len());
+            data.clear();
+            data.extend_from_slice(bytes);
+            s.mailbox.push(Message { from: to, tag, data });
+            return Ok(());
+        }
+
+        let mut corrupt_flip = None;
+        let mut duplicate = false;
+        if tag & COLLECTIVE_TAG_BIT == 0 {
+            if let Some(plan) = &s.config.faults {
+                let n = s.fault_ops.fetch_add(1, Ordering::SeqCst);
+                if let Some(event) = plan.event_at(s.rank, n) {
+                    match event.kind {
+                        FaultKind::CrashRank => {
+                            eprintln!(
+                                "rank {} crashing deliberately at exchange {n} (fault plan seed \
+                                 {})",
+                                s.rank, plan.seed
+                            );
+                            std::process::exit(7);
+                        }
+                        FaultKind::HangRank => {
+                            eprintln!(
+                                "rank {} hanging deliberately at exchange {n} for {:?} (fault \
+                                 plan seed {})",
+                                s.rank,
+                                plan.hang_duration(),
+                                plan.seed
+                            );
+                            std::thread::sleep(plan.hang_duration());
+                        }
+                    }
+                }
+                if plan.has_wire_faults() {
+                    let (dropped, delayed, dup, corrupt, flip) = {
+                        let mut rng = s.fault_rng.lock().unwrap_or_else(|e| e.into_inner());
+                        (
+                            rng.hit(plan.drop),
+                            rng.hit(plan.delay),
+                            rng.hit(plan.duplicate),
+                            rng.hit(plan.corrupt),
+                            rng.next_u64(),
+                        )
+                    };
+                    if dropped {
+                        return Ok(());
+                    }
+                    if delayed {
+                        std::thread::sleep(plan.delay_duration());
+                    }
+                    duplicate = dup;
+                    if corrupt && !bytes.is_empty() {
+                        corrupt_flip = Some(flip);
+                    }
+                }
+            }
+        }
+
+        let map = s.map.as_ref().expect("multi-rank world has a mapping");
+        let mut half =
+            s.senders[to].as_ref().expect("peer ring").lock().unwrap_or_else(|e| e.into_inner());
+        stage_frame(&mut half.staging, s.rank, tag, bytes);
+        if let Some(flip) = corrupt_flip {
+            let i = HEADER_LEN + (flip as usize) % bytes.len();
+            half.staging[i] ^= 1 << ((flip >> 32) & 7);
+        }
+        if tag & COLLECTIVE_TAG_BIT == 0 {
+            s.data_sent[to].fetch_add(1 + duplicate as u64, Ordering::SeqCst);
+        }
+        let SendHalf { ring, staging } = &*half;
+        ring_write(map, s.layout, *ring, staging, s.config.peer_timeout, to, tag)?;
+        if duplicate {
+            ring_write(map, s.layout, *ring, staging, s.config.peer_timeout, to, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Copy a matched message out and recycle its buffer into the
+    /// sender's pool.
+    fn deliver(&self, msg: Message, out: &mut [u8]) {
+        assert_eq!(
+            msg.data.len(),
+            out.len(),
+            "message length mismatch: rank {} got {} bytes from {} tag {}, posted {}",
+            self.shared.rank,
+            msg.data.len(),
+            msg.from,
+            msg.tag,
+            out.len()
+        );
+        out.copy_from_slice(&msg.data);
+        pool_put(&self.shared.pools[msg.from], msg.data);
+    }
+
+    fn collective_tag(&self) -> u64 {
+        COLLECTIVE_TAG_BIT | self.shared.collective_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Grow the transport's recycled buffers so the steady state is
+    /// allocation-free by construction — same discipline as the socket
+    /// world. Call while no messages are in flight.
+    pub fn prewarm_pool(&self, min_capacity: usize) {
+        self.shared.mailbox.reserve(2 * POOL_STOCK * self.shared.size);
+        for pool in &self.shared.pools {
+            let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+            for buf in pool.iter_mut() {
+                if buf.capacity() < min_capacity {
+                    buf.reserve(min_capacity - buf.len());
+                }
+            }
+            while pool.len() < POOL_STOCK {
+                pool.push(Vec::with_capacity(min_capacity));
+            }
+        }
+        for half in self.shared.senders.iter().flatten() {
+            let mut half = half.lock().unwrap_or_else(|e| e.into_inner());
+            let want = min_capacity + HEADER_LEN;
+            if half.staging.capacity() < want {
+                let len = half.staging.len();
+                half.staging.reserve(want - len);
+            }
+        }
+        let size = self.shared.size;
+        let mut coll = self.shared.coll.lock().unwrap_or_else(|e| e.into_inner());
+        coll.scratch.prewarm(size, min_capacity.div_ceil(8).max(size));
+        if coll.row.capacity() < size {
+            let len = coll.row.len();
+            coll.row.reserve(size - len);
+        }
+        if coll.counts.capacity() < size * size {
+            let len = coll.counts.len();
+            coll.counts.reserve(size * size - len);
+        }
+    }
+
+    /// Flush every in-flight message into mailboxes (a barrier), then
+    /// discard anything still parked, recycling the buffers — run
+    /// between SPMD closures on the reused process-global mesh.
+    pub fn quiesce(&self) {
+        self.barrier();
+        for msg in self.shared.mailbox.take_where(|m| m.tag & COLLECTIVE_TAG_BIT == 0) {
+            pool_put(&self.shared.pools[msg.from], msg.data);
+        }
+        self.barrier();
+    }
+
+    #[cfg(test)]
+    /// Mark every outgoing ring closed so peers observe EOF — the
+    /// in-process stand-in for a cleanly dying rank.
+    fn close_all_rings(&self) {
+        if let Some(map) = &self.shared.map {
+            for peer in 0..self.shared.size {
+                if peer != self.shared.rank {
+                    let off = self.shared.layout.ring(self.shared.rank, peer) + OFF_CLOSED;
+                    map.atomic(off).store(1, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+impl Comm for ShmemComm {
+    fn rank(&self) -> usize {
+        self.shared.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn send_from(&self, to: usize, tag: u64, bytes: &[u8]) {
+        assert!(tag & COLLECTIVE_TAG_BIT == 0, "tag {tag:#x} uses the reserved collective bit");
+        self.send_raw(to, tag, bytes);
+    }
+
+    fn send_from_checked(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        assert!(tag & COLLECTIVE_TAG_BIT == 0, "tag {tag:#x} uses the reserved collective bit");
+        self.send_raw_checked(to, tag, bytes)
+    }
+
+    fn recv_into(&self, from: usize, tag: u64, out: &mut [u8]) {
+        let msg = self.shared.mailbox.recv_matching(from, tag);
+        self.deliver(msg, out);
+    }
+
+    fn recv_into_checked(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        let msg = self.shared.mailbox.recv_matching_checked(from, tag)?;
+        self.deliver(msg, out);
+        Ok(())
+    }
+
+    fn try_recv_into(&self, from: usize, tag: u64, out: &mut [u8]) -> bool {
+        match self.shared.mailbox.try_recv_matching(from, tag) {
+            Some(msg) => {
+                self.deliver(msg, out);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn wait_any<'p>(&self, posts: &mut [Option<RecvPost<'p>>]) -> Option<(usize, RecvPost<'p>)> {
+        if posts.iter().all(Option::is_none) {
+            return None;
+        }
+        let (slot, msg) = self.shared.mailbox.wait_any_matching(posts);
+        let post = posts[slot].take().expect("slot matched in mailbox");
+        self.deliver(msg, post.buf);
+        Some((slot, post))
+    }
+
+    fn wait_any_checked<'p>(
+        &self,
+        posts: &mut [Option<RecvPost<'p>>],
+    ) -> CommResult<Option<(usize, RecvPost<'p>)>> {
+        if posts.iter().all(Option::is_none) {
+            return Ok(None);
+        }
+        let (slot, msg) = self.shared.mailbox.wait_any_matching_checked(posts)?;
+        let post = posts[slot].take().expect("slot matched in mailbox");
+        self.deliver(msg, post.buf);
+        Ok(Some((slot, post)))
+    }
+
+    fn allreduce(&self, vals: &mut [f64], op: ReduceOp) {
+        self.allreduce_checked(vals, op).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn allreduce_checked(&self, vals: &mut [f64], op: ReduceOp) -> CommResult<()> {
+        let mut coll = self.shared.coll.lock().unwrap_or_else(|e| e.into_inner());
+        collectives::allreduce(self, &mut coll.scratch, vals, op)
+    }
+
+    fn barrier(&self) {
+        self.barrier_checked().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn barrier_checked(&self) -> CommResult<()> {
+        let s = &self.shared;
+        if s.size == 1 {
+            return Ok(());
+        }
+        // Same flush barrier as the socket world: allgather the
+        // sent-count ledger, then wait for delivery to catch up.
+        let mut coll = s.coll.lock().unwrap_or_else(|e| e.into_inner());
+        let CollState { scratch, row, counts } = &mut *coll;
+        row.clear();
+        row.extend(s.data_sent.iter().map(|c| c.load(Ordering::SeqCst)));
+        collectives::allgather_u64(self, scratch, row, counts)?;
+        s.counters.count_barrier();
+        let (size, me) = (s.size, s.rank);
+        s.mailbox.wait_until_checked(|| {
+            (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i * size + me])
+        })?;
+        Ok(())
+    }
+
+    fn coll_stats(&self) -> Option<CollStats> {
+        Some(self.shared.counters.snapshot())
+    }
+}
+
+impl collectives::CollEndpoint for ShmemComm {
+    fn rank(&self) -> usize {
+        self.shared.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn coll_send(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        self.send_raw_checked(to, tag, bytes)
+    }
+
+    fn coll_recv(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        let msg = self.shared.mailbox.recv_matching_checked(from, tag)?;
+        self.deliver(msg, out);
+        Ok(())
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        self.collective_tag()
+    }
+
+    fn counters(&self) -> &CollCounters {
+        &self.shared.counters
+    }
+}
+
+/// The process-global mesh, built once from `HPGMXP_RANK` /
+/// `HPGMXP_RANKS` / `HPGMXP_SHM_ID` (the environment `hpgmxp-launch
+/// --comm shmem` provides) and reused by every SPMD run in this
+/// process.
+pub fn global_from_env() -> &'static ShmemComm {
+    static MESH: OnceLock<ShmemComm> = OnceLock::new();
+    MESH.get_or_init(|| {
+        let need = |name: &str| -> String {
+            std::env::var(name).unwrap_or_else(|_| {
+                panic!("{name} not set — shmem ranks must be started by hpgmxp-launch --comm shmem")
+            })
+        };
+        let rank: usize = need("HPGMXP_RANK").parse().expect("HPGMXP_RANK is not a number");
+        let size: usize = need("HPGMXP_RANKS").parse().expect("HPGMXP_RANKS is not a number");
+        let shm_id = need("HPGMXP_SHM_ID");
+        ShmemWorld::connect(rank, size, &shm_id)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{pack, unpack};
+    use crate::thread_world::run_threads;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A process-unique shmem id per test world.
+    fn fresh_id(tag: &str) -> String {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        format!("test-{}-{tag}-{}", std::process::id(), NEXT.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// In-process shmem world: each rank is a thread with its own
+    /// endpoint, but every byte still crosses the mmap'd rings.
+    fn run_shmem_threads<T, F>(size: usize, tag: &str, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ShmemComm) -> T + Sync,
+    {
+        let id = fresh_id(tag);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let (fr, id) = (&f, &id);
+                    s.spawn(move || fr(ShmemWorld::connect(rank, size, id)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("a rank panicked")).collect()
+        })
+    }
+
+    #[test]
+    fn ping_pong_over_shmem() {
+        let results = run_shmem_threads(2, "pingpong", |c| {
+            if c.rank() == 0 {
+                c.send_from(1, 7, &pack(&[1.5f64, -2.5]));
+                let mut got = vec![0u8; 8];
+                c.recv_into(1, 8, &mut got);
+                let mut out = [0.0f64; 1];
+                unpack(&got, &mut out);
+                out[0]
+            } else {
+                let mut got = vec![0u8; 16];
+                c.recv_into(0, 7, &mut got);
+                let mut vals = [0.0f64; 2];
+                unpack(&got, &mut vals);
+                c.send_from(0, 8, &pack(&[vals[0] + vals[1]]));
+                0.0
+            }
+        });
+        assert_eq!(results[0], -1.0);
+    }
+
+    #[test]
+    fn world_file_is_unlinked_after_attach() {
+        let id = fresh_id("unlink");
+        let path = format!("/dev/shm/hpgmxp-{id}");
+        run_shmem_threads(2, "unlink-inner", |c| c.barrier());
+        // (That world used its own id; create one with a known id to
+        // check the path directly.)
+        std::thread::scope(|s| {
+            let h0 = {
+                let id = id.clone();
+                s.spawn(move || {
+                    let c = ShmemWorld::connect(0, 2, &id);
+                    c.barrier();
+                })
+            };
+            let h1 = {
+                let id = id.clone();
+                s.spawn(move || {
+                    let c = ShmemWorld::connect(1, 2, &id);
+                    c.barrier();
+                })
+            };
+            h0.join().unwrap();
+            h1.join().unwrap();
+        });
+        assert!(
+            !std::path::Path::new(&path).exists(),
+            "rank 0 must unlink the world file once every rank is attached"
+        );
+    }
+
+    #[test]
+    fn allreduce_matches_thread_world_bitwise() {
+        let inputs: Vec<Vec<f64>> =
+            (0..4).map(|r| (0..5).map(|i| ((r * 31 + i) as f64).sin() * 1e3).collect()).collect();
+        let thread: Vec<Vec<f64>> = run_threads(4, |c| {
+            let mut v = inputs[c.rank()].clone();
+            c.allreduce(&mut v, ReduceOp::Sum);
+            v
+        });
+        let shmem: Vec<Vec<f64>> = run_shmem_threads(4, "bitwise", |c| {
+            let mut v = inputs[c.rank()].clone();
+            c.allreduce(&mut v, ReduceOp::Sum);
+            v
+        });
+        for (t, s) in thread.iter().zip(shmem.iter()) {
+            let tb: Vec<u64> = t.iter().map(|x| x.to_bits()).collect();
+            let sb: Vec<u64> = s.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(tb, sb);
+        }
+    }
+
+    #[test]
+    fn flush_barrier_makes_prebarrier_sends_pollable() {
+        let results = run_shmem_threads(2, "flush", |c| {
+            if c.rank() == 0 {
+                c.send_from(1, 77, &[42]);
+                c.barrier();
+                true
+            } else {
+                c.barrier();
+                let mut buf = [0u8; 1];
+                let got = c.try_recv_into(0, 77, &mut buf);
+                got && buf[0] == 42
+            }
+        });
+        assert!(results.iter().all(|ok| *ok));
+    }
+
+    #[test]
+    fn messages_larger_than_the_ring_stream_through() {
+        // A 64 KiB message through 4 KiB rings: the producer chunks,
+        // the consumer drains concurrently, the frame arrives intact.
+        let id = fresh_id("bigmsg");
+        let payload: Vec<u8> =
+            (0..65536u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let expect = payload.clone();
+        std::thread::scope(|s| {
+            let h0 = {
+                let (id, payload) = (id.clone(), payload.clone());
+                s.spawn(move || {
+                    let c = ShmemWorld::connect_custom(0, 2, &id, SocketConfig::default(), 4096);
+                    c.send_from(1, 9, &payload);
+                    c.barrier();
+                })
+            };
+            let h1 = {
+                let id = id.clone();
+                s.spawn(move || {
+                    let c = ShmemWorld::connect_custom(1, 2, &id, SocketConfig::default(), 4096);
+                    let mut got = vec![0u8; 65536];
+                    c.recv_into(0, 9, &mut got);
+                    c.barrier();
+                    got
+                })
+            };
+            h0.join().unwrap();
+            assert_eq!(h1.join().unwrap(), expect);
+        });
+    }
+
+    #[test]
+    fn full_ring_with_no_consumer_fails_typed() {
+        // A live peer's reader always drains its rings into the
+        // mailbox, so ring-full only ever happens once the consumer
+        // thread is gone (crashed process). Exercise the producer's
+        // stall detector directly: a ring nobody drains must fail the
+        // write with a typed PeerLost naming the peer, not hang.
+        let path = format!("/dev/shm/hpgmxp-{}", fresh_id("fullring"));
+        let layout = Layout { size: 2, ring_bytes: 4096 };
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .expect("create test ring file");
+        file.set_len(layout.total_len() as u64).expect("size test ring file");
+        let map = Mapping::map(&file, layout.total_len());
+        std::fs::remove_file(&path).expect("unlink test ring file");
+
+        let payload = vec![7u8; 8192]; // twice the ring
+        let started = Instant::now();
+        let err = ring_write(
+            &map,
+            layout,
+            layout.ring(0, 1),
+            &payload,
+            Some(Duration::from_millis(200)),
+            1,
+            5,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, CommErrorKind::PeerLost);
+        assert_eq!(err.peer, Some(1));
+        assert_eq!(err.tag, Some(5));
+        assert!(err.elapsed >= Duration::from_millis(200));
+        assert!(started.elapsed() < Duration::from_secs(5), "stall detection must be bounded");
+        assert!(err.detail.contains("ring full"), "{}", err.detail);
+    }
+
+    #[test]
+    fn closed_rings_fail_peer_receives_with_peer_closed() {
+        let id = fresh_id("closed");
+        std::thread::scope(|s| {
+            let h0 = {
+                let id = id.clone();
+                s.spawn(move || {
+                    let c = ShmemWorld::connect(0, 2, &id);
+                    c.barrier();
+                    let mut buf = [0u8; 1];
+                    let err = c.recv_into_checked(1, 3, &mut buf).unwrap_err();
+                    assert_eq!(err.kind, CommErrorKind::PeerClosed);
+                    assert_eq!(err.peer, Some(1));
+                    assert!(err.detail.contains("connection to rank 1 closed"), "{}", err.detail);
+                })
+            };
+            let h1 = {
+                let id = id.clone();
+                s.spawn(move || {
+                    let c = ShmemWorld::connect(1, 2, &id);
+                    c.barrier();
+                    c.close_all_rings();
+                })
+            };
+            h1.join().unwrap();
+            h0.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn silent_peer_trips_the_heartbeat_watchdog() {
+        let id = fresh_id("watchdog");
+        let watchdog = SocketConfig {
+            heartbeat: Some(Duration::from_millis(25)),
+            peer_timeout: Some(Duration::from_millis(150)),
+            ..Default::default()
+        };
+        let silent = SocketConfig { heartbeat: None, peer_timeout: None, ..Default::default() };
+        std::thread::scope(|s| {
+            let h0 = {
+                let (id, cfg) = (id.clone(), watchdog.clone());
+                s.spawn(move || {
+                    let c = ShmemWorld::connect_with_config(0, 2, &id, cfg);
+                    let started = Instant::now();
+                    let mut buf = [0u8; 1];
+                    let err = c.recv_into_checked(1, 3, &mut buf).unwrap_err();
+                    assert_eq!(err.kind, CommErrorKind::PeerLost);
+                    assert_eq!(err.peer, Some(1));
+                    assert!(err.detail.contains("no heartbeat from rank 1"), "{}", err.detail);
+                    assert!(started.elapsed() < Duration::from_secs(10), "bounded detection");
+                })
+            };
+            let h1 = {
+                let (id, cfg) = (id.clone(), silent.clone());
+                s.spawn(move || {
+                    let _c = ShmemWorld::connect_with_config(1, 2, &id, cfg);
+                    std::thread::sleep(Duration::from_millis(600));
+                })
+            };
+            h1.join().unwrap();
+            h0.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn steady_state_reuses_pooled_buffers() {
+        let results = run_shmem_threads(2, "pools", |c| {
+            c.prewarm_pool(256);
+            c.barrier();
+            let peer = 1 - c.rank();
+            let mut buf = [0u8; 256];
+            for round in 0..50u64 {
+                if c.rank() == 0 {
+                    c.send_from(peer, round, &[7u8; 256]);
+                    c.recv_into(peer, round, &mut buf);
+                } else {
+                    c.recv_into(peer, round, &mut buf);
+                    c.send_from(peer, round, &buf);
+                }
+            }
+            c.barrier();
+            c.shared.pools.iter().map(|p| p.lock().unwrap().len()).sum::<usize>()
+        });
+        for pooled in results {
+            assert!(pooled <= 2 * POOL_STOCK + 2, "pool grew without bound: {pooled} buffers");
+        }
+    }
+
+    #[test]
+    fn single_rank_shmem_world_is_trivial() {
+        let c = ShmemWorld::connect(0, 1, &fresh_id("single"));
+        assert_eq!((c.rank(), c.size()), (0, 1));
+        assert_eq!(c.allreduce_scalar(5.0, ReduceOp::Sum), 5.0);
+        c.barrier();
+        c.send_from(0, 1, &[9]);
+        let mut buf = [0u8; 1];
+        c.recv_into(0, 1, &mut buf);
+        assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn corrupted_frame_is_detected_and_attributed() {
+        use crate::fault::FaultPlan;
+        let id = fresh_id("corrupt");
+        let corruptor = SocketConfig {
+            faults: Some(FaultPlan { corrupt: Some(1.0), ..FaultPlan::clean(3) }),
+            ..Default::default()
+        };
+        std::thread::scope(|s| {
+            let h0 = {
+                let (id, cfg) = (id.clone(), corruptor.clone());
+                s.spawn(move || {
+                    let c = ShmemWorld::connect_with_config(0, 2, &id, cfg);
+                    c.send_from(1, 9, &[1, 2, 3, 4]);
+                    // Hold the world open until the peer has observed
+                    // the corrupt frame.
+                    std::thread::sleep(Duration::from_millis(200));
+                })
+            };
+            let h1 = {
+                let id = id.clone();
+                s.spawn(move || {
+                    let c = ShmemWorld::connect(1, 2, &id);
+                    let mut buf = [0u8; 4];
+                    let err = c.recv_into_checked(0, 9, &mut buf).unwrap_err();
+                    assert_eq!(err.kind, CommErrorKind::Corrupt);
+                    assert_eq!(err.peer, Some(0));
+                    assert!(err.detail.contains("corrupt frame from rank 0"), "{}", err.detail);
+                })
+            };
+            h1.join().unwrap();
+            h0.join().unwrap();
+        });
+    }
+}

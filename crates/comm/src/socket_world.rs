@@ -34,17 +34,18 @@
 //! ## Collectives and the flush barrier
 //!
 //! Collectives travel over reserved tags (bit 63 set) with a sequence
-//! number every rank advances in SPMD lockstep. `allreduce` gathers to
-//! rank 0, reduces **in rank order** — bit-identical to the thread
-//! world, which is what lets GMRES-IR histories replay across
-//! transports — and broadcasts the result. `barrier` is a *flush*
-//! barrier: each rank reports how many point-to-point messages it has
-//! sent to every peer, rank 0 redistributes the per-receiver totals,
-//! and each rank waits until its delivery counters reach them. That
-//! gives the thread-world guarantee that a message sent before a
-//! barrier is *receivable* after it (it sits in the mailbox, not in a
-//! socket buffer) — the property the conformance suite's parking test
-//! demands, and what isolates consecutive SPMD runs on a reused mesh.
+//! number every rank advances in SPMD lockstep, and run in the shared
+//! [`crate::collectives`] engine (star or recursive-doubling per
+//! `HPGMXP_COLL`) — every rank folds contributions **in rank order**,
+//! bit-identical to the thread world, which is what lets GMRES-IR
+//! histories replay across transports. `barrier` is a *flush* barrier:
+//! the engine allgathers every rank's cumulative sent-count row (the
+//! P×P ledger matrix), then each rank waits until its delivery
+//! counters reach its column. That gives the thread-world guarantee
+//! that a message sent before a barrier is *receivable* after it (it
+//! sits in the mailbox, not in a socket buffer) — the property the
+//! conformance suite's parking test demands, and what isolates
+//! consecutive SPMD runs on a reused mesh.
 //!
 //! ## Fault detection and injection
 //!
@@ -71,7 +72,8 @@
 //! Reordering is a `Comm`-level fault (see [`crate::fault::FaultyComm`]);
 //! frame order within one TCP stream is the protocol's own invariant.
 
-use crate::comm::{reduce_into, Comm, RecvPost, ReduceOp};
+use crate::collectives::{self, CollCounters, CollScratch, CollStats};
+use crate::comm::{Comm, RecvPost, ReduceOp};
 use crate::error::{CommError, CommErrorKind, CommResult};
 use crate::fault::{FaultKind, FaultPlan, SplitMix64};
 use crate::frame::{read_frame, stage_frame, HEADER_LEN};
@@ -170,15 +172,13 @@ struct SendHalf {
     staging: Vec<u8>,
 }
 
-/// Reusable scratch for collectives — sized on first use, then stable.
-struct Scratch {
-    /// Outgoing collective payload (packed f64s or u64 counts).
-    payload: Vec<u8>,
-    /// Rank 0's reduction accumulator.
-    acc: Vec<f64>,
-    /// Decoded peer contribution during reduction.
-    peer: Vec<f64>,
-    /// Flush-barrier count matrix (rank 0: P×P flat; others: length P).
+/// Reusable collective state — sized on first use, then stable.
+struct CollState {
+    /// Engine scratch (Bruck ring + fold accumulators).
+    scratch: CollScratch,
+    /// This rank's sent-count row (length P), snapshotted per barrier.
+    row: Vec<u64>,
+    /// The allgathered P×P flush-barrier count matrix.
     counts: Vec<u64>,
 }
 
@@ -199,7 +199,9 @@ struct SocketShared {
     /// Collective round number; advances identically on every rank
     /// because collectives are called in SPMD program order.
     collective_seq: AtomicU64,
-    scratch: Mutex<Scratch>,
+    coll: Mutex<CollState>,
+    /// Collective-engine traffic counters (rounds, receives, bytes).
+    counters: CollCounters,
     /// Fault-detection knobs and (optional) injection plan.
     config: SocketConfig,
     /// Mesh construction time — the origin of the `last_heard` clock.
@@ -250,20 +252,6 @@ pub struct SocketComm {
 
 /// Factory for socket-mesh endpoints.
 pub struct SocketWorld;
-
-/// Decode u64 little-endian counts from a byte payload into `out`.
-fn decode_counts(bytes: &[u8], out: &mut Vec<u64>) {
-    assert_eq!(bytes.len() % 8, 0);
-    out.clear();
-    out.extend(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())));
-}
-
-/// Decode f64 little-endian values from a byte payload into `out`.
-fn decode_f64s(bytes: &[u8], out: &mut Vec<f64>) {
-    assert_eq!(bytes.len() % 8, 0);
-    out.clear();
-    out.extend(bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
-}
 
 /// Dial with jittered exponential backoff until the connect timeout:
 /// start order between ranks is free, and a thundering herd of
@@ -489,12 +477,12 @@ impl SocketWorld {
             data_sent: (0..size).map(|_| AtomicU64::new(0)).collect(),
             data_delivered: (0..size).map(|_| AtomicU64::new(0)).collect(),
             collective_seq: AtomicU64::new(0),
-            scratch: Mutex::new(Scratch {
-                payload: Vec::new(),
-                acc: Vec::new(),
-                peer: Vec::new(),
+            coll: Mutex::new(CollState {
+                scratch: CollScratch::default(),
+                row: Vec::new(),
                 counts: Vec::new(),
             }),
+            counters: CollCounters::default(),
             config,
             epoch: Instant::now(),
             last_heard: (0..size).map(|_| AtomicU64::new(0)).collect(),
@@ -792,6 +780,19 @@ impl SocketComm {
                 half.staging.reserve(want - len);
             }
         }
+        // Size the collective engine's scratch and the flush-barrier
+        // ledger buffers so collectives allocate nothing either.
+        let size = self.shared.size;
+        let mut coll = self.shared.coll.lock().unwrap_or_else(|e| e.into_inner());
+        coll.scratch.prewarm(size, min_capacity.div_ceil(8).max(size));
+        if coll.row.capacity() < size {
+            let len = coll.row.len();
+            coll.row.reserve(size - len);
+        }
+        if coll.counts.capacity() < size * size {
+            let len = coll.counts.len();
+            coll.counts.reserve(size * size - len);
+        }
     }
 
     /// Flush every in-flight message into mailboxes (a barrier), then
@@ -891,48 +892,8 @@ impl Comm for SocketComm {
     }
 
     fn allreduce_checked(&self, vals: &mut [f64], op: ReduceOp) -> CommResult<()> {
-        let s = &self.shared;
-        if s.size == 1 {
-            return Ok(());
-        }
-        let tag = self.collective_tag();
-        let mut scratch = s.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let Scratch { payload, acc, peer, .. } = &mut *scratch;
-        if s.rank == 0 {
-            // Reduce in rank order 0..P — the exact order the thread
-            // world's leader uses, so results are bit-identical across
-            // transports.
-            acc.clear();
-            acc.extend_from_slice(vals);
-            for r in 1..s.size {
-                let msg = s.mailbox.recv_matching_checked(r, tag)?;
-                assert_eq!(msg.data.len(), vals.len() * 8, "allreduce length skew at rank {r}");
-                decode_f64s(&msg.data, peer);
-                reduce_into(op, acc, peer);
-                pool_put(&s.pools[r], msg.data);
-            }
-            vals.copy_from_slice(acc);
-            payload.clear();
-            for v in vals.iter() {
-                payload.extend_from_slice(&v.to_le_bytes());
-            }
-            for r in 1..s.size {
-                self.send_raw_checked(r, tag, payload)?;
-            }
-        } else {
-            payload.clear();
-            for v in vals.iter() {
-                payload.extend_from_slice(&v.to_le_bytes());
-            }
-            self.send_raw_checked(0, tag, payload)?;
-            let msg = s.mailbox.recv_matching_checked(0, tag)?;
-            assert_eq!(msg.data.len(), vals.len() * 8, "allreduce result length skew");
-            for (v, c) in vals.iter_mut().zip(msg.data.chunks_exact(8)) {
-                *v = f64::from_le_bytes(c.try_into().unwrap());
-            }
-            pool_put(&s.pools[0], msg.data);
-        }
-        Ok(())
+        let mut coll = self.shared.coll.lock().unwrap_or_else(|e| e.into_inner());
+        collectives::allreduce(self, &mut coll.scratch, vals, op)
     }
 
     fn barrier(&self) {
@@ -944,53 +905,55 @@ impl Comm for SocketComm {
         if s.size == 1 {
             return Ok(());
         }
-        let tag = self.collective_tag();
-        let mut scratch = s.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        let Scratch { payload, counts, .. } = &mut *scratch;
-        if s.rank == 0 {
-            // Gather every rank's cumulative sent-counts, row i holding
-            // what rank i has sent to each receiver.
-            counts.clear();
-            counts.resize(s.size * s.size, 0);
-            for (c, sent) in counts.iter_mut().zip(&s.data_sent) {
-                *c = sent.load(Ordering::SeqCst);
-            }
-            for i in 1..s.size {
-                let msg = s.mailbox.recv_matching_checked(i, tag)?;
-                assert_eq!(msg.data.len(), s.size * 8, "barrier snapshot length skew");
-                for (j, c) in msg.data.chunks_exact(8).enumerate() {
-                    counts[i * s.size + j] = u64::from_le_bytes(c.try_into().unwrap());
-                }
-                pool_put(&s.pools[i], msg.data);
-            }
-            // Release each rank with its expected-delivery column.
-            for r in 1..s.size {
-                payload.clear();
-                for i in 0..s.size {
-                    payload.extend_from_slice(&counts[i * s.size + r].to_le_bytes());
-                }
-                self.send_raw_checked(r, tag, payload)?;
-            }
-            let size = s.size;
-            s.mailbox.wait_until_checked(|| {
-                (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i * size])
-            })?;
-        } else {
-            payload.clear();
-            for j in 0..s.size {
-                payload.extend_from_slice(&s.data_sent[j].load(Ordering::SeqCst).to_le_bytes());
-            }
-            self.send_raw_checked(0, tag, payload)?;
-            let msg = s.mailbox.recv_matching_checked(0, tag)?;
-            assert_eq!(msg.data.len(), s.size * 8, "barrier release length skew");
-            decode_counts(&msg.data, counts);
-            pool_put(&s.pools[0], msg.data);
-            let size = s.size;
-            s.mailbox.wait_until_checked(|| {
-                (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i])
-            })?;
-        }
+        // Flush barrier: allgather every rank's cumulative sent-count
+        // row into the P×P ledger matrix (the allgather itself is the
+        // rendezvous — its completion proves every rank entered), then
+        // wait until this rank's delivery counters reach its column.
+        // Loopback self-sends bypass the ledger, so the diagonal is
+        // trivially satisfied.
+        let mut coll = s.coll.lock().unwrap_or_else(|e| e.into_inner());
+        let CollState { scratch, row, counts } = &mut *coll;
+        row.clear();
+        row.extend(s.data_sent.iter().map(|c| c.load(Ordering::SeqCst)));
+        collectives::allgather_u64(self, scratch, row, counts)?;
+        s.counters.count_barrier();
+        let (size, me) = (s.size, s.rank);
+        s.mailbox.wait_until_checked(|| {
+            (0..size).all(|i| s.data_delivered[i].load(Ordering::SeqCst) >= counts[i * size + me])
+        })?;
         Ok(())
+    }
+
+    fn coll_stats(&self) -> Option<CollStats> {
+        Some(self.shared.counters.snapshot())
+    }
+}
+
+impl collectives::CollEndpoint for SocketComm {
+    fn rank(&self) -> usize {
+        self.shared.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn coll_send(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        self.send_raw_checked(to, tag, bytes)
+    }
+
+    fn coll_recv(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        let msg = self.shared.mailbox.recv_matching_checked(from, tag)?;
+        self.deliver(msg, out);
+        Ok(())
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        self.collective_tag()
+    }
+
+    fn counters(&self) -> &CollCounters {
+        &self.shared.counters
     }
 }
 

@@ -16,126 +16,33 @@
 //!
 //! **Fault semantics.** Each endpoint announces its fate when it goes
 //! away: a cleanly finished rank records a `PeerClosed` fault on every
-//! peer's mailbox, a panicking rank records `PeerLost` — and both
-//! *break the barrier*, so collectives on surviving ranks fail with a
-//! typed [`CommError`] naming the dead rank instead of hanging.
-//! Because parked messages are matched before faults, everything a
-//! rank sent before finishing stays receivable. Worlds built with
-//! [`ThreadWorld::connect_with_deadline`] additionally bound every
-//! blocking receive and barrier, turning a hung-but-alive peer into a
-//! `Timeout` fault; [`run_threads_fallible`] is the chaos-test entry
-//! point that reports each rank's outcome instead of propagating the
-//! first panic.
+//! peer's mailbox, a panicking rank records `PeerLost` — and because
+//! collectives are message-based (the shared [`crate::collectives`]
+//! engine over these same mailboxes), a collective on a surviving rank
+//! fails with a typed [`CommError`] naming the dead rank instead of
+//! hanging. Because parked messages are matched before faults,
+//! everything a rank sent before finishing stays receivable. Worlds
+//! built with [`ThreadWorld::connect_with_deadline`] additionally
+//! bound every blocking receive (and therefore every collective),
+//! turning a hung-but-alive peer into a `Timeout` fault;
+//! [`run_threads_fallible`] is the chaos-test entry point that reports
+//! each rank's outcome instead of propagating the first panic.
 //!
 //! Transport-agnostic callers should reach this world through
-//! [`crate::world::run_spmd`], which picks thread- or socket-ranks from
-//! the `HPGMXP_COMM` environment variable.
+//! [`crate::world::run_spmd`], which picks the backend from the
+//! `HPGMXP_COMM` environment variable.
 
-use crate::comm::{reduce_into, Comm, RecvPost, ReduceOp};
-use crate::error::{CommError, CommErrorKind, CommResult};
+use crate::collectives::{self, CollCounters, CollScratch, CollStats};
+use crate::comm::{Comm, RecvPost, ReduceOp};
+use crate::error::{CommErrorKind, CommResult};
 use crate::mailbox::{Mailbox, Message};
+use crate::socket_world::COLLECTIVE_TAG_BIT;
 use parking_lot::Mutex;
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::{Duration, Instant};
-
-/// A generation-counted barrier that can *break*: when a participant
-/// can never arrive again (its rank panicked or returned), the barrier
-/// wakes every waiter with a typed fault naming the culprit instead of
-/// letting the job hang. Waits may also carry a deadline.
-struct FaultBarrier {
-    size: usize,
-    state: StdMutex<BarrierState>,
-    cv: Condvar,
-}
-
-struct BarrierState {
-    arrived: usize,
-    generation: u64,
-    /// Set at most once — the first participant to die breaks the
-    /// barrier for good.
-    broken: Option<(usize, CommErrorKind, String)>,
-}
-
-impl FaultBarrier {
-    fn new(size: usize) -> Self {
-        FaultBarrier {
-            size,
-            state: StdMutex::new(BarrierState { arrived: 0, generation: 0, broken: None }),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn broken_error(broken: &(usize, CommErrorKind, String), elapsed: Duration) -> CommError {
-        let (rank, kind, why) = broken;
-        CommError::new(*kind, Some(*rank), format!("barrier cannot complete: {why}"))
-            .with_elapsed(elapsed)
-    }
-
-    /// Arrive and wait for the rest of the world. Returns whether this
-    /// rank completed the generation (the "leader" that performs the
-    /// one-rank reduction step of an allreduce).
-    fn wait(&self, deadline: Option<Duration>) -> CommResult<bool> {
-        let started = Instant::now();
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(b) = &s.broken {
-            return Err(Self::broken_error(b, started.elapsed()));
-        }
-        let gen = s.generation;
-        s.arrived += 1;
-        if s.arrived == self.size {
-            s.arrived = 0;
-            s.generation = s.generation.wrapping_add(1);
-            self.cv.notify_all();
-            return Ok(true);
-        }
-        loop {
-            // A completed generation outranks a later break: everyone
-            // arrived while this rank was parked, so its wait succeeded
-            // even if a rank has since died.
-            if s.generation != gen {
-                return Ok(false);
-            }
-            if let Some(b) = &s.broken {
-                return Err(Self::broken_error(b, started.elapsed()));
-            }
-            s = match deadline {
-                None => self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
-                Some(deadline) => {
-                    let elapsed = started.elapsed();
-                    if elapsed >= deadline {
-                        return Err(CommError::new(
-                            CommErrorKind::Timeout,
-                            None,
-                            format!(
-                                "barrier did not complete within the {:.3}s deadline",
-                                deadline.as_secs_f64()
-                            ),
-                        )
-                        .with_elapsed(elapsed));
-                    }
-                    self.cv.wait_timeout(s, deadline - elapsed).unwrap_or_else(|e| e.into_inner()).0
-                }
-            };
-        }
-    }
-
-    /// Mark the barrier permanently broken and wake every waiter.
-    fn break_with(&self, rank: usize, kind: CommErrorKind, why: &str) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if s.broken.is_none() {
-            s.broken = Some((rank, kind, why.to_string()));
-        }
-        drop(s);
-        self.cv.notify_all();
-    }
-}
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
 
 struct WorldShared {
-    barrier: FaultBarrier,
-    /// Bound on blocking receives and barrier waits (`None` = forever).
-    deadline: Option<Duration>,
-    reduce_slots: Vec<Mutex<Vec<f64>>>,
-    reduce_result: Mutex<Vec<f64>>,
     inboxes: Vec<Mailbox>,
     /// World-wide free list of message buffers. Buffers only ever grow,
     /// so after warm-up every message is served without a heap
@@ -174,6 +81,13 @@ pub struct ThreadComm {
     rank: usize,
     size: usize,
     shared: Arc<WorldShared>,
+    /// Collective sequence counter — every rank draws the same tag
+    /// sequence because collectives execute in SPMD program order.
+    coll_seq: AtomicU64,
+    /// Engine scratch (Bruck ring + fold accumulators), reused across
+    /// collectives so steady state stays allocation-free.
+    coll_scratch: Mutex<CollScratch>,
+    counters: CollCounters,
 }
 
 /// Factory for connected [`ThreadComm`] endpoints.
@@ -192,14 +106,19 @@ impl ThreadWorld {
     pub fn connect_with_deadline(size: usize, deadline: Option<Duration>) -> Vec<ThreadComm> {
         assert!(size > 0);
         let shared = Arc::new(WorldShared {
-            barrier: FaultBarrier::new(size),
-            deadline,
-            reduce_slots: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
-            reduce_result: Mutex::new(Vec::new()),
             inboxes: (0..size).map(|_| Mailbox::with_deadline(deadline)).collect(),
             pool: StdMutex::new(Vec::new()),
         });
-        (0..size).map(|rank| ThreadComm { rank, size, shared: Arc::clone(&shared) }).collect()
+        (0..size)
+            .map(|rank| ThreadComm {
+                rank,
+                size,
+                shared: Arc::clone(&shared),
+                coll_seq: AtomicU64::new(0),
+                coll_scratch: Mutex::new(CollScratch::default()),
+                counters: CollCounters::default(),
+            })
+            .collect()
     }
 }
 
@@ -255,6 +174,10 @@ impl ThreadComm {
         while pool.len() < want {
             pool.push(Vec::with_capacity(min_capacity));
         }
+        drop(pool);
+        // Size the collective engine's scratch so an allreduce of up to
+        // `min_capacity` bytes per rank runs without allocating either.
+        self.coll_scratch.lock().prewarm(self.size, min_capacity.div_ceil(8));
     }
 
     #[cfg(test)]
@@ -328,17 +251,8 @@ impl Comm for ThreadComm {
     }
 
     fn allreduce_checked(&self, vals: &mut [f64], op: ReduceOp) -> CommResult<()> {
-        *self.shared.reduce_slots[self.rank].lock() = vals.to_vec();
-        if self.shared.barrier.wait(self.shared.deadline)? {
-            let mut acc = self.shared.reduce_slots[0].lock().clone();
-            for r in 1..self.size {
-                reduce_into(op, &mut acc, &self.shared.reduce_slots[r].lock());
-            }
-            *self.shared.reduce_result.lock() = acc;
-        }
-        self.shared.barrier.wait(self.shared.deadline)?;
-        vals.copy_from_slice(&self.shared.reduce_result.lock());
-        Ok(())
+        let mut scratch = self.coll_scratch.lock();
+        collectives::allreduce(self, &mut scratch, vals, op)
     }
 
     fn barrier(&self) {
@@ -346,7 +260,43 @@ impl Comm for ThreadComm {
     }
 
     fn barrier_checked(&self) -> CommResult<()> {
-        self.shared.barrier.wait(self.shared.deadline).map(|_| ())
+        collectives::barrier(self)
+    }
+
+    fn coll_stats(&self) -> Option<CollStats> {
+        Some(self.counters.snapshot())
+    }
+}
+
+impl collectives::CollEndpoint for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn coll_send(&self, to: usize, tag: u64, bytes: &[u8]) -> CommResult<()> {
+        let mut data = self.shared.pool_take(bytes.len());
+        data.clear();
+        data.extend_from_slice(bytes);
+        self.shared.inboxes[to].push(Message { from: self.rank, tag, data });
+        Ok(())
+    }
+
+    fn coll_recv(&self, from: usize, tag: u64, out: &mut [u8]) -> CommResult<()> {
+        let msg = self.shared.inboxes[self.rank].recv_matching_checked(from, tag)?;
+        self.deliver(msg, out);
+        Ok(())
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        COLLECTIVE_TAG_BIT | self.coll_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn counters(&self) -> &CollCounters {
+        &self.counters
     }
 }
 
@@ -368,7 +318,6 @@ impl Drop for ThreadComm {
                 inbox.fail(self.rank, kind, why.clone());
             }
         }
-        self.shared.barrier.break_with(self.rank, kind, &why);
     }
 }
 

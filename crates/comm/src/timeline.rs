@@ -7,6 +7,7 @@
 //! intervals from real executions of our solver so the overlap can be
 //! inspected (and asserted on in tests).
 
+use crate::collectives::CollStats;
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -96,6 +97,7 @@ pub struct Timeline {
     epoch: Instant,
     events: Mutex<Vec<TimelineEvent>>,
     overlaps: Mutex<Vec<OverlapRecord>>,
+    collectives: Mutex<Option<CollStats>>,
 }
 
 impl Timeline {
@@ -106,6 +108,7 @@ impl Timeline {
             epoch: Instant::now(),
             events: Mutex::new(Vec::new()),
             overlaps: Mutex::new(Vec::new()),
+            collectives: Mutex::new(None),
         }
     }
 
@@ -116,6 +119,7 @@ impl Timeline {
             epoch: Instant::now(),
             events: Mutex::new(Vec::new()),
             overlaps: Mutex::new(Vec::new()),
+            collectives: Mutex::new(None),
         }
     }
 
@@ -171,6 +175,23 @@ impl Timeline {
         } else {
             Some(1.0)
         }
+    }
+
+    /// Record the measured collective traffic of the run this timeline
+    /// traces — typically the [`CollStats`] delta between the start and
+    /// end of a solve (the engine's counters are per-endpoint
+    /// lifetime totals; see `CollStats::since`). Recorded even on a
+    /// disabled timeline: the counters cost nothing to snapshot and the
+    /// root-load assertions need them without paying for event
+    /// recording.
+    pub fn set_collectives(&self, stats: CollStats) {
+        *self.collectives.lock() = Some(stats);
+    }
+
+    /// The collective traffic recorded by [`Timeline::set_collectives`],
+    /// if any.
+    pub fn collective_stats(&self) -> Option<CollStats> {
+        *self.collectives.lock()
     }
 
     /// Snapshot of the recorded events, sorted by start time.

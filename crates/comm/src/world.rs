@@ -15,13 +15,20 @@
 //!   **single-element** vector holding this rank's result — code that
 //!   wants per-rank results must gather them itself (or allreduce, as
 //!   the solver history already does).
+//! * `HPGMXP_COMM=shmem` — [`crate::shmem_world`]: this process is one
+//!   rank of a same-host job (also started by `hpgmxp-launch`, which
+//!   provides `HPGMXP_SHM_ID` alongside rank/size), exchanging frames
+//!   through mmap'd `/dev/shm` ring buffers instead of TCP. Same
+//!   single-element return shape as the socket transport.
 //!
-//! The closure receives a [`WorldComm`], an enum over both concrete
+//! The closure receives a [`WorldComm`], an enum over the concrete
 //! backends, so solver code stays generic over [`Comm`] and never
 //! names a transport.
 
+use crate::collectives::CollStats;
 use crate::comm::{Comm, RecvPost, ReduceOp};
 use crate::error::CommResult;
+use crate::shmem_world::{self, ShmemComm};
 use crate::socket_world::{self, SocketComm};
 use crate::thread_world::{run_threads, ThreadComm};
 
@@ -32,6 +39,9 @@ pub enum Transport {
     Thread,
     /// Process-ranks over localhost TCP, launched by `hpgmxp-launch`.
     Socket,
+    /// Same-host process-ranks over mmap'd `/dev/shm` rings, launched
+    /// by `hpgmxp-launch --comm shmem`.
+    Shmem,
 }
 
 impl Transport {
@@ -40,8 +50,11 @@ impl Transport {
     pub fn from_env() -> Transport {
         match std::env::var("HPGMXP_COMM") {
             Ok(v) if v == "socket" => Transport::Socket,
+            Ok(v) if v == "shmem" => Transport::Shmem,
             Ok(v) if v == "thread" || v.is_empty() => Transport::Thread,
-            Ok(v) => panic!("unknown HPGMXP_COMM={v:?} (expected \"thread\" or \"socket\")"),
+            Ok(v) => {
+                panic!("unknown HPGMXP_COMM={v:?} (expected \"thread\", \"socket\", or \"shmem\")")
+            }
             Err(_) => Transport::Thread,
         }
     }
@@ -51,16 +64,23 @@ impl Transport {
         match self {
             Transport::Thread => "thread",
             Transport::Socket => "socket",
+            Transport::Shmem => "shmem",
         }
+    }
+
+    /// Whether this transport's ranks are separate processes driven by
+    /// `hpgmxp-launch` (one-rank-per-process execution model).
+    pub fn is_process_per_rank(self) -> bool {
+        matches!(self, Transport::Socket | Transport::Shmem)
     }
 }
 
-/// The rank count a socket-launched process must use, if this process
-/// is a socket rank (`HPGMXP_COMM=socket`). Binaries that sweep over
-/// world sizes clamp their sweep to this under the socket transport —
-/// the mesh is fixed at launch.
+/// The rank count a launched process must use, if this process is one
+/// rank of a multi-process world (`HPGMXP_COMM=socket|shmem`).
+/// Binaries that sweep over world sizes clamp their sweep to this
+/// under a process-per-rank transport — the mesh is fixed at launch.
 pub fn socket_world_size() -> Option<usize> {
-    if Transport::from_env() != Transport::Socket {
+    if !Transport::from_env().is_process_per_rank() {
         return None;
     }
     std::env::var("HPGMXP_RANKS").ok().and_then(|v| v.parse().ok())
@@ -72,6 +92,8 @@ pub enum WorldComm {
     Thread(ThreadComm),
     /// Process-rank of a socket mesh.
     Socket(SocketComm),
+    /// Process-rank of a shared-memory mesh.
+    Shmem(ShmemComm),
 }
 
 impl WorldComm {
@@ -80,6 +102,7 @@ impl WorldComm {
         match self {
             WorldComm::Thread(_) => Transport::Thread,
             WorldComm::Socket(_) => Transport::Socket,
+            WorldComm::Shmem(_) => Transport::Shmem,
         }
     }
 
@@ -91,6 +114,7 @@ impl WorldComm {
         match self {
             WorldComm::Thread(c) => c.prewarm_pool(min_capacity),
             WorldComm::Socket(c) => c.prewarm_pool(min_capacity),
+            WorldComm::Shmem(c) => c.prewarm_pool(min_capacity),
         }
     }
 }
@@ -100,6 +124,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.rank(),
             WorldComm::Socket(c) => c.rank(),
+            WorldComm::Shmem(c) => c.rank(),
         }
     }
 
@@ -107,6 +132,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.size(),
             WorldComm::Socket(c) => c.size(),
+            WorldComm::Shmem(c) => c.size(),
         }
     }
 
@@ -114,6 +140,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.send_from(to, tag, bytes),
             WorldComm::Socket(c) => c.send_from(to, tag, bytes),
+            WorldComm::Shmem(c) => c.send_from(to, tag, bytes),
         }
     }
 
@@ -121,6 +148,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.send_from_checked(to, tag, bytes),
             WorldComm::Socket(c) => c.send_from_checked(to, tag, bytes),
+            WorldComm::Shmem(c) => c.send_from_checked(to, tag, bytes),
         }
     }
 
@@ -128,6 +156,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.recv_into(from, tag, out),
             WorldComm::Socket(c) => c.recv_into(from, tag, out),
+            WorldComm::Shmem(c) => c.recv_into(from, tag, out),
         }
     }
 
@@ -135,6 +164,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.recv_into_checked(from, tag, out),
             WorldComm::Socket(c) => c.recv_into_checked(from, tag, out),
+            WorldComm::Shmem(c) => c.recv_into_checked(from, tag, out),
         }
     }
 
@@ -142,6 +172,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.try_recv_into(from, tag, out),
             WorldComm::Socket(c) => c.try_recv_into(from, tag, out),
+            WorldComm::Shmem(c) => c.try_recv_into(from, tag, out),
         }
     }
 
@@ -149,6 +180,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.wait_any(posts),
             WorldComm::Socket(c) => c.wait_any(posts),
+            WorldComm::Shmem(c) => c.wait_any(posts),
         }
     }
 
@@ -159,6 +191,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.wait_any_checked(posts),
             WorldComm::Socket(c) => c.wait_any_checked(posts),
+            WorldComm::Shmem(c) => c.wait_any_checked(posts),
         }
     }
 
@@ -166,6 +199,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.allreduce(vals, op),
             WorldComm::Socket(c) => c.allreduce(vals, op),
+            WorldComm::Shmem(c) => c.allreduce(vals, op),
         }
     }
 
@@ -173,6 +207,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.allreduce_checked(vals, op),
             WorldComm::Socket(c) => c.allreduce_checked(vals, op),
+            WorldComm::Shmem(c) => c.allreduce_checked(vals, op),
         }
     }
 
@@ -180,6 +215,7 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.barrier(),
             WorldComm::Socket(c) => c.barrier(),
+            WorldComm::Shmem(c) => c.barrier(),
         }
     }
 
@@ -187,15 +223,24 @@ impl Comm for WorldComm {
         match self {
             WorldComm::Thread(c) => c.barrier_checked(),
             WorldComm::Socket(c) => c.barrier_checked(),
+            WorldComm::Shmem(c) => c.barrier_checked(),
+        }
+    }
+
+    fn coll_stats(&self) -> Option<CollStats> {
+        match self {
+            WorldComm::Thread(c) => c.coll_stats(),
+            WorldComm::Socket(c) => c.coll_stats(),
+            WorldComm::Shmem(c) => c.coll_stats(),
         }
     }
 }
 
 /// Run `f` as an SPMD job of `size` ranks over the transport selected
-/// by `HPGMXP_COMM` (see the module docs for the two modes and their
-/// return-value shapes). Under the socket transport `size` must match
-/// the launched mesh — a mismatch is a configuration error and panics
-/// with the fix.
+/// by `HPGMXP_COMM` (see the module docs for the modes and their
+/// return-value shapes). Under a process-per-rank transport `size`
+/// must match the launched mesh — a mismatch is a configuration error
+/// and panics with the fix.
 pub fn run_spmd<T, F>(size: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -218,6 +263,19 @@ where
             comm.quiesce();
             vec![result]
         }
+        Transport::Shmem => {
+            let comm = shmem_world::global_from_env().clone();
+            assert_eq!(
+                comm.size(),
+                size,
+                "shmem mesh has {} ranks but this run wants {size} — start it as \
+                 `hpgmxp-launch --comm shmem -n {size} -- ...`",
+                comm.size()
+            );
+            let result = f(WorldComm::Shmem(comm.clone()));
+            comm.quiesce();
+            vec![result]
+        }
     }
 }
 
@@ -225,9 +283,10 @@ where
 mod tests {
     use super::*;
 
-    // Env-driven dispatch is exercised by the socket integration jobs;
-    // in-process tests only pin the default and the names (mutating
-    // HPGMXP_COMM here would race other tests in this binary).
+    // Env-driven dispatch is exercised by the socket/shmem integration
+    // jobs; in-process tests only pin the default and the names
+    // (mutating HPGMXP_COMM here would race other tests in this
+    // binary).
 
     #[test]
     fn thread_is_the_default_transport() {
@@ -241,12 +300,16 @@ mod tests {
     fn transport_names_are_stable() {
         assert_eq!(Transport::Thread.name(), "thread");
         assert_eq!(Transport::Socket.name(), "socket");
+        assert_eq!(Transport::Shmem.name(), "shmem");
+        assert!(!Transport::Thread.is_process_per_rank());
+        assert!(Transport::Socket.is_process_per_rank());
+        assert!(Transport::Shmem.is_process_per_rank());
     }
 
     #[test]
     fn run_spmd_defaults_to_thread_ranks() {
         if std::env::var_os("HPGMXP_COMM").is_some() {
-            return; // running under the socket CI matrix
+            return; // running under the socket/shmem CI matrix
         }
         let results = run_spmd(3, |c| {
             assert_eq!(c.transport(), Transport::Thread);

@@ -14,14 +14,22 @@
 // property at the bottom.
 #![recursion_limit = "512"]
 
+use hpgmxp_comm::socket_world::SocketConfig;
 use hpgmxp_comm::{
-    run_threads_fallible, Comm, CommError, CommErrorKind, CommResult, FaultEvent, FaultKind,
-    FaultPlan, FaultyComm, ReduceOp, ThreadComm,
+    run_threads_fallible, set_algo_override, CollAlgo, Comm, CommError, CommErrorKind, CommResult,
+    FaultEvent, FaultKind, FaultPlan, FaultyComm, ReduceOp, ShmemWorld, ThreadComm,
 };
 use proptest::prelude::*;
+use std::sync::Mutex;
 use std::time::Duration;
 
 const P: usize = 4;
+
+/// Serializes the tests that pin the process-global `HPGMXP_COLL`
+/// override, so concurrently running tests cannot flip each other's
+/// algorithm mid-run. (Every *other* test in this file is
+/// algorithm-agnostic by the determinism contract.)
+static ALGO_LOCK: Mutex<()> = Mutex::new(());
 
 /// A deterministic SPMD workload: `rounds` of (allreduce, ring
 /// send/recv). Returns the final allreduce value so clean runs can be
@@ -161,6 +169,224 @@ fn same_seed_replays_the_same_outcome() {
     let b = classify(run_plan(&plan, 20, Duration::from_millis(300)));
     assert_eq!(a[3], "panic", "the scripted victim dies both times");
     assert_eq!(a, b, "same seed, same scenario, same outcome");
+}
+
+/// A workload of nothing but collectives, so a scripted event at any
+/// exchange index fires *inside* an allreduce or barrier — the
+/// fault-mid-collective cases the engine must surface typed.
+fn collective_workload<C: Comm>(c: &C, rounds: usize) -> CommResult<f64> {
+    let mut acc = 0.0f64;
+    for round in 0..rounds {
+        acc = c.allreduce_scalar_checked(acc + (c.rank() + round) as f64, ReduceOp::Sum)?;
+        c.barrier_checked()?;
+    }
+    Ok(acc)
+}
+
+/// Assert every survivor of a faulted collective run failed typed
+/// (Timeout / PeerClosed / PeerLost) with a non-empty detail, and that
+/// timeouts carry the elapsed wait.
+fn assert_survivors_failed_typed(
+    results: &[std::thread::Result<CommResult<f64>>],
+    victim: usize,
+    deadline: Duration,
+    label: &str,
+) {
+    let mut typed = 0;
+    for (rank, res) in results.iter().enumerate() {
+        if rank == victim {
+            continue;
+        }
+        let err: &CommError = res
+            .as_ref()
+            .unwrap_or_else(|_| panic!("{label}: survivor rank {rank} must not panic"))
+            .as_ref()
+            .expect_err("survivor must fail typed");
+        assert!(
+            matches!(
+                err.kind,
+                CommErrorKind::Timeout | CommErrorKind::PeerClosed | CommErrorKind::PeerLost
+            ),
+            "{label}: rank {rank}: unexpected kind in {err}"
+        );
+        assert!(!err.detail.is_empty(), "{label}: rank {rank}: {err}");
+        // The attribution contract: a typed failure names the peer it
+        // was waiting on or carries how long it waited (timeouts carry
+        // both).
+        assert!(
+            err.peer.is_some() || err.elapsed > Duration::ZERO,
+            "{label}: rank {rank}: unattributed error {err}"
+        );
+        if err.kind == CommErrorKind::Timeout {
+            assert!(err.elapsed >= deadline, "{label}: rank {rank}: {err}");
+        }
+        typed += 1;
+    }
+    assert_eq!(typed, P - 1, "{label}: every survivor reports");
+}
+
+#[test]
+fn crash_inside_an_allreduce_fails_typed_under_both_algorithms() {
+    let _guard = ALGO_LOCK.lock().unwrap();
+    for algo in [CollAlgo::Star, CollAlgo::RecursiveDoubling] {
+        set_algo_override(Some(algo));
+        // Exchange 5 is mid-stream in the pure-collective workload:
+        // rank 1 dies inside its 3rd allreduce (alternating
+        // allreduce/barrier, 0-indexed), under way on every rank.
+        let plan = crash_plan(21, 1, 5);
+        let started = std::time::Instant::now();
+        let results = run_threads_fallible(P, Some(Duration::from_millis(300)), {
+            let plan = plan.clone();
+            move |c| {
+                let c = FaultyComm::new(c, plan.clone());
+                collective_workload(&c, 20)
+            }
+        });
+        set_algo_override(None);
+        assert!(results[1].is_err(), "[{}] rank 1 must have crashed", algo.name());
+        assert_survivors_failed_typed(
+            &results,
+            1,
+            Duration::from_millis(300),
+            &format!("crash/{}", algo.name()),
+        );
+        assert!(started.elapsed() < Duration::from_secs(30), "bounded detection");
+    }
+}
+
+#[test]
+fn hang_inside_an_allreduce_times_out_under_both_algorithms() {
+    let _guard = ALGO_LOCK.lock().unwrap();
+    for algo in [CollAlgo::Star, CollAlgo::RecursiveDoubling] {
+        set_algo_override(Some(algo));
+        let mut plan = FaultPlan::clean(22);
+        plan.hang_millis = Some(1_200);
+        plan.events = Some(vec![FaultEvent { kind: FaultKind::HangRank, rank: 2, at_exchange: 4 }]);
+        let results = run_threads_fallible(P, Some(Duration::from_millis(200)), {
+            let plan = plan.clone();
+            move |c| {
+                let c = FaultyComm::new(c, plan.clone());
+                collective_workload(&c, 20)
+            }
+        });
+        set_algo_override(None);
+        // The hung rank resumes after its stall and then fails typed
+        // itself (its peers have already torn down) — nobody panics
+        // and nobody hangs.
+        let mut timeouts = 0;
+        for (rank, res) in results.iter().enumerate() {
+            let res = res.as_ref().unwrap_or_else(|_| panic!("rank {rank} must not panic"));
+            if rank == 2 {
+                continue;
+            }
+            let err = res.as_ref().expect_err("survivor must fail typed");
+            assert!(
+                matches!(err.kind, CommErrorKind::Timeout | CommErrorKind::PeerClosed),
+                "[{}] rank {rank}: {err}",
+                algo.name()
+            );
+            if err.kind == CommErrorKind::Timeout {
+                assert!(err.elapsed >= Duration::from_millis(200));
+                timeouts += 1;
+            }
+        }
+        assert!(timeouts >= 1, "[{}] a peer timed out on the hung rank", algo.name());
+    }
+}
+
+/// Run `f` on every rank of a P-rank in-process shmem world with a
+/// recv deadline, collecting per-rank outcomes (panics included) like
+/// [`run_threads_fallible`] does for the thread world.
+fn run_shmem_fallible<F>(deadline: Duration, f: F) -> Vec<std::thread::Result<CommResult<f64>>>
+where
+    F: Fn(hpgmxp_comm::ShmemComm) -> CommResult<f64> + Send + Sync + Copy,
+{
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let shm_id = format!(
+        "chaos-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
+    let config = SocketConfig {
+        recv_deadline: Some(deadline),
+        heartbeat: Some(Duration::from_millis(50)),
+        peer_timeout: Some(Duration::from_secs(5)),
+        faults: None,
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..P)
+            .map(|rank| {
+                let shm_id = shm_id.clone();
+                let config = config.clone();
+                s.spawn(move || f(ShmemWorld::connect_with_config(rank, P, &shm_id, config)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    })
+}
+
+#[test]
+fn crash_inside_a_shmem_exchange_fails_typed_under_both_algorithms() {
+    let _guard = ALGO_LOCK.lock().unwrap();
+    for algo in [CollAlgo::Star, CollAlgo::RecursiveDoubling] {
+        set_algo_override(Some(algo));
+        // Rank 3 panics inside its 3rd collective; its Drop marks the
+        // outgoing rings closed, so survivors see PeerClosed (or their
+        // deadline, whichever their blocking wait hits first).
+        let results = run_shmem_fallible(Duration::from_millis(400), |c| {
+            let mut plan = FaultPlan::clean(31);
+            plan.events =
+                Some(vec![FaultEvent { kind: FaultKind::CrashRank, rank: 3, at_exchange: 4 }]);
+            let c = FaultyComm::new(c, plan);
+            collective_workload(&c, 20)
+        });
+        set_algo_override(None);
+        assert!(results[3].is_err(), "[{}] rank 3 must have crashed", algo.name());
+        assert_survivors_failed_typed(
+            &results,
+            3,
+            Duration::from_millis(400),
+            &format!("shmem-crash/{}", algo.name()),
+        );
+    }
+}
+
+#[test]
+fn hang_inside_a_shmem_exchange_times_out_under_both_algorithms() {
+    let _guard = ALGO_LOCK.lock().unwrap();
+    for algo in [CollAlgo::Star, CollAlgo::RecursiveDoubling] {
+        set_algo_override(Some(algo));
+        let results = run_shmem_fallible(Duration::from_millis(250), |c| {
+            let mut plan = FaultPlan::clean(32);
+            plan.hang_millis = Some(1_500);
+            plan.events =
+                Some(vec![FaultEvent { kind: FaultKind::HangRank, rank: 1, at_exchange: 6 }]);
+            let c = FaultyComm::new(c, plan);
+            collective_workload(&c, 20)
+        });
+        set_algo_override(None);
+        // A hung shmem rank still heartbeats (its emitter thread is
+        // alive), so only the recv deadline catches it: at least one
+        // survivor reports Timeout with the waited duration attached.
+        let mut timeouts = 0;
+        for (rank, res) in results.iter().enumerate() {
+            let res = res.as_ref().unwrap_or_else(|_| panic!("rank {rank} must not panic"));
+            if rank == 1 {
+                continue;
+            }
+            let err = res.as_ref().expect_err("survivor must fail typed");
+            assert!(
+                matches!(err.kind, CommErrorKind::Timeout | CommErrorKind::PeerClosed),
+                "[{}] rank {rank}: {err}",
+                algo.name()
+            );
+            if err.kind == CommErrorKind::Timeout {
+                assert!(err.elapsed >= Duration::from_millis(250), "{err}");
+                timeouts += 1;
+            }
+        }
+        assert!(timeouts >= 1, "[{}] a peer timed out on the hung rank", algo.name());
+    }
 }
 
 /// The body of the property below: any single scripted crash, at any

@@ -119,6 +119,11 @@ pub fn gmres_ir_solve_prec_checked<SLo: Scalar, C: Comm>(
     inner_prec: PrecCtx,
     ckpt: Option<&CheckpointSpec>,
 ) -> CommResult<(Vec<f64>, SolveStats)> {
+    // Snapshot the transport's collective counters so the solve's own
+    // traffic (allreduce rounds, per-rank receive counts) lands in the
+    // timeline as a delta, not a process-lifetime total.
+    let coll_at_start = comm.coll_stats();
+
     // Outer residual: always f64 with natively-stored (f64) matrices.
     let ctx = OpCtx::new(comm, opts.variant, timeline);
     let ctx_inner = OpCtx::with_prec(comm, opts.variant, timeline, inner_prec);
@@ -220,6 +225,10 @@ pub fn gmres_ir_solve_prec_checked<SLo: Scalar, C: Comm>(
         }
     }
 
+    if let (Some(start), Some(end)) = (coll_at_start, comm.coll_stats()) {
+        timeline.set_collectives(end.since(&start));
+    }
+
     let solution = x[..n].to_vec();
     Ok((
         solution,
@@ -310,6 +319,46 @@ mod tests {
         for (conv, relres, err) in results {
             assert!(conv, "relres {}", relres);
             assert!(err < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rank0_allreduce_receive_load_drops_to_log_p() {
+        // The headline of the collective engine: the same solve, the
+        // same results, but rank 0 stops being the hot spot. Under the
+        // star algorithm the root receives P-1 messages per allreduce;
+        // under recursive doubling every rank receives ceil(log2 P).
+        use hpgmxp_comm::{rd_rounds, run_threads, set_algo_override, CollAlgo};
+        let procs = ProcGrid::new(2, 2, 1);
+        let run = |algo: CollAlgo| {
+            set_algo_override(Some(algo));
+            let stats = run_threads(4, |c| {
+                let prob = assemble(&spec(procs, 8, 2), c.rank());
+                let tl = Timeline::disabled();
+                let opts = GmresOptions { max_iters: 300, ..Default::default() };
+                let (_, st) = gmres_ir_solve(&c, &prob, &opts, &tl);
+                assert!(st.converged);
+                tl.collective_stats().expect("the solver records its collective traffic")
+            });
+            set_algo_override(None);
+            stats
+        };
+        let star = run(CollAlgo::Star);
+        let rd = run(CollAlgo::RecursiveDoubling);
+
+        // Bit-identical algorithms take identical iteration paths, so
+        // the operation counts agree; only the traffic shape differs.
+        let m = star[0].allreduces;
+        assert!(m > 0);
+        assert_eq!(rd[0].allreduces, m);
+        assert_eq!(star[0].recvs, m * 3, "star root receives P-1 messages per allreduce");
+        assert_eq!(star[1].recvs, m, "star leaves receive only the broadcast");
+        for s in &rd {
+            assert_eq!(
+                s.recvs,
+                m * u64::from(rd_rounds(4)),
+                "recursive doubling spreads ceil(log2 P) receives evenly"
+            );
         }
     }
 

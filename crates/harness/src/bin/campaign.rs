@@ -17,12 +17,13 @@
 //! (the measured cells are SPMD), but only rank 0 prints and writes
 //! the report — the others produce identical cells and stay quiet.
 //!
-//! The `compare` subcommand pins transport-independence: it diffs the
-//! *deterministic* fields of two reports (solver trajectories, byte
-//! counters, statuses — everything except wall-clock-derived rates and
-//! the transport stamps themselves) and exits non-zero on any drift.
-//! CI runs it over a ThreadWorld report and a SocketWorld report of
-//! the same campaign.
+//! The `compare` subcommand pins transport- and collective-algorithm
+//! independence: it diffs the *deterministic* fields of two reports
+//! (solver trajectories, byte counters, statuses — everything except
+//! wall-clock-derived rates and the transport/collective stamps
+//! themselves) and exits non-zero on any drift, printing each report's
+//! `HPGMXP_COMM`/`HPGMXP_COLL` configuration. CI runs it across
+//! thread/socket/shmem reports of the same campaign.
 
 use hpgmxp_harness::{run_campaign, CampaignReport, CampaignSpec, CellReport};
 use std::process::ExitCode;
@@ -33,10 +34,11 @@ fn usage() -> String {
         .to_string()
 }
 
-/// Is this process a non-zero rank of a socket job? (Rank 0 — and the
-/// thread transport — own the terminal and the report file.)
+/// Is this process a non-zero rank of a multi-process (socket or
+/// shmem) job? (Rank 0 — and the thread transport — own the terminal
+/// and the report file.)
 fn quiet_socket_rank() -> bool {
-    hpgmxp_comm::Transport::from_env() == hpgmxp_comm::Transport::Socket
+    hpgmxp_comm::Transport::from_env().is_process_per_rank()
         && std::env::var("HPGMXP_RANK").ok().and_then(|v| v.parse::<usize>().ok()) != Some(0)
 }
 
@@ -102,11 +104,16 @@ fn compare(a_path: &str, b_path: &str) -> Result<(), String> {
         }
     }
     println!(
-        "campaign compare: `{}` — {} cells reconcile identically ({} vs {})",
+        "campaign compare: `{}` — {} cells reconcile identically \
+         ({} [comm {}, coll {}] vs {} [comm {}, coll {}])",
         a.campaign,
         a.cells.len(),
         transports.0.join("+"),
+        a.host.transport,
+        a.host.coll_algo,
         transports.1.join("+"),
+        b.host.transport,
+        b.host.coll_algo,
     );
     Ok(())
 }

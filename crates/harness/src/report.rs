@@ -22,8 +22,10 @@ use std::fmt::Write as _;
 /// socket backend made the measuring transport a real variable; v3
 /// added the host SIMD fields (`simd_features`/`simd_level`/
 /// `simd_override`) when the motif kernels grew a runtime-dispatched
-/// vector path.
-pub const REPORT_SCHEMA: u32 = 3;
+/// vector path; v4 added the host `transport` and `coll_algo` fields
+/// when the collective engine made the algorithm (`HPGMXP_COLL`) a
+/// second measurement variable alongside the transport.
+pub const REPORT_SCHEMA: u32 = 4;
 
 /// Whether a cell earned a performance rating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,6 +60,12 @@ pub struct HostMeta {
     pub simd_level: String,
     /// `HPGMXP_SIMD` override in effect, if any.
     pub simd_override: Option<String>,
+    /// Transport the run's measured cells communicate over
+    /// (`HPGMXP_COMM`: `"thread"`, `"socket"`, or `"shmem"`).
+    pub transport: String,
+    /// Collective algorithm in force (`HPGMXP_COLL`: `"star"` or
+    /// `"rd"`). Results are bit-identical either way; rates are not.
+    pub coll_algo: String,
 }
 
 impl HostMeta {
@@ -77,6 +85,8 @@ impl HostMeta {
             simd_features: hpgmxp_sparse::simd::features().summary(),
             simd_level: hpgmxp_sparse::simd::level().name().to_string(),
             simd_override: hpgmxp_sparse::simd::env_override().map(str::to_string),
+            transport: hpgmxp_comm::Transport::from_env().name().to_string(),
+            coll_algo: hpgmxp_comm::collectives::algo().name().to_string(),
         }
     }
 }
@@ -96,8 +106,9 @@ pub struct CellReport {
     /// World size: modeled `nodes × devices_per_node`, or the measured
     /// rank count.
     pub ranks: usize,
-    /// Transport the cell's measurement ran over: `"thread"` or
-    /// `"socket"` for measured cells, `"model"` for pure projections.
+    /// Transport the cell's measurement ran over: `"thread"`,
+    /// `"socket"`, or `"shmem"` for measured cells, `"model"` for pure
+    /// projections.
     pub transport: String,
     /// Rating status (see [`CellStatus`]).
     pub status: CellStatus,
@@ -232,7 +243,8 @@ impl CampaignReport {
         let _ = writeln!(s, "   {}", self.description);
         let _ = writeln!(
             s,
-            "   host: {} cores, {} rayon threads, {}/{}, simd {} (features {}{})",
+            "   host: {} cores, {} rayon threads, {}/{}, simd {} (features {}{}), \
+             comm {}, coll {}",
             self.host.logical_cores,
             self.host.rayon_threads,
             self.host.os,
@@ -243,6 +255,8 @@ impl CampaignReport {
                 .simd_override
                 .as_deref()
                 .map_or(String::new(), |o| format!(", HPGMXP_SIMD={o}")),
+            self.host.transport,
+            self.host.coll_algo,
         );
         let mut seen: Vec<&str> = Vec::new();
         for cell in &self.cells {
@@ -327,6 +341,8 @@ mod tests {
                 simd_features: "avx2+fma+f16c".into(),
                 simd_level: "avx2".into(),
                 simd_override: None,
+                transport: "thread".into(),
+                coll_algo: "rd".into(),
             },
             cells: vec![rated, unrated],
         }
@@ -366,5 +382,7 @@ mod tests {
         assert!(!h.os.is_empty());
         assert!(!h.simd_features.is_empty());
         assert!(h.simd_level == "avx2" || h.simd_level == "scalar");
+        assert!(["thread", "socket", "shmem"].contains(&h.transport.as_str()));
+        assert!(h.coll_algo == "star" || h.coll_algo == "rd");
     }
 }

@@ -25,9 +25,24 @@ pub const ROW_BLOCK: usize = 256;
 /// the gathered `x` entries in the row-blocked traversal (ROADMAP "ELL
 /// SpMV tuning, part 2"). The column indices of a slab segment are
 /// read sequentially, so the gather targets are known this many
-/// iterations early; 16 rows ≈ two cache lines of indices of latency
-/// cover without flooding the prefetch queue.
-const PREFETCH_AHEAD: usize = 16;
+/// iterations early; the default of 16 rows ≈ two cache lines of
+/// indices of latency cover without flooding the prefetch queue.
+///
+/// Tunable per host via `HPGMXP_PREFETCH` (0 disables the prefetch
+/// entirely; `scripts/sweep_prefetch.sh` sweeps the distance on this
+/// box). Read once and cached — the distance is a pure hint and never
+/// changes results, so a mid-process change would only confuse a
+/// sweep.
+pub fn prefetch_ahead() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| match std::env::var("HPGMXP_PREFETCH") {
+        Ok(v) if v.is_empty() => 16,
+        Ok(v) => {
+            v.trim().parse().unwrap_or_else(|_| panic!("HPGMXP_PREFETCH={v:?} is not a row count"))
+        }
+        Err(_) => 16,
+    })
+}
 
 /// Hint the CPU to pull `slice[idx]` toward L1. No-op (after the
 /// bounds check) on architectures without a stable prefetch intrinsic;
@@ -231,13 +246,14 @@ impl<S: Scalar> EllMatrix<S> {
     /// Compute rows `[row0, row0 + yb.len())` into `yb`, slab by slab.
     /// Accumulation order per row is ascending `k`, identical to every
     /// other SpMV variant in this type. While a slab segment streams,
-    /// the gather targets [`PREFETCH_AHEAD`] rows ahead are prefetched
+    /// the gather targets [`prefetch_ahead`] rows ahead are prefetched
     /// — the indices are read sequentially, so the upcoming `x`
     /// addresses are known long before they are needed.
     #[inline]
     fn spmv_block<Acc: Scalar>(&self, row0: usize, x: &[Acc], yb: &mut [Acc]) {
         let n = self.nrows;
         let len = yb.len();
+        let pf = prefetch_ahead();
         for yi in yb.iter_mut() {
             *yi = Acc::ZERO;
         }
@@ -249,8 +265,8 @@ impl<S: Scalar> EllMatrix<S> {
                 continue;
             }
             for i in 0..len {
-                if i + PREFETCH_AHEAD < len {
-                    prefetch_read(x, cs[i + PREFETCH_AHEAD] as usize);
+                if pf > 0 && i + pf < len {
+                    prefetch_read(x, cs[i + pf] as usize);
                 }
                 yb[i] = Acc::from_scalar(vs[i]).mul_add(x[cs[i] as usize], yb[i]);
             }

@@ -41,9 +41,14 @@ use core::arch::x86_64::*;
 /// room for `_MM_FROUND_NO_EXC`; conversion never traps here anyway.)
 const ROUND_NE: i32 = _MM_FROUND_TO_NEAREST_INT;
 
-/// Gather-target prefetch lookahead, matching the scalar ELL traversal
-/// (`ell.rs` `PREFETCH_AHEAD`).
-const PF: usize = 16;
+/// Gather-target prefetch lookahead, matching the scalar ELL
+/// traversal: the cached `HPGMXP_PREFETCH` distance (default 16, 0
+/// disables). Hoisted to a local at each kernel's entry so the hot
+/// loop never touches the `OnceLock`.
+#[inline]
+fn pf_dist() -> usize {
+    crate::ell::prefetch_ahead()
+}
 
 // ---------------------------------------------------------------------------
 // Scalar widening helpers for loop tails (exact; same arithmetic as
@@ -546,10 +551,11 @@ macro_rules! ell_slab_into_f64 {
             let vp = vs.as_ptr();
             let cp = cs.as_ptr();
             let yp = yb.as_mut_ptr();
+            let pf = pf_dist();
             let mut i = 0usize;
             while i + 4 <= len {
-                if i + PF + 4 <= len {
-                    prefetch_gather_targets(xp as *const u8, cp, i + PF, 8, 4);
+                if pf > 0 && i + pf + 4 <= len {
+                    prefetch_gather_targets(xp as *const u8, cp, i + pf, 8, 4);
                 }
                 let idx = _mm_loadu_si128(cp.add(i) as *const __m128i);
                 let xv = _mm256_i32gather_pd::<8>(xp, idx);
@@ -580,10 +586,11 @@ macro_rules! ell_slab_into_f32 {
             let vp = vs.as_ptr();
             let cp = cs.as_ptr();
             let yp = yb.as_mut_ptr();
+            let pf = pf_dist();
             let mut i = 0usize;
             while i + 8 <= len {
-                if i + PF + 8 <= len {
-                    prefetch_gather_targets(xp as *const u8, cp, i + PF, 4, 8);
+                if pf > 0 && i + pf + 8 <= len {
+                    prefetch_gather_targets(xp as *const u8, cp, i + pf, 4, 8);
                 }
                 let idx = _mm256_loadu_si256(cp.add(i) as *const __m256i);
                 let xv = _mm256_i32gather_ps::<4>(xp, idx);

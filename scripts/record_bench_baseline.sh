@@ -15,6 +15,11 @@ RAYON_NUM_THREADS=1 CRITERION_JSON="$tmp1" cargo bench -p hpgmxp-bench --bench m
 echo "== solvers bench, RAYON_NUM_THREADS=1 =="
 RAYON_NUM_THREADS=1 CRITERION_JSON="$tmp1" cargo bench -p hpgmxp-bench --bench solvers
 
+echo "== collectives bench, RAYON_NUM_THREADS=1 =="
+# Rank parallelism is encoded in the bench label (P2/P4), not the
+# rayon pool; one single-threaded recording covers the matrix.
+RAYON_NUM_THREADS=1 CRITERION_JSON="$tmp1" cargo bench -p hpgmxp-bench --bench collectives
+
 echo "== motif bench, RAYON_NUM_THREADS=4 =="
 RAYON_NUM_THREADS=4 CRITERION_JSON="$tmp4" cargo bench -p hpgmxp-bench --bench motifs
 

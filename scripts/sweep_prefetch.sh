@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sweep the ELL software-prefetch distance (HPGMXP_PREFETCH) over the
+# SpMV motif benches on this machine and print a comparison table.
+# The distance is a pure performance hint — results are bit-identical
+# at every setting — so the sweep only reads the timing column.
+#
+#   scripts/sweep_prefetch.sh [distances...]     # default: 0 4 8 16 32 64
+#
+# Pick the fastest distance for this box and export HPGMXP_PREFETCH in
+# the benchmarking environment (the default of 16 was tuned on the
+# original recording host; ROADMAP "ELL SpMV tuning, part 2").
+set -euo pipefail
+
+distances=("${@:-0 4 8 16 32 64}")
+# Re-split the default string if no args were given.
+if [ $# -eq 0 ]; then
+    # shellcheck disable=SC2206
+    distances=(0 4 8 16 32 64)
+fi
+
+out_dir=$(mktemp -d /tmp/hpgmxp-prefetch-sweep.XXXXXX)
+trap 'rm -rf "$out_dir"' EXIT
+
+for d in "${distances[@]}"; do
+    echo "== HPGMXP_PREFETCH=$d =="
+    HPGMXP_PREFETCH="$d" RAYON_NUM_THREADS=1 \
+        CRITERION_JSON="$out_dir/pf$d.jsonl" \
+        cargo bench -p hpgmxp-bench --bench motifs
+done
+
+echo
+echo "bench / distance:$(printf ' %8s' "${distances[@]}")"
+# Benches present in the first run index the table rows.
+first="$out_dir/pf${distances[0]}.jsonl"
+while IFS= read -r bench; do
+    row=$(printf '%-44s' "$bench")
+    for d in "${distances[@]}"; do
+        med=$(grep -F "\"bench\":\"$bench\"" "$out_dir/pf$d.jsonl" \
+              | head -1 \
+              | sed -n 's/.*"median_secs":\([0-9.eE+-]*\).*/\1/p')
+        row+=$(printf ' %8s' "$(awk -v m="$med" 'BEGIN { printf "%.1f", m * 1e6 }')")
+    done
+    echo "$row  µs"
+done < <(sed -n 's/.*"bench":"\([^"]*\)".*/\1/p' "$first" | grep -i spmv)

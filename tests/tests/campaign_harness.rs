@@ -130,14 +130,14 @@ fn breakdown_cells_are_unrated_and_render_nc() {
     assert!(row.contains("n/c"), "unrated row must print n/c: {row}");
 }
 
-/// The golden file pinning report schema v3 (v2 + the host SIMD
-/// fields): a fully-populated report with fixed values must
-/// serialize to the exact committed JSON. Any field
+/// The golden file pinning report schema v4 (v3 + the host
+/// `transport`/`coll_algo` fields): a fully-populated report with
+/// fixed values must serialize to the exact committed JSON. Any field
 /// addition/rename/reorder fails here until `REPORT_SCHEMA` is
 /// bumped and the golden regenerated (set `UPDATE_GOLDEN=1` to
 /// rewrite, then commit the diff deliberately).
 #[test]
-fn report_schema_v3_matches_golden_file() {
+fn report_schema_v4_matches_golden_file() {
     let mut rated = CellReport::new("weak-scaling", SeriesMode::Hybrid, "f32s-f64c", 2);
     rated.transport = "thread".into();
     rated.gflops_per_rank = Some(0.5);
@@ -176,11 +176,13 @@ fn report_schema_v3_matches_golden_file() {
             simd_features: "avx2+fma+f16c".into(),
             simd_level: "avx2".into(),
             simd_override: None,
+            transport: "shmem".into(),
+            coll_algo: "rd".into(),
         },
         cells: vec![rated, modeled, unrated],
     };
     let json = report.to_json();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/campaign_report_v3.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/campaign_report_v4.json");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(path, &json).unwrap();
     }
