@@ -91,6 +91,19 @@ fn main() {
     let socket_rank = std::env::var("HPGMXP_RANK").ok().and_then(|v| v.parse::<usize>().ok());
     let print_modeled = transport == Transport::Thread || socket_rank == Some(0);
 
+    if print_modeled {
+        // The armed execution stack, so a pasted trace is attributable:
+        // numbers measured over different transports, collective
+        // algorithms, or SIMD levels are not comparable.
+        println!(
+            "[fig9] transport {}, coll {}, simd {} (features {})\n",
+            transport.name(),
+            hpgmxp_comm::collectives::algo().name(),
+            hpgmxp_sparse::simd::level().name(),
+            hpgmxp_sparse::simd::features().summary()
+        );
+    }
+
     let machine = MachineModel::mi250x_gcd();
     let net = NetworkModel::frontier_slingshot();
     // 8 nodes = 64 GCDs, the paper's trace configuration.

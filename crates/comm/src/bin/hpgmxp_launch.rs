@@ -3,7 +3,7 @@
 //! Spawns N copies of a command as the rank processes of one job:
 //!
 //! ```text
-//! hpgmxp-launch -n 4 [--comm socket|shmem] [--timeout-secs 300] [--port P] [--retries N] [--restore] -- cargo run --bin fig9_trace
+//! hpgmxp-launch -n 4 [--comm socket|shmem] [--timeout-secs 300] [--port P] [--retries N] [--restore] [--trace-dir DIR] -- cargo run --bin fig9_trace
 //! ```
 //!
 //! Each child gets `HPGMXP_RANK` (0..N), `HPGMXP_RANKS`, and
@@ -11,9 +11,13 @@
 //! plus the transport's rendezvous handle: `HPGMXP_PORT` (`--port`, or
 //! a freshly probed free one) for the TCP mesh, or a launch-unique
 //! `HPGMXP_SHM_ID` for the `/dev/shm` ring world — everything
-//! `run_spmd` needs to join the mesh. Child output is forwarded
-//! line-by-line with a `[rank i]` prefix and the last lines of every
-//! rank are kept for the failure report.
+//! `run_spmd` needs to join the mesh. `--trace-dir DIR` arms per-rank
+//! span tracing (`HPGMXP_TRACE_DIR`, and `HPGMXP_TRACE=spans` unless
+//! the environment already chose a mode): every rank leaves a
+//! `trace-rank<R>.bin` in DIR for `hpgmxp-trace` to merge. Child
+//! output is forwarded line-by-line with `[  123ms] [rank i]` prefixes
+//! (milliseconds since launch) and the last lines of every rank are
+//! kept for the failure report.
 //!
 //! Supervision, in the spirit of `mpirun`:
 //! * a rank exiting non-zero kills the whole job: every other rank is

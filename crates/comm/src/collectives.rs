@@ -38,6 +38,7 @@
 
 use crate::comm::{reduce_into, ReduceOp};
 use crate::error::CommResult;
+use hpgmxp_trace::{counter, Lane};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
@@ -277,9 +278,12 @@ pub(crate) fn allreduce_with<E: CollEndpoint + ?Sized>(
     let (p, r) = (ep.size(), ep.rank());
     let c = ep.counters();
     c.allreduces.fetch_add(1, Ordering::SeqCst);
+    counter!("coll.allreduces").inc();
     if p == 1 {
         return Ok(());
     }
+    let mut sp = hpgmxp_trace::span("allreduce", Lane::Coll);
+    sp.set_arg(vals.len() as u64);
     let tag = ep.next_coll_tag();
     let b = vals.len() * 8;
     match algo {
@@ -355,6 +359,7 @@ fn bruck_allgather<E: CollEndpoint + ?Sized>(
     let c = ep.counters();
     let mut k = 1usize;
     while k < p {
+        let _round = hpgmxp_trace::span("coll round", Lane::Coll);
         let cnt = k.min(p - k);
         let to = (r + p - k) % p;
         let from = (r + k) % p;
@@ -383,9 +388,11 @@ pub(crate) fn barrier_with<E: CollEndpoint + ?Sized>(ep: &E, algo: CollAlgo) -> 
     let (p, r) = (ep.size(), ep.rank());
     let c = ep.counters();
     c.barriers.fetch_add(1, Ordering::SeqCst);
+    counter!("coll.barriers").inc();
     if p == 1 {
         return Ok(());
     }
+    let _sp = hpgmxp_trace::span("barrier", Lane::Coll);
     let tag = ep.next_coll_tag();
     match algo {
         CollAlgo::Star => {
@@ -408,6 +415,7 @@ pub(crate) fn barrier_with<E: CollEndpoint + ?Sized>(ep: &E, algo: CollAlgo) -> 
         CollAlgo::RecursiveDoubling => {
             let mut k = 1usize;
             while k < p {
+                let _round = hpgmxp_trace::span("coll round", Lane::Coll);
                 ep.coll_send((r + k) % p, tag, &[])?;
                 ep.coll_recv((r + p - k) % p, tag, &mut [])?;
                 c.recvs.fetch_add(1, Ordering::SeqCst);
@@ -443,6 +451,8 @@ pub(crate) fn allgather_u64_with<E: CollEndpoint + ?Sized>(
     let (p, r) = (ep.size(), ep.rank());
     let c = ep.counters();
     c.allgathers.fetch_add(1, Ordering::SeqCst);
+    counter!("coll.allgathers").inc();
+    let _sp = hpgmxp_trace::span("allgather", Lane::Coll);
     let n = row.len();
     out.clear();
     out.resize(p * n, 0);

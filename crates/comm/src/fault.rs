@@ -283,7 +283,13 @@ impl<C: Comm> FaultyComm<C> {
                     self.inner.rank(),
                     self.plan.seed
                 );
+                hpgmxp_trace::instant("fault crash", hpgmxp_trace::Lane::Fault, n);
+                // The trace flush guards sit above this frame and only
+                // run on unwind, so dump the ring before a hard exit.
                 if self.process_exit {
+                    if let Some(Err(e)) = hpgmxp_trace::flush_global(self.inner.rank() as u32) {
+                        eprintln!("[trace] flush before fault exit failed: {e}");
+                    }
                     std::process::exit(7);
                 }
                 panic!("rank {} crashed by fault plan at exchange {n}", self.inner.rank());
@@ -295,6 +301,7 @@ impl<C: Comm> FaultyComm<C> {
                     self.plan.hang_duration(),
                     self.plan.seed
                 );
+                hpgmxp_trace::instant("fault hang", hpgmxp_trace::Lane::Fault, n);
                 std::thread::sleep(self.plan.hang_duration());
             }
         }

@@ -194,7 +194,7 @@ impl HaloExchange {
             .expect("halo begin() while a previous exchange on this level is still active");
         // Untraced exchanges (the production hot path) skip every clock
         // read; the timing bookkeeping exists only for overlap records.
-        let traced = tl.is_enabled();
+        let traced = tl.is_traced();
         let mut pack_secs = 0.0;
         let mut bytes_sent = 0usize;
         for (nbr, buf) in self.plan.neighbors.iter().zip(bufs.send.iter_mut()) {
@@ -332,7 +332,7 @@ impl<S: Scalar> ActiveExchange<'_, S> {
     ) -> CommResult<()> {
         let hx = self.hx;
         assert!(x.len() >= hx.n_local + hx.num_ghosts());
-        let traced = tl.is_enabled();
+        let traced = tl.is_traced();
         let window = if traced { tl.now() - self.begin_end } else { 0.0 };
 
         let nbrs = &hx.plan.neighbors;

@@ -6,7 +6,9 @@
 //! `HPGMXP_COMM=socket|shmem`, `HPGMXP_RANK`, `HPGMXP_RANKS`, plus
 //! `HPGMXP_PORT` for the socket rendezvous or a fresh `HPGMXP_SHM_ID`
 //! per attempt for the `/dev/shm` world), forwards their output with
-//! `[rank i]` prefixes, and supervises in the spirit of `mpirun`:
+//! `[  123ms] [rank i]` prefixes (milliseconds since launch, so
+//! cross-rank interleavings are orderable), and supervises in the
+//! spirit of `mpirun`:
 //!
 //! * a rank exiting non-zero kills the whole job — `rank R died`
 //!   diagnostics plus per-rank output tails go to stderr, and the job
@@ -51,6 +53,11 @@ pub struct LaunchConfig {
     pub retries: usize,
     /// Set `HPGMXP_RESTORE=1` from the first attempt.
     pub restore: bool,
+    /// Arm per-rank tracing in every child: sets `HPGMXP_TRACE_DIR`
+    /// to this directory (and `HPGMXP_TRACE=spans` unless the
+    /// launcher's own environment already picked a mode), so each rank
+    /// flushes a `trace-rank<R>.bin` for `hpgmxp-trace` to merge.
+    pub trace_dir: Option<String>,
     /// Extra environment for every child.
     pub env: Vec<(String, String)>,
     /// The command and its arguments.
@@ -68,6 +75,7 @@ impl LaunchConfig {
             comm: "socket".to_string(),
             retries: 0,
             restore: false,
+            trace_dir: None,
             env: Vec::new(),
             cmd,
         }
@@ -77,8 +85,8 @@ impl LaunchConfig {
 /// The usage line (kept in one place so the binary and the parser
 /// error paths print the same text).
 pub const USAGE: &str = "usage: hpgmxp-launch -n <ranks> [--comm socket|shmem] \
-                         [--timeout-secs T] [--port P] [--retries N] [--restore] -- \
-                         <command> [args...]";
+                         [--timeout-secs T] [--port P] [--retries N] [--restore] \
+                         [--trace-dir DIR] -- <command> [args...]";
 
 /// Parse CLI arguments (everything after the program name) into a
 /// [`LaunchConfig`]. Errors are specific — they name the flag and the
@@ -99,6 +107,7 @@ pub fn parse_args(args: &[String]) -> Result<LaunchConfig, String> {
     let mut comm = "socket".to_string();
     let mut retries = 0usize;
     let mut restore = false;
+    let mut trace_dir: Option<String> = None;
     let mut cmd: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -139,6 +148,9 @@ pub fn parse_args(args: &[String]) -> Result<LaunchConfig, String> {
                     .map_err(|_| format!("--retries expects a count, got {v:?}"))?;
             }
             "--restore" => restore = true,
+            "--trace-dir" => {
+                trace_dir = Some(value(&mut it, arg, "a directory path")?.to_string());
+            }
             "--" => {
                 cmd = it.by_ref().cloned().collect();
                 break;
@@ -150,7 +162,17 @@ pub fn parse_args(args: &[String]) -> Result<LaunchConfig, String> {
     if cmd.is_empty() {
         return Err("missing command: everything after `--` is the rank command".into());
     }
-    Ok(LaunchConfig { ranks, timeout, port, comm, retries, restore, env: Vec::new(), cmd })
+    Ok(LaunchConfig {
+        ranks,
+        timeout,
+        port,
+        comm,
+        retries,
+        restore,
+        trace_dir,
+        env: Vec::new(),
+        cmd,
+    })
 }
 
 /// Probe a free rendezvous port by binding ephemeral and releasing it.
@@ -197,6 +219,10 @@ fn fresh_shm_id() -> String {
 }
 
 fn run_once(config: &LaunchConfig, restore: bool) -> i32 {
+    // Anchor the output-timestamp epoch at spawn time, not at the
+    // first forwarded line — a child that is silent for its whole
+    // startup should still print a large first offset.
+    let _ = launch_millis();
     let ranks = config.ranks;
     let port = config.port.unwrap_or_else(free_port);
     let shm_id = fresh_shm_id();
@@ -218,6 +244,14 @@ fn run_once(config: &LaunchConfig, restore: bool) -> i32 {
         }
         if restore {
             c.env("HPGMXP_RESTORE", "1");
+        }
+        if let Some(dir) = &config.trace_dir {
+            c.env("HPGMXP_TRACE_DIR", dir);
+            // Arm full span tracing unless the caller already chose a
+            // mode for the children to inherit.
+            if std::env::var_os("HPGMXP_TRACE").is_none() {
+                c.env("HPGMXP_TRACE", "spans");
+            }
         }
         for (k, v) in &config.env {
             c.env(k, v);
@@ -314,8 +348,17 @@ fn print_tails(tails: &[Arc<Mutex<VecDeque<String>>>]) {
     }
 }
 
-/// Forward one child stream line-by-line with a rank prefix, keeping a
-/// bounded tail for the failure report.
+/// Milliseconds since this launcher process started — the timestamp
+/// prefixed to every forwarded rank line, so interleaved output from
+/// different ranks can be ordered when reading a log.
+fn launch_millis() -> u64 {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+/// Forward one child stream line-by-line with launch-relative
+/// timestamp and rank prefixes, keeping a bounded tail for the failure
+/// report.
 fn pump(
     rank: usize,
     stream: impl Read + Send + 'static,
@@ -325,10 +368,11 @@ fn pump(
     std::thread::spawn(move || {
         for line in BufReader::new(stream).lines() {
             let Ok(line) = line else { break };
+            let ms = launch_millis();
             if to_stderr {
-                eprintln!("[rank {rank}] {line}");
+                eprintln!("[{ms:>6}ms] [rank {rank}] {line}");
             } else {
-                println!("[rank {rank}] {line}");
+                println!("[{ms:>6}ms] [rank {rank}] {line}");
             }
             let mut t = tail.lock().unwrap_or_else(|e| e.into_inner());
             if t.len() == TAIL_LINES {
@@ -371,6 +415,17 @@ mod tests {
         assert_eq!(cfg.retries, 2);
         assert!(cfg.restore);
         assert_eq!(cfg.cmd, vec!["my-app".to_string(), "--flag".to_string()]);
+    }
+
+    #[test]
+    fn parses_trace_dir() {
+        let cfg =
+            parse_args(&argv(&["-n", "2", "--trace-dir", "traces/run1", "--", "app"])).unwrap();
+        assert_eq!(cfg.trace_dir.as_deref(), Some("traces/run1"));
+        let cfg = parse_args(&argv(&["-n", "2", "--", "app"])).unwrap();
+        assert_eq!(cfg.trace_dir, None);
+        let err = parse_args(&argv(&["-n", "2", "--trace-dir"])).unwrap_err();
+        assert!(err.contains("--trace-dir"), "{err}");
     }
 
     #[test]

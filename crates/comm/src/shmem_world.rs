@@ -60,6 +60,7 @@ use crate::fault::{FaultKind, SplitMix64};
 use crate::frame::{read_frame, stage_frame, HEADER_LEN};
 use crate::mailbox::{Mailbox, Message};
 use crate::socket_world::{SocketConfig, COLLECTIVE_TAG_BIT, HEARTBEAT_TAG};
+use hpgmxp_trace::{counter, histogram};
 use std::fs::{File, OpenOptions};
 use std::io::Read;
 use std::os::unix::io::AsRawFd;
@@ -624,6 +625,8 @@ fn reader_loop(shared: Arc<ShmemShared>, peer: usize, mut consumer: RingConsumer
         match read_frame(&mut consumer, |len| pool_take(&shared.pools[peer], len)) {
             Ok(Some((header, data))) => {
                 debug_assert_eq!(header.from as usize, peer, "frame from wrong rank");
+                counter!("wire.frames_rx").inc();
+                counter!("wire.bytes_rx").add((HEADER_LEN + data.len()) as u64);
                 shared.last_heard[peer].store(shared.millis_since_epoch(), Ordering::SeqCst);
                 if header.tag == HEARTBEAT_TAG {
                     pool_put(&shared.pools[peer], data);
@@ -672,6 +675,7 @@ fn heartbeat_loop(weak: Weak<ShmemShared>) {
                     continue;
                 }
                 let silent = now.saturating_sub(heard.load(Ordering::SeqCst));
+                histogram!("wire.heartbeat_lag_ms").observe(silent);
                 if silent > timeout.as_millis() as u64 {
                     shared.mailbox.fail(
                         peer,
@@ -795,6 +799,8 @@ impl ShmemComm {
         if tag & COLLECTIVE_TAG_BIT == 0 {
             s.data_sent[to].fetch_add(1 + duplicate as u64, Ordering::SeqCst);
         }
+        counter!("wire.frames_tx").inc();
+        counter!("wire.bytes_tx").add(half.staging.len() as u64);
         let SendHalf { ring, staging } = &*half;
         ring_write(map, s.layout, *ring, staging, s.config.peer_timeout, to, tag)?;
         if duplicate {

@@ -78,6 +78,7 @@ use crate::error::{CommError, CommErrorKind, CommResult};
 use crate::fault::{FaultKind, FaultPlan, SplitMix64};
 use crate::frame::{read_frame, stage_frame, HEADER_LEN};
 use crate::mailbox::{Mailbox, Message};
+use hpgmxp_trace::{counter, histogram};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -530,6 +531,7 @@ fn heartbeat_loop(weak: Weak<SocketShared>) {
                     continue;
                 }
                 let silent = now.saturating_sub(heard.load(Ordering::SeqCst));
+                histogram!("wire.heartbeat_lag_ms").observe(silent);
                 if silent > timeout.as_millis() as u64 {
                     shared.mailbox.fail(
                         peer,
@@ -569,6 +571,8 @@ fn reader_loop(shared: Arc<SocketShared>, peer: usize, mut stream: TcpStream) {
         match read_frame(&mut stream, |len| pool_take(&shared.pools[peer], len)) {
             Ok(Some((header, data))) => {
                 debug_assert_eq!(header.from as usize, peer, "frame from wrong rank");
+                counter!("wire.frames_rx").inc();
+                counter!("wire.bytes_rx").add((HEADER_LEN + data.len()) as u64);
                 // Anything decodable counts as proof of life.
                 shared.last_heard[peer].store(shared.millis_since_epoch(), Ordering::SeqCst);
                 if header.tag == HEARTBEAT_TAG {
@@ -706,6 +710,8 @@ impl SocketComm {
         if tag & COLLECTIVE_TAG_BIT == 0 {
             s.data_sent[to].fetch_add(1 + duplicate as u64, Ordering::SeqCst);
         }
+        counter!("wire.frames_tx").inc();
+        counter!("wire.bytes_tx").add(half.staging.len() as u64);
         let SendHalf { stream, staging } = &mut *half;
         let write = |stream: &mut TcpStream, staging: &[u8]| {
             stream.write_all(staging).map_err(|e| {

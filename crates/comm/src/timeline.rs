@@ -1,13 +1,28 @@
-//! Lightweight event timeline for compute/communication tracing.
+//! Lightweight event timeline for compute/communication tracing — a
+//! thin view over the [`hpgmxp_trace`] recorder.
 //!
 //! Figure 9 of the paper shows rocprof traces with a GPU compute
 //! stream, a halo (pack/copy) stream, and communication markers, used
 //! to demonstrate that halo exchange is hidden under the interior
-//! Gauss–Seidel kernel. This recorder captures the same kind of
+//! Gauss–Seidel kernel. This facade captures the same kind of
 //! intervals from real executions of our solver so the overlap can be
 //! inspected (and asserted on in tests).
+//!
+//! Since PR 10 the storage behind it is the trace crate's preallocated
+//! lock-free ring ([`hpgmxp_trace::Recorder`]) rather than a private
+//! `Mutex<Vec>`: a `Timeline` owns one per-instance recorder for its
+//! local views (`events()`, `overlap_records()`, the figure-9
+//! assertions), and every span additionally mirrors into the
+//! **process-global** recorder whenever `HPGMXP_TRACE=spans` is armed
+//! — that is what the per-rank binary trace files and the
+//! `hpgmxp-trace` Chrome export read. A disabled timeline allocates
+//! nothing and costs one branch per probe; collective traffic
+//! ([`Timeline::set_collectives`]) stays a plain snapshot slot because
+//! [`CollStats`] is itself a view over the collective engine's
+//! counters.
 
 use crate::collectives::CollStats;
+use hpgmxp_trace::{EventRec, Kind, Lane, OverlapRec, Recorder};
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -28,11 +43,25 @@ pub enum Stream {
 impl Stream {
     /// Display label used by trace renderers.
     pub fn label(self) -> &'static str {
+        self.lane().label()
+    }
+
+    /// The trace-crate lane this stream records into.
+    pub fn lane(self) -> Lane {
         match self {
-            Stream::Compute => "GPU",
-            Stream::Halo => "HALO",
-            Stream::Copy => "COPY",
-            Stream::Comm => "COMM",
+            Stream::Compute => Lane::Compute,
+            Stream::Halo => Lane::Halo,
+            Stream::Copy => Lane::Copy,
+            Stream::Comm => Lane::Comm,
+        }
+    }
+
+    fn from_lane(lane: Lane) -> Stream {
+        match lane {
+            Lane::Compute => Stream::Compute,
+            Lane::Halo => Stream::Halo,
+            Lane::Copy => Stream::Copy,
+            _ => Stream::Comm,
         }
     }
 }
@@ -53,7 +82,8 @@ pub struct TimelineEvent {
 /// Measured anatomy of one split-phase halo exchange: what the halo
 /// engine actually did between `begin` and `finish`, recorded so the
 /// figure-9 "communication is hidden" claim is testable instead of
-/// modeled. All durations are in seconds.
+/// modeled. All durations are in seconds; the recorder stores the
+/// integer-nanosecond [`OverlapRec`] this converts to and from.
 #[derive(Debug, Clone)]
 pub struct OverlapRecord {
     /// Message tag of the exchange.
@@ -87,45 +117,92 @@ impl OverlapRecord {
             1.0
         }
     }
+
+    fn to_ns(&self) -> OverlapRec {
+        OverlapRec {
+            tag: self.tag,
+            bytes_sent: self.bytes_sent as u64,
+            bytes_received: self.bytes_received as u64,
+            pack_ns: secs_to_ns(self.pack),
+            window_ns: secs_to_ns(self.window),
+            wire_wait_ns: secs_to_ns(self.wire_wait),
+            unpack_ns: secs_to_ns(self.unpack),
+        }
+    }
+
+    fn from_ns(o: &OverlapRec) -> OverlapRecord {
+        OverlapRecord {
+            tag: o.tag,
+            bytes_sent: o.bytes_sent as usize,
+            bytes_received: o.bytes_received as usize,
+            pack: o.pack_ns as f64 / 1e9,
+            window: o.window_ns as f64 / 1e9,
+            wire_wait: o.wire_wait_ns as f64 / 1e9,
+            unpack: o.unpack_ns as f64 / 1e9,
+        }
+    }
 }
 
-/// A concurrent event recorder. A disabled timeline records nothing and
-/// costs one branch per event.
+fn secs_to_ns(s: f64) -> u64 {
+    (s.max(0.0) * 1e9).round() as u64
+}
+
+/// A concurrent event recorder. A disabled timeline records nothing
+/// locally and costs one branch per event; whenever the global span
+/// ring is armed (`HPGMXP_TRACE=spans`) every span is mirrored there
+/// regardless, so per-rank trace files see solver activity even from
+/// code paths that run with a disabled timeline.
 #[derive(Debug)]
 pub struct Timeline {
     enabled: bool,
     epoch: Instant,
-    events: Mutex<Vec<TimelineEvent>>,
-    overlaps: Mutex<Vec<OverlapRecord>>,
+    rec: Recorder,
+    /// This timeline's epoch on the global recorder's clock (valid
+    /// only when the global ring was armed at construction).
+    global_offset_ns: u64,
     collectives: Mutex<Option<CollStats>>,
 }
 
+/// Instance ring capacities: events and overlap records kept per
+/// enabled timeline (the global ring is sized independently via
+/// `HPGMXP_TRACE_CAPACITY`).
+const INSTANCE_EVENTS: usize = 1 << 16;
+const INSTANCE_OVERLAPS: usize = 1 << 12;
+
 impl Timeline {
+    fn new(enabled: bool) -> Self {
+        let (cap, ocap) = if enabled { (INSTANCE_EVENTS, INSTANCE_OVERLAPS) } else { (0, 0) };
+        let global_offset_ns =
+            if hpgmxp_trace::spans_armed() { hpgmxp_trace::global().now_ns() } else { 0 };
+        Timeline {
+            enabled,
+            epoch: Instant::now(),
+            rec: Recorder::new(cap, ocap),
+            global_offset_ns,
+            collectives: Mutex::new(None),
+        }
+    }
+
     /// A recording timeline with its epoch at creation time.
     pub fn enabled() -> Self {
-        Timeline {
-            enabled: true,
-            epoch: Instant::now(),
-            events: Mutex::new(Vec::new()),
-            overlaps: Mutex::new(Vec::new()),
-            collectives: Mutex::new(None),
-        }
+        Timeline::new(true)
     }
 
-    /// A no-op timeline.
+    /// A no-op timeline (no local storage is allocated).
     pub fn disabled() -> Self {
-        Timeline {
-            enabled: false,
-            epoch: Instant::now(),
-            events: Mutex::new(Vec::new()),
-            overlaps: Mutex::new(Vec::new()),
-            collectives: Mutex::new(None),
-        }
+        Timeline::new(false)
     }
 
-    /// Whether events are being recorded.
+    /// Whether events are being recorded locally.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether event timing is observable anywhere — locally or in the
+    /// armed global ring. Instrumentation that pays for clock reads
+    /// only when someone is listening gates on this.
+    pub fn is_traced(&self) -> bool {
+        self.enabled || hpgmxp_trace::spans_armed()
     }
 
     /// Seconds since the epoch.
@@ -133,28 +210,52 @@ impl Timeline {
         self.epoch.elapsed().as_secs_f64()
     }
 
-    /// Record an interval with explicit bounds.
-    pub fn add(&self, name: &str, stream: Stream, start: f64, end: f64) {
+    /// Record an interval with explicit bounds (and mirror it into the
+    /// global ring when armed).
+    pub fn add(&self, name: &'static str, stream: Stream, start: f64, end: f64) {
         if self.enabled {
-            self.events.lock().push(TimelineEvent { name: name.to_string(), stream, start, end });
+            self.rec.record(EventRec {
+                name,
+                lane: stream.lane(),
+                kind: Kind::Span,
+                tid: hpgmxp_trace::current_tid(),
+                start_ns: secs_to_ns(start),
+                end_ns: secs_to_ns(end),
+                arg: 0,
+            });
+        }
+        if hpgmxp_trace::spans_armed() {
+            hpgmxp_trace::global().record(EventRec {
+                name,
+                lane: stream.lane(),
+                kind: Kind::Span,
+                tid: hpgmxp_trace::current_tid(),
+                start_ns: self.global_offset_ns + secs_to_ns(start),
+                end_ns: self.global_offset_ns + secs_to_ns(end),
+                arg: 0,
+            });
         }
     }
 
     /// RAII guard that records `[creation, drop]` as an interval.
-    pub fn span<'a>(&'a self, name: &'a str, stream: Stream) -> Span<'a> {
+    pub fn span(&self, name: &'static str, stream: Stream) -> Span<'_> {
         Span { tl: self, name, stream, start: self.now() }
     }
 
     /// Record the measured anatomy of one halo exchange.
     pub fn add_overlap(&self, record: OverlapRecord) {
+        let ns = record.to_ns();
         if self.enabled {
-            self.overlaps.lock().push(record);
+            self.rec.add_overlap(ns);
+        }
+        if hpgmxp_trace::spans_armed() {
+            hpgmxp_trace::global().add_overlap(ns);
         }
     }
 
     /// Snapshot of the per-exchange overlap records, in completion order.
     pub fn overlap_records(&self) -> Vec<OverlapRecord> {
-        self.overlaps.lock().clone()
+        self.rec.overlaps().iter().map(OverlapRecord::from_ns).collect()
     }
 
     /// Measured overlap efficiency over every recorded exchange: the
@@ -163,15 +264,15 @@ impl Timeline {
     /// exchange was recorded. This is the measured counterpart of the
     /// modeled `hidden_fraction` in the figure-9 trace.
     pub fn overlap_efficiency(&self) -> Option<f64> {
-        let recs = self.overlaps.lock();
+        let recs = self.rec.overlaps();
         if recs.is_empty() {
             return None;
         }
-        let window: f64 = recs.iter().map(|r| r.window).sum();
-        let wait: f64 = recs.iter().map(|r| r.wire_wait).sum();
+        let window: u64 = recs.iter().map(|r| r.window_ns).sum();
+        let wait: u64 = recs.iter().map(|r| r.wire_wait_ns).sum();
         let total = window + wait;
-        if total > 0.0 {
-            Some(window / total)
+        if total > 0 {
+            Some(window as f64 / total as f64)
         } else {
             Some(1.0)
         }
@@ -196,20 +297,22 @@ impl Timeline {
 
     /// Snapshot of the recorded events, sorted by start time.
     pub fn events(&self) -> Vec<TimelineEvent> {
-        let mut ev = self.events.lock().clone();
-        ev.sort_by(|a, b| a.start.total_cmp(&b.start));
-        ev
+        self.rec
+            .events()
+            .into_iter()
+            .map(|e| TimelineEvent {
+                name: e.name.to_string(),
+                stream: Stream::from_lane(e.lane),
+                start: e.start_ns as f64 / 1e9,
+                end: e.end_ns as f64 / 1e9,
+            })
+            .collect()
     }
 
     /// Total time covered by events of a stream (union of intervals).
     pub fn busy_time(&self, stream: Stream) -> f64 {
-        let mut spans: Vec<(f64, f64)> = self
-            .events
-            .lock()
-            .iter()
-            .filter(|e| e.stream == stream)
-            .map(|e| (e.start, e.end))
-            .collect();
+        let mut spans: Vec<(f64, f64)> =
+            self.events().iter().filter(|e| e.stream == stream).map(|e| (e.start, e.end)).collect();
         spans.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut total = 0.0;
         let mut cur: Option<(f64, f64)> = None;
@@ -235,12 +338,11 @@ impl Timeline {
     /// Fraction of a stream's busy time that overlaps another stream's
     /// busy intervals — the "hidden communication" metric of figure 9.
     pub fn overlap_fraction(&self, of: Stream, under: Stream) -> f64 {
-        let evs = self.events.lock();
+        let evs = self.events();
         let a: Vec<(f64, f64)> =
             evs.iter().filter(|e| e.stream == of).map(|e| (e.start, e.end)).collect();
         let b: Vec<(f64, f64)> =
             evs.iter().filter(|e| e.stream == under).map(|e| (e.start, e.end)).collect();
-        drop(evs);
         let total: f64 = a.iter().map(|(s, e)| e - s).sum();
         if total == 0.0 {
             return 0.0;
@@ -262,7 +364,7 @@ impl Timeline {
 /// RAII interval guard produced by [`Timeline::span`].
 pub struct Span<'a> {
     tl: &'a Timeline,
-    name: &'a str,
+    name: &'static str,
     stream: Stream,
     start: f64,
 }
@@ -378,5 +480,24 @@ mod tests {
         assert_eq!(tl.overlap_efficiency(), Some(1.0));
         // Degenerate zero-duration record counts as hidden.
         assert_eq!(record(0.0, 0.0).hidden_fraction(), 1.0);
+    }
+
+    #[test]
+    fn events_mirror_into_the_global_ring_when_armed() {
+        // Serialized on the trace crate's mode override: no other comm
+        // test arms it.
+        hpgmxp_trace::set_mode_override(hpgmxp_trace::Mode::Spans);
+        let before = hpgmxp_trace::global().recorded();
+        let tl = Timeline::disabled();
+        {
+            let _s = tl.span("mirrored work", Stream::Compute);
+        }
+        tl.add_overlap(record(1e-6, 1e-6));
+        hpgmxp_trace::set_mode_override(hpgmxp_trace::Mode::Off);
+        assert!(tl.events().is_empty(), "disabled timeline stays empty locally");
+        assert!(
+            hpgmxp_trace::global().recorded() > before,
+            "the armed global ring observed the span"
+        );
     }
 }

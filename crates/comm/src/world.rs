@@ -247,9 +247,17 @@ where
     F: Fn(WorldComm) -> T + Sync,
 {
     match Transport::from_env() {
-        Transport::Thread => run_threads(size, |c| f(WorldComm::Thread(c))),
+        Transport::Thread => {
+            // All ranks are threads of this process sharing one global
+            // recorder; flush it as rank 0 when the job returns (or
+            // unwinds), so `HPGMXP_TRACE_DIR` runs leave a trace file
+            // behind under every transport.
+            let _trace = hpgmxp_trace::FlushGuard::new(0);
+            run_threads(size, |c| f(WorldComm::Thread(c)))
+        }
         Transport::Socket => {
             let comm = socket_world::global_from_env().clone();
+            let _trace = hpgmxp_trace::FlushGuard::new(comm.rank() as u32);
             assert_eq!(
                 comm.size(),
                 size,
@@ -265,6 +273,7 @@ where
         }
         Transport::Shmem => {
             let comm = shmem_world::global_from_env().clone();
+            let _trace = hpgmxp_trace::FlushGuard::new(comm.rank() as u32);
             assert_eq!(
                 comm.size(),
                 size,

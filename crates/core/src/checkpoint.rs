@@ -195,6 +195,8 @@ pub fn stage_and_commit<C: Comm>(
     let staged = spec.staged_path(rank);
     let bytes = encode(state, rank, comm.size());
     {
+        let mut sp = hpgmxp_trace::span("ckpt stage", hpgmxp_trace::Lane::Ckpt);
+        sp.set_arg(bytes.len() as u64);
         let mut f = fs::File::create(&staged).map_err(|e| io_err("cannot stage", &staged, e))?;
         f.write_all(&bytes).map_err(|e| io_err("cannot write", &staged, e))?;
         f.sync_all().map_err(|e| io_err("cannot sync", &staged, e))?;
@@ -202,8 +204,13 @@ pub fn stage_and_commit<C: Comm>(
     // Every rank has durably staged before anyone overwrites the
     // previous generation.
     comm.barrier_checked()?;
-    let committed = spec.committed_path(rank);
-    fs::rename(&staged, &committed).map_err(|e| io_err("cannot commit", &committed, e))?;
+    {
+        let _sp = hpgmxp_trace::span("ckpt commit", hpgmxp_trace::Lane::Ckpt);
+        let committed = spec.committed_path(rank);
+        fs::rename(&staged, &committed).map_err(|e| io_err("cannot commit", &committed, e))?;
+    }
+    hpgmxp_trace::counter!("ckpt.commits").inc();
+    hpgmxp_trace::counter!("ckpt.bytes_staged").add(bytes.len() as u64);
     Ok(())
 }
 
@@ -216,6 +223,8 @@ pub fn restore<C: Comm>(
     expected_len: usize,
 ) -> CommResult<Option<OuterState>> {
     let rank = comm.rank();
+    let _sp = hpgmxp_trace::span("ckpt restore", hpgmxp_trace::Lane::Ckpt);
+    hpgmxp_trace::counter!("ckpt.restores").inc();
     let local = fs::read(spec.committed_path(rank))
         .ok()
         .and_then(|bytes| match decode(&bytes, rank, comm.size()) {

@@ -15,7 +15,7 @@ use crate::motifs::{Motif, MotifStats};
 use crate::ops::{axpy_lo_mixed_op, dist_norm2_checked, dist_spmv_checked, waxpby_op, OpCtx};
 use crate::policy::{PrecCtx, PrecisionPolicy};
 use crate::problem::LocalProblem;
-use hpgmxp_comm::{Comm, CommResult, Timeline};
+use hpgmxp_comm::{Comm, CommResult, Stream, Timeline};
 use hpgmxp_sparse::blas::scale_f64_into_lo;
 use hpgmxp_sparse::{Half, PrecKind, Scalar};
 use std::time::Instant;
@@ -190,19 +190,24 @@ pub fn gmres_ir_solve_prec_checked<SLo: Scalar, C: Comm>(
 
         // The blue region: one restart cycle entirely in low precision,
         // under the policy's storage/wire mapping.
-        let outcome = gmres_cycle(
-            &ctx_inner,
-            prob,
-            &mut stats,
-            &mut ws,
-            opts,
-            &r_unit_lo,
-            rho,
-            rho0,
-            opts.max_iters - iters,
-        )?;
+        let outcome = {
+            let _sp = timeline.span("gmres cycle", Stream::Compute);
+            gmres_cycle(
+                &ctx_inner,
+                prob,
+                &mut stats,
+                &mut ws,
+                opts,
+                &r_unit_lo,
+                rho,
+                rho0,
+                opts.max_iters - iters,
+            )?
+        };
         iters += outcome.iters;
         restarts += 1;
+        hpgmxp_trace::counter!("solver.restarts").inc();
+        hpgmxp_trace::counter!("solver.iters").add(outcome.iters as u64);
 
         // Line 47: mixed-precision solution update in double.
         axpy_lo_mixed_op(&mut stats, 1.0, &outcome.update, &mut x[..n]);

@@ -11,8 +11,22 @@
 use crate::motifs::MotifStats;
 use crate::ops::{dist_gs_sweep_checked, dist_restrict_checked, prolong_add, OpCtx, SweepDir};
 use crate::problem::Level;
-use hpgmxp_comm::{Comm, CommResult};
+use hpgmxp_comm::{Comm, CommResult, Stream};
 use hpgmxp_sparse::Scalar;
+
+/// Per-depth span names for the V-cycle trace (`&'static` because the
+/// recorder stores names by reference; deeper hierarchies than the
+/// paper's 4 levels share the last slot).
+const LEVEL_SPANS: [&str; 8] = [
+    "MG level 0",
+    "MG level 1",
+    "MG level 2",
+    "MG level 3",
+    "MG level 4",
+    "MG level 5",
+    "MG level 6",
+    "MG level 7+",
+];
 
 /// Which smoother the cycle uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +94,10 @@ fn vcycle<S: Scalar, C: Comm>(
     tag: u64,
 ) -> CommResult<()> {
     let level = &levels[0];
+    // `tag` starts at 100 on the fine level and grows by one per
+    // recursion, so it doubles as the depth for the trace label.
+    let depth = (tag.saturating_sub(100) as usize).min(LEVEL_SPANS.len() - 1);
+    let _sp = ctx.timeline.span(LEVEL_SPANS[depth], Stream::Compute);
     let (z0, zrest) = zs.split_first_mut().expect("workspace depth");
     let (r0, rrest) = rs.split_first_mut().expect("workspace depth");
 

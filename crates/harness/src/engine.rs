@@ -249,6 +249,10 @@ fn measured_cell(
 ) -> Result<CellReport, String> {
     let mut cell = CellReport::new(&series.label, series.mode, solver.label(), ranks);
     cell.transport = hpgmxp_comm::Transport::from_env().name().to_string();
+    // Per-cell metrics delta: only populated when the registry is
+    // armed, so untraced campaign reports (the golden, cross-transport
+    // compares) stay free of timing-dependent fields.
+    let metrics_before = hpgmxp_trace::MetricsSnapshot::capture();
     match solver {
         SeriesSolver::ClassicDouble => {
             let phase = run_phase(params, series.variant, ranks, false);
@@ -279,6 +283,9 @@ fn measured_cell(
                 );
             }
         }
+    }
+    if hpgmxp_trace::counters_armed() {
+        cell.metrics = Some(hpgmxp_trace::MetricsSnapshot::capture().delta_since(&metrics_before));
     }
     Ok(cell)
 }

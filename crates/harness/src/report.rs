@@ -13,6 +13,7 @@
 //! workstation's.
 
 use crate::spec::SeriesMode;
+use hpgmxp_trace::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -24,8 +25,12 @@ use std::fmt::Write as _;
 /// `simd_override`) when the motif kernels grew a runtime-dispatched
 /// vector path; v4 added the host `transport` and `coll_algo` fields
 /// when the collective engine made the algorithm (`HPGMXP_COLL`) a
-/// second measurement variable alongside the transport.
-pub const REPORT_SCHEMA: u32 = 4;
+/// second measurement variable alongside the transport; v5 added the
+/// per-cell `metrics` snapshot (a [`MetricsSnapshot`] delta over the
+/// cell's execution), populated only when `HPGMXP_TRACE` arms the
+/// metrics registry — untraced campaigns keep emitting `null` there,
+/// so cross-transport compares stay byte-stable.
+pub const REPORT_SCHEMA: u32 = 5;
 
 /// Whether a cell earned a performance rating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -144,6 +149,12 @@ pub struct CellReport {
     pub spmv_value_bytes: Option<f64>,
     /// Free-form context (breakdown residuals, penalty provenance).
     pub note: String,
+    /// Metrics-registry delta over this cell's execution (wire frame
+    /// and byte counters, solver counters, heartbeat-lag histogram).
+    /// `None` unless the run armed the registry (`HPGMXP_TRACE`
+    /// counters or spans) — the deltas are timing-dependent, so they
+    /// stay out of untraced reports that deterministic compares diff.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl CellReport {
@@ -169,6 +180,7 @@ impl CellReport {
             reconciled: None,
             spmv_value_bytes: None,
             note: String::new(),
+            metrics: None,
         }
     }
 

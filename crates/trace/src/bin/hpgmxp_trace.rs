@@ -1,0 +1,99 @@
+//! `hpgmxp-trace` — merge per-rank binary trace files into Chrome
+//! trace-event JSON and print a per-span summary table.
+//!
+//! ```text
+//! hpgmxp-trace <dir | file.bin ...> [--out merged.json] [--quiet]
+//! ```
+//!
+//! A directory argument is scanned for `trace-rank*.bin` files (every
+//! `.bin` file is accepted). The merged JSON goes to `--out` or
+//! stdout; the summary table goes to stderr (so piping stdout into a
+//! file still yields pure JSON). Load the merged file in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use hpgmxp_trace::{chrome, read_trace_file, TraceFile};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: hpgmxp-trace <dir | file.bin ...> [--out FILE] [--quiet]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("hpgmxp-trace: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--out expects a file path".to_string())?,
+                ));
+            }
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    if inputs.is_empty() {
+        return Err("no input trace files or directories".to_string());
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            let mut found: Vec<PathBuf> = std::fs::read_dir(&input)
+                .map_err(|e| format!("read dir {}: {e}", input.display()))?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+                .collect();
+            found.sort();
+            if found.is_empty() {
+                return Err(format!("no .bin trace files in {}", input.display()));
+            }
+            files.extend(found);
+        } else {
+            files.push(input);
+        }
+    }
+
+    let mut traces: Vec<TraceFile> = Vec::new();
+    for path in &files {
+        traces.push(read_trace_file(path)?);
+    }
+    traces.sort_by_key(|t| t.rank);
+
+    let doc = chrome::merge(&traces);
+    let json = serde_json::to_string(&doc).map_err(|e| format!("serialize: {e}"))?;
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!(
+                "hpgmxp-trace: merged {} ranks / {} events into {}",
+                traces.len(),
+                doc.traceEvents.len(),
+                path.display()
+            );
+        }
+        None => println!("{json}"),
+    }
+    if !quiet {
+        eprint!("{}", chrome::summary_table(&traces));
+    }
+    Ok(())
+}

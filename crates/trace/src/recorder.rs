@@ -1,0 +1,546 @@
+//! The lock-free, preallocated span/event ring recorder.
+//!
+//! Writers claim a slot with one `fetch_add` on the head counter and
+//! publish fields through per-slot sequence counters (a seqlock):
+//! recording never blocks, never allocates, and wraps over the oldest
+//! events when the ring fills. Readers ([`Recorder::events`]) run at
+//! flush/snapshot time and skip any slot a concurrent writer is
+//! mid-publish in — a torn slot is dropped, never misread.
+//!
+//! Names are `&'static str` (string literals at the instrumentation
+//! sites), so the hot path stores a pointer pair and touches the
+//! allocator exactly never.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Which conceptual lane an event belongs to. The first four mirror
+/// the paper's figure-9 trace lanes (and comm's `Stream`); the rest
+/// cover the subsystems PR 10 instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Lane {
+    /// Kernel work (the paper's GPU "compute stream").
+    Compute = 0,
+    /// Halo buffer packing/unpacking.
+    Halo = 1,
+    /// Host-device style copies.
+    Copy = 2,
+    /// Message send/receive/wait markers.
+    Comm = 3,
+    /// Collective rounds (allreduce/barrier/allgather).
+    Coll = 4,
+    /// Checkpoint stage/commit/restore.
+    Ckpt = 5,
+    /// Injected faults.
+    Fault = 6,
+    /// Transport frame traffic and heartbeats.
+    Wire = 7,
+}
+
+impl Lane {
+    /// Display label used by trace renderers (matches the labels the
+    /// comm `Stream` has always printed for its four lanes).
+    pub fn label(self) -> &'static str {
+        match self {
+            Lane::Compute => "GPU",
+            Lane::Halo => "HALO",
+            Lane::Copy => "COPY",
+            Lane::Comm => "COMM",
+            Lane::Coll => "COLL",
+            Lane::Ckpt => "CKPT",
+            Lane::Fault => "FAULT",
+            Lane::Wire => "WIRE",
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Lane {
+        match v {
+            0 => Lane::Compute,
+            1 => Lane::Halo,
+            2 => Lane::Copy,
+            3 => Lane::Comm,
+            4 => Lane::Coll,
+            5 => Lane::Ckpt,
+            6 => Lane::Fault,
+            _ => Lane::Wire,
+        }
+    }
+}
+
+/// Span (has duration) or instant marker (a point in time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    Span = 0,
+    Instant = 1,
+}
+
+impl Kind {
+    pub fn from_u8(v: u8) -> Kind {
+        if v == 1 {
+            Kind::Instant
+        } else {
+            Kind::Span
+        }
+    }
+}
+
+/// One recorded event, as read back out of the ring.
+#[derive(Debug, Clone, Copy)]
+pub struct EventRec {
+    /// Instrumentation-site name (a string literal).
+    pub name: &'static str,
+    pub lane: Lane,
+    pub kind: Kind,
+    /// Small dense id of the recording thread (see [`current_tid`]).
+    pub tid: u32,
+    /// Monotonic nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// End of the span (`== start_ns` for instants).
+    pub end_ns: u64,
+    /// Free payload word (bytes, tag, level — site-defined).
+    pub arg: u64,
+}
+
+/// Measured anatomy of one split-phase halo exchange, in integer
+/// nanoseconds — the recorder-native form of comm's `OverlapRecord`
+/// (which is now a thin f64-seconds view over this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapRec {
+    pub tag: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub pack_ns: u64,
+    pub window_ns: u64,
+    pub wire_wait_ns: u64,
+    pub unpack_ns: u64,
+}
+
+/// One event slot: a seqlock sequence counter plus the event fields as
+/// plain atomics (every field is written relaxed inside the odd/even
+/// seq window, so a reader that validates the sequence sees a
+/// consistent record and a racing reader merely skips the slot).
+struct Slot {
+    seq: AtomicU32,
+    name_ptr: AtomicUsize,
+    name_len: AtomicUsize,
+    /// `lane | kind << 8 | tid << 32`.
+    meta: AtomicU64,
+    start_ns: AtomicU64,
+    end_ns: AtomicU64,
+    arg: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU32::new(0),
+            name_ptr: AtomicUsize::new(0),
+            name_len: AtomicUsize::new(0),
+            meta: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            end_ns: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Overlap slot: seqlock + the seven `OverlapRec` words.
+struct OSlot {
+    seq: AtomicU32,
+    vals: [AtomicU64; 7],
+}
+
+impl OSlot {
+    fn new() -> OSlot {
+        OSlot { seq: AtomicU32::new(0), vals: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+/// A preallocated, lock-free span/event ring plus an overlap-record
+/// ring. All storage is allocated at construction; recording is
+/// wait-free (one `fetch_add` + field stores) and allocation-free.
+pub struct Recorder {
+    epoch: Instant,
+    slots: Box<[Slot]>,
+    /// Total events ever recorded; the live window is the last
+    /// `min(head, capacity)` of them.
+    head: AtomicUsize,
+    oslots: Box<[OSlot]>,
+    ohead: AtomicUsize,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .field("overlap_capacity", &self.oslots.len())
+            .field("overlaps", &self.ohead.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A ring holding up to `capacity` events and `overlap_capacity`
+    /// overlap records. Zero capacities build a recorder that drops
+    /// everything (the disabled-timeline case) without allocating.
+    pub fn new(capacity: usize, overlap_capacity: usize) -> Recorder {
+        Recorder {
+            epoch: Instant::now(),
+            slots: (0..capacity).map(|_| Slot::new()).collect::<Vec<_>>().into_boxed_slice(),
+            head: AtomicUsize::new(0),
+            oslots: (0..overlap_capacity)
+                .map(|_| OSlot::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            ohead: AtomicUsize::new(0),
+        }
+    }
+
+    /// Monotonic nanoseconds since this recorder's construction.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record one event (wait-free, allocation-free).
+    pub fn record(&self, ev: EventRec) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[i % self.slots.len()];
+        slot.seq.fetch_add(1, Ordering::AcqRel);
+        slot.name_ptr.store(ev.name.as_ptr() as usize, Ordering::Relaxed);
+        slot.name_len.store(ev.name.len(), Ordering::Relaxed);
+        slot.meta.store(
+            ev.lane as u64 | (ev.kind as u64) << 8 | (ev.tid as u64) << 32,
+            Ordering::Relaxed,
+        );
+        slot.start_ns.store(ev.start_ns, Ordering::Relaxed);
+        slot.end_ns.store(ev.end_ns, Ordering::Relaxed);
+        slot.arg.store(ev.arg, Ordering::Relaxed);
+        slot.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Open a span ending (and recording) when the guard drops.
+    pub fn span(&self, name: &'static str, lane: Lane) -> SpanGuard<'_> {
+        SpanGuard { rec: Some(self), name, lane, arg: 0, start_ns: self.now_ns() }
+    }
+
+    /// Record an instant marker.
+    pub fn instant(&self, name: &'static str, lane: Lane, arg: u64) {
+        let now = self.now_ns();
+        self.record(EventRec {
+            name,
+            lane,
+            kind: Kind::Instant,
+            tid: current_tid(),
+            start_ns: now,
+            end_ns: now,
+            arg,
+        });
+    }
+
+    /// Record one halo-exchange overlap record (wait-free,
+    /// allocation-free).
+    pub fn add_overlap(&self, o: OverlapRec) {
+        if self.oslots.is_empty() {
+            return;
+        }
+        let i = self.ohead.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.oslots[i % self.oslots.len()];
+        slot.seq.fetch_add(1, Ordering::AcqRel);
+        let words = [
+            o.tag,
+            o.bytes_sent,
+            o.bytes_received,
+            o.pack_ns,
+            o.window_ns,
+            o.wire_wait_ns,
+            o.unpack_ns,
+        ];
+        for (dst, w) in slot.vals.iter().zip(words) {
+            dst.store(w, Ordering::Relaxed);
+        }
+        slot.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Events recorded so far (total, including any the ring wrapped
+    /// over).
+    pub fn recorded(&self) -> usize {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events the ring wrapped over (lost to capacity).
+    pub fn dropped(&self) -> usize {
+        self.head.load(Ordering::Relaxed).saturating_sub(self.slots.len())
+    }
+
+    /// Snapshot of the live window, sorted by start time. Slots a
+    /// concurrent writer is publishing into are skipped.
+    pub fn events(&self) -> Vec<EventRec> {
+        let head = self.head.load(Ordering::Acquire);
+        let n = head.min(self.slots.len());
+        let mut out = Vec::with_capacity(n);
+        for slot in self.slots.iter().take(n) {
+            let s0 = slot.seq.load(Ordering::Acquire);
+            if s0 & 1 == 1 {
+                continue;
+            }
+            let name_ptr = slot.name_ptr.load(Ordering::Relaxed) as *const u8;
+            let name_len = slot.name_len.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let start_ns = slot.start_ns.load(Ordering::Relaxed);
+            let end_ns = slot.end_ns.load(Ordering::Relaxed);
+            let arg = slot.arg.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != s0 {
+                continue;
+            }
+            // The pointer/length pair names a string literal ('static)
+            // and was validated consistent by the sequence check.
+            let name = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(name_ptr, name_len))
+            };
+            out.push(EventRec {
+                name,
+                lane: Lane::from_u8((meta & 0xFF) as u8),
+                kind: Kind::from_u8(((meta >> 8) & 0xFF) as u8),
+                tid: (meta >> 32) as u32,
+                start_ns,
+                end_ns,
+                arg,
+            });
+        }
+        out.sort_by_key(|e| (e.start_ns, e.end_ns));
+        out
+    }
+
+    /// Snapshot of the overlap records, oldest first within the live
+    /// window.
+    pub fn overlaps(&self) -> Vec<OverlapRec> {
+        let head = self.ohead.load(Ordering::Acquire);
+        let n = head.min(self.oslots.len());
+        let mut out = Vec::with_capacity(n);
+        let start = if head > self.oslots.len() { head % self.oslots.len() } else { 0 };
+        for k in 0..n {
+            let slot = &self.oslots[(start + k) % self.oslots.len().max(1)];
+            let s0 = slot.seq.load(Ordering::Acquire);
+            if s0 & 1 == 1 {
+                continue;
+            }
+            let w: [u64; 7] = std::array::from_fn(|j| slot.vals[j].load(Ordering::Relaxed));
+            if slot.seq.load(Ordering::Acquire) != s0 {
+                continue;
+            }
+            out.push(OverlapRec {
+                tag: w[0],
+                bytes_sent: w[1],
+                bytes_received: w[2],
+                pack_ns: w[3],
+                window_ns: w[4],
+                wire_wait_ns: w[5],
+                unpack_ns: w[6],
+            });
+        }
+        out
+    }
+}
+
+/// RAII span guard: records `[creation, drop]` into its recorder; the
+/// disabled guard (un-armed global path) does nothing and holds
+/// nothing.
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+    name: &'static str,
+    lane: Lane,
+    arg: u64,
+    start_ns: u64,
+}
+
+impl SpanGuard<'_> {
+    /// A guard that records nothing on drop.
+    pub const fn disabled() -> SpanGuard<'static> {
+        SpanGuard { rec: None, name: "", lane: Lane::Compute, arg: 0, start_ns: 0 }
+    }
+
+    /// Attach a payload word recorded with the span.
+    pub fn set_arg(&mut self, arg: u64) {
+        self.arg = arg;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            let end_ns = rec.now_ns();
+            rec.record(EventRec {
+                name: self.name,
+                lane: self.lane,
+                kind: Kind::Span,
+                tid: current_tid(),
+                start_ns: self.start_ns,
+                end_ns,
+                arg: self.arg,
+            });
+        }
+    }
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+thread_local! {
+    static TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A small dense id for the current thread, assigned on first use
+/// (allocation-free; `ThreadId` has no stable integer accessor).
+#[inline]
+pub fn current_tid() -> u32 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The per-process (per-rank, under process-per-rank transports)
+/// global recorder, built on first use with
+/// `HPGMXP_TRACE_CAPACITY` events (default 65536).
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(|| Recorder::new(env_usize("HPGMXP_TRACE_CAPACITY", 1 << 16), 1 << 12))
+}
+
+/// Open a span on the global recorder — a no-op guard (one atomic
+/// load + branch) unless `HPGMXP_TRACE=spans`.
+#[inline]
+pub fn span(name: &'static str, lane: Lane) -> SpanGuard<'static> {
+    if !crate::spans_armed() {
+        return SpanGuard::disabled();
+    }
+    global().span(name, lane)
+}
+
+/// Record an instant marker on the global recorder when armed.
+#[inline]
+pub fn instant(name: &'static str, lane: Lane, arg: u64) {
+    if crate::spans_armed() {
+        global().instant(name, lane, arg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants_roundtrip() {
+        let rec = Recorder::new(64, 8);
+        {
+            let mut s = rec.span("work", Lane::Compute);
+            s.set_arg(42);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        rec.instant("marker", Lane::Fault, 7);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].name, "work");
+        assert_eq!(ev[0].kind, Kind::Span);
+        assert_eq!(ev[0].arg, 42);
+        assert!(ev[0].end_ns > ev[0].start_ns);
+        assert_eq!(ev[1].name, "marker");
+        assert_eq!(ev[1].kind, Kind::Instant);
+        assert_eq!(ev[1].start_ns, ev[1].end_ns);
+        assert!(ev.iter().all(|e| e.tid > 0));
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest() {
+        let rec = Recorder::new(4, 0);
+        for i in 0..10u64 {
+            rec.instant("e", Lane::Comm, i);
+        }
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 6);
+        let ev = rec.events();
+        assert_eq!(ev.len(), 4);
+        let mut args: Vec<u64> = ev.iter().map(|e| e.arg).collect();
+        args.sort_unstable();
+        assert_eq!(args, vec![6, 7, 8, 9], "the newest four survive");
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let rec = Recorder::new(0, 0);
+        rec.instant("e", Lane::Comm, 1);
+        rec.add_overlap(OverlapRec::default());
+        assert!(rec.events().is_empty());
+        assert!(rec.overlaps().is_empty());
+    }
+
+    #[test]
+    fn overlap_ring_roundtrips_in_order() {
+        let rec = Recorder::new(0, 4);
+        for i in 0..6u64 {
+            rec.add_overlap(OverlapRec { tag: i, ..Default::default() });
+        }
+        let got: Vec<u64> = rec.overlaps().iter().map(|o| o.tag).collect();
+        assert_eq!(got, vec![2, 3, 4, 5], "oldest-first live window");
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_lossless_without_wrap() {
+        let rec = std::sync::Arc::new(Recorder::new(4096, 0));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = std::sync::Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..512u64 {
+                        rec.instant("c", Lane::Wire, (t as u64) << 32 | i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.events().len(), 2048);
+        let tids: std::collections::HashSet<u32> = rec.events().iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4, "each thread got its own tid");
+    }
+
+    #[test]
+    fn lane_labels_cover_all_variants() {
+        for (v, label) in [
+            (0, "GPU"),
+            (1, "HALO"),
+            (2, "COPY"),
+            (3, "COMM"),
+            (4, "COLL"),
+            (5, "CKPT"),
+            (6, "FAULT"),
+            (7, "WIRE"),
+        ] {
+            assert_eq!(Lane::from_u8(v).label(), label);
+        }
+    }
+}

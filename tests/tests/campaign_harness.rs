@@ -1,5 +1,5 @@
 //! Integration tests of the campaign harness: spec/report serde
-//! round-trips, the golden file pinning report schema v3, the Hybrid
+//! round-trips, the golden file pinning report schema v5, the Hybrid
 //! engine end to end on a tiny world, the unrated (`n/c`) honesty
 //! path, and the per-policy weak-scaling monotonicity property.
 
@@ -16,6 +16,7 @@ use hpgmxp_harness::{
 use hpgmxp_machine::simulate::{simulate, SimConfig};
 use hpgmxp_machine::{MachineModel, NetworkModel};
 use hpgmxp_sparse::PrecKind;
+use hpgmxp_trace::{HistogramSnapshot, MetricsSnapshot};
 use proptest::prelude::*;
 
 fn tiny_campaign(mode: SeriesMode, policies: Vec<PolicyRef>) -> CampaignSpec {
@@ -130,14 +131,14 @@ fn breakdown_cells_are_unrated_and_render_nc() {
     assert!(row.contains("n/c"), "unrated row must print n/c: {row}");
 }
 
-/// The golden file pinning report schema v4 (v3 + the host
-/// `transport`/`coll_algo` fields): a fully-populated report with
-/// fixed values must serialize to the exact committed JSON. Any field
+/// The golden file pinning report schema v5 (v4 + the per-cell
+/// `metrics` snapshot delta): a fully-populated report with fixed
+/// values must serialize to the exact committed JSON. Any field
 /// addition/rename/reorder fails here until `REPORT_SCHEMA` is
 /// bumped and the golden regenerated (set `UPDATE_GOLDEN=1` to
 /// rewrite, then commit the diff deliberately).
 #[test]
-fn report_schema_v4_matches_golden_file() {
+fn report_schema_v5_matches_golden_file() {
     let mut rated = CellReport::new("weak-scaling", SeriesMode::Hybrid, "f32s-f64c", 2);
     rated.transport = "thread".into();
     rated.gflops_per_rank = Some(0.5);
@@ -150,6 +151,18 @@ fn report_schema_v4_matches_golden_file() {
     rated.motif_gflops = vec![("GS".into(), 0.5), ("SpMV".into(), 0.75)];
     rated.reconciled = Some(true);
     rated.spmv_value_bytes = Some(442368.0);
+    // One cell carries a metrics delta so the snapshot layout is
+    // pinned too; the others stay `null` like an untraced campaign.
+    rated.metrics = Some(MetricsSnapshot {
+        counters: vec![("coll.allreduces".into(), 44), ("solver.iters".into(), 22)],
+        gauges: vec![],
+        histograms: vec![HistogramSnapshot {
+            name: "wire.heartbeat_lag_ms".into(),
+            count: 3,
+            sum: 21,
+            buckets: vec![(3, 2), (4, 1)],
+        }],
+    });
     let mut modeled = CellReport::new("weak-scaling", SeriesMode::Hybrid, "f32s-f64c", 75264);
     modeled.transport = "model".into();
     modeled.nodes = Some(9408);
@@ -182,7 +195,7 @@ fn report_schema_v4_matches_golden_file() {
         cells: vec![rated, modeled, unrated],
     };
     let json = report.to_json();
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/campaign_report_v4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/campaign_report_v5.json");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(path, &json).unwrap();
     }

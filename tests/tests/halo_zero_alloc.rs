@@ -60,6 +60,13 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 #[test]
 fn steady_state_exchange_allocates_nothing() {
+    // Span tracing is part of the zero-allocation contract: with the
+    // recorder armed, every halo span mirrors into the preallocated
+    // global ring and every transport counter is a bare atomic, so
+    // the measured window below must stay quiet even while fully
+    // instrumented. (Metric/ring registration allocates once, on
+    // first use — inside warm-up, never in steady state.)
+    hpgmxp_trace::set_mode_override(hpgmxp_trace::Mode::Spans);
     const WARMUP: usize = 100;
     const MEASURED: usize = 50;
     let ranks = hpgmxp_comm::socket_world_size().unwrap_or(4);
