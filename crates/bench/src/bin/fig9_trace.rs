@@ -54,7 +54,7 @@ fn measured_sweep(
     ranks: usize,
     local: u32,
     sweeps: usize,
-) -> Option<(Vec<OverlapRecord>, Option<f64>)> {
+) -> Option<(Vec<OverlapRecord>, Option<f64>, usize)> {
     let procs = ProcGrid::factor(ranks as u32);
     let mid = procs.rank_of(procs.px / 2, procs.py / 2, procs.pz / 2) as usize;
     let mut out = run_spmd(ranks, move |c| {
@@ -77,11 +77,12 @@ fn measured_sweep(
         for s in 0..sweeps {
             dist_gs_sweep(&ctx, l, &mut stats, s as u64, SweepDir::Forward, &r, &mut z);
         }
-        (c.rank(), tl.overlap_records(), tl.overlap_efficiency())
+        let dropped = tl.dropped_events() + tl.dropped_overlaps();
+        (c.rank(), tl.overlap_records(), tl.overlap_efficiency(), dropped)
     });
-    let pos = out.iter().position(|(r, _, _)| *r == mid)?;
-    let (_, records, eff) = out.swap_remove(pos);
-    Some((records, eff))
+    let pos = out.iter().position(|(r, _, _, _)| *r == mid)?;
+    let (_, records, eff, dropped) = out.swap_remove(pos);
+    Some((records, eff, dropped))
 }
 
 fn main() {
@@ -134,10 +135,18 @@ fn main() {
     let coarse_out = measured_sweep(ranks, 4, sweeps);
     // Only the process holding the middle rank's trace reports it
     // (under threads: this one; under sockets: the mid-rank child).
-    let (Some((rec_fine, eff_fine)), Some((rec_coarse, eff_coarse))) = (fine_out, coarse_out)
+    let (Some((rec_fine, eff_fine, drop_fine)), Some((rec_coarse, eff_coarse, drop_coarse))) =
+        (fine_out, coarse_out)
     else {
         return;
     };
+    let dropped = drop_fine + drop_coarse;
+    if dropped > 0 {
+        eprintln!(
+            "[fig9] warning: timeline ring wrapped ({dropped} records lost) — measured overlap \
+             covers a truncated window; raise HPGMXP_TIMELINE_CAPACITY for full coverage"
+        );
+    }
     println!(
         "Measured ({} transport, {ranks} ranks, middle rank, {sweeps} optimized GS sweeps):",
         transport.name()

@@ -24,6 +24,7 @@
 use crate::collectives::CollStats;
 use hpgmxp_trace::{EventRec, Kind, Lane, OverlapRec, Recorder};
 use parking_lot::Mutex;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Which conceptual stream an event belongs to (mirrors the paper's
@@ -157,28 +158,45 @@ pub struct Timeline {
     enabled: bool,
     epoch: Instant,
     rec: Recorder,
-    /// This timeline's epoch on the global recorder's clock (valid
-    /// only when the global ring was armed at construction).
-    global_offset_ns: u64,
+    /// This timeline's epoch on the global recorder's clock, computed
+    /// lazily on the first mirrored record — so spans stay aligned
+    /// with the rest of the merged trace even when the global ring is
+    /// armed after this timeline was constructed (test overrides,
+    /// late env resolution).
+    global_offset_ns: OnceLock<u64>,
     collectives: Mutex<Option<CollStats>>,
 }
 
-/// Instance ring capacities: events and overlap records kept per
-/// enabled timeline (the global ring is sized independently via
-/// `HPGMXP_TRACE_CAPACITY`).
+/// Default instance ring capacities: events and overlap records kept
+/// per enabled timeline (the global ring is sized independently via
+/// `HPGMXP_TRACE_CAPACITY`). `HPGMXP_TIMELINE_CAPACITY` overrides the
+/// event capacity; the overlap ring scales with it at the same 16:1
+/// ratio. The rings wrap, keeping the newest records — see
+/// [`Timeline::dropped_events`] before trusting aggregate figures
+/// from a long run.
 const INSTANCE_EVENTS: usize = 1 << 16;
 const INSTANCE_OVERLAPS: usize = 1 << 12;
 
+fn instance_caps() -> (usize, usize) {
+    static CAPS: OnceLock<(usize, usize)> = OnceLock::new();
+    *CAPS.get_or_init(|| {
+        let ev = std::env::var("HPGMXP_TIMELINE_CAPACITY")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(INSTANCE_EVENTS);
+        (ev, (ev / (INSTANCE_EVENTS / INSTANCE_OVERLAPS)).max(1))
+    })
+}
+
 impl Timeline {
     fn new(enabled: bool) -> Self {
-        let (cap, ocap) = if enabled { (INSTANCE_EVENTS, INSTANCE_OVERLAPS) } else { (0, 0) };
-        let global_offset_ns =
-            if hpgmxp_trace::spans_armed() { hpgmxp_trace::global().now_ns() } else { 0 };
+        let (cap, ocap) = if enabled { instance_caps() } else { (0, 0) };
         Timeline {
             enabled,
             epoch: Instant::now(),
             rec: Recorder::new(cap, ocap),
-            global_offset_ns,
+            global_offset_ns: OnceLock::new(),
             collectives: Mutex::new(None),
         }
     }
@@ -225,16 +243,27 @@ impl Timeline {
             });
         }
         if hpgmxp_trace::spans_armed() {
+            let offset = self.global_offset();
             hpgmxp_trace::global().record(EventRec {
                 name,
                 lane: stream.lane(),
                 kind: Kind::Span,
                 tid: hpgmxp_trace::current_tid(),
-                start_ns: self.global_offset_ns + secs_to_ns(start),
-                end_ns: self.global_offset_ns + secs_to_ns(end),
+                start_ns: offset + secs_to_ns(start),
+                end_ns: offset + secs_to_ns(end),
                 arg: 0,
             });
         }
+    }
+
+    /// This timeline's epoch on the global recorder's clock, fixed the
+    /// first time a span is mirrored (`now` on both clocks is read
+    /// back-to-back, so the skew is nanoseconds).
+    fn global_offset(&self) -> u64 {
+        *self.global_offset_ns.get_or_init(|| {
+            let elapsed = secs_to_ns(self.now());
+            hpgmxp_trace::global().now_ns().saturating_sub(elapsed)
+        })
     }
 
     /// RAII guard that records `[creation, drop]` as an interval.
@@ -256,6 +285,21 @@ impl Timeline {
     /// Snapshot of the per-exchange overlap records, in completion order.
     pub fn overlap_records(&self) -> Vec<OverlapRecord> {
         self.rec.overlaps().iter().map(OverlapRecord::from_ns).collect()
+    }
+
+    /// Events this timeline's instance ring lost (wrapped over or
+    /// dropped on contention). When non-zero, [`Timeline::events`],
+    /// [`Timeline::busy_time`], [`Timeline::overlap_fraction`] and
+    /// friends describe only the newest window of the run, not all of
+    /// it — raise `HPGMXP_TIMELINE_CAPACITY` to widen the window.
+    pub fn dropped_events(&self) -> usize {
+        self.rec.dropped()
+    }
+
+    /// Overlap records the instance ring lost; when non-zero,
+    /// [`Timeline::overlap_efficiency`] aggregates a truncated window.
+    pub fn dropped_overlaps(&self) -> usize {
+        self.rec.overlaps_dropped()
     }
 
     /// Measured overlap efficiency over every recorded exchange: the

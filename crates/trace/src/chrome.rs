@@ -39,37 +39,84 @@ pub struct ChromeTrace {
     pub displayTimeUnit: String,
 }
 
-/// Merge per-rank trace files into one Chrome trace document. Events
-/// are globally sorted by timestamp (stable, so each span's `"B"`
-/// precedes its `"E"` even at zero duration).
+/// Merge per-rank trace files into one Chrome trace document.
+///
+/// Chrome/Perfetto match `"B"`/`"E"` pairs as a per-`(pid,tid)` stack,
+/// so ordering at equal timestamps decides which span a duration is
+/// attributed to. Events are sorted by timestamp with tie-breaks that
+/// keep the stack honest: ends of earlier spans come before begins
+/// (touching spans do not nest), among same-timestamp `"B"`s the span
+/// that ends last (the outer one) opens first, among same-timestamp
+/// `"E"`s the span that started last (the inner one) closes first, and
+/// a zero-duration span keeps its `"E"` immediately after its own
+/// `"B"`.
 pub fn merge(files: &[TraceFile]) -> ChromeTrace {
-    let mut events: Vec<ChromeEvent> = Vec::new();
+    // (ts, class, tie, sub): class 0 = span ends, 1 = begins/instants
+    // (and the glued ends of zero-duration spans, ordered after their
+    // begin by `sub`); `tie` is negated so larger spans sort first.
+    struct Keyed {
+        ts: f64,
+        class: u8,
+        tie: f64,
+        sub: u8,
+        ev: ChromeEvent,
+    }
+    let mut events: Vec<Keyed> = Vec::new();
     for f in files {
         for ev in &f.events {
+            let start_us = ev.start_ns as f64 / 1000.0;
+            let end_us = ev.end_ns as f64 / 1000.0;
             let base = ChromeEvent {
                 name: ev.name.clone(),
                 cat: ev.lane.label().to_string(),
                 ph: String::new(),
-                ts: ev.start_ns as f64 / 1000.0,
+                ts: start_us,
                 pid: f.rank as u64,
                 tid: ev.tid as u64,
                 arg: ev.arg,
             };
             match ev.kind {
-                Kind::Instant => events.push(ChromeEvent { ph: "i".into(), ..base }),
+                Kind::Instant => events.push(Keyed {
+                    ts: start_us,
+                    class: 1,
+                    tie: -start_us,
+                    sub: 0,
+                    ev: ChromeEvent { ph: "i".into(), ..base },
+                }),
                 Kind::Span => {
-                    events.push(ChromeEvent { ph: "B".into(), ..base.clone() });
-                    events.push(ChromeEvent {
-                        ph: "E".into(),
-                        ts: ev.end_ns as f64 / 1000.0,
-                        ..base
+                    events.push(Keyed {
+                        ts: start_us,
+                        class: 1,
+                        tie: -end_us,
+                        sub: 0,
+                        ev: ChromeEvent { ph: "B".into(), ..base.clone() },
                     });
+                    let end = ChromeEvent { ph: "E".into(), ts: end_us, ..base };
+                    if end_us > start_us {
+                        events.push(Keyed {
+                            ts: end_us,
+                            class: 0,
+                            tie: -start_us,
+                            sub: 0,
+                            ev: end,
+                        });
+                    } else {
+                        events.push(Keyed { ts: end_us, class: 1, tie: -end_us, sub: 1, ev: end });
+                    }
                 }
             }
         }
     }
-    events.sort_by(|a, b| a.ts.total_cmp(&b.ts));
-    ChromeTrace { traceEvents: events, displayTimeUnit: "ms".to_string() }
+    events.sort_by(|a, b| {
+        a.ts.total_cmp(&b.ts)
+            .then(a.class.cmp(&b.class))
+            .then(a.tie.total_cmp(&b.tie))
+            .then(a.sub.cmp(&b.sub))
+    });
+    ChromeTrace {
+        traceEvents: events.into_iter().map(|k| k.ev).collect(),
+        displayTimeUnit: "ms".to_string(),
+    }
 }
 
 /// Per-span-name aggregate over every rank, for the summary table.
@@ -193,6 +240,57 @@ mod tests {
         let back: ChromeTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(doc, back);
         assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn equal_timestamp_ties_keep_the_stack_honest() {
+        let span = |name: &str, start_ns: u64, end_ns: u64| FileEvent {
+            name: name.into(),
+            lane: Lane::Compute,
+            kind: Kind::Span,
+            tid: 1,
+            start_ns,
+            end_ns,
+            arg: 0,
+        };
+        let f = TraceFile {
+            rank: 0,
+            events: vec![
+                span("inner", 1000, 3000), // starts with outer
+                span("outer", 1000, 5000),
+                span("tail", 3000, 5000), // starts as inner ends, ends with outer
+                span("zero", 2000, 2000),
+                span("next", 5000, 6000), // starts as outer ends
+            ],
+            overlaps: vec![],
+            dropped: 0,
+            metrics: MetricsSnapshot::default(),
+        };
+        let doc = merge(&[f]);
+        let pos = |name: &str, ph: &str| {
+            doc.traceEvents.iter().position(|e| e.name == name && e.ph == ph).unwrap()
+        };
+        // Same start: the outer span opens first.
+        assert!(pos("outer", "B") < pos("inner", "B"));
+        // Same end: the inner-most span closes first.
+        assert!(pos("tail", "E") < pos("outer", "E"));
+        // Touching spans close before the next opens instead of nesting.
+        assert!(pos("inner", "E") < pos("tail", "B"));
+        assert!(pos("outer", "E") < pos("next", "B"));
+        // A zero-duration span stays a glued B/E pair inside its parent.
+        assert_eq!(pos("zero", "B") + 1, pos("zero", "E"));
+        assert!(pos("outer", "B") < pos("zero", "B"));
+        // Replay the stream as Chrome would: B/E matched as a stack,
+        // every E must pop the span it belongs to.
+        let mut stack: Vec<&str> = Vec::new();
+        for e in &doc.traceEvents {
+            match e.ph.as_str() {
+                "B" => stack.push(&e.name),
+                "E" => assert_eq!(stack.pop(), Some(e.name.as_str()), "cross-attributed span"),
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty());
     }
 
     #[test]

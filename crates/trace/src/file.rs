@@ -13,7 +13,7 @@
 //!           u32 name_id, u8 lane, u8 kind, u16 pad,
 //!           u32 tid, u64 start_ns, u64 end_ns, u64 arg
 //! overlaps u32 count, then 7 × u64 each
-//! dropped u64               events the ring wrapped over
+//! dropped u64               events lost (ring wrap or contention)
 //! metrics u32 len + JSON    a `MetricsSnapshot`
 //! ```
 
@@ -45,7 +45,8 @@ pub struct TraceFile {
     pub rank: u32,
     pub events: Vec<FileEvent>,
     pub overlaps: Vec<OverlapRec>,
-    /// Events the rank's ring wrapped over (lost to capacity) — a
+    /// Events the rank's ring lost (wrapped over by capacity, or
+    /// dropped when wrapped writers contended for a slot) — a
     /// non-zero value tells the reader the trace window is partial.
     pub dropped: u64,
     pub metrics: MetricsSnapshot,

@@ -1,11 +1,17 @@
 //! The lock-free, preallocated span/event ring recorder.
 //!
-//! Writers claim a slot with one `fetch_add` on the head counter and
-//! publish fields through per-slot sequence counters (a seqlock):
+//! Writers take a slot index with one `fetch_add` on the head counter
+//! and then **claim the slot exclusively** by compare-exchanging its
+//! per-slot sequence counter (a seqlock) from even (idle) to odd:
 //! recording never blocks, never allocates, and wraps over the oldest
-//! events when the ring fills. Readers ([`Recorder::events`]) run at
-//! flush/snapshot time and skip any slot a concurrent writer is
-//! mid-publish in — a torn slot is dropped, never misread.
+//! events when the ring fills. Once the ring has wrapped, two threads
+//! can map to the same slot; the loser of the claim race drops its
+//! event (counted in [`Recorder::dropped`]) instead of interleaving
+//! stores with the winner, so a slot only ever holds one writer's
+//! fields. Readers ([`Recorder::events`]) run at flush/snapshot time
+//! and skip any slot whose sequence is odd, unwritten, or changed
+//! across the read — a torn or in-flight slot is dropped, never
+//! misread.
 //!
 //! Names are `&'static str` (string literals at the instrumentation
 //! sites), so the hot path stores a pointer pair and touches the
@@ -13,7 +19,7 @@
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -121,11 +127,14 @@ pub struct OverlapRec {
 }
 
 /// One event slot: a seqlock sequence counter plus the event fields as
-/// plain atomics (every field is written relaxed inside the odd/even
-/// seq window, so a reader that validates the sequence sees a
-/// consistent record and a racing reader merely skips the slot).
+/// plain atomics. The sequence is 0 while the slot has never been
+/// written, odd while exactly one writer (the claim-race winner) is
+/// publishing, and a new even value once the fields are complete —
+/// every field store happens inside an exclusively-owned odd window,
+/// so a reader that validates the sequence sees one writer's
+/// consistent record and otherwise skips the slot.
 struct Slot {
-    seq: AtomicU32,
+    seq: AtomicU64,
     name_ptr: AtomicUsize,
     name_len: AtomicUsize,
     /// `lane | kind << 8 | tid << 32`.
@@ -138,7 +147,7 @@ struct Slot {
 impl Slot {
     fn new() -> Slot {
         Slot {
-            seq: AtomicU32::new(0),
+            seq: AtomicU64::new(0),
             name_ptr: AtomicUsize::new(0),
             name_len: AtomicUsize::new(0),
             meta: AtomicU64::new(0),
@@ -151,14 +160,29 @@ impl Slot {
 
 /// Overlap slot: seqlock + the seven `OverlapRec` words.
 struct OSlot {
-    seq: AtomicU32,
+    seq: AtomicU64,
     vals: [AtomicU64; 7],
 }
 
 impl OSlot {
     fn new() -> OSlot {
-        OSlot { seq: AtomicU32::new(0), vals: std::array::from_fn(|_| AtomicU64::new(0)) }
+        OSlot { seq: AtomicU64::new(0), vals: std::array::from_fn(|_| AtomicU64::new(0)) }
     }
+}
+
+/// Claim `seq` for writing: CAS from its current even (idle) value to
+/// odd. Returns the claimed value to publish `+2` from, or `None` when
+/// another wrapped writer owns the slot — the caller must then drop
+/// its record rather than interleave stores with the owner.
+fn claim(seq: &AtomicU64) -> Option<u64> {
+    let s = seq.load(Ordering::Relaxed);
+    if s & 1 == 1 || seq.compare_exchange(s, s + 1, Ordering::Relaxed, Ordering::Relaxed).is_err() {
+        return None;
+    }
+    // Order the claim before the field stores for any reader that
+    // observes them (paired with the acquire fence in the readers).
+    fence(Ordering::Release);
+    Some(s)
 }
 
 /// A preallocated, lock-free span/event ring plus an overlap-record
@@ -170,8 +194,12 @@ pub struct Recorder {
     /// Total events ever recorded; the live window is the last
     /// `min(head, capacity)` of them.
     head: AtomicUsize,
+    /// Events dropped because a wrapped writer lost the slot claim.
+    lost: AtomicUsize,
     oslots: Box<[OSlot]>,
     ohead: AtomicUsize,
+    /// Overlap records dropped on slot-claim contention.
+    olost: AtomicUsize,
 }
 
 impl fmt::Debug for Recorder {
@@ -194,11 +222,13 @@ impl Recorder {
             epoch: Instant::now(),
             slots: (0..capacity).map(|_| Slot::new()).collect::<Vec<_>>().into_boxed_slice(),
             head: AtomicUsize::new(0),
+            lost: AtomicUsize::new(0),
             oslots: (0..overlap_capacity)
                 .map(|_| OSlot::new())
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             ohead: AtomicUsize::new(0),
+            olost: AtomicUsize::new(0),
         }
     }
 
@@ -215,7 +245,12 @@ impl Recorder {
         }
         let i = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[i % self.slots.len()];
-        slot.seq.fetch_add(1, Ordering::AcqRel);
+        let Some(s) = claim(&slot.seq) else {
+            // A wrapped writer is publishing into the same slot; drop
+            // this event rather than tear the winner's record.
+            self.lost.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
         slot.name_ptr.store(ev.name.as_ptr() as usize, Ordering::Relaxed);
         slot.name_len.store(ev.name.len(), Ordering::Relaxed);
         slot.meta.store(
@@ -225,7 +260,7 @@ impl Recorder {
         slot.start_ns.store(ev.start_ns, Ordering::Relaxed);
         slot.end_ns.store(ev.end_ns, Ordering::Relaxed);
         slot.arg.store(ev.arg, Ordering::Relaxed);
-        slot.seq.fetch_add(1, Ordering::Release);
+        slot.seq.store(s + 2, Ordering::Release);
     }
 
     /// Open a span ending (and recording) when the guard drops.
@@ -255,7 +290,10 @@ impl Recorder {
         }
         let i = self.ohead.fetch_add(1, Ordering::Relaxed);
         let slot = &self.oslots[i % self.oslots.len()];
-        slot.seq.fetch_add(1, Ordering::AcqRel);
+        let Some(s) = claim(&slot.seq) else {
+            self.olost.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
         let words = [
             o.tag,
             o.bytes_sent,
@@ -268,7 +306,7 @@ impl Recorder {
         for (dst, w) in slot.vals.iter().zip(words) {
             dst.store(w, Ordering::Relaxed);
         }
-        slot.seq.fetch_add(1, Ordering::Release);
+        slot.seq.store(s + 2, Ordering::Release);
     }
 
     /// Events recorded so far (total, including any the ring wrapped
@@ -277,9 +315,18 @@ impl Recorder {
         self.head.load(Ordering::Relaxed)
     }
 
-    /// Events the ring wrapped over (lost to capacity).
+    /// Events lost: wrapped over by the ring (capacity) plus dropped
+    /// on slot-claim contention between wrapped writers.
     pub fn dropped(&self) -> usize {
         self.head.load(Ordering::Relaxed).saturating_sub(self.slots.len())
+            + self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Overlap records lost: wrapped over by the overlap ring plus
+    /// dropped on slot-claim contention.
+    pub fn overlaps_dropped(&self) -> usize {
+        self.ohead.load(Ordering::Relaxed).saturating_sub(self.oslots.len())
+            + self.olost.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the live window, sorted by start time. Slots a
@@ -290,7 +337,8 @@ impl Recorder {
         let mut out = Vec::with_capacity(n);
         for slot in self.slots.iter().take(n) {
             let s0 = slot.seq.load(Ordering::Acquire);
-            if s0 & 1 == 1 {
+            if s0 == 0 || s0 & 1 == 1 {
+                // Never fully written, or a writer is mid-publish.
                 continue;
             }
             let name_ptr = slot.name_ptr.load(Ordering::Relaxed) as *const u8;
@@ -299,11 +347,14 @@ impl Recorder {
             let start_ns = slot.start_ns.load(Ordering::Relaxed);
             let end_ns = slot.end_ns.load(Ordering::Relaxed);
             let arg = slot.arg.load(Ordering::Relaxed);
-            if slot.seq.load(Ordering::Acquire) != s0 {
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s0 {
                 continue;
             }
             // The pointer/length pair names a string literal ('static)
-            // and was validated consistent by the sequence check.
+            // and was validated consistent by the sequence check: the
+            // fields were published by exactly one writer (claims are
+            // exclusive) and did not change across the read.
             let name = unsafe {
                 std::str::from_utf8_unchecked(std::slice::from_raw_parts(name_ptr, name_len))
             };
@@ -331,11 +382,12 @@ impl Recorder {
         for k in 0..n {
             let slot = &self.oslots[(start + k) % self.oslots.len().max(1)];
             let s0 = slot.seq.load(Ordering::Acquire);
-            if s0 & 1 == 1 {
+            if s0 == 0 || s0 & 1 == 1 {
                 continue;
             }
             let w: [u64; 7] = std::array::from_fn(|j| slot.vals[j].load(Ordering::Relaxed));
-            if slot.seq.load(Ordering::Acquire) != s0 {
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s0 {
                 continue;
             }
             out.push(OverlapRec {
@@ -526,6 +578,62 @@ mod tests {
         assert_eq!(rec.events().len(), 2048);
         let tids: std::collections::HashSet<u32> = rec.events().iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 4, "each thread got its own tid");
+    }
+
+    #[test]
+    fn wrapped_concurrent_writers_never_publish_torn_slots() {
+        // A tiny ring wrapped thousands of times by racing writers,
+        // with a reader snapshotting throughout: every event read back
+        // must be one of the writers' records verbatim (a torn slot
+        // would surface as a name outside the set or a mismatched
+        // name/arg pair), and the loss accounting must cover every
+        // event that did not land.
+        const NAMES: [&str; 4] = ["w", "xx", "yyy", "zzzz"];
+        const PER_THREAD: usize = 20_000;
+        let rec = std::sync::Arc::new(Recorder::new(8, 4));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let rec = std::sync::Arc::clone(&rec);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for e in rec.events() {
+                        let t = (e.arg >> 32) as usize;
+                        assert!(t < NAMES.len(), "arg from an unknown writer: {:#x}", e.arg);
+                        assert_eq!(e.name, NAMES[t], "slot mixed two writers' fields");
+                    }
+                    for o in rec.overlaps() {
+                        assert!((o.tag as usize) < NAMES.len());
+                        assert_eq!(o.bytes_sent, o.tag + 1, "torn overlap slot");
+                    }
+                }
+            })
+        };
+        let writers: Vec<_> = (0..NAMES.len())
+            .map(|t| {
+                let rec = std::sync::Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD as u64 {
+                        rec.instant(NAMES[t], Lane::Wire, (t as u64) << 32 | i);
+                        rec.add_overlap(OverlapRec {
+                            tag: t as u64,
+                            bytes_sent: t as u64 + 1,
+                            ..Default::default()
+                        });
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        let total = NAMES.len() * PER_THREAD;
+        assert_eq!(rec.recorded(), total);
+        let readable = rec.events().len();
+        assert!(readable <= 8);
+        assert!(rec.dropped() >= total - readable, "loss accounting undercounts");
     }
 
     #[test]
